@@ -1,0 +1,163 @@
+// Shared helpers for the experiment binaries.
+//
+// Environment knobs (all optional):
+//   IDEM_BENCH_SECONDS  measurement seconds per data point (default 5)
+//   IDEM_BENCH_WARMUP   warm-up seconds per data point (default 1)
+//   IDEM_BENCH_RUNS     independent runs (seeds) averaged per point (default 1)
+//   IDEM_BENCH_CSV      when set, also print CSV after each table
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "harness/driver.hpp"
+#include "harness/metrics.hpp"
+#include "harness/table.hpp"
+
+namespace idem::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+inline Duration measure_duration() {
+  return static_cast<Duration>(env_double("IDEM_BENCH_SECONDS", 5.0) * kSecond);
+}
+
+inline Duration warmup_duration() {
+  return static_cast<Duration>(env_double("IDEM_BENCH_WARMUP", 1.0) * kSecond);
+}
+
+inline int bench_runs() { return env_int("IDEM_BENCH_RUNS", 1); }
+
+inline bool csv_enabled() { return std::getenv("IDEM_BENCH_CSV") != nullptr; }
+
+/// Metrics of one load point averaged over `runs` independent seeds.
+struct LoadPoint {
+  std::size_t clients = 0;
+  double reply_kops = 0;        ///< successful requests per second / 1000
+  double reject_kops = 0;       ///< rejections per second / 1000
+  double reply_ms = 0;          ///< mean reply latency
+  double reply_stddev_ms = 0;
+  double reply_p99_ms = 0;
+  double reject_ms = 0;         ///< mean reject latency
+  double reject_stddev_ms = 0;
+  double timeouts_per_s = 0;
+};
+
+/// Runs one steady-state load point: `clients` closed-loop YCSB clients
+/// against a fresh cluster; repeated for `runs` seeds and averaged.
+inline LoadPoint run_load_point(harness::ClusterConfig base, std::size_t clients,
+                                harness::DriverConfig driver_config, int runs = 0) {
+  if (runs <= 0) runs = bench_runs();
+  LoadPoint point;
+  point.clients = clients;
+  for (int run = 0; run < runs; ++run) {
+    harness::ClusterConfig config = base;
+    config.clients = clients;
+    config.seed = base.seed + static_cast<std::uint64_t>(run) * 7919;
+    harness::Cluster cluster(config);
+    harness::ClosedLoopDriver driver(cluster, driver_config);
+    harness::RunMetrics metrics = driver.run();
+
+    point.reply_kops += metrics.reply_throughput() / 1000.0;
+    point.reject_kops += metrics.reject_throughput() / 1000.0;
+    point.reply_ms += metrics.reply_latency_ms();
+    point.reply_stddev_ms += metrics.reply_latency_stddev_ms();
+    point.reply_p99_ms += to_ms(metrics.reply_latency.p99());
+    point.reject_ms += metrics.reject_latency_ms();
+    point.reject_stddev_ms += metrics.reject_latency_stddev_ms();
+    point.timeouts_per_s += static_cast<double>(metrics.timeouts) / to_sec(metrics.measured);
+  }
+  const double inv = 1.0 / runs;
+  point.reply_kops *= inv;
+  point.reject_kops *= inv;
+  point.reply_ms *= inv;
+  point.reply_stddev_ms *= inv;
+  point.reply_p99_ms *= inv;
+  point.reject_ms *= inv;
+  point.reject_stddev_ms *= inv;
+  point.timeouts_per_s *= inv;
+  return point;
+}
+
+inline void print_table(const harness::Table& table);
+
+/// Runs `clients` closed-loop clients for `duration` and crashes one
+/// replica at `crash_at` (the current leader when `crash_leader`, else a
+/// follower). Returns the full-run metrics; the time series cover the
+/// whole run, which is what the crash figures plot.
+inline harness::RunMetrics run_crash_timeline(harness::ClusterConfig base, std::size_t clients,
+                                              Duration duration, Duration crash_at,
+                                              bool crash_leader) {
+  base.clients = clients;
+  harness::Cluster cluster(base);
+  harness::DriverConfig driver;
+  driver.warmup = 0;
+  driver.measure = duration;
+  cluster.simulator().schedule_at(crash_at, [&cluster, crash_leader] {
+    std::size_t leader = cluster.leader_index();
+    std::size_t victim = crash_leader ? leader : (leader + 1) % cluster.config().n;
+    cluster.crash_replica(victim);
+  });
+  harness::ClosedLoopDriver loop(cluster, driver);
+  return loop.run();
+}
+
+/// Prints a reply/reject timeline aggregated into `bucket`-sized rows.
+inline void print_timeline(const harness::RunMetrics& metrics, Duration bucket,
+                           Time crash_at = -1) {
+  harness::Table table({"t[s]", "reply[kreq/s]", "latency[ms]", "reject[kreq/s]",
+                        "rej-latency[ms]", "event"});
+  auto replies = metrics.reply_series.rows();
+  auto rejects = metrics.reject_series.rows();
+  Duration window = metrics.reply_series.window();
+  std::size_t per_bucket = static_cast<std::size_t>(bucket / window);
+  if (per_bucket == 0) per_bucket = 1;
+  std::size_t rows = std::max(replies.size(), rejects.size());
+  for (std::size_t start = 0; start < rows; start += per_bucket) {
+    std::uint64_t reply_count = 0, reject_count = 0;
+    double reply_lat = 0, reject_lat = 0;
+    for (std::size_t i = start; i < std::min(start + per_bucket, rows); ++i) {
+      if (i < replies.size()) {
+        reply_count += replies[i].count;
+        reply_lat += replies[i].value_sum;
+      }
+      if (i < rejects.size()) {
+        reject_count += rejects[i].count;
+        reject_lat += rejects[i].value_sum;
+      }
+    }
+    Time t0 = static_cast<Time>(start) * window;
+    bool crash_here = crash_at >= 0 && crash_at >= t0 && crash_at < t0 + static_cast<Time>(per_bucket) * window;
+    table.add_row({harness::Table::fmt(to_sec(t0), 1),
+                   harness::Table::fmt(reply_count / to_sec(bucket) / 1000.0),
+                   harness::Table::fmt(reply_count ? reply_lat / reply_count : 0.0, 3),
+                   harness::Table::fmt(reject_count / to_sec(bucket) / 1000.0),
+                   harness::Table::fmt(reject_count ? reject_lat / reject_count : 0.0, 3),
+                   crash_here ? "<- crash" : ""});
+  }
+  print_table(table);
+}
+
+inline void print_table(const harness::Table& table) {
+  table.print();
+  if (csv_enabled()) {
+    std::printf("\ncsv:\n");
+    table.print_csv();
+  }
+  std::printf("\n");
+}
+
+}  // namespace idem::bench

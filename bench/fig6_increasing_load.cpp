@@ -1,0 +1,50 @@
+// Figure 6: performance comparison under increasing request load.
+//
+// Paper result: Paxos and BFT-SMaRt saturate and their latency escalates
+// (>600% of normal) once offered load exceeds the maximum throughput.
+// IDEM behaves identically to IDEM_noPR until the reject threshold is
+// reached (~43k requests/s), then the latency *plateaus* (~1.3 ms) because
+// collaborative overload prevention caps the number of active requests.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace idem;
+
+int main() {
+  std::printf("=== Figure 6: performance under increasing load ===\n");
+  std::printf("(YCSB update-heavy, closed loop; load = number of clients; baseline 1x = 50)\n\n");
+
+  const std::vector<std::size_t> client_counts = {5, 10, 20, 30, 40, 50, 65, 80, 100, 150, 200};
+  const std::vector<harness::Protocol> protocols = {
+      harness::Protocol::Paxos, harness::Protocol::Smart, harness::Protocol::IdemNoPR,
+      harness::Protocol::Idem};
+
+  harness::DriverConfig driver;
+  driver.warmup = bench::warmup_duration();
+  driver.measure = bench::measure_duration();
+
+  for (harness::Protocol protocol : protocols) {
+    harness::ClusterConfig base;
+    base.protocol = protocol;
+    base.reject_threshold = 50;
+
+    harness::Table table({"system", "clients", "throughput[kreq/s]", "latency[ms]",
+                          "stddev[ms]", "p99[ms]", "rejects[kreq/s]"});
+    for (std::size_t clients : client_counts) {
+      bench::LoadPoint point = bench::run_load_point(base, clients, driver);
+      table.add_row({harness::protocol_name(protocol), harness::Table::fmt(std::uint64_t(clients)),
+                     harness::Table::fmt(point.reply_kops), harness::Table::fmt(point.reply_ms, 3),
+                     harness::Table::fmt(point.reply_stddev_ms, 3),
+                     harness::Table::fmt(point.reply_p99_ms, 3),
+                     harness::Table::fmt(point.reject_kops)});
+    }
+    bench::print_table(table);
+  }
+
+  std::printf("shape checks (see EXPERIMENTS.md):\n"
+              " - Paxos / BFT-SMaRt latency at 4x baseline >> 6x their low-load latency\n"
+              " - IDEM latency plateaus near its saturation point\n"
+              " - IDEM and IDEM_noPR match below the reject threshold\n");
+  return 0;
+}

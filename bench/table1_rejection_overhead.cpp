@@ -1,0 +1,97 @@
+// Table 1: overhead of IDEM's rejection mechanism.
+//
+// Paper method: issue a fixed number of requests (1,000,000) under three
+// load levels (0.5x, 1x, 4x of the 50-client baseline) and compare the
+// total network traffic of IDEM vs IDEM_noPR. A request only counts when
+// it completes successfully; rejected operations are retried. Paper
+// result: the difference is within measurement noise (~2-3%) — the
+// rejected-request cache and lazy forwarding keep the mechanism's
+// traffic negligible.
+//
+// The request count is configurable (IDEM_TABLE1_REQUESTS, default
+// 200,000) because a simulated million-request run is slow; traffic per
+// request is load-dependent but count-independent, so the comparison is
+// unaffected.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+
+using namespace idem;
+
+namespace {
+
+std::uint64_t completed_requests() {
+  const char* env = std::getenv("IDEM_TABLE1_REQUESTS");
+  if (env != nullptr && *env != '\0') return std::strtoull(env, nullptr, 10);
+  return 200'000;
+}
+
+double run_traffic_gb(harness::Protocol protocol, std::size_t clients, std::uint64_t requests,
+                      double* reject_share) {
+  harness::ClusterConfig base;
+  base.protocol = protocol;
+  base.reject_threshold = 50;
+  base.clients = clients;
+  harness::Cluster cluster(base);
+  harness::DriverConfig driver;
+  driver.stop_after_replies = requests;
+  harness::ClosedLoopDriver loop(cluster, driver);
+  harness::RunMetrics metrics = loop.run();
+  if (reject_share != nullptr) {
+    *reject_share = 100.0 * static_cast<double>(metrics.rejects) /
+                    static_cast<double>(metrics.replies + metrics.rejects);
+  }
+  return static_cast<double>(metrics.total_bytes()) / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t requests = completed_requests();
+  std::printf("=== Table 1: rejection-mechanism overhead (network traffic for %llu"
+              " completed requests) ===\n\n",
+              static_cast<unsigned long long>(requests));
+
+  struct LoadLevel {
+    const char* name;
+    std::size_t clients;
+  };
+  const LoadLevel levels[] = {{"Medium Load (0.5x)", 25}, {"High Load (1x)", 50},
+                              {"Overload (4x)", 200}};
+
+  harness::Table table({"system", "Medium Load", "High Load", "Overload"});
+  double idem_gb[3], nopr_gb[3], reject_share[3];
+
+  {
+    std::vector<std::string> row = {"IDEM_noPR"};
+    for (int i = 0; i < 3; ++i) {
+      nopr_gb[i] = run_traffic_gb(harness::Protocol::IdemNoPR, levels[i].clients, requests,
+                                  nullptr);
+      row.push_back(harness::Table::fmt(nopr_gb[i], 3) + " GB");
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row = {"IDEM"};
+    for (int i = 0; i < 3; ++i) {
+      idem_gb[i] = run_traffic_gb(harness::Protocol::Idem, levels[i].clients, requests,
+                                  &reject_share[i]);
+      row.push_back(harness::Table::fmt(idem_gb[i], 3) + " GB");
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table);
+
+  std::printf("relative traffic difference (IDEM vs IDEM_noPR):\n");
+  bool all_small = true;
+  for (int i = 0; i < 3; ++i) {
+    double diff = 100.0 * (idem_gb[i] - nopr_gb[i]) / nopr_gb[i];
+    std::printf("  %-20s %+5.2f%%  (reject share of operations: %.1f%%)\n", levels[i].name,
+                diff, reject_share[i]);
+    if (diff > 5.0) all_small = false;
+  }
+  std::printf("shape check: overhead within noise (paper: ~2-3%% variation) -> %s\n",
+              all_small ? "OK" : "MISS");
+  return 0;
+}

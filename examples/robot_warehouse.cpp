@@ -1,0 +1,140 @@
+// Robot warehouse (paper Section 2.3, first example).
+//
+// Semi-autonomous robots transport goods inside a warehouse. A replicated
+// route-planning service knows every robot's position and destination and
+// computes globally efficient routes. When the service is overloaded and
+// *proactively rejects* a robot's routing request, the robot instantly
+// falls back to local Lidar-based navigation: functional, but less
+// efficient (it cannot see other robots' plans).
+//
+// The demo drives a fleet through a load spike and reports, for every
+// phase, how many navigation decisions used the optimal replicated
+// planner vs. the local fallback — and crucially how *quickly* the robots
+// learned that they had to fall back (the paper's "middle tier").
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "common/histogram.hpp"
+#include "harness/cluster.hpp"
+
+using namespace idem;
+
+namespace {
+
+struct RobotFleetStats {
+  std::uint64_t planned = 0;        ///< decisions from the replicated planner
+  std::uint64_t fallback = 0;       ///< local sensor-based decisions
+  std::uint64_t stale = 0;          ///< planner answer came too late to use
+  Histogram decision_latency;       ///< time until the robot could act
+};
+
+/// One warehouse robot: repeatedly asks the planner for its next route
+/// segment; on rejection it navigates by local sensors and retries later.
+class Robot {
+ public:
+  Robot(harness::Cluster& cluster, std::size_t index, RobotFleetStats& stats,
+        Duration deadline)
+      : cluster_(cluster), index_(index), stats_(stats), deadline_(deadline) {}
+
+  void start() { request_route(); }
+
+ private:
+  void request_route() {
+    // The robot uploads its position and asks for the next segment. A
+    // put models the position update + route query round trip.
+    app::KvCommand cmd;
+    cmd.op = app::KvOp::Put;
+    cmd.key = "robot" + std::to_string(index_);
+    cmd.value = "pos:" + std::to_string(step_);
+    cluster_.client(index_).invoke(
+        cmd.encode(), [this](const consensus::Outcome& outcome) { on_outcome(outcome); });
+  }
+
+  void on_outcome(const consensus::Outcome& outcome) {
+    ++step_;
+    stats_.decision_latency.record(outcome.latency());
+    Duration next_in = 10 * kMillisecond;  // robots re-plan 100x/second
+    if (outcome.kind == consensus::Outcome::Kind::Reply) {
+      if (outcome.latency() <= deadline_) {
+        ++stats_.planned;
+      } else {
+        // A late route is useless: the robot has already moved on.
+        ++stats_.stale;
+      }
+    } else {
+      // Rejected: navigate by Lidar and give the planner some air
+      // (Section 7.1's 50-100 ms backoff).
+      ++stats_.fallback;
+      next_in += 50 * kMillisecond +
+                 cluster_.simulator().rng("robot.backoff").uniform_int(0, 50) * kMillisecond /
+                     50;
+    }
+    cluster_.simulator().schedule_after(next_in, [this] { request_route(); });
+  }
+
+  harness::Cluster& cluster_;
+  std::size_t index_;
+  RobotFleetStats& stats_;
+  Duration deadline_;
+  std::uint64_t step_ = 0;
+};
+
+void report(const char* phase, const RobotFleetStats& stats) {
+  std::uint64_t total = stats.planned + stats.fallback + stats.stale;
+  if (total == 0) total = 1;
+  std::printf("%-28s %6llu decisions: %4.1f%% planned, %4.1f%% fallback, %4.1f%% stale"
+              " | decision latency p99 %.2f ms\n",
+              phase, static_cast<unsigned long long>(total),
+              100.0 * stats.planned / total, 100.0 * stats.fallback / total,
+              100.0 * stats.stale / total, to_ms(stats.decision_latency.p99()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Robot warehouse: route planning with proactive rejection ==\n\n");
+
+  // 800 robots share a 3-replica IDEM planner sized for steady-state
+  // operation (not for the rush-hour peak).
+  const std::size_t fleet_size = 800;
+  harness::ClusterConfig config;
+  config.protocol = harness::Protocol::Idem;
+  config.clients = fleet_size;
+  config.reject_threshold = 50;
+  config.preload = false;
+  harness::Cluster cluster(config);
+
+  const Duration route_deadline = 20 * kMillisecond;  // route useless after this
+  RobotFleetStats stats;
+  std::vector<Robot> robots;
+  robots.reserve(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    robots.emplace_back(cluster, i, stats, route_deadline);
+  }
+
+  auto run_phase = [&](const char* name, Duration duration) {
+    stats = RobotFleetStats{};
+    cluster.simulator().run_for(duration);
+    report(name, stats);
+  };
+
+  // Phase 1: normal operation, 40 robots active.
+  for (std::size_t i = 0; i < 40; ++i) robots[i].start();
+  run_phase("normal operation (40 bots)", 5 * kSecond);
+
+  // Phase 2: rush hour — the whole fleet comes online at once.
+  for (std::size_t i = 40; i < fleet_size; ++i) robots[i].start();
+  run_phase("rush hour (800 bots)", 5 * kSecond);
+
+  // Phase 3: what matters is how FAST robots learned to fall back. A
+  // rejected robot keeps moving; a robot waiting on a timed-out planner
+  // would stall. p99 decision latency stays in the milliseconds.
+  run_phase("sustained peak (800 bots)", 5 * kSecond);
+
+  std::printf("\nWith IDEM, overloaded robots get an answer ('rejected') within ~2 ms and\n"
+              "switch to Lidar navigation immediately. With a traditional protocol they\n"
+              "would wait on a growing queue (or a timeout) before every single decision.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// A second, minimal replicated application: named atomic counters.
+//
+// Exists to demonstrate (and test) that the protocol stack is generic
+// over app::StateMachine — nothing in the replicas refers to the KV
+// store. Commands: ADD <name> <delta> (returns the new value) and
+// READ <name>.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "app/state_machine.hpp"
+#include "common/codec.hpp"
+
+namespace idem::app {
+
+enum class CounterOp : std::uint8_t { Add = 1, Read = 2 };
+
+struct CounterCommand {
+  CounterOp op = CounterOp::Read;
+  std::string name;
+  std::int64_t delta = 0;
+
+  std::vector<std::byte> encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(op));
+    w.str(name);
+    if (op == CounterOp::Add) w.u64(static_cast<std::uint64_t>(delta));
+    return w.take();
+  }
+  static CounterCommand decode(std::span<const std::byte> data) {
+    ByteReader r(data);
+    CounterCommand cmd;
+    cmd.op = static_cast<CounterOp>(r.u8());
+    cmd.name = r.str();
+    if (cmd.op == CounterOp::Add) cmd.delta = static_cast<std::int64_t>(r.u64());
+    return cmd;
+  }
+};
+
+class CounterService final : public StateMachine {
+ public:
+  std::vector<std::byte> execute(std::span<const std::byte> command) override {
+    CounterCommand cmd = CounterCommand::decode(command);
+    std::int64_t value = 0;
+    switch (cmd.op) {
+      case CounterOp::Add:
+        value = (counters_[cmd.name] += cmd.delta);
+        break;
+      case CounterOp::Read: {
+        auto it = counters_.find(cmd.name);
+        value = it == counters_.end() ? 0 : it->second;
+        break;
+      }
+    }
+    ByteWriter w;
+    w.u64(static_cast<std::uint64_t>(value));
+    return w.take();
+  }
+
+  std::vector<std::byte> snapshot() const override {
+    ByteWriter w;
+    w.varint(counters_.size());
+    for (const auto& [name, value] : counters_) {
+      w.str(name);
+      w.u64(static_cast<std::uint64_t>(value));
+    }
+    return w.take();
+  }
+
+  void restore(std::span<const std::byte> snapshot) override {
+    ByteReader r(snapshot);
+    std::map<std::string, std::int64_t> fresh;
+    auto n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto name = r.str();
+      auto value = static_cast<std::int64_t>(r.u64());
+      fresh.emplace(std::move(name), value);
+    }
+    counters_ = std::move(fresh);
+  }
+
+  Duration execution_cost(std::span<const std::byte>) const override {
+    return 2 * kMicrosecond;
+  }
+
+  static std::int64_t decode_value(std::span<const std::byte> result) {
+    ByteReader r(result);
+    return static_cast<std::int64_t>(r.u64());
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace idem::app

@@ -1,0 +1,93 @@
+#include "common/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace idem {
+
+Histogram::Histogram() : buckets_(64 * kMinor, 0) {}
+
+std::uint32_t Histogram::bucket_index(std::uint64_t v) {
+  if (v < kMinor) return static_cast<std::uint32_t>(v);
+  // Major bucket = position of the highest set bit; minor bucket = the next
+  // kMinorBits bits below it. Values below 2^kMinorBits map 1:1 (exact).
+  int high = 63 - std::countl_zero(v);
+  int shift = high - kMinorBits;
+  auto minor = static_cast<std::uint32_t>((v >> shift) & (kMinor - 1));
+  auto major = static_cast<std::uint32_t>(high - kMinorBits + 1);
+  return major * kMinor + minor;
+}
+
+std::uint64_t Histogram::bucket_upper_edge(std::uint32_t index) {
+  std::uint32_t major = index / kMinor;
+  std::uint32_t minor = index % kMinor;
+  if (major == 0) return minor;
+  int shift = static_cast<int>(major) - 1;
+  // Upper edge of [ (2^kMinorBits + minor) << shift , +2^shift )
+  return ((static_cast<std::uint64_t>(kMinor) + minor) << shift) + ((1ull << shift) - 1);
+}
+
+void Histogram::record(Duration value) { record_n(value, 1); }
+
+void Histogram::record_n(Duration value, std::uint64_t count) {
+  if (count == 0) return;
+  if (value < 0) value = 0;
+  auto v = static_cast<std::uint64_t>(value);
+  std::uint32_t idx = bucket_index(v);
+  if (idx >= buckets_.size()) idx = static_cast<std::uint32_t>(buckets_.size()) - 1;
+  buckets_[idx] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  double n = static_cast<double>(count_);
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+Duration Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      auto edge = bucket_upper_edge(i);
+      return static_cast<Duration>(edge);
+    }
+  }
+  return max_;
+}
+
+void Histogram::clear() {
+  buckets_.assign(buckets_.size(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = sum_sq_ = 0;
+}
+
+}  // namespace idem

@@ -1,0 +1,61 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Records durations with bounded relative error and answers percentile,
+// mean and standard-deviation queries. Used by the harness for every
+// latency series the paper reports (averages with stddev error bars,
+// plateaus, tail percentiles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace idem {
+
+class Histogram {
+ public:
+  /// Buckets cover [1ns, ~9.2e18ns] with ~1.5% relative error
+  /// (64 major buckets x 32 minor buckets).
+  Histogram();
+
+  void record(Duration value);
+  void record_n(Duration value, std::uint64_t count);
+
+  /// Merges another histogram into this one (used to combine per-client
+  /// recorders into one experiment-wide distribution).
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  Duration min() const { return count_ ? min_ : 0; }
+  Duration max() const { return count_ ? max_ : 0; }
+  double mean() const;
+  double stddev() const;
+
+  /// Value at quantile q in [0, 1]; returns 0 for an empty histogram.
+  /// The returned value is the upper edge of the containing bucket, so it
+  /// never under-reports by more than the bucket's relative error.
+  Duration quantile(double q) const;
+
+  Duration p50() const { return quantile(0.50); }
+  Duration p99() const { return quantile(0.99); }
+  Duration p999() const { return quantile(0.999); }
+
+  void clear();
+
+ private:
+  static constexpr int kMinorBits = 5;
+  static constexpr std::uint32_t kMinor = 1u << kMinorBits;
+
+  static std::uint32_t bucket_index(std::uint64_t v);
+  static std::uint64_t bucket_upper_edge(std::uint32_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  Duration min_ = 0;
+  Duration max_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace idem

@@ -1,0 +1,38 @@
+// Simulated-time primitives shared by every module.
+//
+// All protocol and simulator code expresses time as an integral number of
+// nanoseconds (`Time`). Using a plain integer instead of std::chrono keeps
+// the discrete-event scheduler trivially totally ordered and serializable,
+// while the literal helpers below keep call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace idem {
+
+/// A point in (simulated) time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of (simulated) time, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n * kNanosecond; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a duration to floating-point milliseconds (for reporting).
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / kMillisecond; }
+
+/// Converts a duration to floating-point seconds (for reporting).
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / kSecond; }
+
+/// Sentinel for "no deadline".
+constexpr Time kTimeNever = INT64_MAX;
+
+}  // namespace idem

@@ -1,0 +1,31 @@
+#include "common/timeseries.hpp"
+
+namespace idem {
+
+TimeSeries::TimeSeries(Duration window) : window_(window > 0 ? window : kMillisecond) {}
+
+void TimeSeries::add(Time t, double value) {
+  if (t < 0) t = 0;
+  auto idx = static_cast<std::size_t>(t / window_);
+  if (idx >= buckets_.size()) {
+    std::size_t old = buckets_.size();
+    buckets_.resize(idx + 1);
+    for (std::size_t i = old; i < buckets_.size(); ++i) {
+      buckets_[i].window_start = static_cast<Time>(i) * window_;
+    }
+  }
+  Row& row = buckets_[idx];
+  if (row.count == 0) {
+    row.value_min = row.value_max = value;
+  } else {
+    if (value < row.value_min) row.value_min = value;
+    if (value > row.value_max) row.value_max = value;
+  }
+  row.count += 1;
+  row.value_sum += value;
+  total_ += 1;
+}
+
+std::vector<TimeSeries::Row> TimeSeries::rows() const { return buckets_; }
+
+}  // namespace idem

@@ -1,0 +1,52 @@
+// Windowed time series for timeline plots.
+//
+// The crash experiments (Figures 3 and 10) report throughput and latency
+// *over time*: a replica is crashed mid-run and the plot shows the gap and
+// recovery. TimeSeries buckets samples into fixed-width windows and later
+// yields one row per window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace idem {
+
+class TimeSeries {
+ public:
+  /// `window` is the bucket width; samples before t=0 are clamped to 0.
+  explicit TimeSeries(Duration window);
+
+  /// Adds one event at time `t` carrying `value` (e.g. a latency sample);
+  /// use value=0 to count events only.
+  void add(Time t, double value = 0.0);
+
+  struct Row {
+    Time window_start = 0;
+    std::uint64_t count = 0;     ///< events in this window
+    double value_sum = 0.0;      ///< sum of sample values
+    double value_min = 0.0;
+    double value_max = 0.0;
+
+    double mean() const { return count ? value_sum / static_cast<double>(count) : 0.0; }
+    /// Event rate in events per second.
+    double rate(Duration window) const {
+      return static_cast<double>(count) / to_sec(window);
+    }
+  };
+
+  /// Rows from t=0 through the last window that received a sample;
+  /// intermediate empty windows are included (count == 0).
+  std::vector<Row> rows() const;
+
+  Duration window() const { return window_; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  Duration window_;
+  std::vector<Row> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace idem

@@ -1,0 +1,56 @@
+// CPU cost model for protocol message handling.
+//
+// Each replica charges a fixed per-message cost plus a size-proportional
+// term for every message it processes (deserialization, bookkeeping), on
+// top of application execution costs. The defaults are calibrated so a
+// 3-replica cluster saturates around the paper's ~43k requests/s with 50
+// closed-loop clients (see EXPERIMENTS.md for the calibration numbers).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/payload.hpp"
+
+namespace idem::consensus {
+
+struct CostModel {
+  Duration per_message = 1500;  // 1.5 us
+  double ns_per_byte = 4.0;
+  Duration send_per_message = 1 * kMicrosecond;
+  double send_ns_per_byte = 1.0;
+  /// Multiplicative service-time variability: each cost is scaled by a
+  /// uniform factor in [1-jitter, 1+jitter]. Real servers see this from
+  /// scheduling, cache misses and GC; it also produces the latency
+  /// standard deviations the paper's error bars show.
+  double jitter = 0.25;
+  /// Occasional slow operations (cache misses, allocator stalls, GC-like
+  /// pauses): with `straggler_prob` a cost is multiplied by
+  /// `straggler_factor`. Queueing amplifies these under load, producing
+  /// the growing latency variance the paper's error bars show (Figure 2).
+  double straggler_prob = 0.01;
+  double straggler_factor = 6.0;
+
+  Duration apply_jitter(Duration base, Rng& rng) const {
+    if (jitter <= 0 || base <= 0) return base;
+    double factor = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+    if (straggler_prob > 0 && rng.next_double() < straggler_prob) {
+      factor *= straggler_factor;
+    }
+    return static_cast<Duration>(static_cast<double>(base) * factor);
+  }
+
+  Duration cost(const sim::Payload& message, Rng& rng) const {
+    Duration base = per_message + static_cast<Duration>(
+                                      ns_per_byte * static_cast<double>(message.wire_size()));
+    return apply_jitter(base, rng);
+  }
+
+  Duration send_cost(const sim::Payload& message, Rng& rng) const {
+    Duration base = send_per_message +
+                    static_cast<Duration>(send_ns_per_byte *
+                                          static_cast<double>(message.wire_size()));
+    return apply_jitter(base, rng);
+  }
+};
+
+}  // namespace idem::consensus

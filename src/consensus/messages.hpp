@@ -1,0 +1,596 @@
+// Wire messages for all protocols in this repository.
+//
+// Every message derives sim::Payload, carries a full binary encoding
+// (exercised by tests and used for byte accounting), and caches its wire
+// size. IDEM messages follow Sections 4-5 of the paper; the Paxos and
+// SMaRt messages serve the baseline protocols.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/ids.hpp"
+#include "sim/payload.hpp"
+
+namespace idem::msg {
+
+enum class Type : std::uint8_t {
+  // Client <-> replica (shared by all protocols)
+  Request = 1,
+  Reply = 2,
+  Reject = 3,  // IDEM + Paxos_LBR: proactive rejection notification
+  // IDEM replica <-> replica
+  Require = 10,
+  Propose = 11,
+  Commit = 12,
+  Forward = 13,
+  Fetch = 14,
+  ViewChange = 15,
+  StateRequest = 16,
+  StateResponse = 17,
+  // Paxos (Kirsch/Amir-style, leader distributes full requests)
+  PaxosPropose = 30,
+  PaxosAccept = 31,
+  PaxosViewChange = 32,
+  PaxosHeartbeat = 33,
+  // BFT-SMaRt-analog (CFT mode)
+  SmartPropose = 40,
+  SmartWrite = 41,
+  SmartAccept = 42,
+};
+
+/// Base for all messages: encodes lazily, caches the wire size.
+class Message : public sim::Payload {
+ public:
+  virtual Type type() const = 0;
+
+  std::size_t wire_size() const final {
+    if (!size_) size_ = encode().size();
+    return *size_;
+  }
+
+  /// Full binary encoding including the leading type byte.
+  std::vector<std::byte> encode() const {
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(type()));
+    encode_body(w);
+    return w.take();
+  }
+
+ protected:
+  virtual void encode_body(ByteWriter& w) const = 0;
+
+ private:
+  mutable std::optional<std::size_t> size_;
+};
+
+// ---------------------------------------------------------------------------
+// Client-facing messages
+// ---------------------------------------------------------------------------
+
+/// <REQUEST, id, command> — multicast by IDEM/SMaRt clients to all replicas,
+/// sent by Paxos clients to the (presumed) leader.
+struct Request final : Message {
+  RequestId id;
+  std::vector<std::byte> command;
+
+  Request() = default;
+  Request(RequestId id_, std::vector<std::byte> command_)
+      : id(id_), command(std::move(command_)) {}
+
+  Type type() const override { return Type::Request; }
+  std::string kind() const override { return "REQUEST"; }
+  void encode_body(ByteWriter& w) const override {
+    w.request_id(id);
+    w.bytes(command);
+  }
+  static Request decode_body(ByteReader& r) {
+    Request m;
+    m.id = r.request_id();
+    m.command = r.bytes();
+    return m;
+  }
+};
+
+/// <REPLY, id, result>
+struct Reply final : Message {
+  RequestId id;
+  std::vector<std::byte> result;
+
+  Reply() = default;
+  Reply(RequestId id_, std::vector<std::byte> result_) : id(id_), result(std::move(result_)) {}
+
+  Type type() const override { return Type::Reply; }
+  std::string kind() const override { return "REPLY"; }
+  void encode_body(ByteWriter& w) const override {
+    w.request_id(id);
+    w.bytes(result);
+  }
+  static Reply decode_body(ByteReader& r) {
+    Reply m;
+    m.id = r.request_id();
+    m.result = r.bytes();
+    return m;
+  }
+};
+
+/// <REJECT, id> — a replica opted not to process this request any further.
+struct Reject final : Message {
+  RequestId id;
+
+  Reject() = default;
+  explicit Reject(RequestId id_) : id(id_) {}
+
+  Type type() const override { return Type::Reject; }
+  std::string kind() const override { return "REJECT"; }
+  void encode_body(ByteWriter& w) const override { w.request_id(id); }
+  static Reject decode_body(ByteReader& r) {
+    Reject m;
+    m.id = r.request_id();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// IDEM replica-to-replica messages (Section 4.3)
+// ---------------------------------------------------------------------------
+
+/// <REQUIRE, ids> — replica tells the leader it has accepted these requests.
+/// Batching several ids into one REQUIRE is an aggregation optimization;
+/// semantically each id counts as its own REQUIRE.
+struct Require final : Message {
+  ReplicaId from;
+  std::vector<RequestId> ids;
+
+  Type type() const override { return Type::Require; }
+  std::string kind() const override { return "REQUIRE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(ids.size());
+    for (auto id : ids) w.request_id(id);
+  }
+  static Require decode_body(ByteReader& r) {
+    Require m;
+    m.from.value = r.u32();
+    auto n = r.varint();
+    m.ids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.ids.push_back(r.request_id());
+    return m;
+  }
+};
+
+/// <PROPOSE, ids, sqn, v> — the leader binds a batch of request ids to a
+/// sequence number. Agreement is on ids, not full requests (Section 4.2).
+struct Propose final : Message {
+  ViewId view;
+  SeqNum sqn;
+  std::vector<RequestId> ids;
+
+  Type type() const override { return Type::Propose; }
+  std::string kind() const override { return "PROPOSE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.varint(view.value);
+    w.varint(sqn.value);
+    w.varint(ids.size());
+    for (auto id : ids) w.request_id(id);
+  }
+  static Propose decode_body(ByteReader& r) {
+    Propose m;
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    auto n = r.varint();
+    m.ids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.ids.push_back(r.request_id());
+    return m;
+  }
+};
+
+/// <COMMIT, ids, sqn, v> — echoes the proposal so receivers that missed the
+/// PROPOSE still learn the binding.
+struct Commit final : Message {
+  ReplicaId from;
+  ViewId view;
+  SeqNum sqn;
+  std::vector<RequestId> ids;
+
+  Type type() const override { return Type::Commit; }
+  std::string kind() const override { return "COMMIT"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(view.value);
+    w.varint(sqn.value);
+    w.varint(ids.size());
+    for (auto id : ids) w.request_id(id);
+  }
+  static Commit decode_body(ByteReader& r) {
+    Commit m;
+    m.from.value = r.u32();
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    auto n = r.varint();
+    m.ids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.ids.push_back(r.request_id());
+    return m;
+  }
+};
+
+/// Relays full requests to replicas that may not own them (Section 5.2).
+struct Forward final : Message {
+  ReplicaId from;
+  std::vector<Request> requests;
+
+  Type type() const override { return Type::Forward; }
+  std::string kind() const override { return "FORWARD"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(requests.size());
+    for (const auto& req : requests) {
+      w.request_id(req.id);
+      w.bytes(req.command);
+    }
+  }
+  static Forward decode_body(ByteReader& r) {
+    Forward m;
+    m.from.value = r.u32();
+    auto n = r.varint();
+    m.requests.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Request req;
+      req.id = r.request_id();
+      req.command = r.bytes();
+      m.requests.push_back(std::move(req));
+    }
+    return m;
+  }
+};
+
+/// <FETCH, id> — explicit on-demand request for a forward (Section 5.2).
+struct Fetch final : Message {
+  ReplicaId from;
+  RequestId id;
+
+  Type type() const override { return Type::Fetch; }
+  std::string kind() const override { return "FETCH"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.request_id(id);
+  }
+  static Fetch decode_body(ByteReader& r) {
+    Fetch m;
+    m.from.value = r.u32();
+    m.id = r.request_id();
+    return m;
+  }
+};
+
+/// One slot of a replica's proposal window, shipped in VIEWCHANGE messages.
+struct WindowEntry {
+  SeqNum sqn;
+  ViewId view;  ///< view of the newest PROPOSE seen for this slot
+  std::vector<RequestId> ids;
+
+  void encode(ByteWriter& w) const {
+    w.varint(sqn.value);
+    w.varint(view.value);
+    w.varint(ids.size());
+    for (auto id : ids) w.request_id(id);
+  }
+  static WindowEntry decode(ByteReader& r) {
+    WindowEntry e;
+    e.sqn.value = r.varint();
+    e.view.value = r.varint();
+    auto n = r.varint();
+    e.ids.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) e.ids.push_back(r.request_id());
+    return e;
+  }
+};
+
+/// <VIEWCHANGE, v_t, proposals> (Section 4.5).
+struct ViewChange final : Message {
+  ReplicaId from;
+  ViewId target;
+  SeqNum window_start;
+  std::vector<WindowEntry> proposals;
+
+  Type type() const override { return Type::ViewChange; }
+  std::string kind() const override { return "VIEWCHANGE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(target.value);
+    w.varint(window_start.value);
+    w.varint(proposals.size());
+    for (const auto& p : proposals) p.encode(w);
+  }
+  static ViewChange decode_body(ByteReader& r) {
+    ViewChange m;
+    m.from.value = r.u32();
+    m.target.value = r.varint();
+    m.window_start.value = r.varint();
+    auto n = r.varint();
+    m.proposals.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.proposals.push_back(WindowEntry::decode(r));
+    return m;
+  }
+};
+
+/// Lagging replica asks a peer for the newest checkpoint (Section 4.4).
+struct StateRequest final : Message {
+  ReplicaId from;
+  SeqNum have;  ///< highest sequence number already applied locally
+
+  Type type() const override { return Type::StateRequest; }
+  std::string kind() const override { return "STATE-REQ"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(have.value);
+  }
+  static StateRequest decode_body(ByteReader& r) {
+    StateRequest m;
+    m.from.value = r.u32();
+    m.have.value = r.varint();
+    return m;
+  }
+};
+
+/// Checkpoint shipment: application snapshot + duplicate-detection metadata.
+struct StateResponse final : Message {
+  ReplicaId from;
+  SeqNum upto;  ///< checkpoint covers all sequence numbers <= upto
+  std::vector<std::byte> snapshot;
+  std::vector<std::pair<ClientId, OpNum>> last_executed;
+
+  Type type() const override { return Type::StateResponse; }
+  std::string kind() const override { return "STATE-RESP"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(upto.value);
+    w.bytes(snapshot);
+    w.varint(last_executed.size());
+    for (const auto& [cid, onr] : last_executed) {
+      w.varint(cid.value);
+      w.varint(onr.value);
+    }
+  }
+  static StateResponse decode_body(ByteReader& r) {
+    StateResponse m;
+    m.from.value = r.u32();
+    m.upto.value = r.varint();
+    m.snapshot = r.bytes();
+    auto n = r.varint();
+    m.last_executed.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ClientId cid{r.varint()};
+      OpNum onr{r.varint()};
+      m.last_executed.emplace_back(cid, onr);
+    }
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Paxos baseline (leader distributes full requests)
+// ---------------------------------------------------------------------------
+
+/// Leader's proposal carrying the full request batch.
+struct PaxosPropose final : Message {
+  ViewId view;
+  SeqNum sqn;
+  std::vector<Request> requests;
+
+  Type type() const override { return Type::PaxosPropose; }
+  std::string kind() const override { return "PAXOS-PROPOSE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.varint(view.value);
+    w.varint(sqn.value);
+    w.varint(requests.size());
+    for (const auto& req : requests) {
+      w.request_id(req.id);
+      w.bytes(req.command);
+    }
+  }
+  static PaxosPropose decode_body(ByteReader& r) {
+    PaxosPropose m;
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    auto n = r.varint();
+    m.requests.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Request req;
+      req.id = r.request_id();
+      req.command = r.bytes();
+      m.requests.push_back(std::move(req));
+    }
+    return m;
+  }
+};
+
+struct PaxosAccept final : Message {
+  ReplicaId from;
+  ViewId view;
+  SeqNum sqn;
+
+  Type type() const override { return Type::PaxosAccept; }
+  std::string kind() const override { return "PAXOS-ACCEPT"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(view.value);
+    w.varint(sqn.value);
+  }
+  static PaxosAccept decode_body(ByteReader& r) {
+    PaxosAccept m;
+    m.from.value = r.u32();
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    return m;
+  }
+};
+
+/// One window slot in a Paxos view change: the newest binding a replica
+/// has seen for `sqn`, with the view it was proposed in (merge recency).
+struct PaxosWindowEntry {
+  SeqNum sqn;
+  ViewId view;
+  std::vector<Request> requests;
+
+  void encode(ByteWriter& w) const {
+    w.varint(sqn.value);
+    w.varint(view.value);
+    w.varint(requests.size());
+    for (const auto& req : requests) {
+      w.request_id(req.id);
+      w.bytes(req.command);
+    }
+  }
+  static PaxosWindowEntry decode(ByteReader& r) {
+    PaxosWindowEntry e;
+    e.sqn.value = r.varint();
+    e.view.value = r.varint();
+    auto k = r.varint();
+    e.requests.reserve(k);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      Request req;
+      req.id = r.request_id();
+      req.command = r.bytes();
+      e.requests.push_back(std::move(req));
+    }
+    return e;
+  }
+};
+
+/// Paxos view change: carries the full proposals (requests) of the window.
+struct PaxosViewChange final : Message {
+  ReplicaId from;
+  ViewId target;
+  SeqNum window_start;
+  std::vector<PaxosWindowEntry> proposals;
+
+  Type type() const override { return Type::PaxosViewChange; }
+  std::string kind() const override { return "PAXOS-VIEWCHANGE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(target.value);
+    w.varint(window_start.value);
+    w.varint(proposals.size());
+    for (const auto& entry : proposals) entry.encode(w);
+  }
+  static PaxosViewChange decode_body(ByteReader& r) {
+    PaxosViewChange m;
+    m.from.value = r.u32();
+    m.target.value = r.varint();
+    m.window_start.value = r.varint();
+    auto n = r.varint();
+    m.proposals.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.proposals.push_back(PaxosWindowEntry::decode(r));
+    return m;
+  }
+};
+
+/// Leader liveness signal: followers without client contact need it to
+/// detect a crashed leader (Paxos clients talk to the leader only).
+struct PaxosHeartbeat final : Message {
+  ReplicaId from;
+  ViewId view;
+
+  Type type() const override { return Type::PaxosHeartbeat; }
+  std::string kind() const override { return "PAXOS-HEARTBEAT"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(view.value);
+  }
+  static PaxosHeartbeat decode_body(ByteReader& r) {
+    PaxosHeartbeat m;
+    m.from.value = r.u32();
+    m.view.value = r.varint();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BFT-SMaRt-analog (CFT mode): PROPOSE / WRITE / ACCEPT
+// ---------------------------------------------------------------------------
+
+struct SmartPropose final : Message {
+  ViewId view;
+  SeqNum sqn;
+  std::vector<Request> requests;
+
+  Type type() const override { return Type::SmartPropose; }
+  std::string kind() const override { return "SMART-PROPOSE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.varint(view.value);
+    w.varint(sqn.value);
+    w.varint(requests.size());
+    for (const auto& req : requests) {
+      w.request_id(req.id);
+      w.bytes(req.command);
+    }
+  }
+  static SmartPropose decode_body(ByteReader& r) {
+    SmartPropose m;
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    auto n = r.varint();
+    m.requests.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Request req;
+      req.id = r.request_id();
+      req.command = r.bytes();
+      m.requests.push_back(std::move(req));
+    }
+    return m;
+  }
+};
+
+struct SmartWrite final : Message {
+  ReplicaId from;
+  ViewId view;
+  SeqNum sqn;
+
+  Type type() const override { return Type::SmartWrite; }
+  std::string kind() const override { return "SMART-WRITE"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(view.value);
+    w.varint(sqn.value);
+  }
+  static SmartWrite decode_body(ByteReader& r) {
+    SmartWrite m;
+    m.from.value = r.u32();
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    return m;
+  }
+};
+
+struct SmartAccept final : Message {
+  ReplicaId from;
+  ViewId view;
+  SeqNum sqn;
+
+  Type type() const override { return Type::SmartAccept; }
+  std::string kind() const override { return "SMART-ACCEPT"; }
+  void encode_body(ByteWriter& w) const override {
+    w.u32(from.value);
+    w.varint(view.value);
+    w.varint(sqn.value);
+  }
+  static SmartAccept decode_body(ByteReader& r) {
+    SmartAccept m;
+    m.from.value = r.u32();
+    m.view.value = r.varint();
+    m.sqn.value = r.varint();
+    return m;
+  }
+};
+
+/// Decodes a full message buffer (type byte + body) back into a typed
+/// message. Throws CodecError for unknown types or malformed bodies.
+/// Returns a shared_ptr<const Message> suitable for sim transport.
+std::shared_ptr<const Message> decode(std::span<const std::byte> data);
+
+}  // namespace idem::msg

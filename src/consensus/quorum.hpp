@@ -1,0 +1,41 @@
+// Small helpers for counting votes from distinct replicas.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ids.hpp"
+
+namespace idem::consensus {
+
+/// Counts distinct replica votes per key (e.g. REQUIREs per request id,
+/// COMMITs per sequence number). Double votes from the same replica are
+/// idempotent.
+template <typename Key>
+class QuorumTracker {
+ public:
+  /// Registers a vote; returns the number of distinct voters for `key`
+  /// after the insertion.
+  std::size_t vote(const Key& key, ReplicaId voter) {
+    auto& voters = votes_[key];
+    voters.insert(voter.value);
+    return voters.size();
+  }
+
+  std::size_t count(const Key& key) const {
+    auto it = votes_.find(key);
+    return it == votes_.end() ? 0 : it->second.size();
+  }
+
+  bool reached(const Key& key, std::size_t quorum) const { return count(key) >= quorum; }
+
+  void erase(const Key& key) { votes_.erase(key); }
+  void clear() { votes_.clear(); }
+  std::size_t keys() const { return votes_.size(); }
+
+ private:
+  std::unordered_map<Key, std::unordered_set<std::uint32_t>> votes_;
+};
+
+}  // namespace idem::consensus

@@ -1,0 +1,51 @@
+// Protocol-independent client interface.
+//
+// The harness drives every protocol's client through this interface so
+// experiments (closed-loop load, rejection backoff, latency recording)
+// are identical across IDEM, Paxos and the SMaRt analog.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace idem::consensus {
+
+/// Final state of one operation, mirroring the client-side semantics of
+/// the paper (Section 5.3): a REPLY (success), an abort after rejection
+/// notifications (ambivalence/failure), or a local timeout.
+struct Outcome {
+  enum class Kind {
+    Reply,     ///< success: the request was agreed on and executed
+    Rejected,  ///< aborted after n-f (ambivalence) or n (failure) REJECTs
+    Timeout,   ///< gave up without conclusive information
+  };
+
+  Kind kind = Kind::Reply;
+  Time issued = 0;
+  Time completed = 0;
+  std::vector<std::byte> result;   ///< Reply only
+  std::size_t rejects_seen = 0;
+  bool definitive_failure = false;  ///< true when all n replicas rejected
+
+  Duration latency() const { return completed - issued; }
+};
+
+class ServiceClient {
+ public:
+  virtual ~ServiceClient() = default;
+
+  using Callback = std::function<void(const Outcome&)>;
+
+  /// Submits one operation. At most one operation may be outstanding per
+  /// client (paper Section 4.3); `callback` fires exactly once.
+  virtual void invoke(std::vector<std::byte> command, Callback callback) = 0;
+
+  virtual ClientId client_id() const = 0;
+  virtual bool busy() const = 0;
+};
+
+}  // namespace idem::consensus

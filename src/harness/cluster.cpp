@@ -1,0 +1,194 @@
+#include "harness/cluster.hpp"
+
+#include <cassert>
+
+namespace idem::harness {
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::Idem: return "IDEM";
+    case Protocol::IdemNoPR: return "IDEM_noPR";
+    case Protocol::IdemNoAQM: return "IDEM_noAQM";
+    case Protocol::Paxos: return "Paxos";
+    case Protocol::PaxosLBR: return "Paxos_LBR";
+    case Protocol::Smart: return "BFT-SMaRt";
+    case Protocol::SmartPR: return "SMaRt+PR";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  sim_ = std::make_unique<sim::Simulator>(config_.seed);
+  net_ = std::make_unique<sim::SimNetwork>(*sim_, config_.network);
+
+  // Preload the key-value store once and snapshot it, so every replica
+  // starts from the identical state without replaying the load phase.
+  if (config_.preload) {
+    app::KvStore loader(config_.kv_costs);
+    Rng rng(config_.seed, /*stream=*/0x10adull);
+    app::YcsbWorkload workload(config_.workload, rng);
+    for (const app::KvCommand& cmd : workload.load_phase()) {
+      loader.put(cmd.key, cmd.value);
+    }
+    preload_snapshot_ = loader.snapshot();
+  }
+
+  const std::size_t n = config_.n;
+  switch (config_.protocol) {
+    case Protocol::Idem:
+    case Protocol::IdemNoPR:
+    case Protocol::IdemNoAQM: {
+      core::IdemConfig rc = config_.idem;
+      rc.n = n;
+      rc.f = config_.f;
+      rc.reject_threshold = config_.reject_threshold;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::unique_ptr<core::AcceptanceTest> test;
+        if (config_.acceptance_factory) {
+          test = config_.acceptance_factory(i);
+        } else {
+          switch (config_.protocol) {
+            case Protocol::Idem:
+              test = core::make_default_acceptance(rc, config_.clients);
+              break;
+            case Protocol::IdemNoPR:
+              test = std::make_unique<core::NeverReject>();
+              break;
+            default:
+              test = std::make_unique<core::TailDrop>();
+              break;
+          }
+        }
+        replicas_.push_back(std::make_unique<core::IdemReplica>(
+            *sim_, *net_, ReplicaId{static_cast<std::uint32_t>(i)}, rc, make_store(),
+            std::move(test)));
+      }
+      core::IdemClientConfig cc = config_.idem_client;
+      cc.n = n;
+      cc.f = config_.f;
+      for (std::size_t i = 0; i < config_.clients; ++i) {
+        auto client = std::make_unique<core::IdemClient>(*sim_, *net_, ClientId{i}, cc);
+        clients_.push_back(client.get());
+        client_nodes_.push_back(std::move(client));
+      }
+      break;
+    }
+    case Protocol::Paxos:
+    case Protocol::PaxosLBR: {
+      paxos::PaxosConfig rc = config_.paxos;
+      rc.n = n;
+      rc.f = config_.f;
+      rc.reject_threshold =
+          config_.protocol == Protocol::PaxosLBR ? config_.reject_threshold : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        replicas_.push_back(std::make_unique<paxos::PaxosReplica>(
+            *sim_, *net_, ReplicaId{static_cast<std::uint32_t>(i)}, rc, make_store()));
+      }
+      paxos::PaxosClientConfig cc = config_.paxos_client;
+      cc.n = n;
+      for (std::size_t i = 0; i < config_.clients; ++i) {
+        auto client = std::make_unique<paxos::PaxosClient>(*sim_, *net_, ClientId{i}, cc);
+        clients_.push_back(client.get());
+        client_nodes_.push_back(std::move(client));
+      }
+      break;
+    }
+    case Protocol::SmartPR: {
+      smart::SmartPrConfig rc = config_.smart_pr;
+      rc.n = n;
+      rc.f = config_.f;
+      rc.reject_threshold = config_.reject_threshold;
+      core::IdemConfig acceptance_params = config_.idem;
+      acceptance_params.n = n;
+      acceptance_params.f = config_.f;
+      acceptance_params.reject_threshold = config_.reject_threshold;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::unique_ptr<core::AcceptanceTest> test =
+            config_.acceptance_factory
+                ? config_.acceptance_factory(i)
+                : core::make_default_acceptance(acceptance_params, config_.clients);
+        replicas_.push_back(std::make_unique<smart::SmartPrReplica>(
+            *sim_, *net_, ReplicaId{static_cast<std::uint32_t>(i)}, rc, make_store(),
+            std::move(test)));
+      }
+      // SMaRt clients multicast; the reject-quorum client is IDEM's.
+      core::IdemClientConfig cc = config_.idem_client;
+      cc.n = n;
+      cc.f = config_.f;
+      for (std::size_t i = 0; i < config_.clients; ++i) {
+        auto client = std::make_unique<core::IdemClient>(*sim_, *net_, ClientId{i}, cc);
+        clients_.push_back(client.get());
+        client_nodes_.push_back(std::move(client));
+      }
+      break;
+    }
+    case Protocol::Smart: {
+      smart::SmartConfig rc = config_.smart;
+      rc.n = n;
+      rc.f = config_.f;
+      for (std::size_t i = 0; i < n; ++i) {
+        replicas_.push_back(std::make_unique<smart::SmartReplica>(
+            *sim_, *net_, ReplicaId{static_cast<std::uint32_t>(i)}, rc, make_store()));
+      }
+      smart::SmartClientConfig cc = config_.smart_client;
+      cc.n = n;
+      for (std::size_t i = 0; i < config_.clients; ++i) {
+        auto client = std::make_unique<smart::SmartClient>(*sim_, *net_, ClientId{i}, cc);
+        clients_.push_back(client.get());
+        client_nodes_.push_back(std::move(client));
+      }
+      break;
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<app::StateMachine> Cluster::make_store() {
+  auto store = std::make_unique<app::KvStore>(config_.kv_costs);
+  if (!preload_snapshot_.empty()) store->restore(preload_snapshot_);
+  return store;
+}
+
+void Cluster::crash_replica(std::size_t index) {
+  assert(index < replicas_.size());
+  replicas_[index]->crash();
+}
+
+void Cluster::crash_replica_at(std::size_t index, Time at) {
+  assert(index < replicas_.size());
+  sim::Node* node = replicas_[index].get();
+  sim_->schedule_at(at, [node] { node->crash(); });
+}
+
+std::size_t Cluster::leader_index() const {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i]->crashed()) continue;
+    if (const auto* r = dynamic_cast<const core::IdemReplica*>(replicas_[i].get())) {
+      if (r->is_leader()) return i;
+    } else if (const auto* p = dynamic_cast<const paxos::PaxosReplica*>(replicas_[i].get())) {
+      if (p->is_leader()) return i;
+    } else if (const auto* s = dynamic_cast<const smart::SmartReplica*>(replicas_[i].get())) {
+      if (s->is_leader()) return i;
+    }
+  }
+  return 0;
+}
+
+core::IdemReplica* Cluster::idem_replica(std::size_t index) {
+  return dynamic_cast<core::IdemReplica*>(replicas_[index].get());
+}
+
+paxos::PaxosReplica* Cluster::paxos_replica(std::size_t index) {
+  return dynamic_cast<paxos::PaxosReplica*>(replicas_[index].get());
+}
+
+smart::SmartReplica* Cluster::smart_replica(std::size_t index) {
+  return dynamic_cast<smart::SmartReplica*>(replicas_[index].get());
+}
+
+smart::SmartPrReplica* Cluster::smart_pr_replica(std::size_t index) {
+  return dynamic_cast<smart::SmartPrReplica*>(replicas_[index].get());
+}
+
+}  // namespace idem::harness

@@ -1,0 +1,110 @@
+// Cluster builder: instantiates a complete replicated system (simulator,
+// network, replicas, clients) for any protocol variant under test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "app/ycsb.hpp"
+#include "consensus/service_client.hpp"
+#include "idem/client.hpp"
+#include "idem/replica.hpp"
+#include "paxos/client.hpp"
+#include "paxos/replica.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "smart/client.hpp"
+#include "smart/replica.hpp"
+#include "smart/replica_pr.hpp"
+
+namespace idem::harness {
+
+/// The systems evaluated in the paper (Section 7) plus the AQM ablation.
+enum class Protocol {
+  Idem,       ///< IDEM with the AQM-prioritized acceptance test
+  IdemNoPR,   ///< IDEM with rejection disabled (accept everything)
+  IdemNoAQM,  ///< IDEM with plain tail drop (no AQM, no prioritization)
+  Paxos,      ///< Kirsch/Amir-style Paxos baseline
+  PaxosLBR,   ///< Paxos with leader-based rejection (Section 3.3)
+  Smart,      ///< BFT-SMaRt-analog in CFT mode
+  SmartPR,    ///< SMaRt-analog + collaborative proactive rejection (modularity demo)
+};
+
+const char* protocol_name(Protocol protocol);
+
+struct ClusterConfig {
+  Protocol protocol = Protocol::Idem;
+  std::size_t n = 3;
+  std::size_t f = 1;
+  std::size_t clients = 50;
+  /// IDEM reject threshold r, or the Paxos_LBR leader threshold.
+  std::size_t reject_threshold = 50;
+  std::uint64_t seed = 1;
+
+  sim::NetworkConfig network;
+  core::IdemConfig idem;              ///< n/f/reject_threshold overridden
+  core::IdemClientConfig idem_client; ///< n/f overridden
+  paxos::PaxosConfig paxos;
+  paxos::PaxosClientConfig paxos_client;
+  smart::SmartConfig smart;
+  smart::SmartClientConfig smart_client;
+  smart::SmartPrConfig smart_pr;
+
+  app::KvStore::Costs kv_costs;
+  app::YcsbConfig workload = app::YcsbConfig::update_heavy();
+  /// Records preloaded into every replica's store before the run.
+  bool preload = true;
+
+  /// Optional override of the acceptance test for IDEM-family protocols
+  /// (invoked once per replica). Defaults to the protocol's standard test
+  /// (AQM / tail drop / never-reject).
+  std::function<std::unique_ptr<core::AcceptanceTest>(std::size_t replica)>
+      acceptance_factory;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return *sim_; }
+  sim::SimNetwork& network() { return *net_; }
+
+  std::size_t num_clients() const { return clients_.size(); }
+  consensus::ServiceClient& client(std::size_t index) { return *clients_[index]; }
+
+  /// Crashes replica `index` immediately.
+  void crash_replica(std::size_t index);
+  /// Schedules a crash at absolute simulated time `at`.
+  void crash_replica_at(std::size_t index, Time at);
+
+  /// Index of the replica currently believing itself leader (first match).
+  std::size_t leader_index() const;
+
+  // Typed accessors (nullptr when the protocol does not match).
+  core::IdemReplica* idem_replica(std::size_t index);
+  paxos::PaxosReplica* paxos_replica(std::size_t index);
+  smart::SmartReplica* smart_replica(std::size_t index);
+  smart::SmartPrReplica* smart_pr_replica(std::size_t index);
+
+ private:
+  std::unique_ptr<app::StateMachine> make_store();
+
+  ClusterConfig config_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::SimNetwork> net_;
+  std::vector<std::unique_ptr<sim::Node>> replicas_;
+  std::vector<std::unique_ptr<sim::Node>> client_nodes_;
+  std::vector<consensus::ServiceClient*> clients_;
+  std::vector<std::byte> preload_snapshot_;
+};
+
+}  // namespace idem::harness

@@ -1,0 +1,112 @@
+#include "harness/driver.hpp"
+
+#include <string>
+
+namespace idem::harness {
+
+ClosedLoopDriver::ClosedLoopDriver(Cluster& cluster, DriverConfig config)
+    : cluster_(cluster), config_(config) {
+  metrics_.reply_series = TimeSeries(config_.series_window);
+  metrics_.reject_series = TimeSeries(config_.series_window);
+  states_.resize(cluster_.num_clients());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    Rng& rng = cluster_.simulator().rng("ycsb.client." + std::to_string(i));
+    states_[i].workload =
+        std::make_unique<app::YcsbWorkload>(cluster_.config().workload, rng);
+    states_[i].backoff_rng =
+        &cluster_.simulator().rng("backoff.client." + std::to_string(i));
+  }
+}
+
+bool ClosedLoopDriver::in_measurement(Time t) const {
+  if (config_.stop_after_replies > 0) return true;
+  return t >= measure_start_ && t < measure_end_;
+}
+
+void ClosedLoopDriver::issue(std::size_t index) {
+  if (stopping_) return;
+  consensus::ServiceClient& client = cluster_.client(index);
+  if (client.busy()) return;
+  app::KvCommand op = states_[index].workload->next_operation();
+  client.invoke(op.encode(), [this, index](const consensus::Outcome& outcome) {
+    on_outcome(index, outcome);
+  });
+}
+
+void ClosedLoopDriver::on_outcome(std::size_t index, const consensus::Outcome& outcome) {
+  sim::Simulator& sim = cluster_.simulator();
+  const Time t = outcome.completed;
+  const double latency_ms = to_ms(outcome.latency());
+
+  switch (outcome.kind) {
+    case consensus::Outcome::Kind::Reply:
+      ++total_replies_;
+      metrics_.reply_series.add(t, latency_ms);
+      if (in_measurement(t)) {
+        ++metrics_.replies;
+        metrics_.reply_latency.record(outcome.latency());
+      }
+      break;
+    case consensus::Outcome::Kind::Rejected:
+      metrics_.reject_series.add(t, latency_ms);
+      if (in_measurement(t)) {
+        ++metrics_.rejects;
+        metrics_.reject_latency.record(outcome.latency());
+      }
+      break;
+    case consensus::Outcome::Kind::Timeout:
+      if (in_measurement(t)) ++metrics_.timeouts;
+      break;
+  }
+
+  Duration delay = config_.think_time;
+  if (outcome.kind != consensus::Outcome::Kind::Reply) {
+    // The client learned the system is loaded: delay the next operation
+    // (random 50-100 ms, Section 7.1).
+    Rng& rng = *states_[index].backoff_rng;
+    delay += config_.backoff_min +
+             static_cast<Duration>(rng.uniform_int(0, config_.backoff_max - config_.backoff_min));
+  }
+  if (delay > 0) {
+    sim.schedule_after(delay, [this, index] { issue(index); });
+  } else {
+    // Re-issue via the event queue to keep the call stack flat.
+    sim.schedule_after(0, [this, index] { issue(index); });
+  }
+}
+
+RunMetrics ClosedLoopDriver::run() {
+  sim::Simulator& sim = cluster_.simulator();
+  sim::SimNetwork& net = cluster_.network();
+
+  measure_start_ = sim.now() + config_.warmup;
+  measure_end_ = measure_start_ + config_.measure;
+
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    // Stagger client start-up within the first millisecond so the initial
+    // request burst does not arrive as one synchronized wave.
+    Rng& rng = sim.rng("start.client." + std::to_string(i));
+    sim.schedule_after(rng.uniform_int(0, kMillisecond), [this, i] { issue(i); });
+  }
+
+  if (config_.stop_after_replies > 0) {
+    net.reset_traffic();
+    sim.run_while([this] { return total_replies_ < config_.stop_after_replies; });
+    metrics_.measured = sim.now() > 0 ? sim.now() : 1;
+    metrics_.client_traffic = net.client_traffic();
+    metrics_.replica_traffic = net.replica_traffic();
+  } else {
+    sim.run_until(measure_start_);
+    net.reset_traffic();
+    sim.run_until(measure_end_);
+    metrics_.measured = config_.measure;
+    metrics_.client_traffic = net.client_traffic();
+    metrics_.replica_traffic = net.replica_traffic();
+    // Let timelines extend past the measurement window if the experiment
+    // scheduled events (e.g. crashes) beyond it.
+  }
+  stopping_ = true;
+  return std::move(metrics_);
+}
+
+}  // namespace idem::harness

@@ -1,0 +1,60 @@
+// Closed-loop YCSB load driver (paper Section 7.1).
+//
+// Every client submits one operation at a time. After a REPLY the next
+// operation follows immediately (plus optional think time); after an abort
+// due to rejection the client backs off for a random 50-100 ms, the
+// established overload-management behaviour the paper adopts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/ycsb.hpp"
+#include "harness/cluster.hpp"
+#include "harness/metrics.hpp"
+
+namespace idem::harness {
+
+struct DriverConfig {
+  Duration warmup = 2 * kSecond;
+  Duration measure = 10 * kSecond;
+  /// Rejection backoff window (paper: 50-100 ms).
+  Duration backoff_min = 50 * kMillisecond;
+  Duration backoff_max = 100 * kMillisecond;
+  /// Optional think time between a reply and the next operation.
+  Duration think_time = 0;
+  /// Timeline bucket width for the crash plots.
+  Duration series_window = 100 * kMillisecond;
+  /// When > 0, ignore warmup/measure and run until this many operations
+  /// received replies; metrics then cover the whole run (Table 1 mode).
+  std::uint64_t stop_after_replies = 0;
+};
+
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(Cluster& cluster, DriverConfig config);
+
+  /// Starts all clients, runs the simulation, returns the metrics.
+  RunMetrics run();
+
+ private:
+  struct ClientState {
+    std::unique_ptr<app::YcsbWorkload> workload;
+    Rng* backoff_rng = nullptr;
+  };
+
+  void issue(std::size_t index);
+  void on_outcome(std::size_t index, const consensus::Outcome& outcome);
+  bool in_measurement(Time t) const;
+
+  Cluster& cluster_;
+  DriverConfig config_;
+  std::vector<ClientState> states_;
+  RunMetrics metrics_;
+  Time measure_start_ = 0;
+  Time measure_end_ = 0;
+  std::uint64_t total_replies_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace idem::harness

@@ -1,0 +1,46 @@
+// Metrics collected by the closed-loop experiment driver.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+#include "common/timeseries.hpp"
+#include "sim/network.hpp"
+
+namespace idem::harness {
+
+struct RunMetrics {
+  /// Length of the measurement window (excludes warm-up).
+  Duration measured = 0;
+
+  // Steady-state distributions over the measurement window.
+  Histogram reply_latency;
+  Histogram reject_latency;
+  std::uint64_t replies = 0;
+  std::uint64_t rejects = 0;   ///< operations aborted after rejections
+  std::uint64_t timeouts = 0;  ///< operations abandoned without information
+
+  // Timelines over the *whole* run (including warm-up) for crash plots;
+  // sample value = latency in milliseconds.
+  TimeSeries reply_series{100 * kMillisecond};
+  TimeSeries reject_series{100 * kMillisecond};
+
+  // Network traffic accumulated during the measurement.
+  sim::TrafficStats client_traffic;
+  sim::TrafficStats replica_traffic;
+
+  double reply_throughput() const {
+    return measured > 0 ? static_cast<double>(replies) / to_sec(measured) : 0.0;
+  }
+  double reject_throughput() const {
+    return measured > 0 ? static_cast<double>(rejects) / to_sec(measured) : 0.0;
+  }
+  double reply_latency_ms() const { return reply_latency.mean() / kMillisecond; }
+  double reply_latency_stddev_ms() const { return reply_latency.stddev() / kMillisecond; }
+  double reject_latency_ms() const { return reject_latency.mean() / kMillisecond; }
+  double reject_latency_stddev_ms() const { return reject_latency.stddev() / kMillisecond; }
+  std::uint64_t total_bytes() const { return client_traffic.bytes + replica_traffic.bytes; }
+};
+
+}  // namespace idem::harness

@@ -1,0 +1,57 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+namespace idem::harness {
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::fmt(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, "%c %-*s", c == 0 ? '|' : '|', static_cast<int>(widths[c]),
+                   cell.c_str());
+      std::fputc(' ', out);
+    }
+    std::fprintf(out, "|\n");
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    std::fputc('|', out);
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+  }
+  std::fprintf(out, "|\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace idem::harness

@@ -1,0 +1,29 @@
+// Fixed-width table printer for benchmark output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace idem::harness {
+
+/// Collects rows of strings and prints them as an aligned table with a
+/// header row, plus (optionally) as CSV for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::FILE* out = stdout) const;
+  void print_csv(std::FILE* out = stdout) const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt(std::uint64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace idem::harness

@@ -1,0 +1,109 @@
+#include "idem/acceptance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idem::core {
+
+AqmPrioritized::AqmPrioritized(Params params) : params_(params) {
+  if (params_.group_count == 0) params_.group_count = 1;
+  if (params_.time_slice <= 0) params_.time_slice = 2 * kSecond;
+}
+
+std::size_t AqmPrioritized::group_of(ClientId cid, std::size_t r) const {
+  if (r == 0) return 0;
+  return (cid.value / r) % params_.group_count;
+}
+
+std::size_t AqmPrioritized::prioritized_group(Time now) const {
+  auto slice = static_cast<std::uint64_t>(now / params_.time_slice);
+  return slice % params_.group_count;
+}
+
+double AqmPrioritized::prf(RequestId id) const {
+  std::uint64_t h = splitmix64(params_.prf_seed ^ splitmix64(id.cid.value) ^
+                               splitmix64(id.onr.value * 0x9E3779B97F4A7C15ull));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+bool AqmPrioritized::accept(RequestId id, std::span<const std::byte>,
+                            const AcceptanceContext& ctx) {
+  std::size_t r = ctx.reject_threshold;
+  if (r == 0) return false;
+  std::size_t r_now = ctx.active_requests;
+
+  // Hard cap: never exceed r concurrently accepted client requests.
+  if (r_now >= r) return false;
+
+  // Below the AQM activation point everyone is accepted.
+  auto start = static_cast<std::size_t>(params_.start_fraction * static_cast<double>(r));
+  if (r_now < start) return true;
+
+  // Prioritized clients are treated as in tail drop (accepted until r).
+  if (group_of(id.cid, r) == prioritized_group(ctx.now)) return true;
+
+  // Non-prioritized clients: reject with probability p = r_now / r, using
+  // the shared PRF so replicas reach the same verdict for the same request.
+  double p = static_cast<double>(r_now) / static_cast<double>(r);
+  return prf(id) >= p;
+}
+
+PriorityClasses::PriorityClasses(Classifier classifier, std::vector<double> admission_fractions)
+    : classifier_(std::move(classifier)),
+      admission_fractions_(std::move(admission_fractions)) {}
+
+bool PriorityClasses::accept(RequestId id, std::span<const std::byte>,
+                             const AcceptanceContext& ctx) {
+  std::size_t r = ctx.reject_threshold;
+  if (r == 0) return false;
+  if (ctx.active_requests >= r) return false;
+
+  std::size_t klass = classifier_ ? classifier_(id.cid) : 0;
+  double fraction =
+      klass < admission_fractions_.size() ? admission_fractions_[klass] : 1.0;
+  auto limit = static_cast<std::size_t>(fraction * static_cast<double>(r));
+  return ctx.active_requests < limit;
+}
+
+CostAware::CostAware(CostEstimator estimator, Duration cheap_cost, Duration expensive_cost,
+                     double min_fraction)
+    : estimator_(std::move(estimator)),
+      cheap_cost_(cheap_cost),
+      expensive_cost_(std::max(expensive_cost, cheap_cost + 1)),
+      min_fraction_(std::clamp(min_fraction, 0.0, 1.0)) {}
+
+std::size_t CostAware::admission_limit(Duration cost, std::size_t r) const {
+  if (cost <= cheap_cost_) return r;
+  double span = static_cast<double>(expensive_cost_ - cheap_cost_);
+  double excess = std::min(1.0, static_cast<double>(cost - cheap_cost_) / span);
+  double fraction = 1.0 - excess * (1.0 - min_fraction_);
+  return static_cast<std::size_t>(std::llround(fraction * static_cast<double>(r)));
+}
+
+bool CostAware::accept(RequestId, std::span<const std::byte> command,
+                       const AcceptanceContext& ctx) {
+  std::size_t r = ctx.reject_threshold;
+  if (r == 0) return false;
+  if (ctx.active_requests >= r) return false;
+  Duration cost = estimator_ ? estimator_(command) : 0;
+  return ctx.active_requests < admission_limit(cost, r);
+}
+
+std::unique_ptr<AcceptanceTest> make_default_acceptance(const IdemConfig& config,
+                                                        std::size_t client_count) {
+  AqmPrioritized::Params params;
+  params.start_fraction = config.aqm_start_fraction;
+  params.time_slice = config.aqm_time_slice;
+  params.prf_seed = config.acceptance_prf_seed;
+  std::size_t r = config.reject_threshold;
+  if (config.aqm_group_count > 0) {
+    params.group_count = config.aqm_group_count;
+  } else if (r > 0 && client_count > 0) {
+    params.group_count = (client_count + r - 1) / r;
+  } else {
+    params.group_count = 1;
+  }
+  return std::make_unique<AqmPrioritized>(params);
+}
+
+}  // namespace idem::core

@@ -1,0 +1,107 @@
+#include "idem/client.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace idem::core {
+
+IdemClient::IdemClient(sim::Runtime& sim, sim::Transport& net, ClientId id,
+                       IdemClientConfig config)
+    : sim::Node(sim, net, consensus::client_address(id), sim::NodeKind::Client),
+      config_(config),
+      cid_(id) {}
+
+void IdemClient::invoke(std::vector<std::byte> command, Callback callback) {
+  assert(!pending_ && "one pending request per client");
+  ++onr_;
+  PendingOp op;
+  op.id = RequestId{cid_, OpNum{onr_}};
+  op.request = std::make_shared<const msg::Request>(op.id, std::move(command));
+  op.callback = std::move(callback);
+  op.issued = now();
+  pending_ = std::move(op);
+
+  multicast_request();
+  arm_retry();
+  if (config_.operation_timeout > 0) {
+    deadline_timer_ = set_timer(config_.operation_timeout, [this] {
+      deadline_timer_ = sim::TimerId{};
+      if (pending_) complete(consensus::Outcome::Kind::Timeout, {});
+    });
+  }
+}
+
+void IdemClient::multicast_request() {
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    send(consensus::replica_address(ReplicaId{i}), pending_->request);
+  }
+}
+
+void IdemClient::arm_retry() {
+  cancel_timer(retry_timer_);
+  if (config_.retry_interval <= 0) return;
+  retry_timer_ = set_timer(config_.retry_interval, [this] {
+    retry_timer_ = sim::TimerId{};
+    if (!pending_) return;
+    multicast_request();
+    arm_retry();
+  });
+}
+
+void IdemClient::on_message(sim::NodeId from, const sim::Payload& message) {
+  if (!pending_) return;
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr) return;
+
+  if (base->type() == msg::Type::Reply) {
+    const auto& reply = static_cast<const msg::Reply&>(*base);
+    if (reply.id != pending_->id) return;  // stale reply for an older operation
+    complete(consensus::Outcome::Kind::Reply, reply.result);
+    return;
+  }
+
+  if (base->type() == msg::Type::Reject) {
+    const auto& reject = static_cast<const msg::Reject&>(*base);
+    if (reject.id != pending_->id) return;
+    pending_->rejects.insert(from.value);
+    const std::size_t rejects = pending_->rejects.size();
+
+    if (rejects >= config_.n) {
+      // Failure state: every replica rejected; abort immediately.
+      complete(consensus::Outcome::Kind::Rejected, {});
+      return;
+    }
+    if (rejects >= config_.n - config_.f) {
+      // Ambivalence state (Section 5.3).
+      if (rejects == config_.n - config_.f && on_ambivalence) on_ambivalence(rejects);
+      if (config_.strategy == IdemClientConfig::Strategy::Pessimistic) {
+        complete(consensus::Outcome::Kind::Rejected, {});
+      } else if (!ambivalence_timer_.valid()) {
+        ambivalence_timer_ = set_timer(config_.optimistic_wait, [this] {
+          ambivalence_timer_ = sim::TimerId{};
+          if (pending_) complete(consensus::Outcome::Kind::Rejected, {});
+        });
+      }
+    }
+  }
+}
+
+void IdemClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> result) {
+  cancel_timer(retry_timer_);
+  cancel_timer(ambivalence_timer_);
+  cancel_timer(deadline_timer_);
+
+  consensus::Outcome outcome;
+  outcome.kind = kind;
+  outcome.issued = pending_->issued;
+  outcome.completed = now();
+  outcome.result = std::move(result);
+  outcome.rejects_seen = pending_->rejects.size();
+  outcome.definitive_failure = pending_->rejects.size() >= config_.n;
+
+  Callback callback = std::move(pending_->callback);
+  pending_.reset();
+  callback(outcome);
+}
+
+}  // namespace idem::core

@@ -1,0 +1,81 @@
+// The IDEM client (paper Sections 4.1 and 5.3).
+//
+// Multicasts each request to all replicas and then waits for either a
+// REPLY (success) or REJECTs. With n-f rejects the client is in the
+// ambivalence state: the pessimistic strategy aborts immediately, the
+// optimistic one waits a configurable extra time for a late reply (or the
+// remaining rejects) before aborting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/addresses.hpp"
+#include "consensus/messages.hpp"
+#include "consensus/service_client.hpp"
+#include "sim/node.hpp"
+
+namespace idem::core {
+
+struct IdemClientConfig {
+  std::size_t n = 3;
+  std::size_t f = 1;
+
+  enum class Strategy { Pessimistic, Optimistic };
+  Strategy strategy = Strategy::Optimistic;
+
+  /// Optimistic clients wait this long after the (n-f)th REJECT for a late
+  /// reply before abandoning the operation (paper: 5 ms).
+  Duration optimistic_wait = 5 * kMillisecond;
+
+  /// Retransmit the request if nothing conclusive was heard for this long.
+  Duration retry_interval = 500 * kMillisecond;
+
+  /// Give up entirely after this long (0 = never). Outcome::Timeout.
+  Duration operation_timeout = 0;
+};
+
+class IdemClient final : public sim::Node, public consensus::ServiceClient {
+ public:
+  IdemClient(sim::Runtime& sim, sim::Transport& net, ClientId id, IdemClientConfig config);
+
+  void invoke(std::vector<std::byte> command, Callback callback) override;
+  ClientId client_id() const override { return cid_; }
+  bool busy() const override { return pending_.has_value(); }
+
+  std::uint64_t operations_started() const { return onr_; }
+
+  /// Section 5.3 optimization: invoked the moment the (n-f)th REJECT
+  /// arrives (the ambivalence state), with the rejects seen so far. An
+  /// optimistic client application can start *preparing* its fallback
+  /// here while the client still waits for a possible late reply.
+  std::function<void(std::size_t rejects_seen)> on_ambivalence;
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+
+ private:
+  struct PendingOp {
+    RequestId id;
+    std::shared_ptr<const msg::Request> request;
+    Callback callback;
+    Time issued = 0;
+    std::unordered_set<std::uint32_t> rejects;
+  };
+
+  void multicast_request();
+  void complete(consensus::Outcome::Kind kind, std::vector<std::byte> result);
+  void arm_retry();
+
+  IdemClientConfig config_;
+  ClientId cid_;
+  std::uint64_t onr_ = 0;
+  std::optional<PendingOp> pending_;
+  sim::TimerId retry_timer_;
+  sim::TimerId ambivalence_timer_;
+  sim::TimerId deadline_timer_;
+};
+
+}  // namespace idem::core

@@ -1,0 +1,74 @@
+// Configuration of the IDEM protocol (defaults follow the paper's
+// evaluation setup, Section 7.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "consensus/cost_model.hpp"
+
+namespace idem::core {
+
+struct IdemConfig {
+  /// Number of replicas n = 2f + 1.
+  std::size_t n = 3;
+  /// Tolerated crash faults.
+  std::size_t f = 1;
+
+  /// Reject threshold r: concurrently accepted client-issued requests per
+  /// replica (paper default RT = 50). The system-wide cap is r_max = n * r.
+  std::size_t reject_threshold = 50;
+
+  /// Fraction of r at which active queue management starts rejecting
+  /// non-prioritized clients probabilistically (paper: 60%).
+  double aqm_start_fraction = 0.6;
+
+  /// Length of one prioritized-group time slice (paper: 2 s).
+  Duration aqm_time_slice = 2 * kSecond;
+
+  /// Number of client groups for AQM prioritization; groups hold at most r
+  /// clients. 0 means "derive from the client population": the harness
+  /// sets it to ceil(clients / r).
+  std::size_t aqm_group_count = 0;
+
+  /// Seed of the acceptance test's pseudo-random function. Must be equal
+  /// on all replicas so they tend toward unanimous decisions (Section 5.1).
+  std::uint64_t acceptance_prf_seed = 0x1DE4'5EEDull;
+
+  /// Delay before an accepted-but-unexecuted request is forwarded to the
+  /// other replicas (paper: 10 ms).
+  Duration forward_timeout = 10 * kMillisecond;
+
+  /// Capacity of the recently-rejected-request cache (Section 5.2).
+  std::size_t rejected_cache_size = 1024;
+
+  /// Maximum request ids per PROPOSE batch.
+  std::size_t batch_max = 32;
+
+  /// REQUIRE aggregation: accepted ids are flushed to the leader when this
+  /// many are pending or the flush interval elapses, whichever is first.
+  std::size_t require_batch_max = 32;
+  Duration require_flush_interval = 50 * kMicrosecond;
+
+  /// Consensus window size w; must be >= r_max for implicit GC
+  /// (Section 4.4). 0 means "4 * r_max".
+  std::uint64_t window_size = 0;
+
+  /// Checkpoint every this many sequence numbers.
+  std::uint64_t checkpoint_interval = 256;
+
+  /// Progress timeout before a replica abandons the view (Section 4.5).
+  Duration viewchange_timeout = 1500 * kMillisecond;
+
+  /// CPU cost model for message handling.
+  consensus::CostModel costs;
+
+  std::size_t quorum() const { return f + 1; }
+  std::size_t r_max() const { return n * reject_threshold; }
+  std::uint64_t effective_window() const {
+    std::uint64_t w = window_size == 0 ? 4 * r_max() : window_size;
+    return w < r_max() ? r_max() : w;
+  }
+};
+
+}  // namespace idem::core

@@ -1,0 +1,818 @@
+#include "idem/replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace idem::core {
+
+namespace {
+constexpr Duration kFetchRetry = 5 * kMillisecond;
+constexpr std::size_t kFetchPrefetch = 64;  // committed instances fetched ahead of the head
+constexpr Duration kCheckpointBaseCost = 20 * kMicrosecond;
+constexpr double kCheckpointNsPerByte = 1.0;
+}  // namespace
+
+IdemReplica::IdemReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
+                         IdemConfig config, std::unique_ptr<app::StateMachine> state_machine,
+                         std::unique_ptr<AcceptanceTest> acceptance)
+    : sim::Node(sim, net, consensus::replica_address(id), sim::NodeKind::Replica),
+      config_(config),
+      me_(id),
+      sm_(std::move(state_machine)),
+      acceptance_(std::move(acceptance)),
+      checkpoints_(config.checkpoint_interval),
+      cost_rng_(sim.seed(), 0xC057'0000ull + id.value) {
+  assert(config_.n == 2 * config_.f + 1);
+  assert(sm_ != nullptr);
+  assert(acceptance_ != nullptr);
+}
+
+std::optional<OpNum> IdemReplica::last_executed(ClientId cid) const {
+  auto it = last_exec_.find(cid.value);
+  if (it == last_exec_.end()) return std::nullopt;
+  return OpNum{it->second};
+}
+
+Duration IdemReplica::message_cost(const sim::Payload& message) const {
+  return config_.costs.cost(message, cost_rng_);
+}
+
+Duration IdemReplica::send_cost(const sim::Payload& message) const {
+  return config_.costs.send_cost(message, cost_rng_);
+}
+
+void IdemReplica::multicast(sim::PayloadPtr message) {
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (i == me_.value) continue;
+    send(consensus::replica_address(ReplicaId{i}), message);
+  }
+}
+
+void IdemReplica::send_to_leader(sim::PayloadPtr message) {
+  ViewId v = in_viewchange_ ? vc_target_ : view_;
+  ReplicaId leader = consensus::leader_of(v, config_.n);
+  if (leader == me_) return;  // callers short-circuit local handling
+  send(consensus::replica_address(leader), std::move(message));
+}
+
+void IdemReplica::reply_to_client(ClientId cid, sim::PayloadPtr message) {
+  send(consensus::client_address(cid), std::move(message));
+}
+
+void IdemReplica::on_message(sim::NodeId from, const sim::Payload& message) {
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr) return;
+  switch (base->type()) {
+    case msg::Type::Request:
+      handle_request(static_cast<const msg::Request&>(*base));
+      break;
+    case msg::Type::Require: {
+      const auto& require = static_cast<const msg::Require&>(*base);
+      for (RequestId id : require.ids) note_require(require.from, id);
+      break;
+    }
+    case msg::Type::Propose:
+      handle_propose(static_cast<const msg::Propose&>(*base));
+      break;
+    case msg::Type::Commit:
+      handle_commit(static_cast<const msg::Commit&>(*base));
+      break;
+    case msg::Type::Forward:
+      handle_forward(static_cast<const msg::Forward&>(*base));
+      break;
+    case msg::Type::Fetch:
+      handle_fetch(consensus::replica_of_address(from), static_cast<const msg::Fetch&>(*base));
+      break;
+    case msg::Type::ViewChange:
+      handle_viewchange(static_cast<const msg::ViewChange&>(*base));
+      break;
+    case msg::Type::StateRequest:
+      handle_state_request(static_cast<const msg::StateRequest&>(*base));
+      break;
+    case msg::Type::StateResponse:
+      handle_state_response(static_cast<const msg::StateResponse&>(*base));
+      break;
+    default:
+      // Messages of other protocols are ignored (shared message namespace).
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request intake
+// ---------------------------------------------------------------------------
+
+void IdemReplica::handle_request(const msg::Request& request) {
+  ++stats_.requests_received;
+  const RequestId id = request.id;
+
+  auto last_it = last_exec_.find(id.cid.value);
+  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+    // Already executed (client retransmission): re-send the cached reply if
+    // it is for exactly this operation.
+    auto reply_it = last_reply_.find(id.cid.value);
+    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
+      reply_to_client(id.cid, reply_it->second);
+    }
+    return;
+  }
+
+  if (requests_.contains(id)) return;  // already accepted; agreement is underway
+
+  // A previously rejected request (still cached) is re-tested below: the
+  // acceptance test is explicitly time-varying (Section 5.1), so a
+  // retransmission may well be accepted now that load has dropped —
+  // accept_request() then promotes the body out of the cache.
+
+  AcceptanceContext ctx;
+  ctx.active_requests = active_.size();
+  ctx.reject_threshold = config_.reject_threshold;
+  ctx.now = now();
+  if (acceptance_->accept(id, request.command, ctx)) {
+    accept_request(id, request.command, /*client_issued=*/true);
+  } else {
+    reject_request(request);
+  }
+}
+
+void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
+                                 bool client_issued) {
+  requests_[id] = std::move(command);
+  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
+    rejected_lru_.erase(it->second);
+    rejected_index_.erase(it);
+  }
+  if (client_issued) {
+    active_.insert(id);
+    ++stats_.accepted;
+  } else {
+    ++stats_.forward_accepted;
+  }
+  arm_forward_timer(id);
+  queue_require(id);
+  arm_progress_timer();
+}
+
+void IdemReplica::reject_request(const msg::Request& request) {
+  ++stats_.rejected;
+  cache_rejected(request.id, request.command);
+  reply_to_client(request.id.cid, std::make_shared<const msg::Reject>(request.id));
+}
+
+void IdemReplica::queue_require(RequestId id) {
+  if (is_leader()) {
+    note_require(me_, id);
+    return;
+  }
+  pending_requires_.push_back(id);
+  if (pending_requires_.size() >= config_.require_batch_max) {
+    flush_requires();
+  } else if (!require_flush_timer_.valid()) {
+    require_flush_timer_ = set_timer(config_.require_flush_interval, [this] {
+      require_flush_timer_ = sim::TimerId{};
+      flush_requires();
+    });
+  }
+}
+
+void IdemReplica::flush_requires() {
+  cancel_timer(require_flush_timer_);
+  if (pending_requires_.empty()) return;
+  auto require = std::make_shared<msg::Require>();
+  require->from = me_;
+  require->ids = std::move(pending_requires_);
+  pending_requires_.clear();
+  if (is_leader()) {
+    for (RequestId id : require->ids) note_require(me_, id);
+  } else {
+    send_to_leader(std::move(require));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Agreement
+// ---------------------------------------------------------------------------
+
+void IdemReplica::note_require(ReplicaId voter, RequestId id) {
+  auto last_it = last_exec_.find(id.cid.value);
+  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) return;
+  if (proposed_.contains(id)) return;
+  std::size_t votes = requires_.vote(id, voter);
+  if (votes >= config_.quorum() && !in_eligible_.contains(id)) {
+    in_eligible_.insert(id);
+    eligible_.push_back(id);
+    arm_progress_timer();
+  }
+  try_propose();
+}
+
+void IdemReplica::try_propose() {
+  if (!is_leader()) return;
+  if (next_sqn_ < sqn_low_) next_sqn_ = sqn_low_;
+  const std::uint64_t window_end = sqn_low_ + config_.effective_window();
+  while (!eligible_.empty() && next_sqn_ < window_end) {
+    // Skip sequence numbers that already carry a binding (re-proposed slots
+    // taken over from an earlier view).
+    while (instances_.contains(next_sqn_) && instances_[next_sqn_].has_binding) ++next_sqn_;
+    if (next_sqn_ >= window_end) break;
+
+    std::vector<RequestId> batch;
+    while (!eligible_.empty() && batch.size() < config_.batch_max) {
+      RequestId id = eligible_.front();
+      eligible_.pop_front();
+      in_eligible_.erase(id);
+      auto last_it = last_exec_.find(id.cid.value);
+      if (last_it != last_exec_.end() && id.onr.value <= last_it->second) continue;
+      if (proposed_.contains(id)) continue;
+      batch.push_back(id);
+    }
+    if (batch.empty()) break;
+
+    Instance& inst = instances_[next_sqn_];
+    inst.view = view_;
+    inst.ids = batch;
+    inst.has_binding = true;
+    inst.own_commit_sent = true;  // the leader's proposal counts as a commit
+    inst.commit_votes.insert(me_.value);
+    for (RequestId id : batch) {
+      proposed_.insert(id);
+      requires_.erase(id);
+    }
+
+    auto propose = std::make_shared<msg::Propose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_sqn_};
+    propose->ids = std::move(batch);
+    multicast(std::move(propose));
+    ++stats_.proposals_sent;
+    ++next_sqn_;
+  }
+  try_execute();
+}
+
+bool IdemReplica::observe_view(ViewId view) {
+  if (view < view_) return false;
+  if (view == view_) return !in_viewchange_;
+  enter_view(view);
+  return true;
+}
+
+void IdemReplica::adopt_binding(std::uint64_t sqn, ViewId view, const std::vector<RequestId>& ids) {
+  if (sqn < sqn_low_) return;
+  Instance& inst = instances_[sqn];
+  if (inst.executed) return;  // applied state is immutable
+  if (inst.has_binding && inst.view >= view) return;
+  inst.view = view;
+  inst.ids = ids;
+  inst.has_binding = true;
+  inst.own_commit_sent = false;
+  inst.commit_votes.clear();
+}
+
+void IdemReplica::add_commit_vote(std::uint64_t sqn, ReplicaId voter) {
+  if (sqn < sqn_low_) return;
+  auto it = instances_.find(sqn);
+  if (it == instances_.end()) return;
+  it->second.commit_votes.insert(voter.value);
+}
+
+void IdemReplica::handle_propose(const msg::Propose& propose) {
+  if (!observe_view(propose.view)) return;
+  const std::uint64_t sqn = propose.sqn.value;
+  if (sqn < sqn_low_) return;
+
+  adopt_binding(sqn, propose.view, propose.ids);
+  Instance& inst = instances_[sqn];
+  if (inst.view != propose.view) return;  // a newer binding superseded this
+
+  // The leader's proposal counts as its commit.
+  inst.commit_votes.insert(consensus::leader_of(propose.view, config_.n).value);
+  if (!inst.own_commit_sent) {
+    auto commit = std::make_shared<msg::Commit>();
+    commit->from = me_;
+    commit->view = inst.view;
+    commit->sqn = SeqNum{sqn};
+    commit->ids = inst.ids;
+    multicast(std::move(commit));
+    inst.own_commit_sent = true;
+    inst.commit_votes.insert(me_.value);
+  }
+  observe_sequence(sqn, consensus::leader_of(propose.view, config_.n));
+  try_execute();
+}
+
+void IdemReplica::handle_commit(const msg::Commit& commit) {
+  if (!observe_view(commit.view)) return;
+  const std::uint64_t sqn = commit.sqn.value;
+  if (sqn < sqn_low_) return;
+
+  // Commits echo the proposal, so a replica that missed the PROPOSE still
+  // learns the binding here.
+  adopt_binding(sqn, commit.view, commit.ids);
+  Instance& inst = instances_[sqn];
+  if (inst.view != commit.view) return;
+
+  inst.commit_votes.insert(commit.from.value);
+  inst.commit_votes.insert(consensus::leader_of(commit.view, config_.n).value);
+  if (!inst.own_commit_sent) {
+    auto own = std::make_shared<msg::Commit>();
+    own->from = me_;
+    own->view = inst.view;
+    own->sqn = SeqNum{sqn};
+    own->ids = inst.ids;
+    multicast(std::move(own));
+    inst.own_commit_sent = true;
+    inst.commit_votes.insert(me_.value);
+  }
+  observe_sequence(sqn, commit.from);
+  try_execute();
+}
+
+bool IdemReplica::fetch_missing(std::uint64_t sqn, Instance& inst) {
+  std::vector<RequestId> missing;
+  for (RequestId id : inst.ids) {
+    auto last_it = last_exec_.find(id.cid.value);
+    if (last_it != last_exec_.end() && id.onr.value <= last_it->second) continue;
+    if (find_command(id) == nullptr) missing.push_back(id);
+  }
+  if (missing.empty()) return false;
+  if (inst.fetch_sent_at >= 0 && now() - inst.fetch_sent_at < kFetchRetry) return true;
+  inst.fetch_sent_at = now();
+  // Ask a replica that committed this instance (it executed or will
+  // execute it, so it owns the bodies or can get them).
+  ReplicaId target = consensus::leader_of(inst.view, config_.n);
+  for (std::uint32_t voter : inst.commit_votes) {
+    if (voter != me_.value) {
+      target = ReplicaId{voter};
+      break;
+    }
+  }
+  for (RequestId id : missing) {
+    auto fetch = std::make_shared<msg::Fetch>();
+    fetch->from = me_;
+    fetch->id = id;
+    send(consensus::replica_address(target), std::move(fetch));
+    ++stats_.fetches_sent;
+  }
+  (void)sqn;
+  return true;
+}
+
+void IdemReplica::try_execute() {
+  for (;;) {
+    auto it = instances_.find(next_exec_);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    if (!inst.has_binding || inst.executed) return;
+    if (inst.commit_votes.size() < config_.quorum()) return;
+
+    if (fetch_missing(next_exec_, inst)) {
+      // The head is blocked on missing bodies. Prefetch for the committed
+      // instances behind it too: fetching one instance per round trip
+      // would otherwise serialize catch-up at network latency.
+      std::size_t prefetched = 0;
+      for (auto ahead = std::next(it);
+           ahead != instances_.end() && prefetched < kFetchPrefetch; ++ahead, ++prefetched) {
+        Instance& future = ahead->second;
+        if (!future.has_binding || future.executed) continue;
+        if (future.commit_votes.size() < config_.quorum()) continue;
+        fetch_missing(ahead->first, future);
+      }
+      // Retry via timer in case fetch responses are lost.
+      set_timer(kFetchRetry, [this] { try_execute(); });
+      return;
+    }
+
+    execute_instance(next_exec_, inst);
+    maybe_checkpoint(next_exec_);
+    ++next_exec_;
+    note_progress();
+  }
+}
+
+void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
+  for (RequestId id : inst.ids) {
+    auto last_it = last_exec_.find(id.cid.value);
+    if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+      ++stats_.duplicates_skipped;
+      continue;
+    }
+    const std::vector<std::byte>* command = find_command(id);
+    assert(command != nullptr);
+    charge(config_.costs.apply_jitter(sm_->execution_cost(*command), cost_rng_));
+    std::vector<std::byte> result = sm_->execute(*command);
+    ++stats_.executed;
+    last_exec_[id.cid.value] = id.onr.value;
+    auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
+    last_reply_[id.cid.value] = reply;
+    active_.erase(id);
+    if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
+      cancel_timer(timer_it->second);
+      forward_timers_.erase(timer_it);
+    }
+    if (is_leader()) reply_to_client(id.cid, reply);
+    if (on_execute) on_execute(SeqNum{sqn}, id);
+  }
+  inst.executed = true;
+}
+
+// ---------------------------------------------------------------------------
+// Availability: forwarding, rejected cache, fetch (Section 5.2)
+// ---------------------------------------------------------------------------
+
+void IdemReplica::arm_forward_timer(RequestId id) {
+  if (forward_timers_.contains(id)) return;
+  forward_timers_[id] = set_timer(config_.forward_timeout, [this, id] {
+    forward_timers_.erase(id);
+    forward_request(id);
+  });
+}
+
+void IdemReplica::forward_request(RequestId id) {
+  auto last_it = last_exec_.find(id.cid.value);
+  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) return;
+  auto body_it = requests_.find(id);
+  if (body_it == requests_.end()) return;
+
+  auto forward = std::make_shared<msg::Forward>();
+  forward->from = me_;
+  forward->requests.emplace_back(id, body_it->second);
+  multicast(std::move(forward));
+  ++stats_.forwards_sent;
+  // Keep relaying periodically until the request is executed (fair-loss
+  // links: eventual delivery needs retransmission).
+  arm_forward_timer(id);
+}
+
+void IdemReplica::handle_forward(const msg::Forward& forward) {
+  for (const msg::Request& request : forward.requests) {
+    auto last_it = last_exec_.find(request.id.cid.value);
+    if (last_it != last_exec_.end() && request.id.onr.value <= last_it->second) continue;
+    if (requests_.contains(request.id)) continue;
+    // Forwarded requests are accepted regardless of the current load
+    // (Section 4.3): some replica accepted them, so they must be ordered.
+    accept_request(request.id, request.command, /*client_issued=*/false);
+  }
+}
+
+void IdemReplica::handle_fetch(ReplicaId from, const msg::Fetch& fetch) {
+  const std::vector<std::byte>* command = find_command(fetch.id);
+  if (command == nullptr) return;
+  auto forward = std::make_shared<msg::Forward>();
+  forward->from = me_;
+  forward->requests.emplace_back(fetch.id, *command);
+  send(consensus::replica_address(from), std::move(forward));
+}
+
+void IdemReplica::cache_rejected(RequestId id, std::vector<std::byte> command) {
+  if (config_.rejected_cache_size == 0) return;
+  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
+    rejected_lru_.splice(rejected_lru_.begin(), rejected_lru_, it->second);
+    return;
+  }
+  rejected_lru_.emplace_front(id, std::move(command));
+  rejected_index_[id] = rejected_lru_.begin();
+  while (rejected_lru_.size() > config_.rejected_cache_size) {
+    rejected_index_.erase(rejected_lru_.back().first);
+    rejected_lru_.pop_back();
+  }
+}
+
+const std::vector<std::byte>* IdemReplica::find_command(RequestId id) const {
+  if (auto it = requests_.find(id); it != requests_.end()) return &it->second;
+  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
+    return &it->second->second;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Implicit garbage collection and checkpoints (Section 4.4)
+// ---------------------------------------------------------------------------
+
+void IdemReplica::request_state_transfer(ReplicaId source) {
+  if (state_transfer_pending_) return;
+  state_transfer_pending_ = true;
+  state_transfer_source_ = source;
+  auto request = std::make_shared<msg::StateRequest>();
+  request->from = me_;
+  request->have = SeqNum{next_exec_ == 0 ? 0 : next_exec_ - 1};
+  send(consensus::replica_address(source), std::move(request));
+  // The peer stays silent when it has no newer checkpoint (or the
+  // response is lost): release the latch after a while and re-evaluate,
+  // or this replica could never ask again.
+  cancel_timer(state_retry_timer_);
+  state_retry_timer_ = set_timer(250 * kMillisecond, [this] {
+    state_retry_timer_ = sim::TimerId{};
+    state_transfer_pending_ = false;
+    maybe_request_state();
+  });
+}
+
+void IdemReplica::maybe_request_state() {
+  // A bound instance ahead of an unbound execution head means the missing
+  // slots may have been garbage-collected cluster-wide: only a checkpoint
+  // can bridge the gap.
+  auto head = instances_.find(next_exec_);
+  if (head != instances_.end() && head->second.has_binding) return;
+  auto ahead = instances_.upper_bound(next_exec_);
+  while (ahead != instances_.end() && !ahead->second.has_binding) ++ahead;
+  if (ahead == instances_.end()) return;
+
+  ReplicaId target = consensus::leader_of(ahead->second.view, config_.n);
+  for (std::uint32_t voter : ahead->second.commit_votes) {
+    if (voter != me_.value) {
+      target = ReplicaId{voter};
+      break;
+    }
+  }
+  if (target == me_) {
+    target = ReplicaId{static_cast<std::uint32_t>((me_.value + 1) % config_.n)};
+  }
+  request_state_transfer(target);
+}
+
+void IdemReplica::observe_sequence(std::uint64_t sqn, ReplicaId source) {
+  const std::uint64_t r_max = config_.r_max();
+  if (sqn < sqn_low_ + r_max) return;
+  std::uint64_t new_low = sqn - r_max + 1;
+
+  if (new_low > next_exec_) {
+    // We are lagging: f+1 replicas have executed past our window, so the
+    // old instances may be gone system-wide. Catch up via checkpoint.
+    request_state_transfer(source);
+    new_low = next_exec_;
+  }
+  if (new_low > sqn_low_) advance_window(new_low);
+}
+
+void IdemReplica::advance_window(std::uint64_t new_low) {
+  for (auto it = instances_.begin(); it != instances_.end() && it->first < new_low;) {
+    if (it->second.executed) {
+      for (RequestId id : it->second.ids) {
+        requests_.erase(id);
+        proposed_.erase(id);
+      }
+    }
+    it = instances_.erase(it);
+  }
+  sqn_low_ = new_low;
+}
+
+void IdemReplica::maybe_checkpoint(std::uint64_t executed_sqn) {
+  if (!checkpoints_.due(SeqNum{executed_sqn})) return;
+  std::vector<std::byte> snapshot = sm_->snapshot();
+  charge(kCheckpointBaseCost +
+         static_cast<Duration>(kCheckpointNsPerByte * static_cast<double>(snapshot.size())));
+  consensus::Checkpoint checkpoint;
+  checkpoint.upto = SeqNum{executed_sqn};
+  checkpoint.snapshot = std::move(snapshot);
+  checkpoint.last_executed = {last_exec_.begin(), last_exec_.end()};
+  checkpoints_.store(std::move(checkpoint));
+  ++stats_.checkpoints_created;
+}
+
+void IdemReplica::handle_state_request(const msg::StateRequest& request) {
+  const auto& latest = checkpoints_.latest();
+  if (!latest || latest->upto.value <= request.have.value) return;
+  auto response = std::make_shared<msg::StateResponse>();
+  response->from = me_;
+  response->upto = latest->upto;
+  response->snapshot = latest->snapshot;
+  response->last_executed.reserve(latest->last_executed.size());
+  for (const auto& [cid, onr] : latest->last_executed) {
+    response->last_executed.emplace_back(ClientId{cid}, OpNum{onr});
+  }
+  send(consensus::replica_address(request.from), std::move(response));
+}
+
+void IdemReplica::handle_state_response(const msg::StateResponse& response) {
+  // Only accept the response we asked for, from the replica we asked:
+  // unsolicited or duplicate checkpoints must not be able to replace
+  // state (a replica never needs state it did not request).
+  if (!state_transfer_pending_ || response.from != state_transfer_source_) return;
+  state_transfer_pending_ = false;
+  if (response.upto.value < next_exec_) return;  // stale; we caught up meanwhile
+  try {
+    sm_->restore(response.snapshot);
+  } catch (const CodecError&) {
+    // Malformed snapshot (buggy or hostile sender): restore() is strongly
+    // exception-safe by contract, so our state is untouched — drop it.
+    return;
+  }
+  charge(kCheckpointBaseCost + static_cast<Duration>(kCheckpointNsPerByte *
+                                                     static_cast<double>(response.snapshot.size())));
+  for (const auto& [cid, onr] : response.last_executed) {
+    auto& entry = last_exec_[cid.value];
+    if (onr.value > entry) entry = onr.value;
+  }
+  // Cached replies are stale after a restore; clients retransmit if needed.
+  last_reply_.clear();
+  next_exec_ = response.upto.value + 1;
+  if (next_exec_ > sqn_low_) advance_window(next_exec_);
+  // Drop active entries that the checkpoint proves executed.
+  for (auto it = active_.begin(); it != active_.end();) {
+    auto last_it = last_exec_.find(it->cid.value);
+    if (last_it != last_exec_.end() && it->onr.value <= last_it->second) {
+      if (auto timer_it = forward_timers_.find(*it); timer_it != forward_timers_.end()) {
+        cancel_timer(timer_it->second);
+        forward_timers_.erase(timer_it);
+      }
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++stats_.state_transfers;
+  cancel_timer(state_retry_timer_);
+  try_execute();
+  // The checkpoint may still be older than the cluster's GC line (the
+  // peer simply shipped its newest): if a gap remains, ask again — by
+  // then the peer has likely checkpointed further.
+  maybe_request_state();
+}
+
+// ---------------------------------------------------------------------------
+// View change (Section 4.5)
+// ---------------------------------------------------------------------------
+
+bool IdemReplica::has_outstanding_work() const {
+  if (!active_.empty() || !eligible_.empty()) return true;
+  auto it = instances_.lower_bound(next_exec_);
+  return it != instances_.end() && it->second.has_binding && !it->second.executed;
+}
+
+void IdemReplica::arm_progress_timer() {
+  if (progress_timer_.valid()) return;
+  if (!has_outstanding_work()) return;
+  progress_timer_ = set_timer(config_.viewchange_timeout, [this] {
+    progress_timer_ = sim::TimerId{};
+    if (!has_outstanding_work()) return;
+    ViewId target{(in_viewchange_ ? vc_target_.value : view_.value) + 1};
+    start_viewchange(target);
+  });
+}
+
+void IdemReplica::note_progress() {
+  cancel_timer(progress_timer_);
+  arm_progress_timer();
+}
+
+void IdemReplica::start_viewchange(ViewId target) {
+  if (target <= view_) return;
+  if (in_viewchange_ && vc_target_ >= target) return;
+  in_viewchange_ = true;
+  vc_target_ = target;
+  ++stats_.view_changes;
+
+  auto viewchange = std::make_shared<msg::ViewChange>();
+  viewchange->from = me_;
+  viewchange->target = target;
+  viewchange->window_start = SeqNum{sqn_low_};
+  for (const auto& [sqn, inst] : instances_) {
+    if (!inst.has_binding) continue;
+    msg::WindowEntry entry;
+    entry.sqn = SeqNum{sqn};
+    entry.view = inst.view;
+    entry.ids = inst.ids;
+    viewchange->proposals.push_back(std::move(entry));
+  }
+  viewchange_store_[me_.value] = *viewchange;
+  multicast(viewchange);
+
+  // Make sure the prospective leader learns about our accepted requests;
+  // REQUIREs sent to the crashed leader are lost with it.
+  resend_requires();
+
+  // Safeguard: if this view change does not complete, try the next view.
+  cancel_timer(progress_timer_);
+  arm_progress_timer();
+
+  maybe_become_leader(target);
+}
+
+void IdemReplica::handle_viewchange(const msg::ViewChange& viewchange) {
+  if (viewchange.target <= view_) return;
+  auto it = viewchange_store_.find(viewchange.from.value);
+  if (it == viewchange_store_.end() || it->second.target <= viewchange.target) {
+    viewchange_store_[viewchange.from.value] = viewchange;
+  }
+
+  // A replica already amid a view change adopts a higher target right
+  // away: independent timeout escalation would otherwise let stragglers
+  // chase each other's targets forever.
+  if (in_viewchange_ && viewchange.target > vc_target_) {
+    start_viewchange(viewchange.target);
+    return;
+  }
+
+  // Join the view change once f+1 replicas demand it: the current view no
+  // longer has enough support to make progress.
+  std::size_t matching = 0;
+  for (const auto& [from, stored] : viewchange_store_) {
+    if (stored.target == viewchange.target) ++matching;
+  }
+  bool joined = in_viewchange_ && vc_target_ >= viewchange.target;
+  if (!joined && matching >= config_.quorum()) {
+    start_viewchange(viewchange.target);
+    return;  // start_viewchange re-runs maybe_become_leader
+  }
+  maybe_become_leader(viewchange.target);
+}
+
+void IdemReplica::maybe_become_leader(ViewId target) {
+  if (consensus::leader_of(target, config_.n) != me_) return;
+  if (view_ >= target) return;
+  if (!in_viewchange_ || vc_target_ != target) return;
+
+  std::size_t matching = 0;
+  for (const auto& [from, stored] : viewchange_store_) {
+    if (stored.target == target) ++matching;
+  }
+  if (matching < config_.quorum()) return;
+
+  // Merge the collected windows: per slot, the binding of the newest view
+  // wins (adopt_binding enforces that).
+  for (const auto& [from, stored] : viewchange_store_) {
+    if (stored.target != target) continue;
+    for (const auto& entry : stored.proposals) {
+      adopt_binding(entry.sqn.value, entry.view, entry.ids);
+    }
+  }
+
+  enter_view(target);
+
+  // Determine the first free sequence number and fill binding gaps with
+  // no-ops so execution cannot stall behind a hole.
+  std::uint64_t high = sqn_low_ == 0 ? 0 : sqn_low_;
+  for (const auto& [sqn, inst] : instances_) {
+    if (inst.has_binding && sqn + 1 > high) high = sqn + 1;
+  }
+  if (next_sqn_ < high) next_sqn_ = high;
+  if (next_sqn_ < sqn_low_) next_sqn_ = sqn_low_;
+
+  for (std::uint64_t sqn = std::max(sqn_low_, next_exec_); sqn < high; ++sqn) {
+    Instance& inst = instances_[sqn];
+    if (inst.executed) continue;
+    if (!inst.has_binding) {
+      inst.ids.clear();  // no-op filler
+      inst.has_binding = true;
+    }
+    // Re-propose under the new view; old-view commit votes are void.
+    inst.view = view_;
+    inst.commit_votes.clear();
+    inst.commit_votes.insert(me_.value);
+    inst.own_commit_sent = true;
+    for (RequestId id : inst.ids) proposed_.insert(id);
+
+    auto propose = std::make_shared<msg::Propose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{sqn};
+    propose->ids = inst.ids;
+    multicast(std::move(propose));
+    ++stats_.proposals_sent;
+  }
+
+  try_propose();
+  try_execute();
+}
+
+void IdemReplica::enter_view(ViewId view) {
+  view_ = view;
+  in_viewchange_ = false;
+  for (auto it = viewchange_store_.begin(); it != viewchange_store_.end();) {
+    if (it->second.target <= view_) {
+      it = viewchange_store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  resend_requires();
+  note_progress();
+}
+
+void IdemReplica::resend_requires() {
+  // Tell the (new) leader about every request we own that is still
+  // unexecuted; its REQUIRE bookkeeping may have died with the old leader.
+  std::vector<RequestId> outstanding;
+  for (const auto& [id, command] : requests_) {
+    auto last_it = last_exec_.find(id.cid.value);
+    if (last_it != last_exec_.end() && id.onr.value <= last_it->second) continue;
+    outstanding.push_back(id);
+  }
+  if (outstanding.empty()) return;
+
+  ViewId v = in_viewchange_ ? vc_target_ : view_;
+  if (consensus::leader_of(v, config_.n) == me_) {
+    for (RequestId id : outstanding) note_require(me_, id);
+  } else {
+    auto require = std::make_shared<msg::Require>();
+    require->from = me_;
+    require->ids = std::move(outstanding);
+    send_to_leader(std::move(require));
+  }
+}
+
+}  // namespace idem::core

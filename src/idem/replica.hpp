@@ -1,0 +1,214 @@
+// The IDEM replica (paper Sections 4 and 5).
+//
+// Protocol flow for one request:
+//   client --REQUEST--> every replica
+//   replica: acceptance test -> REJECT to client, or accept + REQUIRE to leader
+//   leader:  f+1 REQUIREs -> PROPOSE(ids, sqn, v) to all
+//   replica: PROPOSE -> COMMIT to all; f+1 commits (leader's proposal counts)
+//            + owning the request bodies -> execute in sqn order
+//   leader:  REPLY to client
+//
+// Collaborative overload prevention: each replica decides locally whether
+// to accept; accepted requests are kept available via delayed forwarding,
+// a rejected-request cache and on-demand FETCH. Implicit garbage
+// collection advances the window without dedicated progress messages, and
+// a view change replaces a crashed leader.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "app/state_machine.hpp"
+#include "common/ids.hpp"
+#include "consensus/addresses.hpp"
+#include "consensus/checkpoint.hpp"
+#include "consensus/messages.hpp"
+#include "consensus/quorum.hpp"
+#include "idem/acceptance.hpp"
+#include "idem/config.hpp"
+#include "sim/node.hpp"
+
+namespace idem::core {
+
+/// Counters exposed to experiments and tests.
+struct ReplicaStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t forward_accepted = 0;  ///< accepted via FORWARD, bypassing the test
+  std::uint64_t executed = 0;          ///< requests executed (deduplicated)
+  std::uint64_t duplicates_skipped = 0;
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t forwards_sent = 0;
+  std::uint64_t fetches_sent = 0;
+  std::uint64_t view_changes = 0;
+  std::uint64_t checkpoints_created = 0;
+  std::uint64_t state_transfers = 0;
+};
+
+class IdemReplica final : public sim::Node {
+ public:
+  IdemReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id, IdemConfig config,
+              std::unique_ptr<app::StateMachine> state_machine,
+              std::unique_ptr<AcceptanceTest> acceptance);
+
+  ReplicaId replica_id() const { return me_; }
+  ViewId view() const { return view_; }
+  bool is_leader() const {
+    return !in_viewchange_ && consensus::leader_of(view_, config_.n) == me_;
+  }
+  const ReplicaStats& stats() const { return stats_; }
+  const IdemConfig& config() const { return config_; }
+
+  /// r_now: client-issued requests accepted and not yet executed here.
+  std::size_t active_requests() const { return active_.size(); }
+
+  /// Next sequence number this replica would execute.
+  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+  /// Start of the consensus window (sqn_low).
+  SeqNum window_start() const { return SeqNum{sqn_low_}; }
+
+  /// Highest executed operation number per client (duplicate detection).
+  std::optional<OpNum> last_executed(ClientId cid) const;
+
+  app::StateMachine& state_machine() { return *sm_; }
+  const app::StateMachine& state_machine() const { return *sm_; }
+
+  /// Test hook: invoked after each executed request with (sqn, id).
+  std::function<void(SeqNum, RequestId)> on_execute;
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+  Duration message_cost(const sim::Payload& message) const override;
+  Duration send_cost(const sim::Payload& message) const override;
+
+ private:
+  struct Instance {
+    ViewId view;                       ///< view of the newest binding seen
+    std::vector<RequestId> ids;        ///< empty until a PROPOSE/COMMIT arrives
+    bool has_binding = false;
+    bool own_commit_sent = false;
+    std::unordered_set<std::uint32_t> commit_votes;
+    bool executed = false;
+    Time fetch_sent_at = -1;
+  };
+
+  // -- request intake ------------------------------------------------------
+  void handle_request(const msg::Request& request);
+  void accept_request(RequestId id, std::vector<std::byte> command, bool client_issued);
+  void reject_request(const msg::Request& request);
+  void queue_require(RequestId id);
+  void flush_requires();
+
+  // -- agreement -----------------------------------------------------------
+  void note_require(ReplicaId voter, RequestId id);
+  void try_propose();
+  void handle_propose(const msg::Propose& propose);
+  void handle_commit(const msg::Commit& commit);
+  void adopt_binding(std::uint64_t sqn, ViewId view, const std::vector<RequestId>& ids);
+  void add_commit_vote(std::uint64_t sqn, ReplicaId voter);
+  bool observe_view(ViewId view);  ///< true when the message should be processed
+  /// Requests missing bodies for `inst` (rate-limited); true if any are
+  /// still missing.
+  bool fetch_missing(std::uint64_t sqn, Instance& inst);
+  void try_execute();
+  void execute_instance(std::uint64_t sqn, Instance& instance);
+
+  // -- availability (Section 5.2) -------------------------------------------
+  void handle_forward(const msg::Forward& forward);
+  void handle_fetch(ReplicaId from, const msg::Fetch& fetch);
+  void arm_forward_timer(RequestId id);
+  void forward_request(RequestId id);
+  void cache_rejected(RequestId id, std::vector<std::byte> command);
+  const std::vector<std::byte>* find_command(RequestId id) const;
+
+  // -- garbage collection / checkpoints (Section 4.4) -----------------------
+  void observe_sequence(std::uint64_t sqn, ReplicaId source);
+  void advance_window(std::uint64_t new_low);
+  void maybe_checkpoint(std::uint64_t executed_sqn);
+  void handle_state_request(const msg::StateRequest& request);
+  void handle_state_response(const msg::StateResponse& response);
+  void request_state_transfer(ReplicaId source);
+  /// Requests a checkpoint when execution is gapped below a known binding
+  /// (the missing instances may be garbage-collected cluster-wide).
+  void maybe_request_state();
+
+  // -- view change (Section 4.5) --------------------------------------------
+  void arm_progress_timer();
+  void note_progress();
+  bool has_outstanding_work() const;
+  void start_viewchange(ViewId target);
+  void handle_viewchange(const msg::ViewChange& viewchange);
+  void maybe_become_leader(ViewId target);
+  void enter_view(ViewId view);
+  void resend_requires();
+
+  void multicast(sim::PayloadPtr message);  ///< to all other replicas
+  void send_to_leader(sim::PayloadPtr message);
+  void reply_to_client(ClientId cid, sim::PayloadPtr message);
+
+  IdemConfig config_;
+  ReplicaId me_;
+  std::unique_ptr<app::StateMachine> sm_;
+  std::unique_ptr<AcceptanceTest> acceptance_;
+
+  ViewId view_;
+  bool in_viewchange_ = false;
+  ViewId vc_target_;
+
+  // Owned request bodies (accepted, forwarded, or fetched).
+  std::unordered_map<RequestId, std::vector<std::byte>> requests_;
+  // Client-issued accepted requests not yet executed (the r_now set).
+  std::unordered_set<RequestId> active_;
+  // Forward timers per accepted-but-unexecuted request.
+  std::unordered_map<RequestId, sim::TimerId> forward_timers_;
+
+  // Recently rejected requests (LRU), still available for FETCH/agreement.
+  std::list<std::pair<RequestId, std::vector<std::byte>>> rejected_lru_;
+  std::unordered_map<RequestId, decltype(rejected_lru_)::iterator> rejected_index_;
+
+  // REQUIRE aggregation.
+  std::vector<RequestId> pending_requires_;
+  sim::TimerId require_flush_timer_;
+
+  // Leader-side ordering state (maintained on every replica so a new
+  // leader can take over immediately).
+  consensus::QuorumTracker<RequestId> requires_;
+  std::deque<RequestId> eligible_;
+  std::unordered_set<RequestId> in_eligible_;
+  std::unordered_set<RequestId> proposed_;
+  std::uint64_t next_sqn_ = 0;
+
+  // Consensus instances, window [sqn_low_, sqn_low_ + w).
+  std::map<std::uint64_t, Instance> instances_;
+  std::uint64_t sqn_low_ = 0;
+  std::uint64_t next_exec_ = 0;
+
+  // Execution results for duplicate suppression and re-replies.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;  // cid -> onr
+  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+
+  consensus::CheckpointStore checkpoints_;
+  bool state_transfer_pending_ = false;
+  ReplicaId state_transfer_source_;  ///< the only replica whose response we accept
+  sim::TimerId state_retry_timer_;
+
+  // View change state: latest VIEWCHANGE per replica.
+  std::unordered_map<std::uint32_t, msg::ViewChange> viewchange_store_;
+  sim::TimerId progress_timer_;
+
+  // Service-time variability stream (CostModel::jitter).
+  mutable Rng cost_rng_;
+
+  ReplicaStats stats_;
+};
+
+}  // namespace idem::core

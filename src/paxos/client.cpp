@@ -1,0 +1,88 @@
+#include "paxos/client.hpp"
+
+#include <cassert>
+
+namespace idem::paxos {
+
+PaxosClient::PaxosClient(sim::Runtime& sim, sim::Transport& net, ClientId id,
+                         PaxosClientConfig config)
+    : sim::Node(sim, net, consensus::client_address(id), sim::NodeKind::Client),
+      config_(config),
+      cid_(id) {}
+
+void PaxosClient::invoke(std::vector<std::byte> command, Callback callback) {
+  assert(!pending_ && "one pending request per client");
+  ++onr_;
+  PendingOp op;
+  op.id = RequestId{cid_, OpNum{onr_}};
+  op.request = std::make_shared<const msg::Request>(op.id, std::move(command));
+  op.callback = std::move(callback);
+  op.issued = now();
+  pending_ = std::move(op);
+
+  send_attempt();
+  if (config_.operation_timeout > 0) {
+    deadline_timer_ = set_timer(config_.operation_timeout, [this] {
+      deadline_timer_ = sim::TimerId{};
+      if (pending_) complete(consensus::Outcome::Kind::Timeout, {}, 0);
+    });
+  }
+}
+
+void PaxosClient::send_attempt() {
+  send(consensus::replica_address(presumed_leader_), pending_->request);
+  ++pending_->attempts_at_current;
+
+  cancel_timer(retry_timer_);
+  retry_timer_ = set_timer(config_.retry_interval, [this] {
+    retry_timer_ = sim::TimerId{};
+    if (!pending_) return;
+    if (pending_->attempts_at_current >= config_.attempts_per_replica) {
+      presumed_leader_ =
+          ReplicaId{static_cast<std::uint32_t>((presumed_leader_.value + 1) % config_.n)};
+      pending_->attempts_at_current = 0;
+    }
+    send_attempt();
+  });
+}
+
+void PaxosClient::on_message(sim::NodeId from, const sim::Payload& message) {
+  if (!pending_) return;
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr) return;
+
+  if (base->type() == msg::Type::Reply) {
+    const auto& reply = static_cast<const msg::Reply&>(*base);
+    if (reply.id != pending_->id) return;
+    // The responder is (or was) the leader — keep talking to it.
+    presumed_leader_ = consensus::replica_of_address(from);
+    complete(consensus::Outcome::Kind::Reply, reply.result, 0);
+    return;
+  }
+  if (base->type() == msg::Type::Reject) {
+    const auto& reject = static_cast<const msg::Reject&>(*base);
+    if (reject.id != pending_->id) return;
+    presumed_leader_ = consensus::replica_of_address(from);
+    complete(consensus::Outcome::Kind::Rejected, {}, 1);
+  }
+}
+
+void PaxosClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> result,
+                           std::size_t rejects) {
+  cancel_timer(retry_timer_);
+  cancel_timer(deadline_timer_);
+
+  consensus::Outcome outcome;
+  outcome.kind = kind;
+  outcome.issued = pending_->issued;
+  outcome.completed = now();
+  outcome.result = std::move(result);
+  outcome.rejects_seen = rejects;
+  outcome.definitive_failure = kind == consensus::Outcome::Kind::Rejected;
+
+  Callback callback = std::move(pending_->callback);
+  pending_.reset();
+  callback(outcome);
+}
+
+}  // namespace idem::paxos

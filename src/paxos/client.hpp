@@ -1,0 +1,64 @@
+// Paxos client: sends each request to the presumed leader only and fails
+// over to the next replica on timeout (paper Section 7.8: this fail-over
+// plus the view change is why Paxos_LBR cannot reject during a leader
+// crash).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "consensus/addresses.hpp"
+#include "consensus/messages.hpp"
+#include "consensus/service_client.hpp"
+#include "sim/node.hpp"
+
+namespace idem::paxos {
+
+struct PaxosClientConfig {
+  std::size_t n = 3;
+  /// Per-attempt timeout before the client retries (possibly at the next
+  /// presumed leader).
+  Duration retry_interval = 1 * kSecond;
+  /// Attempts at the same presumed leader before failing over.
+  std::size_t attempts_per_replica = 1;
+  /// Give up entirely after this long (0 = never). Outcome::Timeout.
+  Duration operation_timeout = 0;
+};
+
+class PaxosClient final : public sim::Node, public consensus::ServiceClient {
+ public:
+  PaxosClient(sim::Runtime& sim, sim::Transport& net, ClientId id, PaxosClientConfig config);
+
+  void invoke(std::vector<std::byte> command, Callback callback) override;
+  ClientId client_id() const override { return cid_; }
+  bool busy() const override { return pending_.has_value(); }
+
+  ReplicaId presumed_leader() const { return presumed_leader_; }
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+
+ private:
+  struct PendingOp {
+    RequestId id;
+    std::shared_ptr<const msg::Request> request;
+    Callback callback;
+    Time issued = 0;
+    std::size_t attempts_at_current = 0;
+  };
+
+  void send_attempt();
+  void complete(consensus::Outcome::Kind kind, std::vector<std::byte> result,
+                std::size_t rejects);
+
+  PaxosClientConfig config_;
+  ClientId cid_;
+  std::uint64_t onr_ = 0;
+  ReplicaId presumed_leader_{0};
+  std::optional<PendingOp> pending_;
+  sim::TimerId retry_timer_;
+  sim::TimerId deadline_timer_;
+};
+
+}  // namespace idem::paxos

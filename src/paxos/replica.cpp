@@ -1,0 +1,431 @@
+#include "paxos/replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace idem::paxos {
+
+PaxosReplica::PaxosReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
+                           PaxosConfig config, std::unique_ptr<app::StateMachine> state_machine)
+    : sim::Node(sim, net, consensus::replica_address(id), sim::NodeKind::Replica),
+      config_(config),
+      me_(id),
+      sm_(std::move(state_machine)),
+      cost_rng_(sim.seed(), 0xC057'1000ull + id.value) {
+  assert(config_.n == 2 * config_.f + 1);
+  if (is_leader()) send_heartbeat();
+  arm_failure_timer();
+  retransmit_tick();
+}
+
+Duration PaxosReplica::message_cost(const sim::Payload& message) const {
+  return config_.costs.cost(message, cost_rng_);
+}
+
+Duration PaxosReplica::send_cost(const sim::Payload& message) const {
+  return config_.costs.send_cost(message, cost_rng_);
+}
+
+void PaxosReplica::multicast(sim::PayloadPtr message) {
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (i == me_.value) continue;
+    send(consensus::replica_address(ReplicaId{i}), message);
+  }
+}
+
+std::size_t PaxosReplica::active_requests() const {
+  return pending_.size() + inflight_requests_;
+}
+
+void PaxosReplica::on_message(sim::NodeId from, const sim::Payload& message) {
+  (void)from;
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr) return;
+  switch (base->type()) {
+    case msg::Type::Request:
+      handle_request(static_cast<const msg::Request&>(*base));
+      break;
+    case msg::Type::PaxosPropose:
+      handle_propose(static_cast<const msg::PaxosPropose&>(*base));
+      break;
+    case msg::Type::PaxosAccept:
+      handle_accept(static_cast<const msg::PaxosAccept&>(*base));
+      break;
+    case msg::Type::PaxosHeartbeat:
+      handle_heartbeat(static_cast<const msg::PaxosHeartbeat&>(*base));
+      break;
+    case msg::Type::PaxosViewChange:
+      handle_viewchange(static_cast<const msg::PaxosViewChange&>(*base));
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling (leader only — followers drop client requests)
+// ---------------------------------------------------------------------------
+
+void PaxosReplica::handle_request(const msg::Request& request) {
+  ++stats_.requests_received;
+  if (!is_leader()) return;  // clients discover the leader by timeout
+
+  const RequestId id = request.id;
+  auto last_it = last_exec_.find(id.cid.value);
+  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+    auto reply_it = last_reply_.find(id.cid.value);
+    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
+      send(consensus::client_address(id.cid), reply_it->second);
+    }
+    return;
+  }
+  if (queued_.contains(id)) return;  // retransmission; already in the pipeline
+
+  // Leader-based rejection (Paxos_LBR): the single leader decides.
+  if (config_.reject_threshold > 0 && active_requests() >= config_.reject_threshold) {
+    ++stats_.rejected;
+    send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
+    return;
+  }
+
+  ++stats_.accepted;
+  queued_.insert(id);
+  pending_.push_back(request);
+  try_propose();
+  arm_failure_timer();
+}
+
+void PaxosReplica::try_propose() {
+  if (!is_leader()) return;
+  const std::uint64_t window_end = next_exec_ + config_.window_size;
+  while (!pending_.empty() && next_sqn_ < window_end) {
+    while (instances_.contains(next_sqn_) && instances_[next_sqn_].has_binding) ++next_sqn_;
+    if (next_sqn_ >= window_end) break;
+
+    std::vector<msg::Request> batch;
+    while (!pending_.empty() && batch.size() < config_.batch_max) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    inflight_requests_ += batch.size();
+
+    Instance& inst = instances_[next_sqn_];
+    inst.view = view_;
+    inst.requests = batch;
+    inst.has_binding = true;
+    inst.own_accept_sent = true;
+    inst.accept_votes.insert(me_.value);
+
+    auto propose = std::make_shared<msg::PaxosPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_sqn_};
+    propose->requests = std::move(batch);
+    multicast(std::move(propose));
+    ++stats_.proposals_sent;
+    ++next_sqn_;
+  }
+  try_execute();
+}
+
+bool PaxosReplica::observe_view(ViewId view) {
+  if (view < view_) return false;
+  if (view == view_) return !in_viewchange_;
+  enter_view(view);
+  return true;
+}
+
+void PaxosReplica::adopt_binding(std::uint64_t sqn, ViewId view,
+                                 std::vector<msg::Request> requests) {
+  Instance& inst = instances_[sqn];
+  if (inst.executed) return;  // applied state is immutable
+  if (inst.has_binding && inst.view >= view) return;
+  inst.view = view;
+  inst.requests = std::move(requests);
+  inst.has_binding = true;
+  inst.own_accept_sent = false;
+  inst.accept_votes.clear();
+}
+
+void PaxosReplica::handle_propose(const msg::PaxosPropose& propose) {
+  if (!observe_view(propose.view)) return;
+  const std::uint64_t sqn = propose.sqn.value;
+  if (sqn < next_exec_) {
+    // A retransmission for an instance we already executed: the sender is
+    // missing our ACCEPT (it was lost), so repeat it or it stalls forever.
+    if (instances_.contains(sqn)) {
+      auto accept = std::make_shared<msg::PaxosAccept>();
+      accept->from = me_;
+      accept->view = propose.view;
+      accept->sqn = SeqNum{sqn};
+      multicast(std::move(accept));
+    }
+    return;
+  }
+
+  adopt_binding(sqn, propose.view, propose.requests);
+  Instance& inst = instances_[sqn];
+  if (inst.view != propose.view) return;
+
+  inst.accept_votes.insert(consensus::leader_of(propose.view, config_.n).value);
+  // Re-sending on a duplicate PROPOSE makes the accept path idempotent
+  // under message loss (the leader retransmits stalled proposals).
+  auto accept = std::make_shared<msg::PaxosAccept>();
+  accept->from = me_;
+  accept->view = inst.view;
+  accept->sqn = SeqNum{sqn};
+  multicast(std::move(accept));
+  inst.own_accept_sent = true;
+  inst.accept_votes.insert(me_.value);
+  note_liveness();
+  try_execute();
+}
+
+void PaxosReplica::handle_accept(const msg::PaxosAccept& accept) {
+  if (!observe_view(accept.view)) return;
+  auto it = instances_.find(accept.sqn.value);
+  if (it == instances_.end()) return;
+  if (it->second.view != accept.view) return;
+  it->second.accept_votes.insert(accept.from.value);
+  try_execute();
+}
+
+void PaxosReplica::try_execute() {
+  for (;;) {
+    auto it = instances_.find(next_exec_);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    if (!inst.has_binding || inst.executed) return;
+    if (inst.accept_votes.size() < config_.quorum()) return;
+
+    for (const msg::Request& request : inst.requests) {
+      const RequestId id = request.id;
+      auto last_it = last_exec_.find(id.cid.value);
+      if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+        ++stats_.duplicates_skipped;
+        continue;
+      }
+      charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
+      std::vector<std::byte> result = sm_->execute(request.command);
+      ++stats_.executed;
+      last_exec_[id.cid.value] = id.onr.value;
+      auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
+      last_reply_[id.cid.value] = reply;
+      queued_.erase(id);
+      if (is_leader()) send(consensus::client_address(id.cid), reply);
+      if (on_execute) on_execute(SeqNum{next_exec_}, id);
+    }
+    if (is_leader() && inflight_requests_ >= inst.requests.size()) {
+      inflight_requests_ -= inst.requests.size();
+    }
+    inst.executed = true;
+    // Old instances are not needed once executed (crash tolerance for the
+    // baseline does not include lagging-replica state transfer).
+    if (next_exec_ >= 2 * config_.window_size) {
+      instances_.erase(instances_.begin(),
+                       instances_.lower_bound(next_exec_ - 2 * config_.window_size));
+    }
+    ++next_exec_;
+    note_liveness();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: heartbeats and view change
+// ---------------------------------------------------------------------------
+
+void PaxosReplica::retransmit_tick() {
+  retransmit_timer_ = set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
+  if (!is_leader()) {
+    retransmit_watermark_ = UINT64_MAX;
+    return;
+  }
+  auto it = instances_.find(next_exec_);
+  if (it == instances_.end() || !it->second.has_binding || it->second.executed ||
+      it->second.view != view_) {
+    retransmit_watermark_ = UINT64_MAX;
+    return;
+  }
+  if (retransmit_watermark_ == next_exec_) {
+    // The head of the log made no progress for a full interval: assume the
+    // PROPOSE (or the accepts) got lost and retransmit.
+    auto propose = std::make_shared<msg::PaxosPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_exec_};
+    propose->requests = it->second.requests;
+    multicast(std::move(propose));
+  }
+  retransmit_watermark_ = next_exec_;
+}
+
+void PaxosReplica::send_heartbeat() {
+  if (!is_leader()) return;
+  auto heartbeat = std::make_shared<msg::PaxosHeartbeat>();
+  heartbeat->from = me_;
+  heartbeat->view = view_;
+  multicast(std::move(heartbeat));
+  heartbeat_timer_ = set_timer(config_.heartbeat_interval, [this] {
+    heartbeat_timer_ = sim::TimerId{};
+    send_heartbeat();
+  });
+}
+
+void PaxosReplica::handle_heartbeat(const msg::PaxosHeartbeat& heartbeat) {
+  if (!observe_view(heartbeat.view)) return;
+  note_liveness();
+}
+
+void PaxosReplica::arm_failure_timer() {
+  if (failure_timer_.valid()) return;
+  failure_timer_ = set_timer(config_.viewchange_timeout, [this] {
+    failure_timer_ = sim::TimerId{};
+    if (is_leader()) {
+      // A leader only abandons its own view when the head of the log is
+      // stalled: the quorum is gone (e.g. a follower falsely abandoned
+      // the view while another is crashed) and retransmission alone
+      // cannot fix that.
+      auto it = instances_.find(next_exec_);
+      bool stalled =
+          it != instances_.end() && it->second.has_binding && !it->second.executed;
+      if (!stalled) {
+        arm_failure_timer();
+        return;
+      }
+    }
+    ViewId target{(in_viewchange_ ? vc_target_.value : view_.value) + 1};
+    start_viewchange(target);
+  });
+}
+
+void PaxosReplica::note_liveness() {
+  cancel_timer(failure_timer_);
+  arm_failure_timer();
+}
+
+void PaxosReplica::start_viewchange(ViewId target) {
+  if (target <= view_) return;
+  if (in_viewchange_ && vc_target_ >= target) return;
+  in_viewchange_ = true;
+  vc_target_ = target;
+  ++stats_.view_changes;
+
+  auto viewchange = std::make_shared<msg::PaxosViewChange>();
+  viewchange->from = me_;
+  viewchange->target = target;
+  viewchange->window_start = SeqNum{next_exec_};
+  for (const auto& [sqn, inst] : instances_) {
+    // Executed instances must be shipped too: a committed binding that
+    // only this replica executed would otherwise be invisible to the new
+    // leader's merge, which could then rebind the slot - a safety
+    // violation.
+    if (!inst.has_binding) continue;
+    msg::PaxosWindowEntry entry;
+    entry.sqn = SeqNum{sqn};
+    entry.view = inst.view;
+    entry.requests = inst.requests;
+    viewchange->proposals.push_back(std::move(entry));
+  }
+  viewchange_store_[me_.value] = *viewchange;
+  multicast(viewchange);
+
+  cancel_timer(failure_timer_);
+  arm_failure_timer();
+  maybe_become_leader(target);
+}
+
+void PaxosReplica::handle_viewchange(const msg::PaxosViewChange& viewchange) {
+  if (viewchange.target <= view_) return;
+  auto it = viewchange_store_.find(viewchange.from.value);
+  if (it == viewchange_store_.end() || it->second.target <= viewchange.target) {
+    viewchange_store_[viewchange.from.value] = viewchange;
+  }
+  // Synchronize escalating stragglers on the highest demanded target.
+  if (in_viewchange_ && viewchange.target > vc_target_) {
+    start_viewchange(viewchange.target);
+    return;
+  }
+  std::size_t matching = 0;
+  for (const auto& [from, stored] : viewchange_store_) {
+    if (stored.target == viewchange.target) ++matching;
+  }
+  bool joined = in_viewchange_ && vc_target_ >= viewchange.target;
+  if (!joined && matching >= config_.quorum()) {
+    start_viewchange(viewchange.target);
+    return;
+  }
+  maybe_become_leader(viewchange.target);
+}
+
+void PaxosReplica::maybe_become_leader(ViewId target) {
+  if (consensus::leader_of(target, config_.n) != me_) return;
+  if (view_ >= target) return;
+  if (!in_viewchange_ || vc_target_ != target) return;
+
+  std::size_t matching = 0;
+  for (const auto& [from, stored] : viewchange_store_) {
+    if (stored.target == target) ++matching;
+  }
+  if (matching < config_.quorum()) return;
+
+  for (const auto& [from, stored] : viewchange_store_) {
+    if (stored.target != target) continue;
+    for (const auto& entry : stored.proposals) {
+      adopt_binding(entry.sqn.value, entry.view, entry.requests);
+    }
+  }
+
+  enter_view(target);
+
+  std::uint64_t high = next_exec_;
+  for (const auto& [sqn, inst] : instances_) {
+    if (inst.has_binding && !inst.executed && sqn + 1 > high) high = sqn + 1;
+  }
+  if (next_sqn_ < high) next_sqn_ = high;
+
+  for (std::uint64_t sqn = next_exec_; sqn < high; ++sqn) {
+    Instance& inst = instances_[sqn];
+    if (inst.executed) continue;
+    if (!inst.has_binding) {
+      inst.requests.clear();  // no-op filler for window gaps
+      inst.has_binding = true;
+    }
+    inst.view = view_;
+    inst.accept_votes.clear();
+    inst.accept_votes.insert(me_.value);
+    inst.own_accept_sent = true;
+
+    auto propose = std::make_shared<msg::PaxosPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{sqn};
+    propose->requests = inst.requests;
+    multicast(std::move(propose));
+    ++stats_.proposals_sent;
+  }
+
+  send_heartbeat();
+  try_propose();
+  try_execute();
+}
+
+void PaxosReplica::enter_view(ViewId view) {
+  bool was_leader = is_leader();
+  view_ = view;
+  in_viewchange_ = false;
+  for (auto it = viewchange_store_.begin(); it != viewchange_store_.end();) {
+    if (it->second.target <= view_) {
+      it = viewchange_store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (was_leader && !is_leader()) {
+    cancel_timer(heartbeat_timer_);
+    // A demoted leader's pending queue dies with its leadership; clients
+    // retransmit to the new leader.
+    pending_.clear();
+    queued_.clear();
+    inflight_requests_ = 0;
+  }
+  note_liveness();
+}
+
+}  // namespace idem::paxos

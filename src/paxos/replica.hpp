@@ -1,0 +1,151 @@
+// Paxos baseline replica (Kirsch & Amir's "Paxos for System Builders"
+// style), sharing the simulation substrate with IDEM so the protocols are
+// directly comparable — the paper's own methodology (Section 7).
+//
+// Differences from IDEM that matter for the experiments:
+//   - Clients talk to the *leader* only; the leader distributes the full
+//     requests, so its in/out links and CPU are the bottleneck.
+//   - No overload protection: the leader's pending queue is unbounded and
+//     latency explodes past saturation (Figure 2 / Figure 6).
+//   - Optional leader-based rejection (Paxos_LBR, paper Section 3.3): the
+//     leader alone runs an acceptance test and rejects excess requests —
+//     which stops working for the duration of a leader crash + view change
+//     (Figure 3 / Figure 10d).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "app/state_machine.hpp"
+#include "common/ids.hpp"
+#include "consensus/addresses.hpp"
+#include "consensus/cost_model.hpp"
+#include "consensus/messages.hpp"
+#include "sim/node.hpp"
+
+namespace idem::paxos {
+
+struct PaxosConfig {
+  std::size_t n = 3;
+  std::size_t f = 1;
+  std::size_t batch_max = 32;
+  /// In-flight consensus instances (relative to execution progress).
+  std::uint64_t window_size = 256;
+  Duration viewchange_timeout = 1500 * kMillisecond;
+  Duration heartbeat_interval = 300 * kMillisecond;
+  /// Leader retransmits the proposal of the oldest unexecuted instance
+  /// when it makes no progress for this long (fair-loss links).
+  Duration retransmit_interval = 200 * kMillisecond;
+  consensus::CostModel costs;
+
+  /// Leader-based rejection (Paxos_LBR): reject new requests when the
+  /// number of accepted-but-unexecuted requests at the leader reaches this
+  /// threshold. 0 disables rejection (plain Paxos).
+  std::size_t reject_threshold = 0;
+
+  std::size_t quorum() const { return f + 1; }
+};
+
+struct PaxosStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t duplicates_skipped = 0;
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t view_changes = 0;
+};
+
+class PaxosReplica final : public sim::Node {
+ public:
+  PaxosReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id, PaxosConfig config,
+               std::unique_ptr<app::StateMachine> state_machine);
+
+  ReplicaId replica_id() const { return me_; }
+  ViewId view() const { return view_; }
+  bool is_leader() const {
+    return !in_viewchange_ && consensus::leader_of(view_, config_.n) == me_;
+  }
+  const PaxosStats& stats() const { return stats_; }
+  std::size_t backlog() const { return pending_.size(); }
+  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+
+  app::StateMachine& state_machine() { return *sm_; }
+
+  /// Test hook: invoked after each executed request with (sqn, id).
+  std::function<void(SeqNum, RequestId)> on_execute;
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+  Duration message_cost(const sim::Payload& message) const override;
+  Duration send_cost(const sim::Payload& message) const override;
+
+ private:
+  struct Instance {
+    ViewId view;
+    std::vector<msg::Request> requests;
+    bool has_binding = false;
+    bool own_accept_sent = false;
+    std::unordered_set<std::uint32_t> accept_votes;
+    bool executed = false;
+  };
+
+  void handle_request(const msg::Request& request);
+  void try_propose();
+  void handle_propose(const msg::PaxosPropose& propose);
+  void handle_accept(const msg::PaxosAccept& accept);
+  void adopt_binding(std::uint64_t sqn, ViewId view, std::vector<msg::Request> requests);
+  void try_execute();
+  bool observe_view(ViewId view);
+
+  void handle_heartbeat(const msg::PaxosHeartbeat& heartbeat);
+  void send_heartbeat();
+  void retransmit_tick();
+  void arm_failure_timer();
+  void note_liveness();
+  void start_viewchange(ViewId target);
+  void handle_viewchange(const msg::PaxosViewChange& viewchange);
+  void maybe_become_leader(ViewId target);
+  void enter_view(ViewId view);
+
+  std::size_t active_requests() const;
+  void multicast(sim::PayloadPtr message);
+
+  PaxosConfig config_;
+  ReplicaId me_;
+  std::unique_ptr<app::StateMachine> sm_;
+
+  ViewId view_;
+  bool in_viewchange_ = false;
+  ViewId vc_target_;
+
+  std::deque<msg::Request> pending_;  ///< leader: accepted, not yet proposed
+  std::unordered_set<RequestId> queued_;
+  std::size_t inflight_requests_ = 0;  ///< proposed, not yet executed
+
+  std::map<std::uint64_t, Instance> instances_;
+  std::uint64_t next_sqn_ = 0;
+  std::uint64_t next_exec_ = 0;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+
+  std::unordered_map<std::uint32_t, msg::PaxosViewChange> viewchange_store_;
+  sim::TimerId failure_timer_;
+  sim::TimerId heartbeat_timer_;
+  sim::TimerId retransmit_timer_;
+  std::uint64_t retransmit_watermark_ = UINT64_MAX;
+
+  // Service-time variability stream (CostModel::jitter).
+  mutable Rng cost_rng_;
+
+  PaxosStats stats_;
+};
+
+}  // namespace idem::paxos

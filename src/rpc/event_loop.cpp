@@ -1,0 +1,131 @@
+#include "rpc/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace idem::rpc {
+
+namespace {
+
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(std::uint64_t seed)
+    : seed_(seed), start_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Time EventLoop::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+sim::EventId EventLoop::schedule_after(Duration delay, sim::EventQueue::Callback fn) {
+  if (delay < 0) delay = 0;
+  return timers_.push(now() + delay, std::move(fn));
+}
+
+sim::EventId EventLoop::schedule_at(Time at, sim::EventQueue::Callback fn) {
+  Time current = now();
+  if (at < current) at = current;
+  return timers_.push(at, std::move(fn));
+}
+
+bool EventLoop::cancel(sim::EventId id) { return timers_.cancel(id); }
+
+Rng& EventLoop::rng(std::string_view name) {
+  std::uint64_t key = hash_name(name);
+  auto it = rngs_.find(key);
+  if (it == rngs_.end()) {
+    it = rngs_.emplace(key, std::make_unique<Rng>(seed_, key)).first;
+  }
+  return *it->second;
+}
+
+void EventLoop::watch(int fd, std::uint32_t events, IoCallback callback) {
+  auto shared = std::make_shared<IoCallback>(std::move(callback));
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  int op = watchers_.contains(fd) ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (::epoll_ctl(epoll_fd_, op, fd, &ev) < 0) {
+    throw std::runtime_error(std::string("epoll_ctl: ") + std::strerror(errno));
+  }
+  watchers_[fd] = std::move(shared);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::unwatch(int fd) {
+  if (watchers_.erase(fd) > 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::fire_due_timers() {
+  Time current = now();
+  while (!timers_.empty() && timers_.next_time() <= current) {
+    auto event = timers_.pop();
+    event.fn();
+  }
+}
+
+void EventLoop::poll_once(Duration max_wait) {
+  // Clamp the wait so due timers never starve behind a long epoll sleep.
+  Duration until_timer = timers_.empty() ? max_wait : timers_.next_time() - now();
+  Duration wait = std::min(max_wait, std::max<Duration>(0, until_timer));
+  int timeout_ms = static_cast<int>((wait + kMillisecond - 1) / kMillisecond);
+
+  epoll_event events[64];
+  int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  for (int i = 0; i < ready; ++i) {
+    auto it = watchers_.find(events[i].data.fd);
+    if (it == watchers_.end()) continue;
+    // Hold a reference: the callback may unwatch (and erase) itself.
+    auto callback = it->second;
+    (*callback)(events[i].events);
+  }
+  fire_due_timers();
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    poll_once(100 * kMillisecond);
+  }
+}
+
+void EventLoop::run_for(Duration span) {
+  stopped_ = false;
+  Time deadline = now() + span;
+  while (!stopped_ && now() < deadline) {
+    poll_once(std::min<Duration>(deadline - now(), 50 * kMillisecond));
+  }
+}
+
+}  // namespace idem::rpc

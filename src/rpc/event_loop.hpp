@@ -1,0 +1,70 @@
+// Real-time event loop: epoll-driven I/O plus a timer wheel, implementing
+// sim::Runtime against the steady clock. The same protocol code that runs
+// in the deterministic simulator runs here over real sockets.
+//
+// Single-threaded by design: protocol nodes are not thread-safe, and the
+// paper's replicas are single event loops too. All I/O callbacks and
+// timers fire on the thread that calls run()/run_for().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/runtime.hpp"
+
+namespace idem::rpc {
+
+class EventLoop final : public sim::Runtime {
+ public:
+  using IoCallback = std::function<void(std::uint32_t epoll_events)>;
+
+  explicit EventLoop(std::uint64_t seed = 1);
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- sim::Runtime ---
+  Time now() const override;
+  sim::EventId schedule_after(Duration delay, sim::EventQueue::Callback fn) override;
+  sim::EventId schedule_at(Time at, sim::EventQueue::Callback fn) override;
+  bool cancel(sim::EventId id) override;
+  Rng& rng(std::string_view name) override;
+  std::uint64_t seed() const override { return seed_; }
+
+  // --- I/O ---
+  /// Registers interest in `events` (EPOLLIN/EPOLLOUT/...) on `fd`.
+  /// Replaces any previous registration for the fd.
+  void watch(int fd, std::uint32_t events, IoCallback callback);
+  /// Updates the event mask of an already-watched fd.
+  void modify(int fd, std::uint32_t events);
+  void unwatch(int fd);
+
+  // --- driving ---
+  /// Processes I/O and timers until stop() is called.
+  void run();
+  /// Processes I/O and timers for (roughly) `span` of wall-clock time.
+  void run_for(Duration span);
+  void stop() { stopped_ = true; }
+
+ private:
+  void poll_once(Duration max_wait);
+  void fire_due_timers();
+
+  std::uint64_t seed_;
+  int epoll_fd_ = -1;
+  bool stopped_ = false;
+  std::chrono::steady_clock::time_point start_;
+  sim::EventQueue timers_;
+  std::unordered_map<int, std::shared_ptr<IoCallback>> watchers_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Rng>> rngs_;
+};
+
+}  // namespace idem::rpc

@@ -1,0 +1,82 @@
+// Wire framing for the TCP transport.
+//
+// Every frame is [u32 length][u32 sender-node-id][u32 sender-listen-port]
+// [payload bytes], with the payload being a consensus::messages binary
+// encoding. Carrying the sender's listening port lets receivers learn
+// return addresses automatically (a replica can answer a client it has
+// never been configured with). FrameReader reassembles frames from an
+// arbitrary stream of socket reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace idem::rpc {
+
+constexpr std::size_t kFrameHeaderBytes = 12;  // u32 length + u32 sender + u32 port
+constexpr std::size_t kMaxFrameBytes = 64 * 1024 * 1024;
+
+/// Builds one frame ready for transmission. `sender_port` is the port on
+/// which the sending node accepts connections (0 when unknown).
+inline std::vector<std::byte> encode_frame(std::uint32_t sender, std::uint32_t sender_port,
+                                           std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  auto push_u32 = [&out](std::uint32_t v) {
+    out.push_back(std::byte(v & 0xFF));
+    out.push_back(std::byte((v >> 8) & 0xFF));
+    out.push_back(std::byte((v >> 16) & 0xFF));
+    out.push_back(std::byte((v >> 24) & 0xFF));
+  };
+  push_u32(static_cast<std::uint32_t>(payload.size()));
+  push_u32(sender);
+  push_u32(sender_port);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// Incremental frame decoder: feed() raw bytes, get complete frames back
+/// through the callback. Tolerates frames split across any number of
+/// reads, and multiple frames per read.
+class FrameReader {
+ public:
+  using FrameCallback = std::function<void(std::uint32_t sender, std::uint32_t sender_port,
+                                           std::span<const std::byte> payload)>;
+
+  /// Appends `data` and invokes `callback` for every completed frame.
+  /// Returns false if the stream is malformed (oversized frame) — the
+  /// caller should drop the connection.
+  bool feed(std::span<const std::byte> data, const FrameCallback& callback) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    std::size_t offset = 0;
+    while (buffer_.size() - offset >= kFrameHeaderBytes) {
+      std::uint32_t length = read_u32(offset);
+      std::uint32_t sender = read_u32(offset + 4);
+      std::uint32_t sender_port = read_u32(offset + 8);
+      if (length > kMaxFrameBytes) return false;
+      if (buffer_.size() - offset - kFrameHeaderBytes < length) break;
+      callback(sender, sender_port,
+               std::span<const std::byte>(buffer_.data() + offset + kFrameHeaderBytes, length));
+      offset += kFrameHeaderBytes + length;
+    }
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+    return true;
+  }
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::uint32_t read_u32(std::size_t at) const {
+    return static_cast<std::uint32_t>(buffer_[at]) |
+           (static_cast<std::uint32_t>(buffer_[at + 1]) << 8) |
+           (static_cast<std::uint32_t>(buffer_[at + 2]) << 16) |
+           (static_cast<std::uint32_t>(buffer_[at + 3]) << 24);
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+}  // namespace idem::rpc

@@ -1,0 +1,320 @@
+#include "rpc/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "consensus/messages.hpp"
+
+namespace idem::rpc {
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+struct TcpTransport::LocalNode {
+  sim::NodeId id;
+  sim::NodeKind kind = sim::NodeKind::Replica;
+  sim::Endpoint* endpoint = nullptr;
+  int listen_fd = -1;
+  std::uint16_t port = 0;
+  std::vector<int> inbound_fds;  // accepted connections delivering to this node
+};
+
+struct TcpTransport::InboundConnection {
+  int fd = -1;
+  std::uint32_t local_node = 0;  // destination of the frames on this connection
+  FrameReader reader;
+};
+
+struct TcpTransport::OutboundConnection {
+  int fd = -1;
+  std::uint32_t dest = 0;
+  bool connected = false;
+  std::vector<std::byte> out;
+};
+
+TcpTransport::TcpTransport(EventLoop& loop, TcpTransportConfig config)
+    : loop_(loop), config_(config) {}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [fd, connection] : inbound_) {
+    loop_.unwatch(fd);
+    ::close(fd);
+  }
+  for (auto& [dest, connection] : outbound_) {
+    if (connection->fd >= 0) {
+      loop_.unwatch(connection->fd);
+      ::close(connection->fd);
+    }
+  }
+  for (auto& [id, node] : locals_) {
+    if (node->listen_fd >= 0) {
+      loop_.unwatch(node->listen_fd);
+      ::close(node->listen_fd);
+    }
+  }
+}
+
+void TcpTransport::add_node(sim::NodeId id, sim::NodeKind kind, sim::Endpoint* endpoint) {
+  auto node = std::make_unique<LocalNode>();
+  node->id = id;
+  node->kind = kind;
+  node->endpoint = endpoint;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  std::uint16_t requested = 0;
+  if (config_.fixed_port != 0 && !fixed_port_used_) {
+    requested = config_.fixed_port;
+    fixed_port_used_ = true;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(requested);  // 0 = ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 128) < 0) {
+    ::close(fd);
+    throw std::runtime_error(std::string("bind/listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  node->listen_fd = fd;
+  node->port = ntohs(addr.sin_port);
+
+  LocalNode* raw = node.get();
+  loop_.watch(fd, EPOLLIN, [this, raw](std::uint32_t) { accept_ready(*raw); });
+  locals_[id.value] = std::move(node);
+}
+
+void TcpTransport::remove_node(sim::NodeId id) {
+  auto it = locals_.find(id.value);
+  if (it == locals_.end()) return;
+  LocalNode& node = *it->second;
+  if (node.listen_fd >= 0) {
+    loop_.unwatch(node.listen_fd);
+    ::close(node.listen_fd);
+  }
+  for (int fd : node.inbound_fds) {
+    auto conn_it = inbound_.find(fd);
+    if (conn_it != inbound_.end()) {
+      loop_.unwatch(fd);
+      ::close(fd);
+      inbound_.erase(conn_it);
+    }
+  }
+  locals_.erase(it);
+}
+
+std::uint16_t TcpTransport::port_of(sim::NodeId id) const {
+  auto it = locals_.find(id.value);
+  return it == locals_.end() ? 0 : it->second->port;
+}
+
+void TcpTransport::set_remote(sim::NodeId id, std::uint16_t port) {
+  remote_ports_[id.value] = port;
+}
+
+void TcpTransport::accept_ready(LocalNode& node) {
+  for (;;) {
+    int fd = ::accept4(node.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or error: done for now
+    set_nodelay(fd);
+    auto connection = std::make_unique<InboundConnection>();
+    connection->fd = fd;
+    connection->local_node = node.id.value;
+    node.inbound_fds.push_back(fd);
+    inbound_[fd] = std::move(connection);
+    loop_.watch(fd, EPOLLIN, [this, fd](std::uint32_t) { inbound_ready(fd); });
+  }
+}
+
+void TcpTransport::inbound_ready(int fd) {
+  auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  InboundConnection& connection = *it->second;
+
+  std::byte buffer[16 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      bool ok = connection.reader.feed(
+          std::span<const std::byte>(buffer, static_cast<std::size_t>(n)),
+          [&](std::uint32_t sender, std::uint32_t sender_port,
+              std::span<const std::byte> payload) {
+            // Learn the sender's return address (self-advertised): this is
+            // how replicas can answer clients they were never configured
+            // with in multi-process deployments.
+            if (sender_port != 0 && !locals_.contains(sender)) {
+              remote_ports_[sender] = static_cast<std::uint16_t>(sender_port);
+            }
+            auto local_it = locals_.find(connection.local_node);
+            if (local_it == locals_.end()) return;
+            try {
+              auto message = msg::decode(payload);
+              ++stats_.messages_delivered;
+              local_it->second->endpoint->deliver(sim::NodeId{sender}, std::move(message));
+            } catch (const CodecError&) {
+              ++stats_.decode_errors;
+            }
+          });
+      if (!ok) {
+        n = 0;  // malformed stream: fall through to close
+      } else {
+        continue;
+      }
+    }
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      loop_.unwatch(fd);
+      ::close(fd);
+      // Detach from the owning node so remove_node never touches a
+      // recycled fd number.
+      if (auto local_it = locals_.find(connection.local_node); local_it != locals_.end()) {
+        auto& fds = local_it->second->inbound_fds;
+        std::erase(fds, fd);
+      }
+      inbound_.erase(it);
+      return;
+    }
+    return;  // EAGAIN: wait for more data
+  }
+}
+
+TcpTransport::OutboundConnection* TcpTransport::connect_to(std::uint32_t dest,
+                                                           std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  set_nodelay(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto connection = std::make_unique<OutboundConnection>();
+  connection->fd = fd;
+  connection->dest = dest;
+  connection->connected = (rc == 0);
+  OutboundConnection* raw = connection.get();
+  outbound_[dest] = std::move(connection);
+  loop_.watch(fd, EPOLLOUT, [this, dest](std::uint32_t events) { outbound_ready(dest, events); });
+  return raw;
+}
+
+void TcpTransport::drop_outbound(std::uint32_t dest) {
+  auto it = outbound_.find(dest);
+  if (it == outbound_.end()) return;
+  if (it->second->fd >= 0) {
+    loop_.unwatch(it->second->fd);
+    ::close(it->second->fd);
+  }
+  outbound_.erase(it);
+}
+
+void TcpTransport::outbound_ready(std::uint32_t dest, std::uint32_t events) {
+  auto it = outbound_.find(dest);
+  if (it == outbound_.end()) return;
+  OutboundConnection& connection = *it->second;
+
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // Connection refused / reset: fair-loss drop of everything queued.
+    drop_outbound(dest);
+    return;
+  }
+  if (!connection.connected) {
+    int error = 0;
+    socklen_t len = sizeof(error);
+    ::getsockopt(connection.fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) {
+      drop_outbound(dest);
+      return;
+    }
+    connection.connected = true;
+  }
+  flush(connection);
+}
+
+void TcpTransport::flush(OutboundConnection& connection) {
+  while (!connection.out.empty()) {
+    ssize_t n = ::send(connection.fd, connection.out.data(), connection.out.size(),
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out.erase(connection.out.begin(), connection.out.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.modify(connection.fd, EPOLLOUT);
+      return;
+    }
+    drop_outbound(connection.dest);
+    return;
+  }
+  // Fully flushed: only wake on errors until there is more to send.
+  loop_.modify(connection.fd, 0);
+}
+
+void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr message) {
+  const auto* typed = dynamic_cast<const msg::Message*>(message.get());
+  if (typed == nullptr) {
+    ++stats_.dropped;
+    return;
+  }
+
+  std::uint16_t port = 0;
+  if (auto it = locals_.find(to.value); it != locals_.end()) {
+    port = it->second->port;
+  } else if (auto remote = remote_ports_.find(to.value); remote != remote_ports_.end()) {
+    port = remote->second;
+  }
+  if (port == 0) {
+    ++stats_.dropped;
+    return;
+  }
+
+  auto it = outbound_.find(to.value);
+  OutboundConnection* connection =
+      it != outbound_.end() ? it->second.get() : connect_to(to.value, port);
+  if (connection == nullptr) {
+    ++stats_.dropped;
+    return;
+  }
+
+  std::uint32_t sender_port = 0;
+  if (auto sender_it = locals_.find(from.value); sender_it != locals_.end()) {
+    sender_port = sender_it->second->port;
+  }
+  std::vector<std::byte> frame = encode_frame(from.value, sender_port, typed->encode());
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += frame.size();
+  bool was_empty = connection->out.empty();
+  connection->out.insert(connection->out.end(), frame.begin(), frame.end());
+  if (connection->connected && was_empty) {
+    flush(*connection);
+  } else if (connection->connected) {
+    loop_.modify(connection->fd, EPOLLOUT);
+  }
+}
+
+}  // namespace idem::rpc

@@ -1,0 +1,92 @@
+// Real TCP transport implementing sim::Transport.
+//
+// Every registered node gets its own loopback listener; send() lazily
+// opens one outgoing connection per destination node and writes
+// length-prefixed frames (rpc/framing.hpp) carrying consensus::messages
+// encodings. Connections are unidirectional: replies travel over the
+// peer's own outgoing connection to our listener, mirroring how the
+// protocols treat links as independent fair-loss channels.
+//
+// Failure semantics match the protocols' fair-loss assumption: a send to
+// an unknown, crashed or unreachable node is silently dropped (and
+// counted); a broken connection is torn down and re-established on the
+// next send.
+//
+// Single-threaded: all calls must happen on the EventLoop thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "rpc/event_loop.hpp"
+#include "rpc/framing.hpp"
+#include "sim/transport.hpp"
+
+namespace idem::rpc {
+
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t dropped = 0;        ///< unknown destination / send failure
+  std::uint64_t decode_errors = 0;  ///< malformed frames received
+};
+
+struct TcpTransportConfig {
+  /// When non-zero, the first locally registered node binds this port
+  /// instead of an ephemeral one (multi-process deployments agree on
+  /// fixed ports up front). Further nodes keep getting ephemeral ports.
+  std::uint16_t fixed_port = 0;
+};
+
+class TcpTransport final : public sim::Transport {
+ public:
+  explicit TcpTransport(EventLoop& loop, TcpTransportConfig config = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // --- sim::Transport ---
+  /// Registers a local node: binds a listener on 127.0.0.1 (ephemeral
+  /// port; query it with port_of).
+  void add_node(sim::NodeId id, sim::NodeKind kind, sim::Endpoint* endpoint) override;
+  /// Unregisters a node: closes its listener and all its connections
+  /// (peers see resets/refusals — exactly what a crash looks like).
+  void remove_node(sim::NodeId id) override;
+  void send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr message) override;
+
+  /// Listening port of a locally registered node (0 if unknown).
+  std::uint16_t port_of(sim::NodeId id) const;
+
+  /// Declares where a non-local node can be reached, enabling multi-
+  /// process deployments (every process registers its own nodes and the
+  /// remote ports of the others).
+  void set_remote(sim::NodeId id, std::uint16_t port);
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  struct LocalNode;
+  struct InboundConnection;
+  struct OutboundConnection;
+
+  void accept_ready(LocalNode& node);
+  void inbound_ready(int fd);
+  void outbound_ready(std::uint32_t dest, std::uint32_t events);
+  OutboundConnection* connect_to(std::uint32_t dest, std::uint16_t port);
+  void drop_outbound(std::uint32_t dest);
+  void flush(OutboundConnection& connection);
+
+  EventLoop& loop_;
+  TcpTransportConfig config_;
+  bool fixed_port_used_ = false;
+  std::unordered_map<std::uint32_t, std::unique_ptr<LocalNode>> locals_;
+  std::unordered_map<std::uint32_t, std::uint16_t> remote_ports_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<OutboundConnection>> outbound_;
+  std::unordered_map<int, std::unique_ptr<InboundConnection>> inbound_;
+  TransportStats stats_;
+};
+
+}  // namespace idem::rpc

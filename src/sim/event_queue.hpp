@@ -1,0 +1,118 @@
+// Discrete-event queue with stable ordering and O(log n) cancellation.
+//
+// Events at equal timestamps fire in insertion order (FIFO), which makes
+// whole simulation runs deterministic for a fixed seed — a property the
+// tests rely on heavily.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace idem::sim {
+
+/// Token returned by EventQueue::push; can be used to cancel the event.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+  auto operator<=>(const EventId&) const = default;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Requires at >= the time of the
+  /// last popped event (no scheduling into the past).
+  EventId push(Time at, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event; kTimeNever when empty.
+  Time next_time() const;
+
+  struct Popped {
+    Time at = 0;
+    Callback fn;
+  };
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Popped pop();
+
+ private:
+  struct Entry {
+    Time at = 0;
+    std::uint64_t seq = 0;  // tie-break: earlier insertion fires first
+    EventId id;
+    // mutable so pop() can move the callback out of the priority queue's
+    // const top() reference.
+    mutable Callback fn;
+
+    bool operator<(const Entry& other) const {
+      // std::priority_queue is a max-heap; invert for earliest-first.
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+inline EventId EventQueue::push(Time at, Callback fn) {
+  EventId id{next_seq_};
+  heap_.push(Entry{at, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  ++live_;
+  return id;
+}
+
+inline bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  auto [it, inserted] = cancelled_.insert(id.value);
+  (void)it;
+  if (inserted && live_ > 0) {
+    --live_;
+    return true;
+  }
+  return false;
+}
+
+inline void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto it = cancelled_.find(top.id.value);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+inline Time EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->drop_cancelled();
+  return heap_.empty() ? kTimeNever : heap_.top().at;
+}
+
+inline EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  const Entry& top = heap_.top();
+  Popped out{top.at, std::move(top.fn)};
+  heap_.pop();
+  --live_;
+  return out;
+}
+
+}  // namespace idem::sim

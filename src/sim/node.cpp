@@ -1,0 +1,85 @@
+#include "sim/node.hpp"
+
+#include <utility>
+
+namespace idem::sim {
+
+Node::Node(Runtime& runtime, Transport& net, NodeId id, NodeKind kind)
+    : runtime_(runtime), net_(net), id_(id), alive_(std::make_shared<Node*>(this)) {
+  net_.add_node(id_, kind, this);
+}
+
+Node::~Node() {
+  *alive_ = nullptr;
+  net_.remove_node(id_);
+}
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  queue_.clear();
+  processing_ = false;
+  // Stay registered with the network so traffic addressed to the crashed
+  // node is still *sent* (and counted) by peers; deliveries are dropped in
+  // deliver().
+}
+
+void Node::deliver(NodeId from, PayloadPtr message) {
+  if (crashed_) return;
+  queue_.push_back(Pending{from, std::move(message)});
+  maybe_start_processing();
+}
+
+Duration Node::message_cost(const Payload&) const { return 0; }
+
+Duration Node::send_cost(const Payload&) const { return 0; }
+
+void Node::charge(Duration extra) {
+  if (extra <= 0) return;
+  Time base = std::max(busy_until_, now());
+  busy_until_ = base + extra;
+}
+
+void Node::maybe_start_processing() {
+  if (processing_ || queue_.empty() || crashed_) return;
+  processing_ = true;
+
+  Pending next = std::move(queue_.front());
+  queue_.pop_front();
+
+  Time start = std::max(now(), busy_until_);
+  Duration cost = message_cost(*next.message);
+  Time finish = start + (cost > 0 ? cost : 0);
+  busy_until_ = finish;
+
+  std::weak_ptr<Node*> weak = alive_;
+  runtime_.schedule_at(finish, [weak, next = std::move(next)]() {
+    auto token = weak.lock();
+    if (!token || *token == nullptr) return;
+    Node* self = *token;
+    if (self->crashed_) return;
+    self->processing_ = false;
+    self->on_message(next.from, *next.message);
+    self->maybe_start_processing();
+  });
+}
+
+TimerId Node::set_timer(Duration delay, std::function<void()> fn) {
+  std::weak_ptr<Node*> weak = alive_;
+  EventId event = runtime_.schedule_after(delay, [weak, fn = std::move(fn)]() {
+    auto token = weak.lock();
+    if (!token || *token == nullptr) return;
+    if ((*token)->crashed_) return;
+    fn();
+  });
+  return TimerId{event};
+}
+
+void Node::cancel_timer(TimerId& id) {
+  if (id.valid()) {
+    runtime_.cancel(id.event);
+    id = TimerId{};
+  }
+}
+
+}  // namespace idem::sim

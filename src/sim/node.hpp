@@ -1,0 +1,108 @@
+// Actor base class for simulated processes (replicas and clients).
+//
+// A node owns a FIFO service queue driven by a simple CPU model: every
+// incoming message occupies the node's (single) CPU for a per-message cost
+// the subclass declares, and handlers can charge additional work (request
+// execution, checkpoint creation). This queueing is what turns offered
+// load beyond capacity into the latency explosion the paper measures —
+// see DESIGN.md Section 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/time.hpp"
+#include "sim/runtime.hpp"
+#include "sim/transport.hpp"
+
+namespace idem::sim {
+
+/// Handle for a pending timer; cancel with Node::cancel_timer.
+struct TimerId {
+  EventId event;
+  bool valid() const { return event.valid(); }
+};
+
+class Node : public Endpoint {
+ public:
+  /// Registers the node with the network. The node must outlive the
+  /// simulation run (events capture a liveness token, so destruction is
+  /// safe, but a destroyed node simply vanishes from the network).
+  Node(Runtime& runtime, Transport& net, NodeId id, NodeKind kind);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  bool crashed() const { return crashed_; }
+
+  /// Simulates a process crash: all queued and in-flight work is lost and
+  /// no further messages or timers are processed.
+  void crash();
+
+  /// Endpoint: called by the network when a message arrives.
+  void deliver(NodeId from, PayloadPtr message) final;
+
+  /// Length of the service queue (messages waiting for CPU), exposed for
+  /// tests and load metrics.
+  std::size_t queue_length() const { return queue_.size(); }
+
+ protected:
+  /// Handles one message. Invoked when the message's service time has
+  /// elapsed, i.e. sends made here already account for processing delay.
+  virtual void on_message(NodeId from, const Payload& message) = 0;
+
+  /// CPU cost of receiving/handling `message`. Subclasses model their
+  /// protocol's per-message work here. Default: free.
+  virtual Duration message_cost(const Payload& message) const;
+
+  /// CPU cost of transmitting `message` (serialization + syscall). Charged
+  /// on every send; this is what makes naive leader fan-out of full
+  /// requests a bottleneck (cf. S-Paxos and paper Section 4.2).
+  virtual Duration send_cost(const Payload& message) const;
+
+  void send(NodeId to, PayloadPtr message) {
+    charge(send_cost(*message));
+    net_.send(id_, to, std::move(message));
+  }
+
+  /// Charges extra CPU time to this node (e.g. executing a request while
+  /// handling a commit); it delays all subsequently queued messages.
+  void charge(Duration extra);
+
+  /// Schedules `fn` after `delay`. Timer callbacks fire even while the CPU
+  /// is busy (they model interrupt-driven timeouts) but never after a crash.
+  TimerId set_timer(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending timer; invalidates the id. No-op when already fired.
+  void cancel_timer(TimerId& id);
+
+  Runtime& sim() { return runtime_; }
+  const Runtime& sim() const { return runtime_; }
+  Transport& network() { return net_; }
+  Time now() const { return runtime_.now(); }
+
+ private:
+  struct Pending {
+    NodeId from;
+    PayloadPtr message;
+  };
+
+  void maybe_start_processing();
+
+  Runtime& runtime_;
+  Transport& net_;
+  NodeId id_;
+  bool crashed_ = false;
+  std::deque<Pending> queue_;
+  bool processing_ = false;
+  Time busy_until_ = 0;
+  // Liveness token: scheduled lambdas hold a weak_ptr and become no-ops
+  // once the node is destroyed.
+  std::shared_ptr<Node*> alive_;
+};
+
+}  // namespace idem::sim

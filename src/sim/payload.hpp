@@ -1,0 +1,28 @@
+// Opaque message payload carried by the simulated network.
+//
+// The network layer is protocol-agnostic: it only needs a wire size (for
+// latency/bandwidth accounting) and a debug name. Protocol modules derive
+// their message types from Payload and downcast in their node handlers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace idem::sim {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Serialized size in bytes (excluding transport headers; the network
+  /// adds a fixed per-message header itself).
+  virtual std::size_t wire_size() const = 0;
+
+  /// Short human-readable message name for logs and traces.
+  virtual std::string kind() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+}  // namespace idem::sim

@@ -1,0 +1,48 @@
+// Transport abstraction: how nodes address and reach each other.
+//
+// Two implementations exist: sim::SimNetwork (deterministic simulated
+// fair-loss links; all experiments run on it) and rpc::TcpTransport
+// (real kernel TCP over an event loop; see src/rpc/). Protocol code is
+// written against this interface and runs unchanged on either.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "sim/payload.hpp"
+
+namespace idem::sim {
+
+/// Transport-level address of a node (replicas and clients share one space).
+struct NodeId {
+  std::uint32_t value = 0;
+  auto operator<=>(const NodeId&) const = default;
+};
+
+/// Used to classify traffic for accounting (client<->replica vs replica<->replica).
+enum class NodeKind : std::uint8_t { Replica, Client };
+
+/// Receiving side of the transport; implemented by sim::Node.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void deliver(NodeId from, PayloadPtr message) = 0;
+};
+
+/// Message-passing fabric between nodes.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a node. Ids must be unique; the endpoint must stay valid
+  /// until remove_node.
+  virtual void add_node(NodeId id, NodeKind kind, Endpoint* endpoint) = 0;
+  virtual void remove_node(NodeId id) = 0;
+
+  /// Sends `message` from `from` to `to`. Fair-loss semantics: delivery
+  /// is not guaranteed (drops, crashes, disconnects); retransmission is
+  /// the protocol's job.
+  virtual void send(NodeId from, NodeId to, PayloadPtr message) = 0;
+};
+
+}  // namespace idem::sim

@@ -1,0 +1,75 @@
+#include "smart/client.hpp"
+
+#include <cassert>
+
+namespace idem::smart {
+
+SmartClient::SmartClient(sim::Runtime& sim, sim::Transport& net, ClientId id,
+                         SmartClientConfig config)
+    : sim::Node(sim, net, consensus::client_address(id), sim::NodeKind::Client),
+      config_(config),
+      cid_(id) {}
+
+void SmartClient::invoke(std::vector<std::byte> command, Callback callback) {
+  assert(!pending_ && "one pending request per client");
+  ++onr_;
+  PendingOp op;
+  op.id = RequestId{cid_, OpNum{onr_}};
+  op.request = std::make_shared<const msg::Request>(op.id, std::move(command));
+  op.callback = std::move(callback);
+  op.issued = now();
+  pending_ = std::move(op);
+
+  multicast_request();
+  arm_retry();
+  if (config_.operation_timeout > 0) {
+    deadline_timer_ = set_timer(config_.operation_timeout, [this] {
+      deadline_timer_ = sim::TimerId{};
+      if (pending_) complete(consensus::Outcome::Kind::Timeout, {});
+    });
+  }
+}
+
+void SmartClient::arm_retry() {
+  cancel_timer(retry_timer_);
+  if (config_.retry_interval <= 0) return;
+  retry_timer_ = set_timer(config_.retry_interval, [this] {
+    retry_timer_ = sim::TimerId{};
+    if (!pending_) return;
+    multicast_request();
+    arm_retry();
+  });
+}
+
+void SmartClient::multicast_request() {
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    send(consensus::replica_address(ReplicaId{i}), pending_->request);
+  }
+}
+
+void SmartClient::on_message(sim::NodeId from, const sim::Payload& message) {
+  (void)from;
+  if (!pending_) return;
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr || base->type() != msg::Type::Reply) return;
+  const auto& reply = static_cast<const msg::Reply&>(*base);
+  if (reply.id != pending_->id) return;
+  complete(consensus::Outcome::Kind::Reply, reply.result);
+}
+
+void SmartClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> result) {
+  cancel_timer(retry_timer_);
+  cancel_timer(deadline_timer_);
+
+  consensus::Outcome outcome;
+  outcome.kind = kind;
+  outcome.issued = pending_->issued;
+  outcome.completed = now();
+  outcome.result = std::move(result);
+
+  Callback callback = std::move(pending_->callback);
+  pending_.reset();
+  callback(outcome);
+}
+
+}  // namespace idem::smart

@@ -1,0 +1,53 @@
+// SMaRt client: multicasts each request to all replicas and completes on
+// the first reply (CFT mode needs no vote over replies).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "consensus/addresses.hpp"
+#include "consensus/messages.hpp"
+#include "consensus/service_client.hpp"
+#include "sim/node.hpp"
+
+namespace idem::smart {
+
+struct SmartClientConfig {
+  std::size_t n = 3;
+  Duration retry_interval = 1 * kSecond;
+  Duration operation_timeout = 0;
+};
+
+class SmartClient final : public sim::Node, public consensus::ServiceClient {
+ public:
+  SmartClient(sim::Runtime& sim, sim::Transport& net, ClientId id, SmartClientConfig config);
+
+  void invoke(std::vector<std::byte> command, Callback callback) override;
+  ClientId client_id() const override { return cid_; }
+  bool busy() const override { return pending_.has_value(); }
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+
+ private:
+  struct PendingOp {
+    RequestId id;
+    std::shared_ptr<const msg::Request> request;
+    Callback callback;
+    Time issued = 0;
+  };
+
+  void multicast_request();
+  void arm_retry();
+  void complete(consensus::Outcome::Kind kind, std::vector<std::byte> result);
+
+  SmartClientConfig config_;
+  ClientId cid_;
+  std::uint64_t onr_ = 0;
+  std::optional<PendingOp> pending_;
+  sim::TimerId retry_timer_;
+  sim::TimerId deadline_timer_;
+};
+
+}  // namespace idem::smart

@@ -1,0 +1,229 @@
+#include "smart/replica.hpp"
+
+#include <cassert>
+
+namespace idem::smart {
+
+SmartReplica::SmartReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
+                           SmartConfig config, std::unique_ptr<app::StateMachine> state_machine)
+    : sim::Node(sim, net, consensus::replica_address(id), sim::NodeKind::Replica),
+      config_(config),
+      me_(id),
+      sm_(std::move(state_machine)),
+      cost_rng_(sim.seed(), 0xC057'2000ull + id.value) {
+  assert(config_.n == 2 * config_.f + 1);
+  retransmit_tick();
+}
+
+void SmartReplica::retransmit_tick() {
+  retransmit_timer_ = set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
+  if (!is_leader()) return;
+  auto it = instances_.find(next_exec_);
+  if (it == instances_.end() || !it->second.has_binding || it->second.executed) {
+    retransmit_watermark_ = UINT64_MAX;
+    return;
+  }
+  if (retransmit_watermark_ == next_exec_) {
+    auto propose = std::make_shared<msg::SmartPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_exec_};
+    propose->requests = it->second.requests;
+    multicast(std::move(propose));
+  }
+  retransmit_watermark_ = next_exec_;
+}
+
+Duration SmartReplica::message_cost(const sim::Payload& message) const {
+  return config_.costs.cost(message, cost_rng_);
+}
+
+Duration SmartReplica::send_cost(const sim::Payload& message) const {
+  return config_.costs.send_cost(message, cost_rng_);
+}
+
+void SmartReplica::multicast(sim::PayloadPtr message) {
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (i == me_.value) continue;
+    send(consensus::replica_address(ReplicaId{i}), message);
+  }
+}
+
+void SmartReplica::on_message(sim::NodeId from, const sim::Payload& message) {
+  (void)from;
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr) return;
+  switch (base->type()) {
+    case msg::Type::Request:
+      handle_request(static_cast<const msg::Request&>(*base));
+      break;
+    case msg::Type::SmartPropose:
+      handle_propose(static_cast<const msg::SmartPropose&>(*base));
+      break;
+    case msg::Type::SmartWrite:
+      handle_write(static_cast<const msg::SmartWrite&>(*base));
+      break;
+    case msg::Type::SmartAccept:
+      handle_accept(static_cast<const msg::SmartAccept&>(*base));
+      break;
+    default:
+      break;
+  }
+}
+
+void SmartReplica::handle_request(const msg::Request& request) {
+  ++stats_.requests_received;
+  const RequestId id = request.id;
+  auto last_it = last_exec_.find(id.cid.value);
+  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+    auto reply_it = last_reply_.find(id.cid.value);
+    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
+      send(consensus::client_address(id.cid), reply_it->second);
+    }
+    return;
+  }
+  if (!is_leader()) return;  // followers see the request again in the PROPOSE
+  if (queued_.contains(id)) return;
+  queued_.insert(id);
+  pending_.push_back(request);  // unbounded: no overload protection
+  try_propose();
+}
+
+void SmartReplica::try_propose() {
+  if (!is_leader()) return;
+  const std::uint64_t window_end = next_exec_ + config_.window_size;
+  while (!pending_.empty() && next_sqn_ < window_end) {
+    std::vector<msg::Request> batch;
+    while (!pending_.empty() && batch.size() < config_.batch_max) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+
+    Instance& inst = instances_[next_sqn_];
+    inst.requests = batch;
+    inst.has_binding = true;
+    inst.own_write_sent = true;  // the leader's proposal implies its WRITE
+    inst.write_votes.insert(me_.value);
+
+    auto propose = std::make_shared<msg::SmartPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_sqn_};
+    propose->requests = std::move(batch);
+    multicast(std::move(propose));
+    ++stats_.proposals_sent;
+    maybe_advance(next_sqn_);
+    ++next_sqn_;
+  }
+  try_execute();
+}
+
+void SmartReplica::handle_propose(const msg::SmartPropose& propose) {
+  const std::uint64_t sqn = propose.sqn.value;
+  if (sqn < next_exec_) {
+    // Retransmission for an executed instance: the sender lost our votes;
+    // repeat WRITE and ACCEPT (idempotent) so it can catch up.
+    if (instances_.contains(sqn)) {
+      auto write = std::make_shared<msg::SmartWrite>();
+      write->from = me_;
+      write->view = propose.view;
+      write->sqn = SeqNum{sqn};
+      multicast(std::move(write));
+      auto accept = std::make_shared<msg::SmartAccept>();
+      accept->from = me_;
+      accept->view = propose.view;
+      accept->sqn = SeqNum{sqn};
+      multicast(std::move(accept));
+    }
+    return;
+  }
+  Instance& inst = instances_[sqn];
+  if (!inst.has_binding) {
+    inst.requests = propose.requests;
+    inst.has_binding = true;
+  }
+  inst.write_votes.insert(consensus::leader_of(propose.view, config_.n).value);
+  // Sent unconditionally: a duplicate PROPOSE is the leader's loss-recovery
+  // retransmission, so our WRITE/ACCEPT may have been lost too.
+  auto write = std::make_shared<msg::SmartWrite>();
+  write->from = me_;
+  write->view = propose.view;
+  write->sqn = SeqNum{sqn};
+  multicast(std::move(write));
+  inst.own_write_sent = true;
+  inst.write_votes.insert(me_.value);
+  if (inst.own_accept_sent) {
+    auto accept = std::make_shared<msg::SmartAccept>();
+    accept->from = me_;
+    accept->view = view_;
+    accept->sqn = SeqNum{sqn};
+    multicast(std::move(accept));
+  }
+  maybe_advance(sqn);
+  try_execute();
+}
+
+void SmartReplica::handle_write(const msg::SmartWrite& write) {
+  const std::uint64_t sqn = write.sqn.value;
+  if (sqn < next_exec_) return;
+  Instance& inst = instances_[sqn];
+  inst.write_votes.insert(write.from.value);
+  maybe_advance(sqn);
+  try_execute();
+}
+
+void SmartReplica::maybe_advance(std::uint64_t sqn) {
+  Instance& inst = instances_[sqn];
+  if (inst.write_votes.size() >= config_.quorum() && !inst.own_accept_sent) {
+    auto accept = std::make_shared<msg::SmartAccept>();
+    accept->from = me_;
+    accept->view = view_;
+    accept->sqn = SeqNum{sqn};
+    multicast(std::move(accept));
+    inst.own_accept_sent = true;
+    inst.accept_votes.insert(me_.value);
+  }
+}
+
+void SmartReplica::handle_accept(const msg::SmartAccept& accept) {
+  const std::uint64_t sqn = accept.sqn.value;
+  if (sqn < next_exec_) return;
+  Instance& inst = instances_[sqn];
+  inst.accept_votes.insert(accept.from.value);
+  try_execute();
+}
+
+void SmartReplica::try_execute() {
+  for (;;) {
+    auto it = instances_.find(next_exec_);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    if (!inst.has_binding || inst.executed) return;
+    if (inst.accept_votes.size() < config_.quorum()) return;
+
+    for (const msg::Request& request : inst.requests) {
+      const RequestId id = request.id;
+      auto last_it = last_exec_.find(id.cid.value);
+      if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+        ++stats_.duplicates_skipped;
+        continue;
+      }
+      charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
+      std::vector<std::byte> result = sm_->execute(request.command);
+      ++stats_.executed;
+      last_exec_[id.cid.value] = id.onr.value;
+      auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
+      last_reply_[id.cid.value] = reply;
+      queued_.erase(id);
+      // All replicas reply; a CFT client needs just one reply.
+      send(consensus::client_address(id.cid), reply);
+      if (on_execute) on_execute(SeqNum{next_exec_}, id);
+    }
+    inst.executed = true;
+    if (next_exec_ >= 2 * config_.window_size) {
+      instances_.erase(instances_.begin(),
+                       instances_.lower_bound(next_exec_ - 2 * config_.window_size));
+    }
+    ++next_exec_;
+  }
+}
+
+}  // namespace idem::smart

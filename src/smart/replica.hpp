@@ -1,0 +1,117 @@
+// BFT-SMaRt-analog replica in its crash-fault-tolerant configuration.
+//
+// Stands in for the production-grade BFT-SMaRt library the paper compares
+// against (Section 7): clients multicast their requests to all replicas,
+// the leader batches and proposes full requests, agreement runs through
+// Mod-SMaRt-style PROPOSE / WRITE / ACCEPT phases, and every replica
+// replies to the client (which needs just one reply in CFT mode). Like
+// the original, it has no overload protection — request buffers grow
+// without bound and latency explodes past saturation, which is the
+// behaviour Figures 2 and 6 capture. Leader fail-over is out of scope for
+// this baseline (the paper's crash experiments only involve IDEM variants
+// and Paxos_LBR); see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "app/state_machine.hpp"
+#include "common/ids.hpp"
+#include "consensus/addresses.hpp"
+#include "consensus/cost_model.hpp"
+#include "consensus/messages.hpp"
+#include "sim/node.hpp"
+
+namespace idem::smart {
+
+struct SmartConfig {
+  std::size_t n = 3;
+  std::size_t f = 1;
+  std::size_t batch_max = 32;
+  std::uint64_t window_size = 256;
+  /// Leader retransmits the proposal of the oldest unexecuted instance
+  /// when it makes no progress for this long (fair-loss links).
+  Duration retransmit_interval = 200 * kMillisecond;
+  consensus::CostModel costs;
+
+  std::size_t quorum() const { return f + 1; }
+};
+
+struct SmartStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t duplicates_skipped = 0;
+  std::uint64_t proposals_sent = 0;
+};
+
+class SmartReplica final : public sim::Node {
+ public:
+  SmartReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id, SmartConfig config,
+               std::unique_ptr<app::StateMachine> state_machine);
+
+  ReplicaId replica_id() const { return me_; }
+  bool is_leader() const { return consensus::leader_of(view_, config_.n) == me_; }
+  const SmartStats& stats() const { return stats_; }
+  std::size_t backlog() const { return pending_.size(); }
+  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+
+  app::StateMachine& state_machine() { return *sm_; }
+
+  std::function<void(SeqNum, RequestId)> on_execute;
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+  Duration message_cost(const sim::Payload& message) const override;
+  Duration send_cost(const sim::Payload& message) const override;
+
+ private:
+  struct Instance {
+    std::vector<msg::Request> requests;
+    bool has_binding = false;
+    bool own_write_sent = false;
+    bool own_accept_sent = false;
+    std::unordered_set<std::uint32_t> write_votes;
+    std::unordered_set<std::uint32_t> accept_votes;
+    bool executed = false;
+  };
+
+  void handle_request(const msg::Request& request);
+  void try_propose();
+  void handle_propose(const msg::SmartPropose& propose);
+  void handle_write(const msg::SmartWrite& write);
+  void handle_accept(const msg::SmartAccept& accept);
+  void maybe_advance(std::uint64_t sqn);
+  void try_execute();
+  void retransmit_tick();
+  void multicast(sim::PayloadPtr message);
+
+  SmartConfig config_;
+  ReplicaId me_;
+  std::unique_ptr<app::StateMachine> sm_;
+  ViewId view_;
+
+  std::deque<msg::Request> pending_;  ///< leader's unbounded request buffer
+  std::unordered_set<RequestId> queued_;
+
+  std::map<std::uint64_t, Instance> instances_;
+  std::uint64_t next_sqn_ = 0;
+  std::uint64_t next_exec_ = 0;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+
+  sim::TimerId retransmit_timer_;
+  std::uint64_t retransmit_watermark_ = UINT64_MAX;
+
+  // Service-time variability stream (CostModel::jitter).
+  mutable Rng cost_rng_;
+
+  SmartStats stats_;
+};
+
+}  // namespace idem::smart

@@ -1,0 +1,376 @@
+#include "smart/replica_pr.hpp"
+
+#include <cassert>
+
+namespace idem::smart {
+
+SmartPrReplica::SmartPrReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
+                               SmartPrConfig config,
+                               std::unique_ptr<app::StateMachine> state_machine,
+                               std::unique_ptr<core::AcceptanceTest> acceptance)
+    : sim::Node(sim, net, consensus::replica_address(id), sim::NodeKind::Replica),
+      config_(config),
+      me_(id),
+      sm_(std::move(state_machine)),
+      acceptance_(std::move(acceptance)),
+      cost_rng_(sim.seed(), 0xC057'3000ull + id.value) {
+  assert(config_.n == 2 * config_.f + 1);
+  retransmit_tick();
+}
+
+Duration SmartPrReplica::message_cost(const sim::Payload& message) const {
+  return config_.costs.cost(message, cost_rng_);
+}
+
+Duration SmartPrReplica::send_cost(const sim::Payload& message) const {
+  return config_.costs.send_cost(message, cost_rng_);
+}
+
+void SmartPrReplica::multicast(sim::PayloadPtr message) {
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (i == me_.value) continue;
+    send(consensus::replica_address(ReplicaId{i}), message);
+  }
+}
+
+void SmartPrReplica::on_message(sim::NodeId from, const sim::Payload& message) {
+  (void)from;
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr) return;
+  switch (base->type()) {
+    case msg::Type::Request:
+      handle_request(static_cast<const msg::Request&>(*base));
+      break;
+    case msg::Type::Require: {
+      const auto& require = static_cast<const msg::Require&>(*base);
+      for (RequestId id : require.ids) note_require(require.from, id);
+      break;
+    }
+    case msg::Type::Forward:
+      handle_forward(static_cast<const msg::Forward&>(*base));
+      break;
+    case msg::Type::SmartPropose:
+      handle_propose(static_cast<const msg::SmartPropose&>(*base));
+      break;
+    case msg::Type::SmartWrite:
+      handle_write(static_cast<const msg::SmartWrite&>(*base));
+      break;
+    case msg::Type::SmartAccept:
+      handle_accept(static_cast<const msg::SmartAccept&>(*base));
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intake phase (collaborative proactive rejection)
+// ---------------------------------------------------------------------------
+
+bool SmartPrReplica::already_executed(RequestId id) const {
+  auto it = last_exec_.find(id.cid.value);
+  return it != last_exec_.end() && id.onr.value <= it->second;
+}
+
+void SmartPrReplica::handle_request(const msg::Request& request) {
+  ++stats_.requests_received;
+  const RequestId id = request.id;
+  if (already_executed(id)) {
+    auto reply_it = last_reply_.find(id.cid.value);
+    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
+      send(consensus::client_address(id.cid), reply_it->second);
+    }
+    return;
+  }
+  if (requests_.contains(id)) return;
+  // Requests in the rejected cache are re-tested: the acceptance test is
+  // time-varying, so a retransmission may pass now.
+
+  core::AcceptanceContext ctx;
+  ctx.active_requests = active_.size();
+  ctx.reject_threshold = config_.reject_threshold;
+  ctx.now = now();
+  if (acceptance_->accept(id, request.command, ctx)) {
+    accept_request(id, request.command, /*client_issued=*/true);
+  } else {
+    ++stats_.rejected;
+    cache_rejected(id, request.command);
+    send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
+  }
+}
+
+void SmartPrReplica::accept_request(RequestId id, std::vector<std::byte> command,
+                                    bool client_issued) {
+  requests_[id] = std::move(command);
+  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
+    rejected_lru_.erase(it->second);
+    rejected_index_.erase(it);
+  }
+  if (client_issued) {
+    active_.insert(id);
+    ++stats_.accepted;
+  } else {
+    ++stats_.forward_accepted;
+  }
+  arm_forward_timer(id);
+  if (is_leader()) {
+    note_require(me_, id);
+  } else {
+    auto require = std::make_shared<msg::Require>();
+    require->from = me_;
+    require->ids = {id};
+    send(consensus::replica_address(consensus::leader_of(view_, config_.n)),
+         std::move(require));
+  }
+}
+
+void SmartPrReplica::note_require(ReplicaId voter, RequestId id) {
+  if (already_executed(id) || proposed_.contains(id)) return;
+  std::size_t votes = requires_.vote(id, voter);
+  if (votes >= config_.quorum() && !in_eligible_.contains(id)) {
+    in_eligible_.insert(id);
+    eligible_.push_back(id);
+  }
+  try_propose();
+}
+
+void SmartPrReplica::handle_forward(const msg::Forward& forward) {
+  for (const msg::Request& request : forward.requests) {
+    if (already_executed(request.id) || requests_.contains(request.id)) continue;
+    accept_request(request.id, request.command, /*client_issued=*/false);
+  }
+}
+
+void SmartPrReplica::arm_forward_timer(RequestId id) {
+  if (forward_timers_.contains(id)) return;
+  forward_timers_[id] = set_timer(config_.forward_timeout, [this, id] {
+    forward_timers_.erase(id);
+    forward_request(id);
+  });
+}
+
+void SmartPrReplica::forward_request(RequestId id) {
+  if (already_executed(id)) return;
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return;
+  auto forward = std::make_shared<msg::Forward>();
+  forward->from = me_;
+  forward->requests.emplace_back(id, it->second);
+  multicast(std::move(forward));
+  ++stats_.forwards_sent;
+  // The request is overdue, so our REQUIRE may have been lost too
+  // (fair-loss links); repeat it alongside the relays.
+  if (is_leader()) {
+    note_require(me_, id);
+  } else {
+    auto require = std::make_shared<msg::Require>();
+    require->from = me_;
+    require->ids = {id};
+    send(consensus::replica_address(consensus::leader_of(view_, config_.n)),
+         std::move(require));
+  }
+  arm_forward_timer(id);
+}
+
+void SmartPrReplica::cache_rejected(RequestId id, std::vector<std::byte> command) {
+  if (config_.rejected_cache_size == 0) return;
+  if (rejected_index_.contains(id)) return;
+  rejected_lru_.emplace_front(id, std::move(command));
+  rejected_index_[id] = rejected_lru_.begin();
+  while (rejected_lru_.size() > config_.rejected_cache_size) {
+    rejected_index_.erase(rejected_lru_.back().first);
+    rejected_lru_.pop_back();
+  }
+}
+
+const std::vector<std::byte>* SmartPrReplica::find_command(RequestId id) const {
+  if (auto it = requests_.find(id); it != requests_.end()) return &it->second;
+  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
+    return &it->second->second;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Mod-SMaRt agreement — unchanged except that the leader only proposes
+// REQUIREd requests whose body it owns (accepted or cached).
+// ---------------------------------------------------------------------------
+
+void SmartPrReplica::try_propose() {
+  if (!is_leader()) return;
+  const std::uint64_t window_end = next_exec_ + config_.window_size;
+  while (!eligible_.empty() && next_sqn_ < window_end) {
+    std::vector<msg::Request> batch;
+    std::deque<RequestId> deferred;
+    while (!eligible_.empty() && batch.size() < config_.batch_max) {
+      RequestId id = eligible_.front();
+      eligible_.pop_front();
+      if (already_executed(id) || proposed_.contains(id)) {
+        in_eligible_.erase(id);
+        continue;
+      }
+      const std::vector<std::byte>* body = find_command(id);
+      if (body == nullptr) {
+        // Required by f+1 replicas but the body has not reached us yet;
+        // the forwarding mechanism will deliver it. Keep it eligible.
+        deferred.push_back(id);
+        continue;
+      }
+      in_eligible_.erase(id);
+      proposed_.insert(id);
+      requires_.erase(id);
+      batch.emplace_back(id, *body);
+    }
+    for (RequestId id : deferred) eligible_.push_back(id);
+    if (batch.empty()) break;
+
+    Instance& inst = instances_[next_sqn_];
+    inst.requests = batch;
+    inst.has_binding = true;
+    inst.own_write_sent = true;
+    inst.write_votes.insert(me_.value);
+
+    auto propose = std::make_shared<msg::SmartPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_sqn_};
+    propose->requests = std::move(batch);
+    multicast(std::move(propose));
+    ++stats_.proposals_sent;
+    maybe_advance(next_sqn_);
+    ++next_sqn_;
+  }
+  try_execute();
+}
+
+void SmartPrReplica::handle_propose(const msg::SmartPropose& propose) {
+  const std::uint64_t sqn = propose.sqn.value;
+  if (sqn < next_exec_) {
+    // Retransmission for an executed instance: the sender lost our votes;
+    // repeat WRITE and ACCEPT (idempotent) so it can catch up.
+    if (instances_.contains(sqn)) {
+      auto write = std::make_shared<msg::SmartWrite>();
+      write->from = me_;
+      write->view = propose.view;
+      write->sqn = SeqNum{sqn};
+      multicast(std::move(write));
+      auto accept = std::make_shared<msg::SmartAccept>();
+      accept->from = me_;
+      accept->view = propose.view;
+      accept->sqn = SeqNum{sqn};
+      multicast(std::move(accept));
+    }
+    return;
+  }
+  Instance& inst = instances_[sqn];
+  if (!inst.has_binding) {
+    inst.requests = propose.requests;
+    inst.has_binding = true;
+  }
+  inst.write_votes.insert(consensus::leader_of(propose.view, config_.n).value);
+  auto write = std::make_shared<msg::SmartWrite>();
+  write->from = me_;
+  write->view = propose.view;
+  write->sqn = SeqNum{sqn};
+  multicast(std::move(write));
+  inst.own_write_sent = true;
+  inst.write_votes.insert(me_.value);
+  if (inst.own_accept_sent) {
+    auto accept = std::make_shared<msg::SmartAccept>();
+    accept->from = me_;
+    accept->view = view_;
+    accept->sqn = SeqNum{sqn};
+    multicast(std::move(accept));
+  }
+  maybe_advance(sqn);
+  try_execute();
+}
+
+void SmartPrReplica::handle_write(const msg::SmartWrite& write) {
+  const std::uint64_t sqn = write.sqn.value;
+  if (sqn < next_exec_) return;
+  Instance& inst = instances_[sqn];
+  inst.write_votes.insert(write.from.value);
+  maybe_advance(sqn);
+  try_execute();
+}
+
+void SmartPrReplica::maybe_advance(std::uint64_t sqn) {
+  Instance& inst = instances_[sqn];
+  if (inst.write_votes.size() >= config_.quorum() && !inst.own_accept_sent) {
+    auto accept = std::make_shared<msg::SmartAccept>();
+    accept->from = me_;
+    accept->view = view_;
+    accept->sqn = SeqNum{sqn};
+    multicast(std::move(accept));
+    inst.own_accept_sent = true;
+    inst.accept_votes.insert(me_.value);
+  }
+}
+
+void SmartPrReplica::handle_accept(const msg::SmartAccept& accept) {
+  const std::uint64_t sqn = accept.sqn.value;
+  if (sqn < next_exec_) return;
+  Instance& inst = instances_[sqn];
+  inst.accept_votes.insert(accept.from.value);
+  try_execute();
+}
+
+void SmartPrReplica::try_execute() {
+  for (;;) {
+    auto it = instances_.find(next_exec_);
+    if (it == instances_.end()) return;
+    Instance& inst = it->second;
+    if (!inst.has_binding || inst.executed) return;
+    if (inst.accept_votes.size() < config_.quorum()) return;
+
+    for (const msg::Request& request : inst.requests) {
+      const RequestId id = request.id;
+      if (already_executed(id)) {
+        ++stats_.duplicates_skipped;
+        continue;
+      }
+      charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
+      std::vector<std::byte> result = sm_->execute(request.command);
+      ++stats_.executed;
+      last_exec_[id.cid.value] = id.onr.value;
+      auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
+      last_reply_[id.cid.value] = reply;
+      // Free the intake slot and stop the forwarding of this request.
+      active_.erase(id);
+      requests_.erase(id);
+      if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
+        cancel_timer(timer_it->second);
+        forward_timers_.erase(timer_it);
+      }
+      send(consensus::client_address(id.cid), reply);
+      if (on_execute) on_execute(SeqNum{next_exec_}, id);
+    }
+    inst.executed = true;
+    if (next_exec_ >= 2 * config_.window_size) {
+      instances_.erase(instances_.begin(),
+                       instances_.lower_bound(next_exec_ - 2 * config_.window_size));
+    }
+    ++next_exec_;
+  }
+}
+
+void SmartPrReplica::retransmit_tick() {
+  retransmit_timer_ =
+      set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
+  if (!is_leader()) return;
+  auto it = instances_.find(next_exec_);
+  if (it == instances_.end() || !it->second.has_binding || it->second.executed) {
+    retransmit_watermark_ = UINT64_MAX;
+    return;
+  }
+  if (retransmit_watermark_ == next_exec_) {
+    auto propose = std::make_shared<msg::SmartPropose>();
+    propose->view = view_;
+    propose->sqn = SeqNum{next_exec_};
+    propose->requests = it->second.requests;
+    multicast(std::move(propose));
+  }
+  retransmit_watermark_ = next_exec_;
+}
+
+}  // namespace idem::smart

@@ -1,0 +1,150 @@
+// Collaborative proactive rejection retrofitted onto the SMaRt-analog
+// protocol — the modularity claim of paper Section 4.2 ("implementing
+// overload prevention in the form of an individual phase ... makes it
+// easier to combine our approach with other consensus protocols"), made
+// concrete.
+//
+// The composition keeps Mod-SMaRt's agreement (PROPOSE / WRITE / ACCEPT
+// on full request batches) untouched and bolts IDEM's intake phase in
+// front of it:
+//   - every replica runs a local acceptance test on each REQUEST and
+//     either REJECTs to the client or stores the request and REQUIREs it
+//     at the leader;
+//   - the leader proposes a request once f+1 replicas REQUIREd it (and
+//     it owns the body — clients multicast in SMaRt, so it normally does);
+//   - accepted-but-unfinished requests are forwarded after a timeout, and
+//     rejected bodies stay in a cache, preserving IDEM's liveness
+//     guarantee (a request accepted anywhere eventually executes).
+// Clients use core::IdemClient: SMaRt clients already multicast, and the
+// reject-quorum semantics (Section 5.3) are protocol-independent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "app/state_machine.hpp"
+#include "common/ids.hpp"
+#include "consensus/addresses.hpp"
+#include "consensus/quorum.hpp"
+#include "idem/acceptance.hpp"
+#include "smart/replica.hpp"
+
+namespace idem::smart {
+
+struct SmartPrConfig {
+  std::size_t n = 3;
+  std::size_t f = 1;
+  std::size_t batch_max = 32;
+  std::uint64_t window_size = 256;
+  Duration retransmit_interval = 200 * kMillisecond;
+  consensus::CostModel costs;
+
+  /// Intake phase (IDEM parameters).
+  std::size_t reject_threshold = 50;
+  Duration forward_timeout = 10 * kMillisecond;
+  std::size_t rejected_cache_size = 1024;
+
+  std::size_t quorum() const { return f + 1; }
+};
+
+struct SmartPrStats {
+  std::uint64_t requests_received = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t forward_accepted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t duplicates_skipped = 0;
+  std::uint64_t proposals_sent = 0;
+  std::uint64_t forwards_sent = 0;
+};
+
+class SmartPrReplica final : public sim::Node {
+ public:
+  SmartPrReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id, SmartPrConfig config,
+                 std::unique_ptr<app::StateMachine> state_machine,
+                 std::unique_ptr<core::AcceptanceTest> acceptance);
+
+  ReplicaId replica_id() const { return me_; }
+  bool is_leader() const { return consensus::leader_of(view_, config_.n) == me_; }
+  const SmartPrStats& stats() const { return stats_; }
+  std::size_t active_requests() const { return active_.size(); }
+  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+
+  app::StateMachine& state_machine() { return *sm_; }
+
+  std::function<void(SeqNum, RequestId)> on_execute;
+
+ protected:
+  void on_message(sim::NodeId from, const sim::Payload& message) override;
+  Duration message_cost(const sim::Payload& message) const override;
+  Duration send_cost(const sim::Payload& message) const override;
+
+ private:
+  struct Instance {
+    std::vector<msg::Request> requests;
+    bool has_binding = false;
+    bool own_write_sent = false;
+    bool own_accept_sent = false;
+    std::unordered_set<std::uint32_t> write_votes;
+    std::unordered_set<std::uint32_t> accept_votes;
+    bool executed = false;
+  };
+
+  // Intake phase (IDEM, Section 4.3 / 5.1 / 5.2).
+  void handle_request(const msg::Request& request);
+  void accept_request(RequestId id, std::vector<std::byte> command, bool client_issued);
+  void note_require(ReplicaId voter, RequestId id);
+  void handle_forward(const msg::Forward& forward);
+  void arm_forward_timer(RequestId id);
+  void forward_request(RequestId id);
+  void cache_rejected(RequestId id, std::vector<std::byte> command);
+  const std::vector<std::byte>* find_command(RequestId id) const;
+  bool already_executed(RequestId id) const;
+
+  // Unmodified Mod-SMaRt-style agreement.
+  void try_propose();
+  void handle_propose(const msg::SmartPropose& propose);
+  void handle_write(const msg::SmartWrite& write);
+  void handle_accept(const msg::SmartAccept& accept);
+  void maybe_advance(std::uint64_t sqn);
+  void try_execute();
+  void retransmit_tick();
+  void multicast(sim::PayloadPtr message);
+
+  SmartPrConfig config_;
+  ReplicaId me_;
+  std::unique_ptr<app::StateMachine> sm_;
+  std::unique_ptr<core::AcceptanceTest> acceptance_;
+  ViewId view_;
+
+  // Intake state.
+  std::unordered_map<RequestId, std::vector<std::byte>> requests_;
+  std::unordered_set<RequestId> active_;
+  std::unordered_map<RequestId, sim::TimerId> forward_timers_;
+  std::list<std::pair<RequestId, std::vector<std::byte>>> rejected_lru_;
+  std::unordered_map<RequestId, decltype(rejected_lru_)::iterator> rejected_index_;
+  consensus::QuorumTracker<RequestId> requires_;
+  std::deque<RequestId> eligible_;
+  std::unordered_set<RequestId> in_eligible_;
+  std::unordered_set<RequestId> proposed_;
+
+  // Agreement state.
+  std::map<std::uint64_t, Instance> instances_;
+  std::uint64_t next_sqn_ = 0;
+  std::uint64_t next_exec_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+  sim::TimerId retransmit_timer_;
+  std::uint64_t retransmit_watermark_ = UINT64_MAX;
+
+  mutable Rng cost_rng_;
+  SmartPrStats stats_;
+};
+
+}  // namespace idem::smart

@@ -1,0 +1,170 @@
+// Tests for the counter state machine and for running IDEM with an
+// application other than the KV store (StateMachine genericity), plus the
+// Section 5.3 "probe request" pattern for resolving ambivalence.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/counter.hpp"
+#include "idem/client.hpp"
+#include "idem/replica.hpp"
+#include "test_util.hpp"
+
+namespace idem {
+namespace {
+
+std::vector<std::byte> add_cmd(const std::string& name, std::int64_t delta) {
+  app::CounterCommand cmd;
+  cmd.op = app::CounterOp::Add;
+  cmd.name = name;
+  cmd.delta = delta;
+  return cmd.encode();
+}
+
+std::vector<std::byte> read_cmd(const std::string& name) {
+  app::CounterCommand cmd;
+  cmd.op = app::CounterOp::Read;
+  cmd.name = name;
+  return cmd.encode();
+}
+
+TEST(CounterService, AddAndRead) {
+  app::CounterService service;
+  EXPECT_EQ(app::CounterService::decode_value(service.execute(add_cmd("x", 5))), 5);
+  EXPECT_EQ(app::CounterService::decode_value(service.execute(add_cmd("x", -2))), 3);
+  EXPECT_EQ(app::CounterService::decode_value(service.execute(read_cmd("x"))), 3);
+  EXPECT_EQ(app::CounterService::decode_value(service.execute(read_cmd("missing"))), 0);
+}
+
+TEST(CounterService, SnapshotRestore) {
+  app::CounterService a;
+  a.execute(add_cmd("hits", 100));
+  a.execute(add_cmd("misses", 7));
+  app::CounterService b;
+  b.execute(add_cmd("stale", 1));
+  b.restore(a.snapshot());
+  EXPECT_EQ(app::CounterService::decode_value(b.execute(read_cmd("hits"))), 100);
+  EXPECT_EQ(app::CounterService::decode_value(b.execute(read_cmd("stale"))), 0);
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+/// Builds a 3-replica IDEM cluster running the counter service.
+struct CounterCluster {
+  sim::Simulator sim{29};
+  sim::SimNetwork net{sim, {}};
+  std::vector<std::unique_ptr<core::IdemReplica>> replicas;
+  std::unique_ptr<core::IdemClient> client;
+
+  CounterCluster() {
+    core::IdemConfig config;
+    config.n = 3;
+    config.f = 1;
+    config.reject_threshold = 50;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      replicas.push_back(std::make_unique<core::IdemReplica>(
+          sim, net, ReplicaId{i}, config, std::make_unique<app::CounterService>(),
+          core::make_default_acceptance(config, 1)));
+    }
+    client = std::make_unique<core::IdemClient>(sim, net, ClientId{0},
+                                                core::IdemClientConfig{});
+  }
+
+  consensus::Outcome invoke(std::vector<std::byte> command) {
+    std::optional<consensus::Outcome> outcome;
+    client->invoke(std::move(command),
+                   [&](const consensus::Outcome& o) { outcome = o; });
+    sim.run_while([&] { return !outcome.has_value() && sim.now() < 30 * kSecond; });
+    EXPECT_TRUE(outcome.has_value());
+    return outcome.value_or(consensus::Outcome{});
+  }
+};
+
+TEST(CounterService, ReplicatedCounterIsLinear) {
+  CounterCluster cluster;
+  for (int i = 1; i <= 10; ++i) {
+    auto outcome = cluster.invoke(add_cmd("ops", 1));
+    ASSERT_EQ(outcome.kind, consensus::Outcome::Kind::Reply);
+    EXPECT_EQ(app::CounterService::decode_value(outcome.result), i);
+  }
+  // All replicas agree on the final state.
+  cluster.sim.run_for(kSecond);
+  auto s0 = cluster.replicas[0]->state_machine().snapshot();
+  EXPECT_EQ(s0, cluster.replicas[1]->state_machine().snapshot());
+  EXPECT_EQ(s0, cluster.replicas[2]->state_machine().snapshot());
+}
+
+TEST(CounterService, SurvivesLeaderCrash) {
+  CounterCluster cluster;
+  ASSERT_EQ(cluster.invoke(add_cmd("c", 5)).kind, consensus::Outcome::Kind::Reply);
+  cluster.replicas[0]->crash();
+  auto outcome = cluster.invoke(add_cmd("c", 5));
+  ASSERT_EQ(outcome.kind, consensus::Outcome::Kind::Reply);
+  EXPECT_EQ(app::CounterService::decode_value(outcome.result), 10);
+}
+
+// Section 5.3: a client that aborted in the *ambivalence* state does not
+// know whether its update executed. The paper's remedy is a subsequent
+// probe request (here: a READ) once the service is reachable again —
+// counters make the outcome unambiguous.
+TEST(CounterService, ProbeRequestResolvesAmbivalence) {
+  sim::Simulator sim(31);
+  sim::SimNetwork net(sim, {});
+  core::IdemConfig config;
+  config.n = 3;
+  config.f = 1;
+  config.reject_threshold = 50;
+
+  // Replicas 1 and 2 reject everything; replica 0 accepts — so the client
+  // reaches ambivalence (2 = n-f rejects) although the add WILL execute
+  // via forwarding.
+  struct Switchable final : core::AcceptanceTest {
+    bool rejecting = true;
+    bool accept(RequestId, std::span<const std::byte>,
+                const core::AcceptanceContext&) override {
+      return !rejecting;
+    }
+    const char* name() const override { return "switchable"; }
+  };
+  std::vector<std::unique_ptr<core::IdemReplica>> replicas;
+  std::vector<Switchable*> switches;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    std::unique_ptr<core::AcceptanceTest> test;
+    if (i == 0) {
+      test = std::make_unique<core::NeverReject>();
+    } else {
+      auto switchable = std::make_unique<Switchable>();
+      switches.push_back(switchable.get());
+      test = std::move(switchable);
+    }
+    replicas.push_back(std::make_unique<core::IdemReplica>(
+        sim, net, ReplicaId{i}, config, std::make_unique<app::CounterService>(),
+        std::move(test)));
+  }
+  core::IdemClientConfig client_config;
+  client_config.optimistic_wait = kMillisecond;  // aborts before the forward resolves
+  core::IdemClient client(sim, net, ClientId{0}, client_config);
+
+  std::optional<consensus::Outcome> first;
+  client.invoke(add_cmd("c", 7), [&](const consensus::Outcome& o) { first = o; });
+  sim.run_while([&] { return !first.has_value() && sim.now() < 10 * kSecond; });
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->kind, consensus::Outcome::Kind::Rejected);
+  EXPECT_FALSE(first->definitive_failure);  // ambivalence, not failure
+
+  // Let the forwarding mechanism finish the agreement in the background,
+  // and let the "overload" subside before the probe.
+  sim.run_for(kSecond);
+  for (auto* s : switches) s->rejecting = false;
+
+  // Probe: read the counter. The add did execute, so the probe proves it
+  // and the client must NOT resubmit the increment.
+  std::optional<consensus::Outcome> probe;
+  client.invoke(read_cmd("c"), [&](const consensus::Outcome& o) { probe = o; });
+  sim.run_while([&] { return !probe.has_value() && sim.now() < 20 * kSecond; });
+  ASSERT_TRUE(probe.has_value());
+  ASSERT_EQ(probe->kind, consensus::Outcome::Kind::Reply);
+  EXPECT_EQ(app::CounterService::decode_value(probe->result), 7);
+}
+
+}  // namespace
+}  // namespace idem

@@ -1,0 +1,201 @@
+// Tests for the experiment harness itself: cluster builder, closed-loop
+// driver semantics (warm-up exclusion, rejection backoff, fixed-count
+// mode), custom acceptance tests end to end, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "harness/driver.hpp"
+#include "harness/table.hpp"
+#include "test_util.hpp"
+
+namespace idem {
+namespace {
+
+using harness::Cluster;
+using harness::ClosedLoopDriver;
+using harness::DriverConfig;
+using harness::Protocol;
+using test::test_cluster_config;
+
+TEST(Harness, ProtocolNames) {
+  EXPECT_STREQ(harness::protocol_name(Protocol::Idem), "IDEM");
+  EXPECT_STREQ(harness::protocol_name(Protocol::IdemNoPR), "IDEM_noPR");
+  EXPECT_STREQ(harness::protocol_name(Protocol::PaxosLBR), "Paxos_LBR");
+  EXPECT_STREQ(harness::protocol_name(Protocol::Smart), "BFT-SMaRt");
+}
+
+TEST(Harness, ClusterBuildsAllProtocols) {
+  for (Protocol protocol : {Protocol::Idem, Protocol::IdemNoPR, Protocol::IdemNoAQM,
+                            Protocol::Paxos, Protocol::PaxosLBR, Protocol::Smart}) {
+    Cluster cluster(test_cluster_config(protocol, /*clients=*/2));
+    EXPECT_EQ(cluster.num_clients(), 2u) << harness::protocol_name(protocol);
+    EXPECT_EQ(cluster.leader_index(), 0u) << harness::protocol_name(protocol);
+  }
+}
+
+TEST(Harness, TypedAccessorsMatchProtocol) {
+  Cluster idem(test_cluster_config(Protocol::Idem));
+  EXPECT_NE(idem.idem_replica(0), nullptr);
+  EXPECT_EQ(idem.paxos_replica(0), nullptr);
+  Cluster paxos(test_cluster_config(Protocol::Paxos));
+  EXPECT_NE(paxos.paxos_replica(0), nullptr);
+  EXPECT_EQ(paxos.smart_replica(0), nullptr);
+}
+
+TEST(Harness, PreloadPopulatesEveryReplica) {
+  auto config = test_cluster_config(Protocol::Idem);
+  config.preload = true;
+  config.workload.record_count = 100;
+  Cluster cluster(config);
+  for (int i = 0; i < 3; ++i) {
+    auto* store = dynamic_cast<app::KvStore*>(&cluster.idem_replica(i)->state_machine());
+    ASSERT_NE(store, nullptr);
+    EXPECT_GE(store->size(), 95u);
+  }
+  // All replicas start from byte-identical state.
+  EXPECT_EQ(cluster.idem_replica(0)->state_machine().snapshot(),
+            cluster.idem_replica(2)->state_machine().snapshot());
+}
+
+TEST(Harness, DriverMeasuresOnlyAfterWarmup) {
+  auto config = test_cluster_config(Protocol::Idem, /*clients=*/2);
+  Cluster cluster(config);
+  DriverConfig driver;
+  driver.warmup = kSecond;
+  driver.measure = kSecond;
+  ClosedLoopDriver loop(cluster, driver);
+  harness::RunMetrics metrics = loop.run();
+
+  EXPECT_GT(metrics.replies, 100u);
+  EXPECT_EQ(metrics.measured, kSecond);
+  // The timeline covers the whole run including warm-up: it must contain
+  // roughly twice the measured operations.
+  EXPECT_GT(metrics.reply_series.total(), metrics.replies + metrics.replies / 2);
+}
+
+TEST(Harness, DriverStopsAfterFixedReplies) {
+  auto config = test_cluster_config(Protocol::Idem, /*clients=*/4);
+  Cluster cluster(config);
+  DriverConfig driver;
+  driver.stop_after_replies = 500;
+  ClosedLoopDriver loop(cluster, driver);
+  harness::RunMetrics metrics = loop.run();
+  EXPECT_GE(metrics.replies, 500u);
+  EXPECT_LT(metrics.replies, 520u);  // stops promptly
+  EXPECT_GT(metrics.client_traffic.bytes, 0u);
+  EXPECT_GT(metrics.replica_traffic.bytes, 0u);
+}
+
+TEST(Harness, RejectedClientsBackOff) {
+  auto config = test_cluster_config(Protocol::Idem, /*clients=*/4);
+  config.reject_threshold = 0;  // everything rejected
+  Cluster cluster(config);
+  DriverConfig driver;
+  driver.warmup = 0;
+  driver.measure = 2 * kSecond;
+  driver.backoff_min = 50 * kMillisecond;
+  driver.backoff_max = 100 * kMillisecond;
+  ClosedLoopDriver loop(cluster, driver);
+  harness::RunMetrics metrics = loop.run();
+
+  EXPECT_EQ(metrics.replies, 0u);
+  // With a ~75 ms mean cycle (reject latency + backoff), each client
+  // completes roughly 2s / 75ms = 26 attempts.
+  EXPECT_GT(metrics.rejects, 4 * 15u);
+  EXPECT_LT(metrics.rejects, 4 * 45u);
+}
+
+TEST(Harness, CustomAcceptanceFactoryIsUsed) {
+  auto config = test_cluster_config(Protocol::Idem, /*clients=*/6);
+  // Priority classes end to end: clients 0-2 are best effort (never
+  // admitted above 0), clients 3-5 critical.
+  config.acceptance_factory = [](std::size_t) {
+    return std::make_unique<core::PriorityClasses>(
+        [](ClientId cid) { return cid.value < 3 ? std::size_t{0} : std::size_t{1}; },
+        std::vector<double>{0.0, 1.0});
+  };
+  Cluster cluster(config);
+
+  for (std::size_t c = 0; c < 6; ++c) {
+    auto outcome = test::invoke_and_wait(cluster, c, test::put_cmd("k", "v"), 5 * kSecond);
+    ASSERT_TRUE(outcome.has_value()) << "client " << c;
+    if (c < 3) {
+      EXPECT_EQ(outcome->kind, consensus::Outcome::Kind::Rejected) << "client " << c;
+    } else {
+      EXPECT_EQ(outcome->kind, consensus::Outcome::Kind::Reply) << "client " << c;
+    }
+  }
+}
+
+TEST(Harness, CrashAtScheduledTimeTakesEffect) {
+  auto config = test_cluster_config(Protocol::Idem);
+  Cluster cluster(config);
+  cluster.crash_replica_at(2, 100 * kMillisecond);
+  cluster.simulator().run_until(50 * kMillisecond);
+  EXPECT_EQ(cluster.leader_index(), 0u);
+  cluster.simulator().run_until(200 * kMillisecond);
+  auto outcome = test::invoke_and_wait(cluster, 0, test::put_cmd("k", "v"));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->kind, consensus::Outcome::Kind::Reply);
+}
+
+
+TEST(Harness, IdenticalSeedsProduceIdenticalMetrics) {
+  // The whole stack — workload, network, CPU jitter, protocol — is seeded:
+  // two runs with the same seed must agree bit-for-bit; a different seed
+  // must not.
+  auto run = [](std::uint64_t seed) {
+    auto config = test_cluster_config(Protocol::Idem, /*clients=*/8, seed);
+    Cluster cluster(config);
+    DriverConfig driver;
+    driver.warmup = 200 * kMillisecond;
+    driver.measure = kSecond;
+    ClosedLoopDriver loop(cluster, driver);
+    harness::RunMetrics metrics = loop.run();
+    return std::tuple{metrics.replies, metrics.reply_latency.mean(),
+                      metrics.client_traffic.bytes, metrics.replica_traffic.bytes};
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+// ---------------------------------------------------------------------------
+// Table printer
+// ---------------------------------------------------------------------------
+
+TEST(TablePrinter, AlignsAndFormats) {
+  harness::Table table({"name", "value"});
+  table.add_row({"x", harness::Table::fmt(1.23456, 2)});
+  table.add_row({"longer-name", harness::Table::fmt(std::uint64_t{42})});
+
+  char buffer[512];
+  std::FILE* stream = fmemopen(buffer, sizeof(buffer), "w");
+  table.print(stream);
+  std::fclose(stream);
+  std::string out(buffer);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  harness::Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  char buffer[256];
+  std::FILE* stream = fmemopen(buffer, sizeof(buffer), "w");
+  table.print_csv(stream);
+  std::fclose(stream);
+  EXPECT_STREQ(buffer, "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(harness::Table::fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(harness::Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(harness::Table::fmt(std::uint64_t{123456}), "123456");
+}
+
+}  // namespace
+}  // namespace idem

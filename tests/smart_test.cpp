@@ -1,0 +1,106 @@
+// Tests for the BFT-SMaRt-analog baseline (CFT mode).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace idem {
+namespace {
+
+using harness::Cluster;
+using harness::Protocol;
+using test::get_cmd;
+using test::invoke_and_wait;
+using test::put_cmd;
+using test::test_cluster_config;
+
+TEST(Smart, BasicPutGet) {
+  Cluster cluster(test_cluster_config(Protocol::Smart));
+  ASSERT_EQ(invoke_and_wait(cluster, 0, put_cmd("k", "v"))->kind,
+            consensus::Outcome::Kind::Reply);
+  auto get = invoke_and_wait(cluster, 0, get_cmd("k"));
+  ASSERT_EQ(get->kind, consensus::Outcome::Kind::Reply);
+  EXPECT_EQ(app::KvResult::decode(get->result).values.at(0), "v");
+}
+
+TEST(Smart, AllReplicasExecuteIdentically) {
+  Cluster cluster(test_cluster_config(Protocol::Smart, /*clients=*/3));
+  test::ExecutionRecorder recorder(cluster);
+  for (int round = 0; round < 10; ++round) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(invoke_and_wait(cluster, c, put_cmd("key" + std::to_string(c), "v"))->kind,
+                consensus::Outcome::Kind::Reply);
+    }
+  }
+  cluster.simulator().run_for(kSecond);
+  recorder.expect_consistent();
+  EXPECT_EQ(recorder.log(0).size(), 30u);
+  EXPECT_EQ(recorder.log(2).size(), 30u);
+}
+
+TEST(Smart, EveryReplicaReplies) {
+  // CFT mode: all replicas answer; the client uses the first reply. The
+  // duplicate replies are harmless but measurable as client traffic.
+  Cluster cluster(test_cluster_config(Protocol::Smart));
+  ASSERT_EQ(invoke_and_wait(cluster, 0, put_cmd("k", "v"))->kind,
+            consensus::Outcome::Kind::Reply);
+  cluster.simulator().run_for(kSecond);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster.smart_replica(i)->stats().executed, 1u) << "replica " << i;
+  }
+}
+
+TEST(Smart, ThreePhaseAgreement) {
+  // One operation runs PROPOSE -> WRITE -> ACCEPT before execution.
+  Cluster cluster(test_cluster_config(Protocol::Smart));
+  ASSERT_EQ(invoke_and_wait(cluster, 0, put_cmd("k", "v"))->kind,
+            consensus::Outcome::Kind::Reply);
+  EXPECT_EQ(cluster.smart_replica(0)->stats().proposals_sent, 1u);
+}
+
+TEST(Smart, FollowerCrashStillLive) {
+  Cluster cluster(test_cluster_config(Protocol::Smart));
+  cluster.crash_replica(2);
+  for (int i = 0; i < 5; ++i) {
+    auto outcome = invoke_and_wait(cluster, 0, put_cmd("k", "v" + std::to_string(i)));
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_EQ(outcome->kind, consensus::Outcome::Kind::Reply);
+  }
+}
+
+TEST(Smart, DuplicateSuppressionUnderLoss) {
+  auto config = test_cluster_config(Protocol::Smart);
+  config.network.drop_probability = 0.25;
+  config.seed = 23;
+  Cluster cluster(config);
+  test::ExecutionRecorder recorder(cluster);
+  for (int i = 0; i < 10; ++i) {
+    auto outcome = invoke_and_wait(cluster, 0, put_cmd("k", "v"), 60 * kSecond);
+    ASSERT_TRUE(outcome.has_value());
+    ASSERT_EQ(outcome->kind, consensus::Outcome::Kind::Reply);
+  }
+  cluster.network().set_drop_probability(0);
+  cluster.simulator().run_for(5 * kSecond);
+  recorder.expect_consistent();
+  for (std::uint64_t onr = 1; onr <= 10; ++onr) {
+    EXPECT_EQ(recorder.count_executions(0, RequestId{ClientId{0}, OpNum{onr}}), 1u);
+  }
+}
+
+TEST(Smart, UnboundedBacklogGrowsUnderBurst) {
+  // The defining difference from IDEM: no overload protection. A burst of
+  // concurrent clients all gets queued, never rejected.
+  Cluster cluster(test_cluster_config(Protocol::Smart, /*clients=*/50, /*seed=*/3));
+  std::size_t replies = 0;
+  for (std::size_t c = 0; c < 50; ++c) {
+    cluster.client(c).invoke(put_cmd("k" + std::to_string(c), "v"),
+                             [&](const consensus::Outcome& outcome) {
+                               if (outcome.kind == consensus::Outcome::Kind::Reply) ++replies;
+                             });
+  }
+  cluster.simulator().run_while(
+      [&] { return replies < 50 && cluster.simulator().now() < 30 * kSecond; });
+  EXPECT_EQ(replies, 50u);  // everything eventually served, nothing rejected
+}
+
+}  // namespace
+}  // namespace idem
