@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_cost_aware.dir/extension_cost_aware.cpp.o"
+  "CMakeFiles/extension_cost_aware.dir/extension_cost_aware.cpp.o.d"
+  "extension_cost_aware"
+  "extension_cost_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_cost_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_replica_count.dir/extension_replica_count.cpp.o"
+  "CMakeFiles/extension_replica_count.dir/extension_replica_count.cpp.o.d"
+  "extension_replica_count"
+  "extension_replica_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_replica_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_replica_count.
+# This may be replaced when dependencies are built.

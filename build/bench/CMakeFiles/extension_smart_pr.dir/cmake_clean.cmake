@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_smart_pr.dir/extension_smart_pr.cpp.o"
+  "CMakeFiles/extension_smart_pr.dir/extension_smart_pr.cpp.o.d"
+  "extension_smart_pr"
+  "extension_smart_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_smart_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_replica_crash.dir/fig10_replica_crash.cpp.o"
+  "CMakeFiles/fig10_replica_crash.dir/fig10_replica_crash.cpp.o.d"
+  "fig10_replica_crash"
+  "fig10_replica_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_replica_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lbr_leader_crash.dir/fig3_lbr_leader_crash.cpp.o"
+  "CMakeFiles/fig3_lbr_leader_crash.dir/fig3_lbr_leader_crash.cpp.o.d"
+  "fig3_lbr_leader_crash"
+  "fig3_lbr_leader_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lbr_leader_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_lbr_leader_crash.
+# This may be replaced when dependencies are built.

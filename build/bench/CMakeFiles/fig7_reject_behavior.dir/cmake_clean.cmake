@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reject_behavior.dir/fig7_reject_behavior.cpp.o"
+  "CMakeFiles/fig7_reject_behavior.dir/fig7_reject_behavior.cpp.o.d"
+  "fig7_reject_behavior"
+  "fig7_reject_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reject_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

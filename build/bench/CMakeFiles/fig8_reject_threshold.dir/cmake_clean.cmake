@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_reject_threshold.dir/fig8_reject_threshold.cpp.o"
+  "CMakeFiles/fig8_reject_threshold.dir/fig8_reject_threshold.cpp.o.d"
+  "fig8_reject_threshold"
+  "fig8_reject_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_reject_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_disruptive.dir/fig9_disruptive.cpp.o"
+  "CMakeFiles/fig9_disruptive.dir/fig9_disruptive.cpp.o.d"
+  "fig9_disruptive"
+  "fig9_disruptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_disruptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

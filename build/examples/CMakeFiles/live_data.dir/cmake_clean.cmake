@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_data.dir/live_data.cpp.o"
+  "CMakeFiles/live_data.dir/live_data.cpp.o.d"
+  "live_data"
+  "live_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplayer_game.dir/multiplayer_game.cpp.o"
+  "CMakeFiles/multiplayer_game.dir/multiplayer_game.cpp.o.d"
+  "multiplayer_game"
+  "multiplayer_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplayer_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

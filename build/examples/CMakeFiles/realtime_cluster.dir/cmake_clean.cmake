@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_cluster.dir/realtime_cluster.cpp.o"
+  "CMakeFiles/realtime_cluster.dir/realtime_cluster.cpp.o.d"
+  "realtime_cluster"
+  "realtime_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_node.dir/realtime_node.cpp.o"
+  "CMakeFiles/realtime_node.dir/realtime_node.cpp.o.d"
+  "realtime_node"
+  "realtime_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

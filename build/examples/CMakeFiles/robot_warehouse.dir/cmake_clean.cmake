@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_warehouse.dir/robot_warehouse.cpp.o"
+  "CMakeFiles/robot_warehouse.dir/robot_warehouse.cpp.o.d"
+  "robot_warehouse"
+  "robot_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

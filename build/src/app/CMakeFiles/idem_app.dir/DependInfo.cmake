@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/kv_store.cpp" "src/app/CMakeFiles/idem_app.dir/kv_store.cpp.o" "gcc" "src/app/CMakeFiles/idem_app.dir/kv_store.cpp.o.d"
+  "/root/repo/src/app/ycsb.cpp" "src/app/CMakeFiles/idem_app.dir/ycsb.cpp.o" "gcc" "src/app/CMakeFiles/idem_app.dir/ycsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_app.dir/kv_store.cpp.o"
+  "CMakeFiles/idem_app.dir/kv_store.cpp.o.d"
+  "CMakeFiles/idem_app.dir/ycsb.cpp.o"
+  "CMakeFiles/idem_app.dir/ycsb.cpp.o.d"
+  "libidem_app.a"
+  "libidem_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_common.dir/histogram.cpp.o"
+  "CMakeFiles/idem_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/idem_common.dir/logging.cpp.o"
+  "CMakeFiles/idem_common.dir/logging.cpp.o.d"
+  "CMakeFiles/idem_common.dir/timeseries.cpp.o"
+  "CMakeFiles/idem_common.dir/timeseries.cpp.o.d"
+  "libidem_common.a"
+  "libidem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_consensus.dir/messages.cpp.o"
+  "CMakeFiles/idem_consensus.dir/messages.cpp.o.d"
+  "libidem_consensus.a"
+  "libidem_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

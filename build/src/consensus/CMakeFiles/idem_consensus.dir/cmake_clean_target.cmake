@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidem_consensus.a"
+)

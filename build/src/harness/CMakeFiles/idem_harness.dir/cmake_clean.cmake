@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_harness.dir/cluster.cpp.o"
+  "CMakeFiles/idem_harness.dir/cluster.cpp.o.d"
+  "CMakeFiles/idem_harness.dir/driver.cpp.o"
+  "CMakeFiles/idem_harness.dir/driver.cpp.o.d"
+  "CMakeFiles/idem_harness.dir/table.cpp.o"
+  "CMakeFiles/idem_harness.dir/table.cpp.o.d"
+  "libidem_harness.a"
+  "libidem_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

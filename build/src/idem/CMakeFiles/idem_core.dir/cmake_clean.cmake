@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_core.dir/acceptance.cpp.o"
+  "CMakeFiles/idem_core.dir/acceptance.cpp.o.d"
+  "CMakeFiles/idem_core.dir/client.cpp.o"
+  "CMakeFiles/idem_core.dir/client.cpp.o.d"
+  "CMakeFiles/idem_core.dir/replica.cpp.o"
+  "CMakeFiles/idem_core.dir/replica.cpp.o.d"
+  "libidem_core.a"
+  "libidem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

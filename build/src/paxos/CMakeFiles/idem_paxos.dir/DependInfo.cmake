@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paxos/client.cpp" "src/paxos/CMakeFiles/idem_paxos.dir/client.cpp.o" "gcc" "src/paxos/CMakeFiles/idem_paxos.dir/client.cpp.o.d"
+  "/root/repo/src/paxos/replica.cpp" "src/paxos/CMakeFiles/idem_paxos.dir/replica.cpp.o" "gcc" "src/paxos/CMakeFiles/idem_paxos.dir/replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/idem_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/idem_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_paxos.dir/client.cpp.o"
+  "CMakeFiles/idem_paxos.dir/client.cpp.o.d"
+  "CMakeFiles/idem_paxos.dir/replica.cpp.o"
+  "CMakeFiles/idem_paxos.dir/replica.cpp.o.d"
+  "libidem_paxos.a"
+  "libidem_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/event_loop.cpp" "src/rpc/CMakeFiles/idem_rpc.dir/event_loop.cpp.o" "gcc" "src/rpc/CMakeFiles/idem_rpc.dir/event_loop.cpp.o.d"
+  "/root/repo/src/rpc/tcp_transport.cpp" "src/rpc/CMakeFiles/idem_rpc.dir/tcp_transport.cpp.o" "gcc" "src/rpc/CMakeFiles/idem_rpc.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/idem_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_rpc.dir/event_loop.cpp.o"
+  "CMakeFiles/idem_rpc.dir/event_loop.cpp.o.d"
+  "CMakeFiles/idem_rpc.dir/tcp_transport.cpp.o"
+  "CMakeFiles/idem_rpc.dir/tcp_transport.cpp.o.d"
+  "libidem_rpc.a"
+  "libidem_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

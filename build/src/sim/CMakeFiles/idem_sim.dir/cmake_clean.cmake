@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_sim.dir/network.cpp.o"
+  "CMakeFiles/idem_sim.dir/network.cpp.o.d"
+  "CMakeFiles/idem_sim.dir/node.cpp.o"
+  "CMakeFiles/idem_sim.dir/node.cpp.o.d"
+  "libidem_sim.a"
+  "libidem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

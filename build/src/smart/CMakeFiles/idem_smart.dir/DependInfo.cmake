@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smart/client.cpp" "src/smart/CMakeFiles/idem_smart.dir/client.cpp.o" "gcc" "src/smart/CMakeFiles/idem_smart.dir/client.cpp.o.d"
+  "/root/repo/src/smart/replica.cpp" "src/smart/CMakeFiles/idem_smart.dir/replica.cpp.o" "gcc" "src/smart/CMakeFiles/idem_smart.dir/replica.cpp.o.d"
+  "/root/repo/src/smart/replica_pr.cpp" "src/smart/CMakeFiles/idem_smart.dir/replica_pr.cpp.o" "gcc" "src/smart/CMakeFiles/idem_smart.dir/replica_pr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/idem_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/idem_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/idem/CMakeFiles/idem_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_smart.dir/client.cpp.o"
+  "CMakeFiles/idem_smart.dir/client.cpp.o.d"
+  "CMakeFiles/idem_smart.dir/replica.cpp.o"
+  "CMakeFiles/idem_smart.dir/replica.cpp.o.d"
+  "CMakeFiles/idem_smart.dir/replica_pr.cpp.o"
+  "CMakeFiles/idem_smart.dir/replica_pr.cpp.o.d"
+  "libidem_smart.a"
+  "libidem_smart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

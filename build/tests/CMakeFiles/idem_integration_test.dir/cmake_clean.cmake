@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_integration_test.dir/idem_integration_test.cpp.o"
+  "CMakeFiles/idem_integration_test.dir/idem_integration_test.cpp.o.d"
+  "idem_integration_test"
+  "idem_integration_test.pdb"
+  "idem_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

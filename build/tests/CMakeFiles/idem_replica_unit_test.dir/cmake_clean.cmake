@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_replica_unit_test.dir/idem_replica_unit_test.cpp.o"
+  "CMakeFiles/idem_replica_unit_test.dir/idem_replica_unit_test.cpp.o.d"
+  "idem_replica_unit_test"
+  "idem_replica_unit_test.pdb"
+  "idem_replica_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_replica_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/properties_test.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/properties_test.dir/properties_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/idem_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/idem_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/idem_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/smart/CMakeFiles/idem_smart.dir/DependInfo.cmake"
+  "/root/repo/build/src/idem/CMakeFiles/idem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/idem_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/idem_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_pr_test.dir/smart_pr_test.cpp.o"
+  "CMakeFiles/smart_pr_test.dir/smart_pr_test.cpp.o.d"
+  "smart_pr_test"
+  "smart_pr_test.pdb"
+  "smart_pr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_pr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

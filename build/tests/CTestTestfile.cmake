@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/acceptance_test[1]_include.cmake")
+include("/root/repo/build/tests/idem_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/paxos_test[1]_include.cmake")
+include("/root/repo/build/tests/smart_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/idem_replica_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/counter_test[1]_include.cmake")
+include("/root/repo/build/tests/smart_pr_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")

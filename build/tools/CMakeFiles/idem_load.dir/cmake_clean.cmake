@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idem_load.dir/idem_load.cpp.o"
+  "CMakeFiles/idem_load.dir/idem_load.cpp.o.d"
+  "idem_load"
+  "idem_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idem_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
