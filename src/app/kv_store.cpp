@@ -6,6 +6,7 @@ namespace idem::app {
 
 std::vector<std::byte> KvCommand::encode() const {
   ByteWriter w;
+  w.reserve(key.size() + value.size() + 16);
   w.u8(static_cast<std::uint8_t>(op));
   w.str(key);
   switch (op) {
@@ -100,7 +101,13 @@ std::vector<std::byte> KvStore::execute(std::span<const std::byte> command) {
 }
 
 std::vector<std::byte> KvStore::snapshot() const {
+  // Checkpointing serializes the whole store; size the buffer up front so the
+  // snapshot is a single allocation plus memcpy-sized appends (this showed up
+  // at ~28% of the fig6 overload profile before).
+  std::size_t estimate = 10;
+  for (const auto& [key, value] : data_) estimate += key.size() + value.size() + 20;
   ByteWriter w;
+  w.reserve(estimate);
   w.varint(data_.size());
   // std::map iteration is key-ordered, so equal states serialize equally.
   for (const auto& [key, value] : data_) {

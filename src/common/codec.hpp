@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -25,23 +26,34 @@ class CodecError : public std::runtime_error {
 };
 
 /// Appends primitive values to a growing byte buffer.
+///
+/// Multi-byte integers and string/byte payloads are appended as single bulk
+/// writes (resize + memcpy) instead of per-byte push_back; encoders that know
+/// their wire size call reserve() first so a message serializes with exactly
+/// one allocation.
 class ByteWriter {
  public:
+  /// Pre-size the buffer for a message of known encoded length.
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
 
   void u16(std::uint16_t v) {
-    u8(static_cast<std::uint8_t>(v));
-    u8(static_cast<std::uint8_t>(v >> 8));
+    const std::uint8_t raw[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
+    append_raw(raw, sizeof raw);
   }
 
   void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v));
-    u16(static_cast<std::uint16_t>(v >> 16));
+    const std::uint8_t raw[4] = {
+        static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+        static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+    append_raw(raw, sizeof raw);
   }
 
   void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v));
-    u32(static_cast<std::uint32_t>(v >> 32));
+    std::uint8_t raw[8];
+    for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append_raw(raw, sizeof raw);
   }
 
   /// LEB128-style variable-length unsigned integer; ids and counts are
@@ -57,12 +69,12 @@ class ByteWriter {
 
   void bytes(std::span<const std::byte> data) {
     varint(data.size());
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    append_raw(data.data(), data.size());
   }
 
   void str(std::string_view s) {
     varint(s.size());
-    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+    append_raw(s.data(), s.size());
   }
 
   void request_id(RequestId id) {
@@ -75,6 +87,13 @@ class ByteWriter {
   std::size_t size() const { return buf_.size(); }
 
  private:
+  void append_raw(const void* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, src, n);
+  }
+
   std::vector<std::byte> buf_;
 };
 
@@ -130,9 +149,7 @@ class ByteReader {
   std::string str() {
     auto len = varint();
     require(len);
-    std::string out;
-    out.reserve(len);
-    for (std::size_t i = 0; i < len; ++i) out.push_back(static_cast<char>(data_[pos_ + i]));
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), len);
     pos_ += len;
     return out;
   }
@@ -149,7 +166,10 @@ class ByteReader {
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw CodecError("message truncated");
+    // Written as a subtraction so a hostile length prefix cannot wrap
+    // `pos_ + n` past SIZE_MAX and slip under data_.size(). pos_ never
+    // exceeds data_.size(), so the subtraction itself cannot underflow.
+    if (n > data_.size() - pos_) throw CodecError("message truncated");
   }
 
   std::span<const std::byte> data_;

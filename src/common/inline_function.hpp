@@ -1,0 +1,130 @@
+// Move-only callable with small-buffer-optimized storage.
+//
+// The discrete-event kernel fires millions of callbacks per simulated
+// second; std::function heap-allocates for captures beyond ~16 bytes and
+// requires copyability, which forces protocol code to shared_ptr-wrap
+// state. InlineFunction stores any callable up to `InlineBytes` directly
+// inside the object (no allocation on construct/move/destroy/call) and
+// accepts move-only captures such as PayloadPtr. Oversized callables fall
+// back to the heap so cold paths (test fixtures, harness glue) still work;
+// hot paths static_assert `stores_inline` at the lambda definition site.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace idem {
+
+template <typename Signature, std::size_t InlineBytes = 80>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  /// True when a callable of type F lives in the inline buffer (the
+  /// zero-allocation guarantee the simulator's hot paths assert on).
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(std::decay_t<F>) <= InlineBytes &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stores_inline<F>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      manage_ = &manage_inline<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &invoke_heap<D>;
+      manage_ = &manage_heap<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) { return invoke_(storage_, std::forward<Args>(args)...); }
+
+ private:
+  enum class Op { kRelocate, kDestroy };
+
+  using Invoke = R (*)(void*, Args&&...);
+  using Manage = void (*)(void* self, void* dest, Op op);
+
+  template <typename D>
+  static R invoke_inline(void* s, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(s)))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void manage_inline(void* s, void* dest, Op op) {
+    D* self = std::launder(reinterpret_cast<D*>(s));
+    if (op == Op::kRelocate) ::new (dest) D(std::move(*self));
+    self->~D();
+  }
+
+  template <typename D>
+  static R invoke_heap(void* s, Args&&... args) {
+    return (**std::launder(reinterpret_cast<D**>(s)))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void manage_heap(void* s, void* dest, Op op) {
+    D** self = std::launder(reinterpret_cast<D**>(s));
+    if (op == Op::kRelocate) {
+      ::new (dest) D*(*self);
+    } else {
+      delete *self;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(other.storage_, storage_, Op::kRelocate);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(storage_, nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[InlineBytes];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace idem

@@ -53,11 +53,16 @@ class Message : public sim::Payload {
     return *size_;
   }
 
-  /// Full binary encoding including the leading type byte.
+  /// Full binary encoding including the leading type byte. Also primes the
+  /// wire-size cache, and uses it when already known: the network layer
+  /// calls wire_size() on every send, so a later encode of the same message
+  /// serializes into an exactly-sized buffer in one allocation.
   std::vector<std::byte> encode() const {
     ByteWriter w;
+    if (size_) w.reserve(*size_);
     w.u8(static_cast<std::uint8_t>(type()));
     encode_body(w);
+    if (!size_) size_ = w.size();
     return w.take();
   }
 

@@ -1,16 +1,25 @@
-// Discrete-event queue with stable ordering and O(log n) cancellation.
+// Discrete-event queue with stable ordering and O(log n) in-place
+// cancellation, allocation-free in steady state.
 //
 // Events at equal timestamps fire in insertion order (FIFO), which makes
 // whole simulation runs deterministic for a fixed seed — a property the
 // tests rely on heavily.
+//
+// Layout (see DESIGN.md "Kernel performance model"): a 4-ary min-heap of
+// 24-byte index entries ordered by (time, sequence), plus a slot map that
+// owns the callbacks. Heap sifts move only the small entries; callbacks
+// never move after push. Cancellation looks the event up via its slot,
+// removes the heap entry in place (O(log n)) and recycles the slot through
+// a free list — no tombstones, so size() is exact and a cancelled event's
+// captures are released immediately. Slots carry a generation counter so a
+// stale EventId (already fired, already cancelled, or never issued) is
+// recognized and rejected instead of corrupting the queue.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/time.hpp"
 
 namespace idem::sim {
@@ -24,21 +33,45 @@ struct EventId {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// 96 inline bytes cover every kernel lambda: the largest is the Node
+  /// timer wrapper (weak_ptr liveness token + a 64-byte TimerCallback).
+  using Callback = InlineFunction<void(), 96>;
 
   /// Schedules `fn` at absolute time `at`. Requires at >= the time of the
   /// last popped event (no scheduling into the past).
-  EventId push(Time at, Callback fn);
+  EventId push(Time at, Callback fn) {
+    std::uint32_t slot;
+    if (free_head_ != kNpos) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.heap_pos = static_cast<std::uint32_t>(heap_.size());
+    heap_.push_back(HeapEntry{at, next_seq_++, slot});
+    sift_up(heap_.size() - 1);
+    return EventId{(static_cast<std::uint64_t>(s.generation) << 32) | (slot + 1)};
+  }
 
-  /// Cancels a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a no-op. Returns true if the event was pending.
-  bool cancel(EventId id);
+  /// Cancels a pending event in place. Cancelling an already-fired,
+  /// already-cancelled or never-issued event is a no-op returning false.
+  bool cancel(EventId id) {
+    Slot* s = find(id);
+    if (s == nullptr) return false;
+    std::uint32_t pos = s->heap_pos;
+    release_slot(heap_[pos].slot);
+    remove_at(pos);
+    return true;
+  }
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event; kTimeNever when empty.
-  Time next_time() const;
+  Time next_time() const { return heap_.empty() ? kTimeNever : heap_.front().at; }
 
   struct Popped {
     Time at = 0;
@@ -46,73 +79,107 @@ class EventQueue {
   };
 
   /// Removes and returns the earliest event. Requires !empty().
-  Popped pop();
+  Popped pop() {
+    const HeapEntry& top = heap_.front();
+    Popped out{top.at, std::move(slots_[top.slot].fn)};
+    release_slot(top.slot);
+    remove_at(0);
+    return out;
+  }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNpos = UINT32_MAX;
+
+  struct HeapEntry {
     Time at = 0;
     std::uint64_t seq = 0;  // tie-break: earlier insertion fires first
-    EventId id;
-    // mutable so pop() can move the callback out of the priority queue's
-    // const top() reference.
-    mutable Callback fn;
+    std::uint32_t slot = 0;
 
-    bool operator<(const Entry& other) const {
-      // std::priority_queue is a max-heap; invert for earliest-first.
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    bool before(const HeapEntry& other) const {
+      return at != other.at ? at < other.at : seq < other.seq;
     }
   };
 
-  void drop_cancelled();
+  struct Slot {
+    Callback fn;
+    std::uint32_t heap_pos = kNpos;   // kNpos when the slot is free
+    std::uint32_t generation = 0;     // bumped on release; stale ids mismatch
+    std::uint32_t next_free = kNpos;  // free-list link, valid when free
+  };
 
-  std::priority_queue<Entry> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  Slot* find(EventId id) {
+    if (!id.valid()) return nullptr;
+    std::uint32_t slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu) - 1;
+    if (slot >= slots_.size()) return nullptr;
+    Slot& s = slots_[slot];
+    if (s.heap_pos == kNpos) return nullptr;
+    if (s.generation != static_cast<std::uint32_t>(id.value >> 32)) return nullptr;
+    return &s;
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn = nullptr;  // drop captures (e.g. payload refs) immediately
+    s.heap_pos = kNpos;
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  /// Removes the heap entry at `pos`, restoring the heap invariant.
+  void remove_at(std::size_t pos) {
+    std::size_t last = heap_.size() - 1;
+    if (pos == last) {
+      heap_.pop_back();
+      return;
+    }
+    heap_[pos] = heap_[last];
+    heap_.pop_back();
+    slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    if (pos > 0 && heap_[pos].before(heap_[(pos - 1) >> 2])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  }
+
+  void sift_up(std::size_t pos) {
+    HeapEntry entry = heap_[pos];
+    while (pos > 0) {
+      std::size_t parent = (pos - 1) >> 2;
+      if (!entry.before(heap_[parent])) break;
+      heap_[pos] = heap_[parent];
+      slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+      pos = parent;
+    }
+    heap_[pos] = entry;
+    slots_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+
+  void sift_down(std::size_t pos) {
+    HeapEntry entry = heap_[pos];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t first = 4 * pos + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[best])) best = c;
+      }
+      if (!heap_[best].before(entry)) break;
+      heap_[pos] = heap_[best];
+      slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+      pos = best;
+    }
+    heap_[pos] = entry;
+    slots_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNpos;
   std::uint64_t next_seq_ = 1;
-  std::size_t live_ = 0;
 };
-
-inline EventId EventQueue::push(Time at, Callback fn) {
-  EventId id{next_seq_};
-  heap_.push(Entry{at, next_seq_, id, std::move(fn)});
-  ++next_seq_;
-  ++live_;
-  return id;
-}
-
-inline bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  auto [it, inserted] = cancelled_.insert(id.value);
-  (void)it;
-  if (inserted && live_ > 0) {
-    --live_;
-    return true;
-  }
-  return false;
-}
-
-inline void EventQueue::drop_cancelled() {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    auto it = cancelled_.find(top.id.value);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-inline Time EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->drop_cancelled();
-  return heap_.empty() ? kTimeNever : heap_.top().at;
-}
-
-inline EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
-  const Entry& top = heap_.top();
-  Popped out{top.at, std::move(top.fn)};
-  heap_.pop();
-  --live_;
-  return out;
-}
 
 }  // namespace idem::sim

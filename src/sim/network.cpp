@@ -58,13 +58,16 @@ void SimNetwork::send(NodeId from, NodeId to, PayloadPtr message) {
   Duration latency = sample_latency(total_bytes);
   Endpoint* endpoint = to_it->second.endpoint;
   NodeId dest = to;
-  sim_.schedule_after(latency, [this, from, dest, endpoint, message = std::move(message)]() {
+  auto delivery = [this, from, dest, endpoint, message = std::move(message)]() {
     // Re-check liveness at delivery time: the destination may have crashed
     // (been removed) while the message was in flight.
     auto it = nodes_.find(dest.value);
     if (it == nodes_.end() || it->second.endpoint != endpoint) return;
     endpoint->deliver(from, message);
-  });
+  };
+  static_assert(EventQueue::Callback::stores_inline<decltype(delivery)>,
+                "message delivery must not allocate");
+  sim_.schedule_after(latency, std::move(delivery));
 }
 
 void SimNetwork::partition(const std::vector<NodeId>& side_a, const std::vector<NodeId>& side_b) {

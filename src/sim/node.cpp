@@ -17,7 +17,7 @@ Node::~Node() {
 void Node::crash() {
   if (crashed_) return;
   crashed_ = true;
-  queue_.clear();
+  queue_clear();
   processing_ = false;
   // Stay registered with the network so traffic addressed to the crashed
   // node is still *sent* (and counted) by peers; deliveries are dropped in
@@ -26,8 +26,42 @@ void Node::crash() {
 
 void Node::deliver(NodeId from, PayloadPtr message) {
   if (crashed_) return;
-  queue_.push_back(Pending{from, std::move(message)});
+  queue_push(Pending{from, std::move(message)});
   maybe_start_processing();
+}
+
+void Node::queue_push(Pending p) {
+  if (queue_count_ == queue_.size()) {
+    // Full (or never allocated): grow to the next power of two, unrolling
+    // the ring so the live elements are contiguous again from index 0.
+    std::vector<Pending> bigger;
+    std::size_t cap = queue_.empty() ? 8 : queue_.size() * 2;
+    bigger.reserve(cap);
+    for (std::size_t i = 0; i < queue_count_; ++i) {
+      bigger.push_back(std::move(queue_[(queue_head_ + i) & (queue_.size() - 1)]));
+    }
+    bigger.resize(cap);
+    queue_ = std::move(bigger);
+    queue_head_ = 0;
+  }
+  queue_[(queue_head_ + queue_count_) & (queue_.size() - 1)] = std::move(p);
+  ++queue_count_;
+}
+
+Node::Pending Node::queue_pop() {
+  Pending out = std::move(queue_[queue_head_]);
+  queue_[queue_head_] = Pending{};  // drop the payload ref now, not at reuse
+  queue_head_ = (queue_head_ + 1) & (queue_.size() - 1);
+  --queue_count_;
+  return out;
+}
+
+void Node::queue_clear() {
+  for (std::size_t i = 0; i < queue_count_; ++i) {
+    queue_[(queue_head_ + i) & (queue_.size() - 1)] = Pending{};
+  }
+  queue_head_ = 0;
+  queue_count_ = 0;
 }
 
 Duration Node::message_cost(const Payload&) const { return 0; }
@@ -41,11 +75,10 @@ void Node::charge(Duration extra) {
 }
 
 void Node::maybe_start_processing() {
-  if (processing_ || queue_.empty() || crashed_) return;
+  if (processing_ || queue_count_ == 0 || crashed_) return;
   processing_ = true;
 
-  Pending next = std::move(queue_.front());
-  queue_.pop_front();
+  Pending next = queue_pop();
 
   Time start = std::max(now(), busy_until_);
   Duration cost = message_cost(*next.message);
@@ -53,7 +86,7 @@ void Node::maybe_start_processing() {
   busy_until_ = finish;
 
   std::weak_ptr<Node*> weak = alive_;
-  runtime_.schedule_at(finish, [weak, next = std::move(next)]() {
+  auto process = [weak, next = std::move(next)]() {
     auto token = weak.lock();
     if (!token || *token == nullptr) return;
     Node* self = *token;
@@ -61,17 +94,23 @@ void Node::maybe_start_processing() {
     self->processing_ = false;
     self->on_message(next.from, *next.message);
     self->maybe_start_processing();
-  });
+  };
+  static_assert(EventQueue::Callback::stores_inline<decltype(process)>,
+                "per-message dispatch must not allocate");
+  runtime_.schedule_at(finish, std::move(process));
 }
 
-TimerId Node::set_timer(Duration delay, std::function<void()> fn) {
+TimerId Node::set_timer(Duration delay, TimerCallback fn) {
   std::weak_ptr<Node*> weak = alive_;
-  EventId event = runtime_.schedule_after(delay, [weak, fn = std::move(fn)]() {
+  auto fire = [weak, fn = std::move(fn)]() mutable {
     auto token = weak.lock();
     if (!token || *token == nullptr) return;
     if ((*token)->crashed_) return;
     fn();
-  });
+  };
+  static_assert(EventQueue::Callback::stores_inline<decltype(fire)>,
+                "timer arming must not allocate");
+  EventId event = runtime_.schedule_after(delay, std::move(fire));
   return TimerId{event};
 }
 

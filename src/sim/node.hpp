@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
+#include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/time.hpp"
 #include "sim/runtime.hpp"
 #include "sim/transport.hpp"
@@ -24,6 +24,12 @@ struct TimerId {
   EventId event;
   bool valid() const { return event.valid(); }
 };
+
+/// Timer callback storage. 64 inline bytes fit every protocol timer in the
+/// tree (request timeouts capture an id plus a couple of pointers); the
+/// node's liveness wrapper around it then fills EventQueue::Callback's 96
+/// bytes exactly, so arming a timer never allocates.
+using TimerCallback = InlineFunction<void(), 64>;
 
 class Node : public Endpoint {
  public:
@@ -48,7 +54,7 @@ class Node : public Endpoint {
 
   /// Length of the service queue (messages waiting for CPU), exposed for
   /// tests and load metrics.
-  std::size_t queue_length() const { return queue_.size(); }
+  std::size_t queue_length() const { return queue_count_; }
 
  protected:
   /// Handles one message. Invoked when the message's service time has
@@ -75,7 +81,7 @@ class Node : public Endpoint {
 
   /// Schedules `fn` after `delay`. Timer callbacks fire even while the CPU
   /// is busy (they model interrupt-driven timeouts) but never after a crash.
-  TimerId set_timer(Duration delay, std::function<void()> fn);
+  TimerId set_timer(Duration delay, TimerCallback fn);
 
   /// Cancels a pending timer; invalidates the id. No-op when already fired.
   void cancel_timer(TimerId& id);
@@ -93,11 +99,21 @@ class Node : public Endpoint {
 
   void maybe_start_processing();
 
+  // Service queue as a grow-only power-of-two ring buffer: once warmed up,
+  // enqueue/dequeue never allocate (std::deque allocates a block roughly
+  // every page of churn, which breaks the kernel's steady-state
+  // zero-allocation budget — see tests/alloc_test.cpp).
+  void queue_push(Pending p);
+  Pending queue_pop();
+  void queue_clear();
+
   Runtime& runtime_;
   Transport& net_;
   NodeId id_;
   bool crashed_ = false;
-  std::deque<Pending> queue_;
+  std::vector<Pending> queue_;  // ring storage; capacity is a power of two
+  std::size_t queue_head_ = 0;
+  std::size_t queue_count_ = 0;
   bool processing_ = false;
   Time busy_until_ = 0;
   // Liveness token: scheduled lambdas hold a weak_ptr and become no-ops

@@ -66,11 +66,15 @@ class Simulator final : public Runtime {
   void step() {
     auto ev = queue_.pop();
     now_ = ev.at;
+    ++executed_;
     ev.fn();
   }
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events dispatched since construction (for benchmarks).
+  std::uint64_t events_executed() const { return executed_; }
 
   /// Returns a deterministic per-component RNG. The same (seed, name) pair
   /// always yields the same stream; distinct names are independent.
@@ -96,6 +100,7 @@ class Simulator final : public Runtime {
 
   std::uint64_t seed_;
   Time now_ = 0;
+  std::uint64_t executed_ = 0;
   EventQueue queue_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Rng>> rngs_;
 };

@@ -96,6 +96,72 @@ TEST(Codec, TruncatedStringThrows) {
   EXPECT_THROW(r.str(), CodecError);
 }
 
+TEST(Codec, HostileLengthPrefixNearOverflowThrows) {
+  // A length prefix close to 2^64 made the old bounds check wrap:
+  // pos_ + n overflowed and the read passed, handing out-of-bounds memory
+  // to bytes()/str(). The check must reject any n beyond the remainder.
+  for (std::uint64_t hostile : {0xFFFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFEull,
+                                0x8000000000000000ull, 0xFFFFFFFFFFFFull}) {
+    ByteWriter w;
+    w.u8(5);  // leading byte so pos_ > 0 when the length is read
+    w.varint(hostile);
+    ByteReader r(w.data());
+    (void)r.u8();
+    EXPECT_THROW(r.bytes(), CodecError) << "n=" << hostile;
+    ByteReader r2(w.data());
+    (void)r2.u8();
+    EXPECT_THROW(r2.str(), CodecError) << "n=" << hostile;
+  }
+}
+
+TEST(Codec, HostileLengthOnePastEndThrows) {
+  ByteWriter w;
+  w.varint(9);  // promises 9 bytes
+  w.u64(0);     // provides 8
+  ByteReader r(w.data());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, ExactLengthAtEndSucceeds) {
+  ByteWriter w;
+  w.varint(8);
+  w.u64(0x1122334455667788ull);
+  ByteReader r(w.data());
+  auto out = r.bytes();
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Codec, OverlongVarintThrows) {
+  std::vector<std::byte> data(11, std::byte{0x80});  // never terminates
+  ByteReader r(data);
+  EXPECT_THROW(r.varint(), CodecError);
+}
+
+TEST(Codec, WriterReserveAndBulkAppendsMatchByteLayout) {
+  // The bulk/memcpy append paths must produce the identical little-endian
+  // layout as the byte-at-a-time ones (wire compatibility).
+  ByteWriter w;
+  w.reserve(64);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("abc");
+  const auto& buf = w.data();
+  ASSERT_EQ(buf.size(), 2u + 4u + 8u + 1u + 3u);
+  EXPECT_EQ(buf[0], std::byte{0xEF});
+  EXPECT_EQ(buf[1], std::byte{0xBE});
+  EXPECT_EQ(buf[2], std::byte{0xEF});
+  EXPECT_EQ(buf[3], std::byte{0xBE});
+  EXPECT_EQ(buf[4], std::byte{0xAD});
+  EXPECT_EQ(buf[5], std::byte{0xDE});
+  EXPECT_EQ(buf[6], std::byte{0xEF});
+  EXPECT_EQ(buf[13], std::byte{0x01});
+  EXPECT_EQ(buf[14], std::byte{3});  // varint length of "abc"
+  EXPECT_EQ(buf[15], std::byte{'a'});
+}
+
 TEST(Codec, RequestIdRoundTrip) {
   RequestId id{ClientId{77}, OpNum{123456}};
   ByteWriter w;

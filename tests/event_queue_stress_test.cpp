@@ -1,0 +1,193 @@
+// Regression + stress tests for the indexed event queue.
+//
+// The pre-PR1 queue (priority_queue + tombstone set) had a corruption bug:
+// cancelling an already-fired or never-issued EventId inserted a permanent
+// tombstone and wrongly decremented the live-event count, desynchronizing
+// size()/empty() from reality. These tests pin the correct semantics and
+// additionally check the heap against a naive reference model under
+// randomized interleaved push/cancel/pop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace idem::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cancellation semantics regressions
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueCancel, CancelAfterFireIsRejected) {
+  EventQueue q;
+  EventId id = q.push(10, [] {});
+  q.push(20, [] {});
+  q.pop().fn();  // fires the id=10 event
+
+  // Old bug: this decremented live_ and left a tombstone; size() went to 0
+  // with one event still pending.
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time(), 20);
+  EXPECT_EQ(q.pop().at, 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCancel, DoubleCancelDoesNotCorruptSize) {
+  EventQueue q;
+  EventId id = q.push(10, [] {});
+  q.push(20, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().at, 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCancel, CancelOfInvalidIdIsRejected) {
+  EventQueue q;
+  q.push(10, [] {});
+  EXPECT_FALSE(q.cancel(EventId{}));                 // default / null id
+  EXPECT_FALSE(q.cancel(EventId{0xDEADBEEFull}));    // never issued
+  EXPECT_FALSE(q.cancel(EventId{~0ull}));            // absurd slot index
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueCancel, StaleIdDoesNotCancelSlotReuser) {
+  EventQueue q;
+  EventId a = q.push(10, [] {});
+  EXPECT_TRUE(q.cancel(a));
+  // b reuses a's storage slot; the stale id must not reach it.
+  bool b_fired = false;
+  EventId b = q.push(20, [&] { b_fired = true; });
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(b_fired);
+  // And now that b fired, its own id is stale too.
+  EXPECT_FALSE(q.cancel(b));
+}
+
+TEST(EventQueueCancel, CancelReleasesCapturedState) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = token;
+  EventId id = q.push(10, [held = std::move(token)] { (void)held; });
+  EXPECT_FALSE(weak.expired());
+  EXPECT_TRUE(q.cancel(id));
+  // In-place cancellation must drop the capture immediately, not at pop.
+  EXPECT_TRUE(weak.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized stress against a naive reference model
+// ---------------------------------------------------------------------------
+
+struct RefEvent {
+  Time at = 0;
+  std::uint64_t ticket = 0;  // insertion order, the FIFO tie-break
+  EventId id;
+  bool alive = false;
+};
+
+TEST(EventQueueStress, MatchesReferenceModel) {
+  EventQueue q;
+  Rng rng(2026, 0xEC);
+  std::vector<RefEvent> model;  // all ever-issued events, alive or not
+  std::uint64_t next_ticket = 1;
+  std::uint64_t last_fired_ticket = 0;
+  Time clock = 0;  // max popped time so far; pushes never go into the past
+
+  auto model_alive = [&] {
+    return std::count_if(model.begin(), model.end(), [](const RefEvent& e) { return e.alive; });
+  };
+
+  for (int op = 0; op < 30'000; ++op) {
+    int kind = static_cast<int>(rng.uniform_int(0, 99));
+    if (kind < 50) {
+      // Push at a time >= the last popped time; duplicates are common so the
+      // FIFO tie-break is exercised hard.
+      Time at = clock + rng.uniform_int(0, 50);
+      std::uint64_t ticket = next_ticket++;
+      EventId id = q.push(at, [&last_fired_ticket, ticket] { last_fired_ticket = ticket; });
+      model.push_back(RefEvent{at, ticket, id, true});
+    } else if (kind < 75) {
+      if (model.empty()) continue;
+      // Cancel a random ever-issued id: may be pending, fired, or cancelled.
+      RefEvent& target = model[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(model.size()) - 1))];
+      bool expect = target.alive;
+      EXPECT_EQ(q.cancel(target.id), expect) << "op " << op;
+      target.alive = false;
+    } else {
+      if (q.empty()) continue;
+      // Pop: must return the earliest (at, ticket) alive event.
+      auto it = std::min_element(model.begin(), model.end(),
+                                 [](const RefEvent& a, const RefEvent& b) {
+                                   if (a.alive != b.alive) return a.alive;
+                                   if (a.at != b.at) return a.at < b.at;
+                                   return a.ticket < b.ticket;
+                                 });
+      ASSERT_TRUE(it != model.end() && it->alive);
+      auto popped = q.pop();
+      popped.fn();
+      EXPECT_EQ(popped.at, it->at) << "op " << op;
+      EXPECT_EQ(last_fired_ticket, it->ticket) << "op " << op;
+      clock = popped.at;
+      it->alive = false;
+    }
+    ASSERT_EQ(q.size(), static_cast<std::size_t>(model_alive())) << "op " << op;
+    ASSERT_EQ(q.empty(), model_alive() == 0) << "op " << op;
+  }
+
+  // Drain: remaining events must come out in exact (at, ticket) order.
+  std::vector<RefEvent> rest;
+  for (const RefEvent& e : model) {
+    if (e.alive) rest.push_back(e);
+  }
+  std::sort(rest.begin(), rest.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.ticket < b.ticket;
+  });
+  for (const RefEvent& e : rest) {
+    ASSERT_FALSE(q.empty());
+    auto popped = q.pop();
+    popped.fn();
+    EXPECT_EQ(popped.at, e.at);
+    EXPECT_EQ(last_fired_ticket, e.ticket);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueStress, HeavyChurnKeepsFifoOrder) {
+  // Many equal timestamps + interleaved cancels: FIFO order must survive
+  // arbitrary heap restructuring.
+  EventQueue q;
+  Rng rng(99, 3);
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.push(i / 10, [&fired, i] { fired.push_back(i); }));
+  }
+  std::size_t kept = 2000;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.bernoulli(0.3) && q.cancel(ids[static_cast<std::size_t>(i)])) --kept;
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(fired.size(), kept);
+  // Timestamps are i/10 and insertion order is i, so (time, FIFO) order
+  // implies the surviving indices fire in strictly increasing order.
+  for (std::size_t k = 1; k < fired.size(); ++k) {
+    EXPECT_LT(fired[k - 1], fired[k]);
+  }
+}
+
+}  // namespace
+}  // namespace idem::sim

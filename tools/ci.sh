@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests, an ASan+UBSan test pass, and a sim-core bench smoke.
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast  skip the sanitizer pass (tier-1 + bench smoke only)
+#
+# Build dirs: build/ (plain), build-asan/ (address,undefined). Both are
+# cmake-standard and safe to delete.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${FAST}" -eq 0 ]]; then
+  echo "== sanitizers: ASan+UBSan build =="
+  cmake -B build-asan -S . -DIDEM_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "${JOBS}"
+
+  echo "== sanitizers: ctest =="
+  (cd build-asan && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+      ctest --output-on-failure -j "${JOBS}")
+fi
+
+echo "== bench: sim-core smoke =="
+IDEM_SIMCORE_SMOKE=1 IDEM_SIMCORE_JSON=/dev/null ./build/bench/micro_simcore
+
+echo "CI OK"
