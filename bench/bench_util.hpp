@@ -1,10 +1,15 @@
 // Shared helpers for the experiment binaries.
 //
 // Environment knobs (all optional):
-//   IDEM_BENCH_SECONDS  measurement seconds per data point (default 5)
-//   IDEM_BENCH_WARMUP   warm-up seconds per data point (default 1)
-//   IDEM_BENCH_RUNS     independent runs (seeds) averaged per point (default 1)
-//   IDEM_BENCH_CSV      when set, also print CSV after each table
+//   IDEM_BENCH_SECONDS      measurement seconds per data point (default 5)
+//   IDEM_BENCH_WARMUP       warm-up seconds per data point (default 1)
+//   IDEM_BENCH_RUNS         independent runs (seeds) averaged per point (default 1)
+//   IDEM_BENCH_CSV          when set, also print CSV after each table
+//   IDEM_BENCH_TRACE_OUT    record request lifecycles and write a Chrome
+//                           trace JSON here (rewritten per load point; the
+//                           last point's trace survives)
+//   IDEM_BENCH_METRICS_OUT  sample per-replica metrics every 100 ms and
+//                           write JSONL here (same rewrite semantics)
 #pragma once
 
 #include <cstdio>
@@ -16,6 +21,7 @@
 #include "harness/driver.hpp"
 #include "harness/metrics.hpp"
 #include "harness/table.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace idem::bench {
 
@@ -43,6 +49,38 @@ inline int bench_runs() { return env_int("IDEM_BENCH_RUNS", 1); }
 
 inline bool csv_enabled() { return std::getenv("IDEM_BENCH_CSV") != nullptr; }
 
+inline const char* env_path(const char* name) {
+  const char* value = std::getenv(name);
+  return (value != nullptr && *value != '\0') ? value : nullptr;
+}
+
+/// Applies the IDEM_BENCH_TRACE_OUT / IDEM_BENCH_METRICS_OUT knobs.
+inline void apply_obs_env(harness::ClusterConfig& config) {
+  if (env_path("IDEM_BENCH_TRACE_OUT") != nullptr) config.obs.trace = true;
+  if (env_path("IDEM_BENCH_METRICS_OUT") != nullptr) {
+    config.obs.metrics_interval = 100 * kMillisecond;
+  }
+}
+
+/// Writes the obs sinks of a finished run to the env-selected paths.
+/// Each call rewrites the files, so a sweep leaves the last point behind.
+inline void export_obs_env(harness::Cluster& cluster) {
+  if (const char* path = env_path("IDEM_BENCH_TRACE_OUT");
+      path != nullptr && cluster.trace() != nullptr) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      obs::write_chrome_trace(f, cluster.trace()->snapshot());
+      std::fclose(f);
+    }
+  }
+  if (const char* path = env_path("IDEM_BENCH_METRICS_OUT");
+      path != nullptr && cluster.metrics() != nullptr) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      cluster.metrics()->write_jsonl(f);
+      std::fclose(f);
+    }
+  }
+}
+
 /// Metrics of one load point averaged over `runs` independent seeds.
 struct LoadPoint {
   std::size_t clients = 0;
@@ -50,7 +88,10 @@ struct LoadPoint {
   double reject_kops = 0;       ///< rejections per second / 1000
   double reply_ms = 0;          ///< mean reply latency
   double reply_stddev_ms = 0;
+  double reply_p50_ms = 0;
+  double reply_p90_ms = 0;
   double reply_p99_ms = 0;
+  double reply_p999_ms = 0;
   double reject_ms = 0;         ///< mean reject latency
   double reject_stddev_ms = 0;
   double timeouts_per_s = 0;
@@ -67,15 +108,20 @@ inline LoadPoint run_load_point(harness::ClusterConfig base, std::size_t clients
     harness::ClusterConfig config = base;
     config.clients = clients;
     config.seed = base.seed + static_cast<std::uint64_t>(run) * 7919;
+    apply_obs_env(config);
     harness::Cluster cluster(config);
     harness::ClosedLoopDriver driver(cluster, driver_config);
     harness::RunMetrics metrics = driver.run();
+    export_obs_env(cluster);
 
     point.reply_kops += metrics.reply_throughput() / 1000.0;
     point.reject_kops += metrics.reject_throughput() / 1000.0;
     point.reply_ms += metrics.reply_latency_ms();
     point.reply_stddev_ms += metrics.reply_latency_stddev_ms();
-    point.reply_p99_ms += to_ms(metrics.reply_latency.p99());
+    point.reply_p50_ms += metrics.reply_p50_ms();
+    point.reply_p90_ms += metrics.reply_p90_ms();
+    point.reply_p99_ms += metrics.reply_p99_ms();
+    point.reply_p999_ms += metrics.reply_p999_ms();
     point.reject_ms += metrics.reject_latency_ms();
     point.reject_stddev_ms += metrics.reject_latency_stddev_ms();
     point.timeouts_per_s += static_cast<double>(metrics.timeouts) / to_sec(metrics.measured);
@@ -85,7 +131,10 @@ inline LoadPoint run_load_point(harness::ClusterConfig base, std::size_t clients
   point.reject_kops *= inv;
   point.reply_ms *= inv;
   point.reply_stddev_ms *= inv;
+  point.reply_p50_ms *= inv;
+  point.reply_p90_ms *= inv;
   point.reply_p99_ms *= inv;
+  point.reply_p999_ms *= inv;
   point.reject_ms *= inv;
   point.reject_stddev_ms *= inv;
   point.timeouts_per_s *= inv;

@@ -30,13 +30,17 @@ int main() {
     base.reject_threshold = 50;
 
     harness::Table table({"system", "clients", "throughput[kreq/s]", "latency[ms]",
-                          "stddev[ms]", "p99[ms]", "rejects[kreq/s]"});
+                          "stddev[ms]", "p50[ms]", "p90[ms]", "p99[ms]", "p99.9[ms]",
+                          "rejects[kreq/s]"});
     for (std::size_t clients : client_counts) {
       bench::LoadPoint point = bench::run_load_point(base, clients, driver);
       table.add_row({harness::protocol_name(protocol), harness::Table::fmt(std::uint64_t(clients)),
                      harness::Table::fmt(point.reply_kops), harness::Table::fmt(point.reply_ms, 3),
                      harness::Table::fmt(point.reply_stddev_ms, 3),
+                     harness::Table::fmt(point.reply_p50_ms, 3),
+                     harness::Table::fmt(point.reply_p90_ms, 3),
                      harness::Table::fmt(point.reply_p99_ms, 3),
+                     harness::Table::fmt(point.reply_p999_ms, 3),
                      harness::Table::fmt(point.reject_kops)});
     }
     bench::print_table(table);

@@ -118,13 +118,17 @@ struct Fig6Result {
   double reply_kops = 0;
 };
 
-/// Section 3: fixed fig6-style 4x-overload point (IDEM, 200 clients).
-Fig6Result bench_fig6_overload(Duration warmup, Duration measure) {
+/// One fig6-style 4x-overload run (IDEM, 200 clients). With `traced` it
+/// records the full request-lifecycle trace; the wall-clock delta against
+/// the untraced run is the tracer's overhead (the simulated trajectory
+/// itself must be identical — see obs_test).
+Fig6Result run_fig6_once(Duration warmup, Duration measure, bool traced) {
   harness::ClusterConfig config;
   config.protocol = harness::Protocol::Idem;
   config.clients = 200;  // 4x the fig6 1x-baseline of 50 clients
   config.reject_threshold = 50;
   config.seed = 1;
+  config.obs.trace = traced;
 
   harness::DriverConfig driver;
   driver.warmup = warmup;
@@ -140,6 +144,20 @@ Fig6Result bench_fig6_overload(Duration warmup, Duration measure) {
   out.events_per_sec = out.events / out.wall_s;
   out.reply_kops = metrics.reply_throughput() / 1000.0;
   return out;
+}
+
+/// Section 3: best-of-`reps` untraced and traced fig6 runs, interleaved
+/// (untraced, traced, untraced, ...) so background-load bursts hit both
+/// variants alike — a single run's wall clock is far noisier than the
+/// tracer cost being measured.
+void bench_fig6_overload(Duration warmup, Duration measure, int reps, Fig6Result& untraced,
+                         Fig6Result& traced) {
+  for (int rep = 0; rep < reps; ++rep) {
+    Fig6Result plain = run_fig6_once(warmup, measure, false);
+    if (rep == 0 || plain.wall_s < untraced.wall_s) untraced = plain;
+    Fig6Result rec = run_fig6_once(warmup, measure, true);
+    if (rep == 0 || rec.wall_s < traced.wall_s) traced = rec;
+  }
 }
 
 }  // namespace
@@ -168,10 +186,20 @@ int main() {
   }
 
   Fig6Result fig6;
+  Fig6Result fig6_traced;
+  double trace_overhead_pct = 0;
   if (section_enabled("fig6")) {
-    fig6 = bench_fig6_overload(warmup, measure);
+    bench_fig6_overload(warmup, measure, /*reps=*/quick ? 3 : 5, fig6, fig6_traced);
     std::printf("fig6 4x overload    : %10.2f M events/s  (%.0f events, %.3f s wall, %.1f kreq/s)\n",
                 fig6.events_per_sec / 1e6, fig6.events, fig6.wall_s, fig6.reply_kops);
+    trace_overhead_pct = (fig6_traced.wall_s - fig6.wall_s) / fig6.wall_s * 100.0;
+    std::printf("fig6 traced         : %10.2f M events/s  (%.3f s wall, %+.1f%% overhead)\n",
+                fig6_traced.events_per_sec / 1e6, fig6_traced.wall_s, trace_overhead_pct);
+    if (fig6_traced.events != fig6.events) {
+      std::fprintf(stderr, "WARNING: traced run diverged (%.0f vs %.0f sim events)\n",
+                   fig6_traced.events, fig6.events);
+      return 1;
+    }
   }
 
   const char* path = std::getenv("IDEM_SIMCORE_JSON");
@@ -193,10 +221,16 @@ int main() {
                "    \"wall_seconds\": %.4f,\n"
                "    \"events_per_sec\": %.0f,\n"
                "    \"reply_kops\": %.2f\n"
+               "  },\n"
+               "  \"fig6_traced\": {\n"
+               "    \"wall_seconds\": %.4f,\n"
+               "    \"events_per_sec\": %.0f,\n"
+               "    \"trace_overhead_pct\": %.1f\n"
                "  }\n"
                "}\n",
                quick ? "smoke" : "full", dispatch, timers, fig6.events, fig6.wall_s,
-               fig6.events_per_sec, fig6.reply_kops);
+               fig6.events_per_sec, fig6.reply_kops, fig6_traced.wall_s,
+               fig6_traced.events_per_sec, trace_overhead_pct);
   std::fclose(f);
   std::printf("wrote %s\n", path);
   return 0;

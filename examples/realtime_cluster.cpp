@@ -90,8 +90,7 @@ int main() {
               static_cast<unsigned long long>(state.replies),
               static_cast<double>(state.replies) / 2.0,
               static_cast<unsigned long long>(state.rejects),
-              static_cast<double>(state.latency.p50()) / kMicrosecond,
-              static_cast<double>(state.latency.p99()) / kMicrosecond);
+              to_us(state.latency.p50()), to_us(state.latency.p99()));
 
   std::printf("\nphase 2: crashing the leader (replica 0) live ...\n");
   replicas[0]->crash();
@@ -104,8 +103,7 @@ int main() {
               static_cast<unsigned long long>(replicas[1]->view().value));
   std::printf("  %llu replies after the crash | latency p50 %.0f us, p99 %.0f us\n",
               static_cast<unsigned long long>(state.replies),
-              static_cast<double>(state.latency.p50()) / kMicrosecond,
-              static_cast<double>(state.latency.p99()) / kMicrosecond);
+              to_us(state.latency.p50()), to_us(state.latency.p99()));
 
   std::printf("\nThe protocol stack (replica + client code) is byte-identical to the\n"
               "one the simulator benchmarks — only Runtime and Transport differ.\n");

@@ -38,6 +38,7 @@ class Histogram {
   Duration quantile(double q) const;
 
   Duration p50() const { return quantile(0.50); }
+  Duration p90() const { return quantile(0.90); }
   Duration p99() const { return quantile(0.99); }
   Duration p999() const { return quantile(0.999); }
 

@@ -30,11 +30,21 @@ std::string concat(Args&&... args) {
 }
 }  // namespace detail
 
-#define IDEM_LOG(level, component, ...)                                              \
-  do {                                                                               \
-    if (::idem::Logger::enabled(level)) {                                            \
-      ::idem::Logger::write(level, component, ::idem::detail::concat(__VA_ARGS__));  \
-    }                                                                                \
+/// Compile-time level floor. LOG_* calls below this level compile to
+/// nothing — the format arguments are never evaluated and the branch
+/// disappears entirely, so Trace/Debug statements cost zero in builds
+/// that define a higher floor (Release defines 2 = Info by default).
+#ifndef IDEM_LOG_COMPILE_LEVEL
+#define IDEM_LOG_COMPILE_LEVEL 0
+#endif
+
+#define IDEM_LOG(level, component, ...)                                               \
+  do {                                                                                \
+    if constexpr (static_cast<int>(level) >= IDEM_LOG_COMPILE_LEVEL) {                \
+      if (::idem::Logger::enabled(level)) {                                           \
+        ::idem::Logger::write(level, component, ::idem::detail::concat(__VA_ARGS__)); \
+      }                                                                               \
+    }                                                                                 \
   } while (0)
 
 #define LOG_TRACE(component, ...) IDEM_LOG(::idem::LogLevel::Trace, component, __VA_ARGS__)

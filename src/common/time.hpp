@@ -26,8 +26,16 @@ constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
 constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
 constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
 
+/// Converts a duration to floating-point microseconds (for reporting).
+constexpr double to_us(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+
 /// Converts a duration to floating-point milliseconds (for reporting).
 constexpr double to_ms(Duration d) { return static_cast<double>(d) / kMillisecond; }
+
+/// Overloads for durations already averaged into floating point
+/// (e.g. Histogram::mean()) — avoids a lossy round-trip through Duration.
+constexpr double to_us(double ns) { return ns / kMicrosecond; }
+constexpr double to_ms(double ns) { return ns / kMillisecond; }
 
 /// Converts a duration to floating-point seconds (for reporting).
 constexpr double to_sec(Duration d) { return static_cast<double>(d) / kSecond; }

@@ -20,6 +20,9 @@ const char* protocol_name(Protocol protocol) {
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   sim_ = std::make_unique<sim::Simulator>(config_.seed);
   net_ = std::make_unique<sim::SimNetwork>(*sim_, config_.network);
+  if (config_.obs.trace) {
+    trace_ = std::make_unique<obs::TraceRecorder>(config_.obs.trace_capacity);
+  }
 
   // Preload the key-value store once and snapshot it, so every replica
   // starts from the identical state without replaying the load phase.
@@ -42,6 +45,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       rc.n = n;
       rc.f = config_.f;
       rc.reject_threshold = config_.reject_threshold;
+      rc.trace = trace_.get();
       for (std::size_t i = 0; i < n; ++i) {
         std::unique_ptr<core::AcceptanceTest> test;
         if (config_.acceptance_factory) {
@@ -66,6 +70,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       core::IdemClientConfig cc = config_.idem_client;
       cc.n = n;
       cc.f = config_.f;
+      cc.trace = trace_.get();
       for (std::size_t i = 0; i < config_.clients; ++i) {
         auto client = std::make_unique<core::IdemClient>(*sim_, *net_, ClientId{i}, cc);
         clients_.push_back(client.get());
@@ -80,12 +85,14 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       rc.f = config_.f;
       rc.reject_threshold =
           config_.protocol == Protocol::PaxosLBR ? config_.reject_threshold : 0;
+      rc.trace = trace_.get();
       for (std::size_t i = 0; i < n; ++i) {
         replicas_.push_back(std::make_unique<paxos::PaxosReplica>(
             *sim_, *net_, ReplicaId{static_cast<std::uint32_t>(i)}, rc, make_store()));
       }
       paxos::PaxosClientConfig cc = config_.paxos_client;
       cc.n = n;
+      cc.trace = trace_.get();
       for (std::size_t i = 0; i < config_.clients; ++i) {
         auto client = std::make_unique<paxos::PaxosClient>(*sim_, *net_, ClientId{i}, cc);
         clients_.push_back(client.get());
@@ -98,6 +105,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       rc.n = n;
       rc.f = config_.f;
       rc.reject_threshold = config_.reject_threshold;
+      rc.trace = trace_.get();
       core::IdemConfig acceptance_params = config_.idem;
       acceptance_params.n = n;
       acceptance_params.f = config_.f;
@@ -115,6 +123,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       core::IdemClientConfig cc = config_.idem_client;
       cc.n = n;
       cc.f = config_.f;
+      cc.trace = trace_.get();
       for (std::size_t i = 0; i < config_.clients; ++i) {
         auto client = std::make_unique<core::IdemClient>(*sim_, *net_, ClientId{i}, cc);
         clients_.push_back(client.get());
@@ -126,12 +135,14 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       smart::SmartConfig rc = config_.smart;
       rc.n = n;
       rc.f = config_.f;
+      rc.trace = trace_.get();
       for (std::size_t i = 0; i < n; ++i) {
         replicas_.push_back(std::make_unique<smart::SmartReplica>(
             *sim_, *net_, ReplicaId{static_cast<std::uint32_t>(i)}, rc, make_store()));
       }
       smart::SmartClientConfig cc = config_.smart_client;
       cc.n = n;
+      cc.trace = trace_.get();
       for (std::size_t i = 0; i < config_.clients; ++i) {
         auto client = std::make_unique<smart::SmartClient>(*sim_, *net_, ClientId{i}, cc);
         clients_.push_back(client.get());
@@ -140,9 +151,86 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       break;
     }
   }
+
+  if (config_.obs.metrics_interval > 0) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    register_metrics();
+    schedule_metrics_tick();
+  }
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::register_metrics() {
+  obs::MetricsRegistry& reg = *metrics_;
+  reg.add_gauge("net.dropped",
+                [this] { return static_cast<double>(net_->dropped_messages()); });
+  reg.add_gauge("net.client_bytes",
+                [this] { return static_cast<double>(net_->client_traffic().bytes); });
+  reg.add_gauge("net.replica_bytes",
+                [this] { return static_cast<double>(net_->replica_traffic().bytes); });
+
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const std::string p = "r" + std::to_string(i);
+    sim::Node* node = replicas_[i].get();
+    reg.add_gauge(p + ".queue",
+                  [node] { return static_cast<double>(node->queue_length()); });
+    reg.add_gauge(p + ".tx_bytes", [this, node] {
+      const sim::TrafficStats* t = net_->node_traffic(node->id());
+      return t != nullptr ? static_cast<double>(t->bytes) : 0.0;
+    });
+    reg.add_gauge(p + ".tx_msgs", [this, node] {
+      const sim::TrafficStats* t = net_->node_traffic(node->id());
+      return t != nullptr ? static_cast<double>(t->messages) : 0.0;
+    });
+
+    if (auto* r = dynamic_cast<core::IdemReplica*>(node)) {
+      reg.add_gauge(p + ".inflight",
+                    [r] { return static_cast<double>(r->active_requests()); });
+      reg.add_gauge(p + ".accepted",
+                    [r] { return static_cast<double>(r->stats().accepted); });
+      reg.add_gauge(p + ".rejected",
+                    [r] { return static_cast<double>(r->stats().rejected); });
+      reg.add_gauge(p + ".executed",
+                    [r] { return static_cast<double>(r->stats().executed); });
+      reg.add_gauge(p + ".view_changes",
+                    [r] { return static_cast<double>(r->stats().view_changes); });
+    } else if (auto* px = dynamic_cast<paxos::PaxosReplica*>(node)) {
+      reg.add_gauge(p + ".inflight",
+                    [px] { return static_cast<double>(px->backlog()); });
+      reg.add_gauge(p + ".accepted",
+                    [px] { return static_cast<double>(px->stats().accepted); });
+      reg.add_gauge(p + ".rejected",
+                    [px] { return static_cast<double>(px->stats().rejected); });
+      reg.add_gauge(p + ".executed",
+                    [px] { return static_cast<double>(px->stats().executed); });
+      reg.add_gauge(p + ".view_changes",
+                    [px] { return static_cast<double>(px->stats().view_changes); });
+    } else if (auto* spr = dynamic_cast<smart::SmartPrReplica*>(node)) {
+      reg.add_gauge(p + ".inflight",
+                    [spr] { return static_cast<double>(spr->active_requests()); });
+      reg.add_gauge(p + ".accepted",
+                    [spr] { return static_cast<double>(spr->stats().accepted); });
+      reg.add_gauge(p + ".rejected",
+                    [spr] { return static_cast<double>(spr->stats().rejected); });
+      reg.add_gauge(p + ".executed",
+                    [spr] { return static_cast<double>(spr->stats().executed); });
+    } else if (auto* s = dynamic_cast<smart::SmartReplica*>(node)) {
+      reg.add_gauge(p + ".inflight",
+                    [s] { return static_cast<double>(s->backlog()); });
+      reg.add_gauge(p + ".executed",
+                    [s] { return static_cast<double>(s->stats().executed); });
+    }
+  }
+  reg.reserve_samples(config_.obs.metrics_reserve);
+}
+
+void Cluster::schedule_metrics_tick() {
+  sim_->schedule_after(config_.obs.metrics_interval, [this] {
+    metrics_->sample(sim_->now());
+    schedule_metrics_tick();
+  });
+}
 
 std::unique_ptr<app::StateMachine> Cluster::make_store() {
   auto store = std::make_unique<app::KvStore>(config_.kv_costs);

@@ -13,6 +13,8 @@
 #include "consensus/service_client.hpp"
 #include "idem/client.hpp"
 #include "idem/replica.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "paxos/client.hpp"
 #include "paxos/replica.hpp"
 #include "sim/network.hpp"
@@ -36,6 +38,21 @@ enum class Protocol {
 
 const char* protocol_name(Protocol protocol);
 
+/// Observability knobs. Both sinks are off by default; enabling them must
+/// not perturb the simulation (tracing adds no events, metrics sampling
+/// adds only its own tick events, and neither touches any RNG stream).
+struct ObsConfig {
+  /// Record per-request lifecycle spans into a Cluster-owned TraceRecorder.
+  bool trace = false;
+  /// Ring capacity (events) of the trace recorder.
+  std::size_t trace_capacity = 1u << 18;
+  /// Sample the metrics registry every `metrics_interval`; 0 disables the
+  /// registry entirely.
+  Duration metrics_interval = 0;
+  /// Sample rows pre-reserved so steady-state sampling never allocates.
+  std::size_t metrics_reserve = 4096;
+};
+
 struct ClusterConfig {
   Protocol protocol = Protocol::Idem;
   std::size_t n = 3;
@@ -53,6 +70,8 @@ struct ClusterConfig {
   smart::SmartConfig smart;
   smart::SmartClientConfig smart_client;
   smart::SmartPrConfig smart_pr;
+
+  ObsConfig obs;
 
   app::KvStore::Costs kv_costs;
   app::YcsbConfig workload = app::YcsbConfig::update_heavy();
@@ -78,6 +97,13 @@ class Cluster {
   sim::Simulator& simulator() { return *sim_; }
   sim::SimNetwork& network() { return *net_; }
 
+  /// Trace recorder shared by every replica and client, or nullptr when
+  /// tracing is disabled (ObsConfig::trace == false).
+  obs::TraceRecorder* trace() { return trace_.get(); }
+  /// Metrics registry sampled on the simulated-time tick, or nullptr when
+  /// ObsConfig::metrics_interval == 0.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
   std::size_t num_clients() const { return clients_.size(); }
   consensus::ServiceClient& client(std::size_t index) { return *clients_[index]; }
 
@@ -97,10 +123,14 @@ class Cluster {
 
  private:
   std::unique_ptr<app::StateMachine> make_store();
+  void register_metrics();
+  void schedule_metrics_tick();
 
   ClusterConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::SimNetwork> net_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<sim::Node>> replicas_;
   std::vector<std::unique_ptr<sim::Node>> client_nodes_;
   std::vector<consensus::ServiceClient*> clients_;

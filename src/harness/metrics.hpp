@@ -36,10 +36,16 @@ struct RunMetrics {
   double reject_throughput() const {
     return measured > 0 ? static_cast<double>(rejects) / to_sec(measured) : 0.0;
   }
-  double reply_latency_ms() const { return reply_latency.mean() / kMillisecond; }
-  double reply_latency_stddev_ms() const { return reply_latency.stddev() / kMillisecond; }
-  double reject_latency_ms() const { return reject_latency.mean() / kMillisecond; }
-  double reject_latency_stddev_ms() const { return reject_latency.stddev() / kMillisecond; }
+  double reply_latency_ms() const { return to_ms(reply_latency.mean()); }
+  double reply_latency_stddev_ms() const { return to_ms(reply_latency.stddev()); }
+  double reject_latency_ms() const { return to_ms(reject_latency.mean()); }
+  double reject_latency_stddev_ms() const { return to_ms(reject_latency.stddev()); }
+
+  // Tail percentiles of the reply distribution, in milliseconds.
+  double reply_p50_ms() const { return to_ms(reply_latency.p50()); }
+  double reply_p90_ms() const { return to_ms(reply_latency.p90()); }
+  double reply_p99_ms() const { return to_ms(reply_latency.p99()); }
+  double reply_p999_ms() const { return to_ms(reply_latency.p999()); }
   std::uint64_t total_bytes() const { return client_traffic.bytes + replica_traffic.bytes; }
 };
 

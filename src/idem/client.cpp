@@ -20,6 +20,7 @@ void IdemClient::invoke(std::vector<std::byte> command, Callback callback) {
   op.callback = std::move(callback);
   op.issued = now();
   pending_ = std::move(op);
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestIssued, id().value, pending_->id);
 
   multicast_request();
   arm_retry();
@@ -43,6 +44,8 @@ void IdemClient::arm_retry() {
   retry_timer_ = set_timer(config_.retry_interval, [this] {
     retry_timer_ = sim::TimerId{};
     if (!pending_) return;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestRetry, id().value,
+               pending_->id);
     multicast_request();
     arm_retry();
   });
@@ -63,6 +66,8 @@ void IdemClient::on_message(sim::NodeId from, const sim::Payload& message) {
   if (base->type() == msg::Type::Reject) {
     const auto& reject = static_cast<const msg::Reject&>(*base);
     if (reject.id != pending_->id) return;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RejectSeen, id().value, pending_->id,
+               from.value);
     pending_->rejects.insert(from.value);
     const std::size_t rejects = pending_->rejects.size();
 
@@ -90,6 +95,8 @@ void IdemClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> 
   cancel_timer(retry_timer_);
   cancel_timer(ambivalence_timer_);
   cancel_timer(deadline_timer_);
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestOutcome, id().value,
+             pending_->id, static_cast<std::uint64_t>(kind));
 
   consensus::Outcome outcome;
   outcome.kind = kind;

@@ -15,6 +15,7 @@
 #include "consensus/addresses.hpp"
 #include "consensus/messages.hpp"
 #include "consensus/service_client.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace idem::core {
@@ -35,6 +36,9 @@ struct IdemClientConfig {
 
   /// Give up entirely after this long (0 = never). Outcome::Timeout.
   Duration operation_timeout = 0;
+
+  /// Optional request-lifecycle trace sink (borrowed, may be null).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class IdemClient final : public sim::Node, public consensus::ServiceClient {

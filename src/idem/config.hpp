@@ -6,6 +6,7 @@
 
 #include "common/time.hpp"
 #include "consensus/cost_model.hpp"
+#include "obs/trace.hpp"
 
 namespace idem::core {
 
@@ -62,6 +63,10 @@ struct IdemConfig {
 
   /// CPU cost model for message handling.
   consensus::CostModel costs;
+
+  /// Optional request-lifecycle trace sink (borrowed, may be null). Hooks
+  /// are passive: recording must never change the simulation trajectory.
+  obs::TraceRecorder* trace = nullptr;
 
   std::size_t quorum() const { return f + 1; }
   std::size_t r_max() const { return n * reject_threshold; }

@@ -131,8 +131,10 @@ void IdemReplica::handle_request(const msg::Request& request) {
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
   if (acceptance_->accept(id, request.command, ctx)) {
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
     accept_request(id, request.command, /*client_issued=*/true);
   } else {
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 0);
     reject_request(request);
   }
 }
@@ -149,6 +151,7 @@ void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
     ++stats_.accepted;
   } else {
     ++stats_.forward_accepted;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ForwardAccepted, me_.value, id);
   }
   arm_forward_timer(id);
   queue_require(id);
@@ -199,6 +202,8 @@ void IdemReplica::note_require(ReplicaId voter, RequestId id) {
   auto last_it = last_exec_.find(id.cid.value);
   if (last_it != last_exec_.end() && id.onr.value <= last_it->second) return;
   if (proposed_.contains(id)) return;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequireNoted, me_.value, id,
+             voter.value);
   std::size_t votes = requires_.vote(id, voter);
   if (votes >= config_.quorum() && !in_eligible_.contains(id)) {
     in_eligible_.insert(id);
@@ -239,7 +244,10 @@ void IdemReplica::try_propose() {
     for (RequestId id : batch) {
       proposed_.insert(id);
       requires_.erase(id);
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, id, next_sqn_);
     }
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
+    note_commit_quorum(next_sqn_, inst);
 
     auto propose = std::make_shared<msg::Propose>();
     propose->view = view_;
@@ -264,11 +272,20 @@ void IdemReplica::adopt_binding(std::uint64_t sqn, ViewId view, const std::vecto
   Instance& inst = instances_[sqn];
   if (inst.executed) return;  // applied state is immutable
   if (inst.has_binding && inst.view >= view) return;
+  if (!inst.has_binding) {
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
+  }
   inst.view = view;
   inst.ids = ids;
   inst.has_binding = true;
   inst.own_commit_sent = false;
   inst.commit_votes.clear();
+}
+
+void IdemReplica::note_commit_quorum(std::uint64_t sqn, Instance& inst) {
+  if (inst.quorum_traced || inst.commit_votes.size() < config_.quorum()) return;
+  inst.quorum_traced = true;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
 }
 
 void IdemReplica::add_commit_vote(std::uint64_t sqn, ReplicaId voter) {
@@ -299,6 +316,7 @@ void IdemReplica::handle_propose(const msg::Propose& propose) {
     inst.own_commit_sent = true;
     inst.commit_votes.insert(me_.value);
   }
+  note_commit_quorum(sqn, inst);
   observe_sequence(sqn, consensus::leader_of(propose.view, config_.n));
   try_execute();
 }
@@ -326,6 +344,7 @@ void IdemReplica::handle_commit(const msg::Commit& commit) {
     inst.own_commit_sent = true;
     inst.commit_votes.insert(me_.value);
   }
+  note_commit_quorum(sqn, inst);
   observe_sequence(sqn, commit.from);
   try_execute();
 }
@@ -404,6 +423,7 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
     charge(config_.costs.apply_jitter(sm_->execution_cost(*command), cost_rng_));
     std::vector<std::byte> result = sm_->execute(*command);
     ++stats_.executed;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, sqn);
     last_exec_[id.cid.value] = id.onr.value;
     auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
     last_reply_[id.cid.value] = reply;
@@ -412,7 +432,10 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
       cancel_timer(timer_it->second);
       forward_timers_.erase(timer_it);
     }
-    if (is_leader()) reply_to_client(id.cid, reply);
+    if (is_leader()) {
+      reply_to_client(id.cid, reply);
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
+    }
     if (on_execute) on_execute(SeqNum{sqn}, id);
   }
   inst.executed = true;
@@ -666,6 +689,8 @@ void IdemReplica::start_viewchange(ViewId target) {
   in_viewchange_ = true;
   vc_target_ = target;
   ++stats_.view_changes;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeStart, me_.value,
+             target.value);
 
   auto viewchange = std::make_shared<msg::ViewChange>();
   viewchange->from = me_;
@@ -765,7 +790,10 @@ void IdemReplica::maybe_become_leader(ViewId target) {
     inst.commit_votes.clear();
     inst.commit_votes.insert(me_.value);
     inst.own_commit_sent = true;
-    for (RequestId id : inst.ids) proposed_.insert(id);
+    for (RequestId id : inst.ids) {
+      proposed_.insert(id);
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, id, sqn);
+    }
 
     auto propose = std::make_shared<msg::Propose>();
     propose->view = view_;
@@ -782,6 +810,7 @@ void IdemReplica::maybe_become_leader(ViewId target) {
 void IdemReplica::enter_view(ViewId view) {
   view_ = view;
   in_viewchange_ = false;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeDone, me_.value, view.value);
   for (auto it = viewchange_store_.begin(); it != viewchange_store_.end();) {
     if (it->second.target <= view_) {
       it = viewchange_store_.erase(it);

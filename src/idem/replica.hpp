@@ -98,6 +98,7 @@ class IdemReplica final : public sim::Node {
     bool own_commit_sent = false;
     std::unordered_set<std::uint32_t> commit_votes;
     bool executed = false;
+    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
     Time fetch_sent_at = -1;
   };
 
@@ -115,6 +116,8 @@ class IdemReplica final : public sim::Node {
   void handle_commit(const msg::Commit& commit);
   void adopt_binding(std::uint64_t sqn, ViewId view, const std::vector<RequestId>& ids);
   void add_commit_vote(std::uint64_t sqn, ReplicaId voter);
+  /// Emits the CommitQuorum trace event once per instance.
+  void note_commit_quorum(std::uint64_t sqn, Instance& inst);
   bool observe_view(ViewId view);  ///< true when the message should be processed
   /// Requests missing bodies for `inst` (rate-limited); true if any are
   /// still missing.

@@ -1,0 +1,41 @@
+// Chrome trace-event JSON exporter (https://ui.perfetto.dev loadable).
+//
+// Converts a TraceRecorder snapshot into the legacy Chrome trace format:
+// one process ("track") per sim node, request lifecycles rendered as async
+// span pairs (ph "b"/"e") nested by protocol phase, point events as async
+// instants (ph "n"). Async events pair on (cat, id), so every id embeds the
+// recording node — spans never cross tracks by accident.
+//
+// Span pairing (all within one node's track unless noted):
+//   request    RequestIssued -> RequestOutcome          client track
+//   pending    AcceptVerdict(accept)/ForwardAccepted -> Executed
+//   order      first RequireNoted -> Proposed           leader track
+//   agree      ProposeReceived -> CommitQuorum          per instance (sqn)
+//   viewchange ViewChangeStart -> ViewChangeDone        per node
+// Unpaired opens are closed at the last timestamp so begin/end counts
+// always balance (tools/trace_check verifies this invariant).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace idem::obs {
+
+struct ChromeTraceStats {
+  std::uint64_t spans = 0;          ///< matched begin/end pairs emitted
+  std::uint64_t instants = 0;       ///< async instant events emitted
+  std::uint64_t force_closed = 0;   ///< spans closed at end-of-trace
+  std::uint64_t stray_ends = 0;     ///< ends with no matching begin (rendered as instants)
+};
+
+/// Writes `events` (oldest first, as returned by TraceRecorder::snapshot())
+/// as a complete Chrome trace JSON document. `client_node_base` is the sim
+/// NodeId offset of client nodes (consensus::client_address); nodes at or
+/// above it are labelled as clients, below as replicas.
+ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent>& events,
+                                    std::uint32_t client_node_base = 1'000'000);
+
+}  // namespace idem::obs

@@ -1,0 +1,99 @@
+// Per-replica metrics registry: named counters and gauges sampled on a
+// simulated-time tick.
+//
+// Registration (names, gauge closures, sample-buffer reservation) happens
+// at cluster setup and may allocate freely. The recording side is two
+// disjoint hot paths, both allocation-free once reserved:
+//   - counters: producers hold a stable std::uint64_t* and increment it;
+//   - sample(): reads every series (counter load or gauge call) and
+//     appends one row to the pre-reserved columnar sample store.
+// Samples dump as JSONL (one object per tick) via write_jsonl(); see
+// docs/OBSERVABILITY.md for the format.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace idem::obs {
+
+class MetricsRegistry {
+ public:
+  using GaugeFn = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers a monotonically increasing counter; the returned slot is
+  /// stable for the registry's lifetime (producers cache the pointer and
+  /// increment it directly on the hot path).
+  std::uint64_t* add_counter(std::string name) {
+    counters_.push_back(0);
+    series_.push_back(Series{std::move(name), nullptr, &counters_.back()});
+    return &counters_.back();
+  }
+
+  /// Registers a gauge evaluated at every sample() tick. The callback must
+  /// be pure observation: reading cluster state through it must not change
+  /// the simulation trajectory.
+  void add_gauge(std::string name, GaugeFn fn) {
+    series_.push_back(Series{std::move(name), std::move(fn), nullptr});
+  }
+
+  /// Pre-sizes the sample store for `rows` ticks so steady-state sampling
+  /// never reallocates (the allocation budget in tests/alloc_test.cpp).
+  void reserve_samples(std::size_t rows) {
+    sample_times_.reserve(rows);
+    sample_values_.reserve(rows * series_.size());
+  }
+
+  /// Takes one sample row of every registered series at time `now`.
+  void sample(Time now) {
+    sample_times_.push_back(now);
+    for (const Series& s : series_) {
+      sample_values_.push_back(s.counter != nullptr ? static_cast<double>(*s.counter)
+                                                    : s.gauge());
+    }
+  }
+
+  std::size_t series_count() const { return series_.size(); }
+  const std::string& series_name(std::size_t i) const { return series_[i].name; }
+  std::size_t rows() const { return sample_times_.size(); }
+  Time row_time(std::size_t row) const { return sample_times_[row]; }
+  double value(std::size_t row, std::size_t series) const {
+    return sample_values_[row * series_.size() + series];
+  }
+
+  /// Current value of a series by name (last resort for tests; O(n)).
+  double current(std::string_view name) const {
+    for (const Series& s : series_) {
+      if (s.name == name) return s.counter != nullptr ? static_cast<double>(*s.counter) : s.gauge();
+    }
+    return 0.0;
+  }
+
+  /// Writes every sample row as one JSON object per line:
+  ///   {"t_ms":12.3,"r0.queue_depth":4,...}
+  void write_jsonl(std::FILE* out) const;
+
+ private:
+  struct Series {
+    std::string name;
+    GaugeFn gauge;            ///< non-null for gauges
+    std::uint64_t* counter;   ///< non-null for counters
+  };
+
+  std::deque<std::uint64_t> counters_;  ///< deque: stable addresses
+  std::vector<Series> series_;
+  std::vector<Time> sample_times_;
+  std::vector<double> sample_values_;   ///< row-major [row][series]
+};
+
+}  // namespace idem::obs

@@ -1,0 +1,26 @@
+#include "obs/trace.hpp"
+
+namespace idem::obs {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::None: return "none";
+    case TraceEventKind::RequestIssued: return "request_issued";
+    case TraceEventKind::RequestRetry: return "request_retry";
+    case TraceEventKind::RejectSeen: return "reject_seen";
+    case TraceEventKind::RequestOutcome: return "request_outcome";
+    case TraceEventKind::AcceptVerdict: return "accept_verdict";
+    case TraceEventKind::ForwardAccepted: return "forward_accepted";
+    case TraceEventKind::RequireNoted: return "require_noted";
+    case TraceEventKind::Proposed: return "proposed";
+    case TraceEventKind::ProposeReceived: return "propose_received";
+    case TraceEventKind::CommitQuorum: return "commit_quorum";
+    case TraceEventKind::Executed: return "executed";
+    case TraceEventKind::ReplySent: return "reply_sent";
+    case TraceEventKind::ViewChangeStart: return "viewchange_start";
+    case TraceEventKind::ViewChangeDone: return "viewchange_done";
+  }
+  return "unknown";
+}
+
+}  // namespace idem::obs

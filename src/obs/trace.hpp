@@ -1,0 +1,146 @@
+// Request-lifecycle tracing: a pre-sized flat ring of POD trace events.
+//
+// Protocol code records one TraceEvent per lifecycle transition of a
+// request — REQUEST issued, acceptance verdict per replica, REQUIRE noted
+// at the leader, PROPOSE, COMMIT quorum, EXECUTE, REPLY/REJECT — through
+// the IDEM_TRACE macro. The recorder is strictly passive: hooks read
+// protocol state and append to a side buffer, so a traced run executes
+// the exact same simulation trajectory (event count, RNG draws, metrics)
+// as an untraced one. See docs/OBSERVABILITY.md for the event schema and
+// DESIGN.md for the zero-overhead guarantee.
+//
+// Hot-path contract (enforced by tests/alloc_test.cpp):
+//   - TraceEvent is trivially copyable POD; no strings, no pointers.
+//   - record() is inline, noexcept, allocation-free: one bounds-free ring
+//     store plus two integer updates. All memory is acquired up front.
+//   - With a null recorder the macro is a single predictable branch; with
+//     IDEM_TRACE_OFF defined it compiles to nothing.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace idem::obs {
+
+/// One lifecycle transition. Values are stable (they appear in exported
+/// traces); append new kinds at the end.
+enum class TraceEventKind : std::uint16_t {
+  None = 0,
+  // Client side.
+  RequestIssued = 1,    ///< client sent the REQUEST (arg: 0)
+  RequestRetry = 2,     ///< client retransmitted (arg: attempt irrelevant)
+  RejectSeen = 3,       ///< client received a REJECT (arg: rejecting replica)
+  RequestOutcome = 4,   ///< operation finished (arg: consensus::Outcome::Kind)
+  // Replica intake.
+  AcceptVerdict = 10,   ///< acceptance test ran (arg: 1 accept, 0 reject)
+  ForwardAccepted = 11, ///< accepted via FORWARD, bypassing the test
+  // Agreement.
+  RequireNoted = 20,    ///< leader counted a REQUIRE vote (arg: voting replica)
+  Proposed = 21,        ///< leader bound the request (arg: sequence number)
+  ProposeReceived = 22, ///< replica adopted a binding (arg: sequence number; per instance)
+  CommitQuorum = 23,    ///< instance reached commit quorum (arg: sequence number; per instance)
+  // Execution / reply.
+  Executed = 30,        ///< request applied to the state machine (arg: sequence number)
+  ReplySent = 31,       ///< REPLY sent to the client (arg: 0)
+  // View changes (per node; cid/onr are zero).
+  ViewChangeStart = 40, ///< entered the view-change state (arg: target view)
+  ViewChangeDone = 41,  ///< installed a view (arg: new view)
+};
+
+const char* to_string(TraceEventKind kind);
+
+/// One recorded transition. 40 bytes of POD; the sim NodeId doubles as the
+/// track id (replicas are 0..n-1, clients live at the client address base).
+struct TraceEvent {
+  Time at = 0;            ///< simulated time of the transition
+  std::uint64_t cid = 0;  ///< client id, 0 for node-scoped events
+  std::uint64_t onr = 0;  ///< client operation number, 0 for node-scoped events
+  std::uint64_t arg = 0;  ///< kind-specific argument (see TraceEventKind)
+  std::uint32_t node = 0; ///< sim::NodeId of the recording node
+  TraceEventKind kind = TraceEventKind::None;
+  std::uint16_t pad = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "trace events must be flat POD (memcpy-comparable, no allocation)");
+static_assert(sizeof(TraceEvent) == 40, "keep the ring dense");
+
+/// Fixed-capacity ring of trace events. When full, the oldest events are
+/// overwritten (the tail of a long run is usually what matters); total_
+/// keeps counting so exporters can report how much was shed.
+class TraceRecorder {
+ public:
+  /// Default capacity: 2^18 events (~10 MB), enough for >1000 complete
+  /// request lifecycles across a 3-replica cluster.
+  explicit TraceRecorder(std::size_t capacity = 1u << 18)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  void record(Time at, TraceEventKind kind, std::uint32_t node, RequestId id,
+              std::uint64_t arg = 0) noexcept {
+    TraceEvent& ev = ring_[total_ % ring_.size()];
+    ev.at = at;
+    ev.cid = id.cid.value;
+    ev.onr = id.onr.value;
+    ev.arg = arg;
+    ev.node = node;
+    ev.kind = kind;
+    ++total_;
+  }
+
+  /// Node-scoped events (view changes) carry no request id.
+  void record(Time at, TraceEventKind kind, std::uint32_t node,
+              std::uint64_t arg = 0) noexcept {
+    record(at, kind, node, RequestId{}, arg);
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events currently held (<= capacity).
+  std::size_t size() const { return total_ < ring_.size() ? total_ : ring_.size(); }
+  /// Events recorded over the recorder's lifetime.
+  std::uint64_t total_recorded() const { return total_; }
+  /// Events lost to ring wrap-around.
+  std::uint64_t overwritten() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+
+  /// Events in recording order (oldest first). Copies at most capacity()
+  /// events; intended for exporters and tests, not the hot path.
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::size_t cap = ring_.size();
+    const std::size_t n = size();
+    out.reserve(n);
+    // Before the first wrap events sit at [0, n); afterwards the oldest
+    // surviving event is at the write cursor.
+    const std::size_t first = total_ <= cap ? 0 : total_ % cap;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(ring_[(first + i) % cap]);
+    return out;
+  }
+
+  void clear() { total_ = 0; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace idem::obs
+
+// IDEM_TRACE(recorder, at, kind, node, ...): structured analog of LOG_*.
+// `recorder` is a (possibly null) obs::TraceRecorder*. Define IDEM_TRACE_OFF
+// (cmake -DIDEM_TRACE_EVENTS=OFF) to compile every trace site away.
+#if defined(IDEM_TRACE_OFF)
+#define IDEM_TRACE(recorder, ...) \
+  do {                            \
+  } while (0)
+#else
+#define IDEM_TRACE(recorder, ...)                        \
+  do {                                                   \
+    if ((recorder) != nullptr) (recorder)->record(__VA_ARGS__); \
+  } while (0)
+#endif

@@ -19,6 +19,7 @@ void PaxosClient::invoke(std::vector<std::byte> command, Callback callback) {
   op.callback = std::move(callback);
   op.issued = now();
   pending_ = std::move(op);
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestIssued, id().value, pending_->id);
 
   send_attempt();
   if (config_.operation_timeout > 0) {
@@ -37,6 +38,8 @@ void PaxosClient::send_attempt() {
   retry_timer_ = set_timer(config_.retry_interval, [this] {
     retry_timer_ = sim::TimerId{};
     if (!pending_) return;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestRetry, id().value,
+               pending_->id);
     if (pending_->attempts_at_current >= config_.attempts_per_replica) {
       presumed_leader_ =
           ReplicaId{static_cast<std::uint32_t>((presumed_leader_.value + 1) % config_.n)};
@@ -62,6 +65,8 @@ void PaxosClient::on_message(sim::NodeId from, const sim::Payload& message) {
   if (base->type() == msg::Type::Reject) {
     const auto& reject = static_cast<const msg::Reject&>(*base);
     if (reject.id != pending_->id) return;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RejectSeen, id().value, pending_->id,
+               from.value);
     presumed_leader_ = consensus::replica_of_address(from);
     complete(consensus::Outcome::Kind::Rejected, {}, 1);
   }
@@ -71,6 +76,8 @@ void PaxosClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte>
                            std::size_t rejects) {
   cancel_timer(retry_timer_);
   cancel_timer(deadline_timer_);
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestOutcome, id().value,
+             pending_->id, static_cast<std::uint64_t>(kind));
 
   consensus::Outcome outcome;
   outcome.kind = kind;

@@ -11,6 +11,7 @@
 #include "consensus/addresses.hpp"
 #include "consensus/messages.hpp"
 #include "consensus/service_client.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace idem::paxos {
@@ -24,6 +25,9 @@ struct PaxosClientConfig {
   std::size_t attempts_per_replica = 1;
   /// Give up entirely after this long (0 = never). Outcome::Timeout.
   Duration operation_timeout = 0;
+
+  /// Optional request-lifecycle trace sink (borrowed, may be null).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class PaxosClient final : public sim::Node, public consensus::ServiceClient {

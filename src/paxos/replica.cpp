@@ -84,11 +84,13 @@ void PaxosReplica::handle_request(const msg::Request& request) {
   // Leader-based rejection (Paxos_LBR): the single leader decides.
   if (config_.reject_threshold > 0 && active_requests() >= config_.reject_threshold) {
     ++stats_.rejected;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 0);
     send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
     return;
   }
 
   ++stats_.accepted;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
   queued_.insert(id);
   pending_.push_back(request);
   try_propose();
@@ -115,6 +117,11 @@ void PaxosReplica::try_propose() {
     inst.has_binding = true;
     inst.own_accept_sent = true;
     inst.accept_votes.insert(me_.value);
+    for (const msg::Request& request : inst.requests) {
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, request.id,
+                 next_sqn_);
+    }
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
 
     auto propose = std::make_shared<msg::PaxosPropose>();
     propose->view = view_;
@@ -139,11 +146,20 @@ void PaxosReplica::adopt_binding(std::uint64_t sqn, ViewId view,
   Instance& inst = instances_[sqn];
   if (inst.executed) return;  // applied state is immutable
   if (inst.has_binding && inst.view >= view) return;
+  if (!inst.has_binding) {
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
+  }
   inst.view = view;
   inst.requests = std::move(requests);
   inst.has_binding = true;
   inst.own_accept_sent = false;
   inst.accept_votes.clear();
+}
+
+void PaxosReplica::note_accept_quorum(std::uint64_t sqn, Instance& inst) {
+  if (inst.quorum_traced || inst.accept_votes.size() < config_.quorum()) return;
+  inst.quorum_traced = true;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
 }
 
 void PaxosReplica::handle_propose(const msg::PaxosPropose& propose) {
@@ -176,6 +192,7 @@ void PaxosReplica::handle_propose(const msg::PaxosPropose& propose) {
   multicast(std::move(accept));
   inst.own_accept_sent = true;
   inst.accept_votes.insert(me_.value);
+  note_accept_quorum(sqn, inst);
   note_liveness();
   try_execute();
 }
@@ -186,6 +203,7 @@ void PaxosReplica::handle_accept(const msg::PaxosAccept& accept) {
   if (it == instances_.end()) return;
   if (it->second.view != accept.view) return;
   it->second.accept_votes.insert(accept.from.value);
+  note_accept_quorum(accept.sqn.value, it->second);
   try_execute();
 }
 
@@ -207,11 +225,15 @@ void PaxosReplica::try_execute() {
       charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
       std::vector<std::byte> result = sm_->execute(request.command);
       ++stats_.executed;
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, next_exec_);
       last_exec_[id.cid.value] = id.onr.value;
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
       last_reply_[id.cid.value] = reply;
       queued_.erase(id);
-      if (is_leader()) send(consensus::client_address(id.cid), reply);
+      if (is_leader()) {
+        send(consensus::client_address(id.cid), reply);
+        IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
+      }
       if (on_execute) on_execute(SeqNum{next_exec_}, id);
     }
     if (is_leader() && inflight_requests_ >= inst.requests.size()) {
@@ -307,6 +329,8 @@ void PaxosReplica::start_viewchange(ViewId target) {
   in_viewchange_ = true;
   vc_target_ = target;
   ++stats_.view_changes;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeStart, me_.value,
+             target.value);
 
   auto viewchange = std::make_shared<msg::PaxosViewChange>();
   viewchange->from = me_;
@@ -410,6 +434,7 @@ void PaxosReplica::enter_view(ViewId view) {
   bool was_leader = is_leader();
   view_ = view;
   in_viewchange_ = false;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeDone, me_.value, view.value);
   for (auto it = viewchange_store_.begin(); it != viewchange_store_.end();) {
     if (it->second.target <= view_) {
       it = viewchange_store_.erase(it);

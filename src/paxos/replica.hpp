@@ -27,6 +27,7 @@
 #include "consensus/addresses.hpp"
 #include "consensus/cost_model.hpp"
 #include "consensus/messages.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace idem::paxos {
@@ -48,6 +49,9 @@ struct PaxosConfig {
   /// number of accepted-but-unexecuted requests at the leader reaches this
   /// threshold. 0 disables rejection (plain Paxos).
   std::size_t reject_threshold = 0;
+
+  /// Optional request-lifecycle trace sink (borrowed, may be null).
+  obs::TraceRecorder* trace = nullptr;
 
   std::size_t quorum() const { return f + 1; }
 };
@@ -94,6 +98,7 @@ class PaxosReplica final : public sim::Node {
     bool own_accept_sent = false;
     std::unordered_set<std::uint32_t> accept_votes;
     bool executed = false;
+    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
   };
 
   void handle_request(const msg::Request& request);
@@ -101,6 +106,8 @@ class PaxosReplica final : public sim::Node {
   void handle_propose(const msg::PaxosPropose& propose);
   void handle_accept(const msg::PaxosAccept& accept);
   void adopt_binding(std::uint64_t sqn, ViewId view, std::vector<msg::Request> requests);
+  /// Emits the CommitQuorum trace event once per instance.
+  void note_accept_quorum(std::uint64_t sqn, Instance& inst);
   void try_execute();
   bool observe_view(ViewId view);
 

@@ -40,6 +40,7 @@ void SimNetwork::send(NodeId from, NodeId to, PayloadPtr message) {
   } else {
     replica_traffic_.add(total_bytes);
   }
+  if (from_it != nodes_.end()) from_it->second.sent.add(total_bytes);
 
   if (to_it == nodes_.end() || to_it->second.endpoint == nullptr) {
     ++dropped_;
@@ -88,6 +89,7 @@ void SimNetwork::unblock_link(NodeId from, NodeId to) { blocked_.erase(link_key(
 void SimNetwork::reset_traffic() {
   client_traffic_ = TrafficStats{};
   replica_traffic_ = TrafficStats{};
+  for (auto& [id, entry] : nodes_) entry.sent = TrafficStats{};
   dropped_ = 0;
 }
 

@@ -80,6 +80,12 @@ class SimNetwork final : public Transport {
     return TrafficStats{client_traffic_.messages + replica_traffic_.messages,
                         client_traffic_.bytes + replica_traffic_.bytes};
   }
+  /// Traffic transmitted by one node (per-link egress aggregated at the
+  /// sender), or nullptr for unknown nodes. Feeds per-node gauges.
+  const TrafficStats* node_traffic(NodeId id) const {
+    auto it = nodes_.find(id.value);
+    return it == nodes_.end() ? nullptr : &it->second.sent;
+  }
   void reset_traffic();
 
   std::uint64_t dropped_messages() const { return dropped_; }
@@ -88,6 +94,7 @@ class SimNetwork final : public Transport {
   struct NodeEntry {
     NodeKind kind = NodeKind::Replica;
     Endpoint* endpoint = nullptr;
+    TrafficStats sent;  ///< egress of this node (counted at the sender)
   };
 
   static std::uint64_t link_key(NodeId from, NodeId to) {

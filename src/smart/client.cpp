@@ -19,6 +19,7 @@ void SmartClient::invoke(std::vector<std::byte> command, Callback callback) {
   op.callback = std::move(callback);
   op.issued = now();
   pending_ = std::move(op);
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestIssued, id().value, pending_->id);
 
   multicast_request();
   arm_retry();
@@ -36,6 +37,8 @@ void SmartClient::arm_retry() {
   retry_timer_ = set_timer(config_.retry_interval, [this] {
     retry_timer_ = sim::TimerId{};
     if (!pending_) return;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestRetry, id().value,
+               pending_->id);
     multicast_request();
     arm_retry();
   });
@@ -60,6 +63,8 @@ void SmartClient::on_message(sim::NodeId from, const sim::Payload& message) {
 void SmartClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> result) {
   cancel_timer(retry_timer_);
   cancel_timer(deadline_timer_);
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestOutcome, id().value,
+             pending_->id, static_cast<std::uint64_t>(kind));
 
   consensus::Outcome outcome;
   outcome.kind = kind;

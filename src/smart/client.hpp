@@ -9,6 +9,7 @@
 #include "consensus/addresses.hpp"
 #include "consensus/messages.hpp"
 #include "consensus/service_client.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace idem::smart {
@@ -17,6 +18,9 @@ struct SmartClientConfig {
   std::size_t n = 3;
   Duration retry_interval = 1 * kSecond;
   Duration operation_timeout = 0;
+
+  /// Optional request-lifecycle trace sink (borrowed, may be null).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class SmartClient final : public sim::Node, public consensus::ServiceClient {

@@ -83,6 +83,8 @@ void SmartReplica::handle_request(const msg::Request& request) {
   }
   if (!is_leader()) return;  // followers see the request again in the PROPOSE
   if (queued_.contains(id)) return;
+  // No acceptance test: the leader takes everything (arg=1 always).
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
   queued_.insert(id);
   pending_.push_back(request);  // unbounded: no overload protection
   try_propose();
@@ -103,6 +105,11 @@ void SmartReplica::try_propose() {
     inst.has_binding = true;
     inst.own_write_sent = true;  // the leader's proposal implies its WRITE
     inst.write_votes.insert(me_.value);
+    for (const msg::Request& request : inst.requests) {
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, request.id,
+                 next_sqn_);
+    }
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
 
     auto propose = std::make_shared<msg::SmartPropose>();
     propose->view = view_;
@@ -139,6 +146,7 @@ void SmartReplica::handle_propose(const msg::SmartPropose& propose) {
   if (!inst.has_binding) {
     inst.requests = propose.requests;
     inst.has_binding = true;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
   }
   inst.write_votes.insert(consensus::leader_of(propose.view, config_.n).value);
   // Sent unconditionally: a duplicate PROPOSE is the leader's loss-recovery
@@ -180,7 +188,14 @@ void SmartReplica::maybe_advance(std::uint64_t sqn) {
     multicast(std::move(accept));
     inst.own_accept_sent = true;
     inst.accept_votes.insert(me_.value);
+    note_accept_quorum(sqn, inst);
   }
+}
+
+void SmartReplica::note_accept_quorum(std::uint64_t sqn, Instance& inst) {
+  if (inst.quorum_traced || inst.accept_votes.size() < config_.quorum()) return;
+  inst.quorum_traced = true;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
 }
 
 void SmartReplica::handle_accept(const msg::SmartAccept& accept) {
@@ -188,6 +203,7 @@ void SmartReplica::handle_accept(const msg::SmartAccept& accept) {
   if (sqn < next_exec_) return;
   Instance& inst = instances_[sqn];
   inst.accept_votes.insert(accept.from.value);
+  note_accept_quorum(sqn, inst);
   try_execute();
 }
 
@@ -209,12 +225,14 @@ void SmartReplica::try_execute() {
       charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
       std::vector<std::byte> result = sm_->execute(request.command);
       ++stats_.executed;
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, next_exec_);
       last_exec_[id.cid.value] = id.onr.value;
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
       last_reply_[id.cid.value] = reply;
       queued_.erase(id);
       // All replicas reply; a CFT client needs just one reply.
       send(consensus::client_address(id.cid), reply);
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
       if (on_execute) on_execute(SeqNum{next_exec_}, id);
     }
     inst.executed = true;

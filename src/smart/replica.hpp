@@ -25,6 +25,7 @@
 #include "consensus/addresses.hpp"
 #include "consensus/cost_model.hpp"
 #include "consensus/messages.hpp"
+#include "obs/trace.hpp"
 #include "sim/node.hpp"
 
 namespace idem::smart {
@@ -38,6 +39,9 @@ struct SmartConfig {
   /// when it makes no progress for this long (fair-loss links).
   Duration retransmit_interval = 200 * kMillisecond;
   consensus::CostModel costs;
+
+  /// Optional request-lifecycle trace sink (borrowed, may be null).
+  obs::TraceRecorder* trace = nullptr;
 
   std::size_t quorum() const { return f + 1; }
 };
@@ -78,6 +82,7 @@ class SmartReplica final : public sim::Node {
     std::unordered_set<std::uint32_t> write_votes;
     std::unordered_set<std::uint32_t> accept_votes;
     bool executed = false;
+    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
   };
 
   void handle_request(const msg::Request& request);
@@ -86,6 +91,8 @@ class SmartReplica final : public sim::Node {
   void handle_write(const msg::SmartWrite& write);
   void handle_accept(const msg::SmartAccept& accept);
   void maybe_advance(std::uint64_t sqn);
+  /// Emits the CommitQuorum trace event once per instance.
+  void note_accept_quorum(std::uint64_t sqn, Instance& inst);
   void try_execute();
   void retransmit_tick();
   void multicast(sim::PayloadPtr message);

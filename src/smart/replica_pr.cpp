@@ -91,9 +91,11 @@ void SmartPrReplica::handle_request(const msg::Request& request) {
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
   if (acceptance_->accept(id, request.command, ctx)) {
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
     accept_request(id, request.command, /*client_issued=*/true);
   } else {
     ++stats_.rejected;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 0);
     cache_rejected(id, request.command);
     send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
   }
@@ -111,6 +113,7 @@ void SmartPrReplica::accept_request(RequestId id, std::vector<std::byte> command
     ++stats_.accepted;
   } else {
     ++stats_.forward_accepted;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ForwardAccepted, me_.value, id);
   }
   arm_forward_timer(id);
   if (is_leader()) {
@@ -126,6 +129,8 @@ void SmartPrReplica::accept_request(RequestId id, std::vector<std::byte> command
 
 void SmartPrReplica::note_require(ReplicaId voter, RequestId id) {
   if (already_executed(id) || proposed_.contains(id)) return;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequireNoted, me_.value, id,
+             voter.value);
   std::size_t votes = requires_.vote(id, voter);
   if (votes >= config_.quorum() && !in_eligible_.contains(id)) {
     in_eligible_.insert(id);
@@ -219,6 +224,7 @@ void SmartPrReplica::try_propose() {
       in_eligible_.erase(id);
       proposed_.insert(id);
       requires_.erase(id);
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, id, next_sqn_);
       batch.emplace_back(id, *body);
     }
     for (RequestId id : deferred) eligible_.push_back(id);
@@ -229,6 +235,7 @@ void SmartPrReplica::try_propose() {
     inst.has_binding = true;
     inst.own_write_sent = true;
     inst.write_votes.insert(me_.value);
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
 
     auto propose = std::make_shared<msg::SmartPropose>();
     propose->view = view_;
@@ -265,6 +272,7 @@ void SmartPrReplica::handle_propose(const msg::SmartPropose& propose) {
   if (!inst.has_binding) {
     inst.requests = propose.requests;
     inst.has_binding = true;
+    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
   }
   inst.write_votes.insert(consensus::leader_of(propose.view, config_.n).value);
   auto write = std::make_shared<msg::SmartWrite>();
@@ -304,7 +312,14 @@ void SmartPrReplica::maybe_advance(std::uint64_t sqn) {
     multicast(std::move(accept));
     inst.own_accept_sent = true;
     inst.accept_votes.insert(me_.value);
+    note_accept_quorum(sqn, inst);
   }
+}
+
+void SmartPrReplica::note_accept_quorum(std::uint64_t sqn, Instance& inst) {
+  if (inst.quorum_traced || inst.accept_votes.size() < config_.quorum()) return;
+  inst.quorum_traced = true;
+  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
 }
 
 void SmartPrReplica::handle_accept(const msg::SmartAccept& accept) {
@@ -312,6 +327,7 @@ void SmartPrReplica::handle_accept(const msg::SmartAccept& accept) {
   if (sqn < next_exec_) return;
   Instance& inst = instances_[sqn];
   inst.accept_votes.insert(accept.from.value);
+  note_accept_quorum(sqn, inst);
   try_execute();
 }
 
@@ -332,6 +348,7 @@ void SmartPrReplica::try_execute() {
       charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
       std::vector<std::byte> result = sm_->execute(request.command);
       ++stats_.executed;
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, next_exec_);
       last_exec_[id.cid.value] = id.onr.value;
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
       last_reply_[id.cid.value] = reply;
@@ -343,6 +360,7 @@ void SmartPrReplica::try_execute() {
         forward_timers_.erase(timer_it);
       }
       send(consensus::client_address(id.cid), reply);
+      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
       if (on_execute) on_execute(SeqNum{next_exec_}, id);
     }
     inst.executed = true;

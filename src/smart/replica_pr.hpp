@@ -50,6 +50,9 @@ struct SmartPrConfig {
   Duration forward_timeout = 10 * kMillisecond;
   std::size_t rejected_cache_size = 1024;
 
+  /// Optional request-lifecycle trace sink (borrowed, may be null).
+  obs::TraceRecorder* trace = nullptr;
+
   std::size_t quorum() const { return f + 1; }
 };
 
@@ -94,6 +97,7 @@ class SmartPrReplica final : public sim::Node {
     std::unordered_set<std::uint32_t> write_votes;
     std::unordered_set<std::uint32_t> accept_votes;
     bool executed = false;
+    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
   };
 
   // Intake phase (IDEM, Section 4.3 / 5.1 / 5.2).
@@ -113,6 +117,8 @@ class SmartPrReplica final : public sim::Node {
   void handle_write(const msg::SmartWrite& write);
   void handle_accept(const msg::SmartAccept& accept);
   void maybe_advance(std::uint64_t sqn);
+  /// Emits the CommitQuorum trace event once per instance.
+  void note_accept_quorum(std::uint64_t sqn, Instance& inst);
   void try_execute();
   void retransmit_tick();
   void multicast(sim::PayloadPtr message);

@@ -14,6 +14,8 @@
 #include <memory>
 #include <new>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
@@ -196,6 +198,35 @@ TEST(AllocationBudget, NetworkDeliveryWithReusedPayloadIsAllocationFree) {
   EXPECT_EQ(guard.count(), 0u)
       << "send -> schedule -> deliver -> service-queue -> handler must not allocate";
   EXPECT_EQ(b.received, 512u + 50u * 64u);
+}
+
+TEST(AllocationBudget, ObsHotPathIsAllocationFree) {
+  // Trace recording, counter increments, and a reserved metrics sample are
+  // the only obs operations that run inside the simulation; all memory is
+  // acquired up front (ring at construction, samples via reserve_samples).
+  obs::TraceRecorder recorder(1u << 12);
+  obs::MetricsRegistry registry;
+  std::uint64_t* accepted = registry.add_counter("accepted");
+  double queue = 0;
+  registry.add_gauge("queue", [&queue] { return queue; });
+  registry.reserve_samples(512);
+
+  CountingGuard guard;
+  RequestId id{ClientId{3}, OpNum{1}};
+  for (int round = 0; round < 512; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      recorder.record(round * 16 + i, obs::TraceEventKind::AcceptVerdict, /*node=*/0, id,
+                      /*arg=*/1);
+      *accepted += 1;
+      queue += 1;
+    }
+    registry.sample(static_cast<Time>(round) * kMillisecond);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "trace record + counter bump + reserved sample must not allocate";
+  EXPECT_GT(recorder.overwritten(), 0u);  // the ring wrapped and kept going
+  EXPECT_EQ(registry.rows(), 512u);
+  EXPECT_EQ(registry.current("accepted"), 8192.0);
 }
 
 }  // namespace

@@ -8,11 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "harness/cluster.hpp"
 #include "harness/driver.hpp"
 #include "harness/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace idem::harness {
 namespace {
@@ -83,6 +85,40 @@ TEST_P(DeterminismTest, DifferentSeedDifferentTrace) {
   Trace other = run_once(GetParam(), 12);
   EXPECT_NE(first, other);
 }
+
+// The observability layer inherits the kernel contract: two runs with the
+// same seed must fill the trace ring with bit-identical events. Needs the
+// trace sites compiled in (-DIDEM_TRACE_EVENTS=ON, the default).
+#ifndef IDEM_TRACE_OFF
+std::vector<obs::TraceEvent> run_traced(Protocol protocol, std::uint64_t seed) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.clients = 40;
+  config.reject_threshold = 20;
+  config.seed = seed;
+  config.obs.trace = true;
+
+  DriverConfig driver;
+  driver.warmup = 100 * kMillisecond;
+  driver.measure = 400 * kMillisecond;
+
+  Cluster cluster(config);
+  ClosedLoopDriver loop(cluster, driver);
+  loop.run();
+  return cluster.trace()->snapshot();
+}
+
+TEST_P(DeterminismTest, SameSeedBitIdenticalTraceBuffer) {
+  std::vector<obs::TraceEvent> first = run_traced(GetParam(), 11);
+  std::vector<obs::TraceEvent> second = run_traced(GetParam(), 11);
+  ASSERT_GT(first.size(), 1000u);
+  ASSERT_EQ(first.size(), second.size());
+  // TraceEvent is trivially copyable with no padding gaps left undefined
+  // (the pad field is value-initialized), so memcmp is exact.
+  EXPECT_EQ(std::memcmp(first.data(), second.data(), first.size() * sizeof(obs::TraceEvent)),
+            0);
+}
+#endif  // IDEM_TRACE_OFF
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, DeterminismTest,
                          ::testing::Values(Protocol::Idem, Protocol::Paxos, Protocol::Smart),

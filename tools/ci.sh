@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests, an ASan+UBSan test pass, and a sim-core bench smoke.
+# CI gate: tier-1 tests, an ASan+UBSan test pass, a trace-export smoke, and
+# a sim-core bench smoke.
 #
 # Usage: tools/ci.sh [--fast]
 #   --fast  skip the sanitizer pass (tier-1 + bench smoke only)
@@ -29,6 +30,13 @@ if [[ "${FAST}" -eq 0 ]]; then
   (cd build-asan && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
       ctest --output-on-failure -j "${JOBS}")
 fi
+
+echo "== obs: trace export smoke =="
+TRACE_TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "${TRACE_TMP}"' EXIT
+./build/tools/idem_load --protocol idem --clients 200 --seconds 2 --warmup 0.5 \
+    --trace-out "${TRACE_TMP}" >/dev/null
+./build/tools/trace_check "${TRACE_TMP}" --min-requests 1000
 
 echo "== bench: sim-core smoke =="
 IDEM_SIMCORE_SMOKE=1 IDEM_SIMCORE_JSON=/dev/null ./build/bench/micro_simcore

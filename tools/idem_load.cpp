@@ -15,6 +15,7 @@
 
 #include "harness/driver.hpp"
 #include "harness/table.hpp"
+#include "obs/chrome_trace.hpp"
 
 using namespace idem;
 
@@ -32,6 +33,9 @@ struct Options {
   std::optional<double> crash_follower_at;
   bool timeline = false;
   bool csv = false;
+  std::string trace_out;    ///< Chrome trace-event JSON (Perfetto-loadable)
+  std::string metrics_out;  ///< JSONL metrics samples
+  double metrics_interval = 0.1;
 };
 
 void usage(const char* argv0) {
@@ -49,7 +53,10 @@ void usage(const char* argv0) {
       "  --crash-leader-at S    crash the leader S seconds into the run\n"
       "  --crash-follower-at S  crash a follower S seconds into the run\n"
       "  --timeline         print the 500 ms reply/reject timeline\n"
-      "  --csv              print the summary as CSV\n",
+      "  --csv              print the summary as CSV\n"
+      "  --trace-out F      write a Chrome/Perfetto trace-event JSON to F\n"
+      "  --metrics-out F    write sampled per-replica metrics (JSONL) to F\n"
+      "  --metrics-interval S   metrics sample period in seconds (default: 0.1)\n",
       argv0);
 }
 
@@ -113,11 +120,24 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.timeline = true;
     } else if (!std::strcmp(argv[i], "--csv")) {
       options.csv = true;
+    } else if (!std::strcmp(argv[i], "--trace-out")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.trace_out = v;
+    } else if (!std::strcmp(argv[i], "--metrics-out")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.metrics_out = v;
+    } else if (!std::strcmp(argv[i], "--metrics-interval")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.metrics_interval = std::atof(v);
     } else {
       return std::nullopt;
     }
   }
   if (options.clients == 0 || options.seconds <= 0) return std::nullopt;
+  if (!options.metrics_out.empty() && options.metrics_interval <= 0) return std::nullopt;
   return options;
 }
 
@@ -136,6 +156,11 @@ int main(int argc, char** argv) {
   config.reject_threshold = options->reject_threshold;
   config.seed = options->seed;
   config.network.drop_probability = options->loss;
+  config.obs.trace = !options->trace_out.empty();
+  if (!options->metrics_out.empty()) {
+    config.obs.metrics_interval =
+        static_cast<Duration>(options->metrics_interval * kSecond);
+  }
   harness::Cluster cluster(config);
 
   harness::DriverConfig driver;
@@ -163,9 +188,10 @@ int main(int argc, char** argv) {
   table.add_row({"throughput [kreq/s]", harness::Table::fmt(metrics.reply_throughput() / 1000.0)});
   table.add_row({"latency mean [ms]", harness::Table::fmt(metrics.reply_latency_ms(), 3)});
   table.add_row({"latency stddev [ms]", harness::Table::fmt(metrics.reply_latency_stddev_ms(), 3)});
-  table.add_row({"latency p50 [ms]", harness::Table::fmt(to_ms(metrics.reply_latency.p50()), 3)});
-  table.add_row({"latency p99 [ms]", harness::Table::fmt(to_ms(metrics.reply_latency.p99()), 3)});
-  table.add_row({"latency p99.9 [ms]", harness::Table::fmt(to_ms(metrics.reply_latency.p999()), 3)});
+  table.add_row({"latency p50 [ms]", harness::Table::fmt(metrics.reply_p50_ms(), 3)});
+  table.add_row({"latency p90 [ms]", harness::Table::fmt(metrics.reply_p90_ms(), 3)});
+  table.add_row({"latency p99 [ms]", harness::Table::fmt(metrics.reply_p99_ms(), 3)});
+  table.add_row({"latency p99.9 [ms]", harness::Table::fmt(metrics.reply_p999_ms(), 3)});
   table.add_row({"rejects [kreq/s]", harness::Table::fmt(metrics.reject_throughput() / 1000.0, 2)});
   table.add_row({"reject latency [ms]", harness::Table::fmt(metrics.reject_latency_ms(), 3)});
   table.add_row({"timeouts", harness::Table::fmt(metrics.timeouts)});
@@ -208,6 +234,35 @@ int main(int argc, char** argv) {
     } else {
       timeline.print();
     }
+  }
+
+  if (!options->trace_out.empty()) {
+    FILE* f = std::fopen(options->trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", options->trace_out.c_str());
+      return 1;
+    }
+    obs::TraceRecorder* recorder = cluster.trace();
+    obs::ChromeTraceStats stats = obs::write_chrome_trace(f, recorder->snapshot());
+    std::fclose(f);
+    std::fprintf(stderr, "trace: %llu events (%llu overwritten) -> %s: %llu spans, %llu instants\n",
+                 static_cast<unsigned long long>(recorder->total_recorded()),
+                 static_cast<unsigned long long>(recorder->overwritten()),
+                 options->trace_out.c_str(),
+                 static_cast<unsigned long long>(stats.spans),
+                 static_cast<unsigned long long>(stats.instants));
+  }
+  if (!options->metrics_out.empty()) {
+    FILE* f = std::fopen(options->metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", options->metrics_out.c_str());
+      return 1;
+    }
+    cluster.metrics()->write_jsonl(f);
+    std::fclose(f);
+    std::fprintf(stderr, "metrics: %zu samples x %zu series -> %s\n",
+                 cluster.metrics()->rows(), cluster.metrics()->series_count(),
+                 options->metrics_out.c_str());
   }
   return 0;
 }

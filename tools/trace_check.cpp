@@ -1,0 +1,346 @@
+// trace-check: validates a Chrome trace-event JSON file produced by
+// idem-load --trace-out (or any src/obs/chrome_trace.cpp output).
+//
+//   trace-check trace.json [--min-requests N]
+//
+// Checks, in order:
+//   1. the file is well-formed JSON (self-contained recursive-descent
+//      parser; no external dependency),
+//   2. the root object has a "traceEvents" array whose entries carry the
+//      fields Perfetto needs (ph/pid/tid/ts, plus cat/id/name for async
+//      events),
+//   3. async begins and ends balance per (cat, id) key — never negative,
+//      all closed at end of file,
+//   4. at least --min-requests distinct "request" lifecycle spans exist.
+//
+// Exit code 0 on success, 1 on validation failure, 2 on usage/IO errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model + recursive-descent parser.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  Parser(const char* data, std::size_t size) : pos_(data), end_(data + size) {}
+
+  bool parse(JsonValue& out) {
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != end_) return fail("trailing garbage after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  std::size_t offset(const char* base) const { return static_cast<std::size_t>(pos_ - base); }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ != end_ &&
+           (*pos_ == ' ' || *pos_ == '\t' || *pos_ == '\n' || *pos_ == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* text) {
+    std::size_t len = std::strlen(text);
+    if (static_cast<std::size_t>(end_ - pos_) < len || std::memcmp(pos_, text, len) != 0) {
+      return fail("invalid literal");
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ == end_) return fail("unexpected end of input");
+    switch (*pos_) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't': out.kind = JsonValue::Kind::Bool; out.boolean = true; return literal("true");
+      case 'f': out.kind = JsonValue::Kind::Bool; out.boolean = false; return literal("false");
+      case 'n': out.kind = JsonValue::Kind::Null; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ != end_ && *pos_ == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (pos_ == end_ || *pos_ != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ == end_ || *pos_ != ':') return fail("expected ':' after key");
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ == end_) return fail("unterminated object");
+      if (*pos_ == ',') { ++pos_; continue; }
+      if (*pos_ == '}') { ++pos_; return true; }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ != end_ && *pos_ == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ == end_) return fail("unterminated array");
+      if (*pos_ == ',') { ++pos_; continue; }
+      if (*pos_ == ']') { ++pos_; return true; }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ != end_) {
+      char c = *pos_++;
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char in string");
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ == end_) break;
+      char esc = *pos_++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end_ - pos_ < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *pos_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // The exporter never emits non-ASCII; decode BMP code points as
+          // UTF-8 so the checker still accepts hand-edited files.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = pos_;
+    if (pos_ != end_ && *pos_ == '-') ++pos_;
+    while (pos_ != end_ && ((*pos_ >= '0' && *pos_ <= '9') || *pos_ == '.' ||
+                            *pos_ == 'e' || *pos_ == 'E' || *pos_ == '+' || *pos_ == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string text(start, pos_);
+    char* parsed_end = nullptr;
+    out.number = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end == nullptr || *parsed_end != '\0') return fail("malformed number");
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  const char* pos_;
+  const char* end_;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace-level validation.
+
+int validate(const JsonValue& root, std::size_t min_requests) {
+  if (root.kind != JsonValue::Kind::Object) {
+    std::fprintf(stderr, "FAIL: root is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::Array) {
+    std::fprintf(stderr, "FAIL: missing \"traceEvents\" array\n");
+    return 1;
+  }
+
+  // open count per async key "cat\x1fid"; request ids seen via begin events.
+  std::map<std::string, long> open;
+  std::map<std::string, std::size_t> span_names;
+  std::size_t begins = 0, ends = 0, instants = 0, metadata = 0, requests = 0;
+  double last_ts = -1;
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    auto complain = [&](const char* what) {
+      std::fprintf(stderr, "FAIL: traceEvents[%zu]: %s\n", i, what);
+      return 1;
+    };
+    if (ev.kind != JsonValue::Kind::Object) return complain("not an object");
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::String || ph->string.size() != 1) {
+      return complain("missing \"ph\"");
+    }
+    char phase = ph->string[0];
+    if (phase == 'M') { ++metadata; continue; }
+    if (phase != 'b' && phase != 'e' && phase != 'n') return complain("unexpected phase");
+
+    const JsonValue* cat = ev.find("cat");
+    const JsonValue* id = ev.find("id");
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ts = ev.find("ts");
+    const JsonValue* pid = ev.find("pid");
+    const JsonValue* tid = ev.find("tid");
+    if (cat == nullptr || cat->kind != JsonValue::Kind::String) return complain("missing \"cat\"");
+    if (id == nullptr || id->kind != JsonValue::Kind::String) return complain("missing \"id\"");
+    if (name == nullptr || name->kind != JsonValue::Kind::String) {
+      return complain("missing \"name\"");
+    }
+    if (ts == nullptr || ts->kind != JsonValue::Kind::Number || ts->number < 0) {
+      return complain("missing or negative \"ts\"");
+    }
+    if (pid == nullptr || pid->kind != JsonValue::Kind::Number ||
+        tid == nullptr || tid->kind != JsonValue::Kind::Number) {
+      return complain("missing \"pid\"/\"tid\"");
+    }
+    if (ts->number > last_ts) last_ts = ts->number;
+
+    std::string key = cat->string + '\x1f' + id->string;
+    if (phase == 'b') {
+      ++begins;
+      if (++open[key] > 1) return complain("duplicate begin for an open async id");
+      ++span_names[name->string];
+      if (name->string == "request") ++requests;
+    } else if (phase == 'e') {
+      ++ends;
+      auto it = open.find(key);
+      if (it == open.end() || it->second <= 0) return complain("end without matching begin");
+      --it->second;
+    } else {
+      ++instants;
+    }
+  }
+
+  std::size_t unclosed = 0;
+  for (const auto& [key, depth] : open) {
+    if (depth != 0) ++unclosed;
+  }
+  if (unclosed != 0) {
+    std::fprintf(stderr, "FAIL: %zu async spans left open at end of trace\n", unclosed);
+    return 1;
+  }
+  if (begins != ends) {
+    std::fprintf(stderr, "FAIL: %zu begins vs %zu ends\n", begins, ends);
+    return 1;
+  }
+  if (requests < min_requests) {
+    std::fprintf(stderr, "FAIL: %zu request spans, expected at least %zu\n", requests,
+                 min_requests);
+    return 1;
+  }
+
+  std::printf("OK: %zu events (%zu spans, %zu instants, %zu metadata), last ts %.3f us\n",
+              events->array.size(), begins, instants, metadata, last_ts);
+  for (const auto& [name, count] : span_names) {
+    std::printf("  %-12s %zu\n", name.c_str(), count);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t min_requests = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--min-requests") && i + 1 < argc) {
+      min_requests = std::strtoul(argv[++i], nullptr, 10);
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <trace.json> [--min-requests N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s <trace.json> [--min-requests N]\n", argv[0]);
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::string data;
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0) data.append(buffer, got);
+  std::fclose(f);
+
+  JsonValue root;
+  Parser parser(data.data(), data.size());
+  if (!parser.parse(root)) {
+    std::fprintf(stderr, "FAIL: JSON parse error at byte %zu: %s\n",
+                 parser.offset(data.data()), parser.error().c_str());
+    return 1;
+  }
+  return validate(root, min_requests);
+}
