@@ -155,11 +155,8 @@ inline harness::RunMetrics run_crash_timeline(harness::ClusterConfig base, std::
   harness::DriverConfig driver;
   driver.warmup = 0;
   driver.measure = duration;
-  cluster.simulator().schedule_at(crash_at, [&cluster, crash_leader] {
-    std::size_t leader = cluster.leader_index();
-    std::size_t victim = crash_leader ? leader : (leader + 1) % cluster.config().n;
-    cluster.crash_replica(victim);
-  });
+  cluster.apply({sim::Fault::crash(
+      crash_at, crash_leader ? sim::Fault::kLeader : sim::Fault::kFollower)});
   harness::ClosedLoopDriver loop(cluster, driver);
   return loop.run();
 }

@@ -1,0 +1,142 @@
+#include "check/history.hpp"
+
+#include <stdexcept>
+
+namespace idem::check {
+
+namespace {
+
+std::string to_hex(std::span<const std::byte> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::byte b : bytes) {
+    out.push_back(kDigits[std::to_integer<unsigned>(b) >> 4]);
+    out.push_back(kDigits[std::to_integer<unsigned>(b) & 0xF]);
+  }
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::runtime_error("history: invalid hex digit");
+}
+
+std::vector<std::byte> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw std::runtime_error("history: odd hex length");
+  std::vector<std::byte> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::byte>((hex_digit(hex[i]) << 4) | hex_digit(hex[i + 1])));
+  }
+  return out;
+}
+
+Op::Result result_from_name(const std::string& name) {
+  if (name == "open") return Op::Result::Open;
+  if (name == "ok") return Op::Result::Ok;
+  if (name == "rejected") return Op::Result::Rejected;
+  if (name == "timeout") return Op::Result::Timeout;
+  throw std::runtime_error("history: unknown op result '" + name + "'");
+}
+
+}  // namespace
+
+const char* op_result_name(Op::Result result) {
+  switch (result) {
+    case Op::Result::Open:
+      return "open";
+    case Op::Result::Ok:
+      return "ok";
+    case Op::Result::Rejected:
+      return "rejected";
+    case Op::Result::Timeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+json::Value Op::to_json() const {
+  json::Object obj;
+  obj["client"] = json::Value(static_cast<std::uint64_t>(client));
+  obj["seq"] = json::Value(static_cast<std::uint64_t>(seq));
+  obj["invoke_ns"] = json::Value(static_cast<std::int64_t>(invoke));
+  obj["complete_ns"] = json::Value(static_cast<std::int64_t>(complete));
+  obj["result"] = json::Value(std::string(op_result_name(result)));
+  if (definitive_reject) obj["definitive"] = json::Value(true);
+  obj["command"] = json::Value(to_hex(command));
+  if (!output.empty()) obj["output"] = json::Value(to_hex(output));
+  return json::Value(std::move(obj));
+}
+
+Op Op::from_json(const json::Value& value) {
+  Op op;
+  op.client = value.get_or<std::uint64_t>("client", 0);
+  op.seq = value.get_or<std::uint64_t>("seq", 0);
+  op.invoke = value.get_or<std::int64_t>("invoke_ns", 0);
+  op.complete = value.get_or<std::int64_t>("complete_ns", -1);
+  op.result = result_from_name(value.get_or<std::string>("result", "open"));
+  op.definitive_reject = value.get_or<bool>("definitive", false);
+  op.command = from_hex(value.get_or<std::string>("command", ""));
+  op.output = from_hex(value.get_or<std::string>("output", ""));
+  return op;
+}
+
+std::size_t History::begin(std::uint64_t client, std::uint64_t seq,
+                           std::span<const std::byte> command, Time now) {
+  Op op;
+  op.client = client;
+  op.seq = seq;
+  op.invoke = now;
+  op.command.assign(command.begin(), command.end());
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void History::complete(std::size_t index, Op::Result result, Time now,
+                       std::span<const std::byte> output, bool definitive_reject) {
+  Op& op = ops_.at(index);
+  op.result = result;
+  op.complete = now;
+  op.output.assign(output.begin(), output.end());
+  op.definitive_reject = definitive_reject;
+}
+
+std::size_t History::count(Op::Result result) const {
+  std::size_t n = 0;
+  for (const Op& op : ops_) {
+    if (op.result == result) ++n;
+  }
+  return n;
+}
+
+std::uint64_t History::hash() const {
+  std::string dump = to_json().dump();
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64-bit offset basis
+  for (char c : dump) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+json::Value History::to_json() const {
+  json::Array ops;
+  ops.reserve(ops_.size());
+  for (const Op& op : ops_) ops.push_back(op.to_json());
+  json::Object obj;
+  obj["ops"] = json::Value(std::move(ops));
+  return json::Value(std::move(obj));
+}
+
+History History::from_json(const json::Value& value) {
+  History history;
+  for (const json::Value& op : value.at("ops").as_array()) {
+    history.ops_.push_back(Op::from_json(op));
+  }
+  return history;
+}
+
+}  // namespace idem::check

@@ -1,0 +1,321 @@
+#include "check/linearizability.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "app/counter.hpp"
+#include "app/kv_store.hpp"
+#include "common/codec.hpp"
+
+namespace idem::check {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// KV model
+// ---------------------------------------------------------------------------
+
+// Per-key partition state: "-" = absent, "+<value>" = present. The global
+// (scan-containing) mode serializes the whole ordered map with length
+// prefixes so arbitrary key/value bytes stay unambiguous.
+
+std::string dump_map(const std::map<std::string, std::string>& map) {
+  std::string out;
+  for (const auto& [key, value] : map) {
+    out += std::to_string(key.size());
+    out += ':';
+    out += key;
+    out += std::to_string(value.size());
+    out += ':';
+    out += value;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_map(const std::string& state) {
+  std::map<std::string, std::string> map;
+  std::size_t pos = 0;
+  auto field = [&]() {
+    std::size_t colon = state.find(':', pos);
+    std::size_t len = std::stoul(state.substr(pos, colon - pos));
+    std::string out = state.substr(colon + 1, len);
+    pos = colon + 1 + len;
+    return out;
+  };
+  while (pos < state.size()) {
+    std::string key = field();
+    std::string value = field();
+    map.emplace(std::move(key), std::move(value));
+  }
+  return map;
+}
+
+}  // namespace
+
+std::optional<std::string> KvModel::key(std::span<const std::byte> command) const {
+  app::KvCommand cmd = app::KvCommand::decode(command);
+  if (cmd.op == app::KvOp::Scan) return std::nullopt;
+  return cmd.key;
+}
+
+std::string KvModel::initial_state(const std::string& key) const {
+  return key.empty() ? std::string() : std::string("-");
+}
+
+Model::Applied KvModel::apply(const std::string& state, const std::string& key,
+                              std::span<const std::byte> command) const {
+  app::KvCommand cmd = app::KvCommand::decode(command);
+  app::KvResult res;
+  if (key.empty()) {
+    // Global mode: state is the whole store (scans present in history).
+    auto map = parse_map(state);
+    switch (cmd.op) {
+      case app::KvOp::Get: {
+        auto it = map.find(cmd.key);
+        if (it == map.end()) {
+          res.status = app::KvResult::Status::NotFound;
+        } else {
+          res.values.push_back(it->second);
+        }
+        break;
+      }
+      case app::KvOp::Put:
+        map[cmd.key] = cmd.value;
+        break;
+      case app::KvOp::Delete:
+        if (map.erase(cmd.key) == 0) res.status = app::KvResult::Status::NotFound;
+        break;
+      case app::KvOp::Scan: {
+        auto it = map.lower_bound(cmd.key);
+        for (std::uint32_t i = 0; i < cmd.scan_len && it != map.end(); ++i, ++it) {
+          res.values.push_back(it->second);
+        }
+        break;
+      }
+    }
+    return {dump_map(map), res.encode()};
+  }
+
+  // Per-key mode: state is this key's cell.
+  std::string next = state;
+  switch (cmd.op) {
+    case app::KvOp::Get:
+      if (state == "-") {
+        res.status = app::KvResult::Status::NotFound;
+      } else {
+        res.values.push_back(state.substr(1));
+      }
+      break;
+    case app::KvOp::Put:
+      next = "+" + cmd.value;
+      break;
+    case app::KvOp::Delete:
+      if (state == "-") {
+        res.status = app::KvResult::Status::NotFound;
+      } else {
+        next = "-";
+      }
+      break;
+    case app::KvOp::Scan:
+      break;  // unreachable: scans force global mode
+  }
+  return {std::move(next), res.encode()};
+}
+
+// ---------------------------------------------------------------------------
+// Counter model
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> CounterModel::key(std::span<const std::byte> command) const {
+  return app::CounterCommand::decode(command).name;
+}
+
+std::string CounterModel::initial_state(const std::string&) const { return "0"; }
+
+Model::Applied CounterModel::apply(const std::string& state, const std::string&,
+                                   std::span<const std::byte> command) const {
+  app::CounterCommand cmd = app::CounterCommand::decode(command);
+  std::int64_t value = std::stoll(state);
+  if (cmd.op == app::CounterOp::Add) value += cmd.delta;
+  ByteWriter w;
+  w.u64(static_cast<std::uint64_t>(value));
+  return {std::to_string(value), w.take()};
+}
+
+// ---------------------------------------------------------------------------
+// Wing & Gong search
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Partition-local view of one operation.
+struct POp {
+  const Op* op;
+  bool mandatory;            ///< Ok: must linearize, output checked
+  Time effective_complete;   ///< kNever for maybe-executed ops
+};
+
+struct Partition {
+  std::string key;
+  std::vector<POp> ops;
+};
+
+class Search {
+ public:
+  Search(const Partition& partition, const Model& model, std::size_t max_states,
+         std::size_t& states_explored)
+      : partition_(partition),
+        model_(model),
+        max_states_(max_states),
+        states_explored_(states_explored) {
+    done_.assign(partition.ops.size(), false);
+  }
+
+  bool run(std::string* error) {
+    budget_exceeded_ = false;
+    bool ok = dfs(model_.initial_state(partition_.key));
+    if (!ok && error != nullptr) {
+      *error = budget_exceeded_ ? "search budget exceeded" : describe_failure();
+    }
+    return ok;
+  }
+
+ private:
+  bool dfs(const std::string& state) {
+    // Once every mandatory op is linearized, any leftover maybe-executed
+    // ops can be declared never-executed — done.
+    if (remaining_mandatory() == 0) return true;
+    if (max_states_ != 0 && states_explored_ >= max_states_) {
+      budget_exceeded_ = true;
+      return false;
+    }
+    std::string memo_key = mask_bytes() + '\0' + state;
+    if (!visited_.insert(std::move(memo_key)).second) return false;
+    ++states_explored_;
+
+    // No unlinearized op may have completed before a candidate's invoke.
+    Time frontier = kNever;
+    for (std::size_t i = 0; i < partition_.ops.size(); ++i) {
+      if (!done_[i]) frontier = std::min(frontier, partition_.ops[i].effective_complete);
+    }
+    for (std::size_t i = 0; i < partition_.ops.size(); ++i) {
+      if (done_[i]) continue;
+      const POp& pop = partition_.ops[i];
+      if (pop.op->invoke > frontier) continue;
+
+      done_[i] = true;
+      Model::Applied applied = model_.apply(state, partition_.key, pop.op->command);
+      if (pop.mandatory) {
+        if (applied.output == pop.op->output && dfs(applied.state)) return true;
+      } else {
+        // Maybe-executed: took effect now (output unobserved) ...
+        if (dfs(applied.state)) return true;
+        // ... or never took effect at all.
+        if (dfs(state)) return true;
+      }
+      done_[i] = false;
+    }
+    return false;
+  }
+
+  std::size_t remaining_mandatory() const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < partition_.ops.size(); ++i) {
+      if (!done_[i] && partition_.ops[i].mandatory) ++count;
+    }
+    return count;
+  }
+
+  std::string mask_bytes() const {
+    std::string bytes((done_.size() + 7) / 8, '\0');
+    for (std::size_t i = 0; i < done_.size(); ++i) {
+      if (done_[i]) bytes[i / 8] |= static_cast<char>(1u << (i % 8));
+    }
+    return bytes;
+  }
+
+  std::string describe_failure() const {
+    std::ostringstream os;
+    os << "no valid linearization of " << partition_.ops.size() << " ops";
+    std::size_t shown = 0;
+    for (const POp& pop : partition_.ops) {
+      if (shown++ >= 12) {
+        os << " ...";
+        break;
+      }
+      os << "\n  c" << pop.op->client << "#" << pop.op->seq << " ["
+         << op_result_name(pop.op->result) << "] invoke=" << pop.op->invoke
+         << " complete=" << pop.op->complete;
+    }
+    return os.str();
+  }
+
+  const Partition& partition_;
+  const Model& model_;
+  const std::size_t max_states_;
+  std::size_t& states_explored_;
+  std::vector<bool> done_;
+  std::unordered_set<std::string> visited_;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+CheckResult check_linearizable(const History& history, const Model& model,
+                               std::size_t max_states) {
+  CheckResult result;
+
+  // Partition by key; a single multi-key command collapses everything
+  // into one global partition.
+  bool global = false;
+  for (const Op& op : history.ops()) {
+    if (op.result == Op::Result::Rejected && op.definitive_reject) continue;
+    if (!model.key(op.command).has_value()) {
+      global = true;
+      break;
+    }
+  }
+
+  std::map<std::string, Partition> partitions;
+  for (const Op& op : history.ops()) {
+    // Known never-executed: impose no constraints, take no effect.
+    if (op.result == Op::Result::Rejected && op.definitive_reject) continue;
+    std::string key = global ? std::string() : *model.key(op.command);
+    Partition& partition = partitions[key];
+    partition.key = key;
+    POp pop;
+    pop.op = &op;
+    pop.mandatory = op.result == Op::Result::Ok;
+    pop.effective_complete = pop.mandatory ? op.complete : kNever;
+    partition.ops.push_back(pop);
+  }
+
+  for (auto& [key, partition] : partitions) {
+    std::sort(partition.ops.begin(), partition.ops.end(),
+              [](const POp& a, const POp& b) { return a.op->invoke < b.op->invoke; });
+    ++result.partitions_checked;
+    Search search(partition, model, max_states, result.states_explored);
+    std::string error;
+    if (!search.run(&error)) {
+      result.linearizable = false;
+      result.partition = key;
+      result.error = "partition '" + key + "': " + error;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<Model> make_model(const std::string& app) {
+  if (app == "kv") return std::make_unique<KvModel>();
+  if (app == "counter") return std::make_unique<CounterModel>();
+  return nullptr;
+}
+
+}  // namespace idem::check

@@ -1,0 +1,98 @@
+// Linearizability checker for client-observed histories.
+//
+// Implements the Wing & Gong search: try to order all operations into a
+// sequential execution of a model state machine such that (a) every
+// response matches what the model produces and (b) the order respects
+// real-time precedence (op A before op B whenever A completed before B
+// was invoked). The search runs per partition (per key, when the model
+// supports it), memoizes visited (linearized-set, model-state) pairs, and
+// walks candidates in invocation order — the classic optimizations that
+// make the exponential worst case a non-issue for test-sized histories.
+//
+// Operation semantics (matching the paper's client states, Sec. 5.3):
+//   - Ok: must linearize exactly once, and the model output must equal
+//     the observed output bytes.
+//   - Rejected with definitive_reject (all n replicas rejected): must
+//     never linearize — the client *knows* the op did not execute.
+//   - Rejected without definitive (ambivalence, n-f rejects), Timeout,
+//     Open: *maybe executed*. The search may linearize the op once (with
+//     unchecked output) or decide it never took effect. Its completion
+//     also does not constrain later ops: an op the client gave up on can
+//     still take effect arbitrarily late.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace idem::check {
+
+/// Sequential specification used by the checker. State is encoded as an
+/// opaque canonical string so memoization and partitioning stay generic.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Partition key of an encoded command, or nullopt when the command
+  /// spans keys (e.g. a KV scan) — any nullopt disables partitioning and
+  /// the whole history is checked as one partition over full state.
+  virtual std::optional<std::string> key(std::span<const std::byte> command) const = 0;
+
+  /// Canonical state of one partition before any operation.
+  virtual std::string initial_state(const std::string& key) const = 0;
+
+  struct Applied {
+    std::string state;
+    std::vector<std::byte> output;
+  };
+  /// Runs one command against a partition state.
+  virtual Applied apply(const std::string& state, const std::string& key,
+                        std::span<const std::byte> command) const = 0;
+};
+
+/// Model of app::KvStore restricted to single-key commands
+/// (Get/Put/Delete partition per key; Scan disables partitioning and is
+/// checked against the full ordered map).
+class KvModel final : public Model {
+ public:
+  std::optional<std::string> key(std::span<const std::byte> command) const override;
+  std::string initial_state(const std::string& key) const override;
+  Applied apply(const std::string& state, const std::string& key,
+                std::span<const std::byte> command) const override;
+};
+
+/// Model of app::CounterService (partitioned per counter name).
+class CounterModel final : public Model {
+ public:
+  std::optional<std::string> key(std::span<const std::byte> command) const override;
+  std::string initial_state(const std::string& key) const override;
+  Applied apply(const std::string& state, const std::string& key,
+                std::span<const std::byte> command) const override;
+};
+
+struct CheckResult {
+  bool linearizable = true;
+  /// Human-readable description of the first violating partition.
+  std::string error;
+  /// Partition key the violation was found in (empty if global).
+  std::string partition;
+  std::size_t partitions_checked = 0;
+  std::size_t states_explored = 0;
+
+  explicit operator bool() const { return linearizable; }
+};
+
+/// Checks `history` against `model`. `max_states` bounds the search per
+/// partition (0 = unbounded); exceeding it reports non-linearizable with
+/// an explicit "search budget exceeded" error rather than false success.
+CheckResult check_linearizable(const History& history, const Model& model,
+                               std::size_t max_states = 0);
+
+/// Convenience: picks the model by app name ("kv" or "counter").
+std::unique_ptr<Model> make_model(const std::string& app);
+
+}  // namespace idem::check

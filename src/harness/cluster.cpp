@@ -26,7 +26,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
 
   // Preload the key-value store once and snapshot it, so every replica
   // starts from the identical state without replaying the load phase.
-  if (config_.preload) {
+  if (config_.preload && !config_.store_factory) {
     app::KvStore loader(config_.kv_costs);
     Rng rng(config_.seed, /*stream=*/0x10adull);
     app::YcsbWorkload workload(config_.workload, rng);
@@ -233,6 +233,7 @@ void Cluster::schedule_metrics_tick() {
 }
 
 std::unique_ptr<app::StateMachine> Cluster::make_store() {
+  if (config_.store_factory) return config_.store_factory();
   auto store = std::make_unique<app::KvStore>(config_.kv_costs);
   if (!preload_snapshot_.empty()) store->restore(preload_snapshot_);
   return store;
@@ -243,10 +244,114 @@ void Cluster::crash_replica(std::size_t index) {
   replicas_[index]->crash();
 }
 
-void Cluster::crash_replica_at(std::size_t index, Time at) {
+void Cluster::restart_replica(std::size_t index) {
   assert(index < replicas_.size());
-  sim::Node* node = replicas_[index].get();
-  sim_->schedule_at(at, [node] { node->crash(); });
+  replicas_[index]->restart();
+}
+
+namespace {
+
+/// Mutable context shared by every scheduled fault of one apply() call.
+struct PlanState {
+  int last_crashed = -1;
+};
+
+sim::NodeId fault_address(std::uint32_t endpoint) {
+  return sim::fault_endpoint_is_client(endpoint)
+             ? consensus::client_address(ClientId{sim::fault_endpoint_index(endpoint)})
+             : consensus::replica_address(ReplicaId{sim::fault_endpoint_index(endpoint)});
+}
+
+std::vector<sim::NodeId> fault_addresses(const std::vector<std::uint32_t>& side) {
+  std::vector<sim::NodeId> out;
+  out.reserve(side.size());
+  for (std::uint32_t e : side) out.push_back(fault_address(e));
+  return out;
+}
+
+}  // namespace
+
+void Cluster::apply(const sim::FaultPlan& plan, Time offset) {
+  auto state = std::make_shared<PlanState>();
+
+  auto resolve_target = [this, state](std::int32_t target) -> std::size_t {
+    if (target == sim::Fault::kLeader) return leader_index();
+    if (target == sim::Fault::kFollower) return (leader_index() + 1) % config_.n;
+    if (target == sim::Fault::kLastCrashed) {
+      return state->last_crashed >= 0 ? static_cast<std::size_t>(state->last_crashed) : 0;
+    }
+    return static_cast<std::size_t>(target);
+  };
+
+  for (const sim::Fault& fault : plan.faults) {
+    sim_->schedule_at(offset + fault.at, [this, state, resolve_target, fault] {
+      switch (fault.kind) {
+        case sim::Fault::Kind::Crash: {
+          std::size_t victim = resolve_target(fault.replica);
+          if (victim >= replicas_.size() || replicas_[victim]->crashed()) return;
+          replicas_[victim]->crash();
+          state->last_crashed = static_cast<int>(victim);
+          break;
+        }
+        case sim::Fault::Kind::Recover: {
+          std::size_t victim = resolve_target(fault.replica);
+          if (victim < replicas_.size()) replicas_[victim]->restart();
+          break;
+        }
+        case sim::Fault::Kind::Partition:
+        case sim::Fault::Kind::PartitionOneWay: {
+          auto a = fault_addresses(fault.side_a);
+          auto b = fault_addresses(fault.side_b);
+          bool one_way = fault.kind == sim::Fault::Kind::PartitionOneWay;
+          if (one_way) {
+            net_->partition_one_way(a, b);
+          } else {
+            net_->partition(a, b);
+          }
+          if (fault.duration > 0) {
+            sim_->schedule_after(fault.duration, [this, a, b, one_way] {
+              for (sim::NodeId from : a) {
+                for (sim::NodeId to : b) {
+                  net_->unblock_link(from, to);
+                  if (!one_way) net_->unblock_link(to, from);
+                }
+              }
+            });
+          }
+          break;
+        }
+        case sim::Fault::Kind::Heal:
+          net_->heal();
+          break;
+        case sim::Fault::Kind::DelaySpike: {
+          if (fault.magnitude <= 0) return;
+          net_->set_latency_factor(net_->latency_factor() * fault.magnitude);
+          if (fault.duration > 0) {
+            sim_->schedule_after(fault.duration, [this, m = fault.magnitude] {
+              net_->set_latency_factor(net_->latency_factor() / m);
+            });
+          }
+          break;
+        }
+        case sim::Fault::Kind::DropBurst: {
+          // Track the increment actually applied so overlapping bursts (and
+          // the 1.0 clamp) revert exactly.
+          double current = net_->config().drop_probability;
+          double applied = fault.magnitude;
+          if (current + applied > 1.0) applied = 1.0 - current;
+          if (applied <= 0) return;
+          net_->set_drop_probability(current + applied);
+          if (fault.duration > 0) {
+            sim_->schedule_after(fault.duration, [this, applied] {
+              double q = net_->config().drop_probability - applied;
+              net_->set_drop_probability(q < 0.0 ? 0.0 : q);
+            });
+          }
+          break;
+        }
+      }
+    });
+  }
 }
 
 std::size_t Cluster::leader_index() const {

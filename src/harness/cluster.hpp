@@ -17,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "paxos/client.hpp"
 #include "paxos/replica.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "smart/client.hpp"
@@ -78,6 +79,12 @@ struct ClusterConfig {
   /// Records preloaded into every replica's store before the run.
   bool preload = true;
 
+  /// Optional replacement for the default KvStore application (invoked once
+  /// per replica). When set, `kv_costs`/`preload` are ignored — the factory
+  /// owns initial state. Lets chaos and app-genericity tests replicate any
+  /// app::StateMachine (e.g. the counter service) through the full harness.
+  std::function<std::unique_ptr<app::StateMachine>()> store_factory;
+
   /// Optional override of the acceptance test for IDEM-family protocols
   /// (invoked once per replica). Defaults to the protocol's standard test
   /// (AQM / tail drop / never-reject).
@@ -109,8 +116,14 @@ class Cluster {
 
   /// Crashes replica `index` immediately.
   void crash_replica(std::size_t index);
-  /// Schedules a crash at absolute simulated time `at`.
-  void crash_replica_at(std::size_t index, Time at);
+  /// Restarts a crashed replica (durable state intact; see Node::restart).
+  void restart_replica(std::size_t index);
+
+  /// Arms a declarative fault schedule: every fault is scheduled at
+  /// `offset + fault.at` and fires against this cluster (leader-relative
+  /// targets resolve when the fault fires). May be called repeatedly and
+  /// mid-run; windowed faults revert themselves.
+  void apply(const sim::FaultPlan& plan, Time offset = 0);
 
   /// Index of the replica currently believing itself leader (first match).
   std::size_t leader_index() const;

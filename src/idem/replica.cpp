@@ -35,6 +35,18 @@ std::optional<OpNum> IdemReplica::last_executed(ClientId cid) const {
   return OpNum{it->second};
 }
 
+void IdemReplica::on_restart() {
+  // Timers pending at crash time fired as no-ops while the node was down;
+  // drop the stale handles and re-arm the periodic machinery exactly as a
+  // rebooted process (with its durable state intact) would.
+  for (auto& [id, timer] : forward_timers_) cancel_timer(timer);
+  forward_timers_.clear();
+  cancel_timer(require_flush_timer_);
+  cancel_timer(state_retry_timer_);
+  cancel_timer(progress_timer_);
+  arm_progress_timer();
+}
+
 Duration IdemReplica::message_cost(const sim::Payload& message) const {
   return config_.costs.cost(message, cost_rng_);
 }

@@ -18,6 +18,17 @@ PaxosReplica::PaxosReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
   retransmit_tick();
 }
 
+void PaxosReplica::on_restart() {
+  // Pending timers fired as no-ops while down; restart the periodic chains
+  // from scratch like the constructor does.
+  cancel_timer(heartbeat_timer_);
+  cancel_timer(failure_timer_);
+  cancel_timer(retransmit_timer_);
+  if (is_leader()) send_heartbeat();
+  arm_failure_timer();
+  retransmit_tick();
+}
+
 Duration PaxosReplica::message_cost(const sim::Payload& message) const {
   return config_.costs.cost(message, cost_rng_);
 }

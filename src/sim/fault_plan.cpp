@@ -1,0 +1,174 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace idem::sim {
+
+Fault Fault::crash(Time at, std::int32_t replica) {
+  Fault f;
+  f.kind = Kind::Crash;
+  f.at = at;
+  f.replica = replica;
+  return f;
+}
+
+Fault Fault::recover(Time at, std::int32_t replica) {
+  Fault f;
+  f.kind = Kind::Recover;
+  f.at = at;
+  f.replica = replica;
+  return f;
+}
+
+Fault Fault::partition(Time at, std::vector<std::uint32_t> side_a,
+                       std::vector<std::uint32_t> side_b, Duration duration) {
+  Fault f;
+  f.kind = Kind::Partition;
+  f.at = at;
+  f.side_a = std::move(side_a);
+  f.side_b = std::move(side_b);
+  f.duration = duration;
+  return f;
+}
+
+Fault Fault::partition_one_way(Time at, std::vector<std::uint32_t> from,
+                               std::vector<std::uint32_t> to, Duration duration) {
+  Fault f;
+  f.kind = Kind::PartitionOneWay;
+  f.at = at;
+  f.side_a = std::move(from);
+  f.side_b = std::move(to);
+  f.duration = duration;
+  return f;
+}
+
+Fault Fault::heal(Time at) {
+  Fault f;
+  f.kind = Kind::Heal;
+  f.at = at;
+  return f;
+}
+
+Fault Fault::delay_spike(Time at, double factor, Duration duration) {
+  Fault f;
+  f.kind = Kind::DelaySpike;
+  f.at = at;
+  f.magnitude = factor;
+  f.duration = duration;
+  return f;
+}
+
+Fault Fault::drop_burst(Time at, double drop_probability, Duration duration) {
+  Fault f;
+  f.kind = Kind::DropBurst;
+  f.at = at;
+  f.magnitude = drop_probability;
+  f.duration = duration;
+  return f;
+}
+
+const char* fault_kind_name(Fault::Kind kind) {
+  switch (kind) {
+    case Fault::Kind::Crash: return "crash";
+    case Fault::Kind::Recover: return "recover";
+    case Fault::Kind::Partition: return "partition";
+    case Fault::Kind::PartitionOneWay: return "partition_one_way";
+    case Fault::Kind::Heal: return "heal";
+    case Fault::Kind::DelaySpike: return "delay_spike";
+    case Fault::Kind::DropBurst: return "drop_burst";
+  }
+  return "?";
+}
+
+namespace {
+
+Fault::Kind kind_from_name(const std::string& name) {
+  for (Fault::Kind kind :
+       {Fault::Kind::Crash, Fault::Kind::Recover, Fault::Kind::Partition,
+        Fault::Kind::PartitionOneWay, Fault::Kind::Heal, Fault::Kind::DelaySpike,
+        Fault::Kind::DropBurst}) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  throw json::ParseError("unknown fault kind: " + name);
+}
+
+json::Value endpoints_to_json(const std::vector<std::uint32_t>& side) {
+  json::Array array;
+  array.reserve(side.size());
+  for (std::uint32_t e : side) array.emplace_back(static_cast<std::uint64_t>(e));
+  return json::Value(std::move(array));
+}
+
+std::vector<std::uint32_t> endpoints_from_json(const json::Value& value) {
+  std::vector<std::uint32_t> side;
+  for (const json::Value& e : value.as_array()) {
+    side.push_back(static_cast<std::uint32_t>(e.as_uint()));
+  }
+  return side;
+}
+
+}  // namespace
+
+json::Value Fault::to_json() const {
+  json::Object object;
+  object.emplace("kind", fault_kind_name(kind));
+  object.emplace("at_ns", static_cast<std::int64_t>(at));
+  switch (kind) {
+    case Kind::Crash:
+    case Kind::Recover:
+      object.emplace("replica", static_cast<std::int64_t>(replica));
+      break;
+    case Kind::Partition:
+    case Kind::PartitionOneWay:
+      object.emplace("a", endpoints_to_json(side_a));
+      object.emplace("b", endpoints_to_json(side_b));
+      if (duration > 0) object.emplace("duration_ns", static_cast<std::int64_t>(duration));
+      break;
+    case Kind::Heal:
+      break;
+    case Kind::DelaySpike:
+    case Kind::DropBurst:
+      object.emplace("magnitude", magnitude);
+      if (duration > 0) object.emplace("duration_ns", static_cast<std::int64_t>(duration));
+      break;
+  }
+  return json::Value(std::move(object));
+}
+
+Fault Fault::from_json(const json::Value& value) {
+  Fault f;
+  f.kind = kind_from_name(value.at("kind").as_string());
+  f.at = value.at("at_ns").as_int();
+  f.replica = static_cast<std::int32_t>(value.get_or<std::int64_t>("replica", 0));
+  if (value.contains("a")) f.side_a = endpoints_from_json(value.at("a"));
+  if (value.contains("b")) f.side_b = endpoints_from_json(value.at("b"));
+  f.duration = value.get_or<std::int64_t>("duration_ns", 0);
+  f.magnitude = value.get_or<double>("magnitude", 0.0);
+  return f;
+}
+
+Time FaultPlan::end_time() const {
+  Time end = 0;
+  for (const Fault& fault : faults) {
+    end = std::max(end, fault.at + std::max<Duration>(fault.duration, 0));
+  }
+  return end;
+}
+
+json::Value FaultPlan::to_json() const {
+  json::Array array;
+  array.reserve(faults.size());
+  for (const Fault& fault : faults) array.push_back(fault.to_json());
+  return json::Value(std::move(array));
+}
+
+FaultPlan FaultPlan::from_json(const json::Value& value) {
+  FaultPlan plan;
+  for (const json::Value& entry : value.as_array()) {
+    plan.faults.push_back(Fault::from_json(entry));
+  }
+  return plan;
+}
+
+}  // namespace idem::sim

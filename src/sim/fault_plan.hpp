@@ -1,0 +1,110 @@
+// Declarative fault schedules (chaos plans).
+//
+// A FaultPlan is a sim-time-stamped list of faults — crashes, recoveries,
+// symmetric and one-way partitions, heals, link-delay spikes and drop-rate
+// bursts — that harness::Cluster::apply() arms onto the simulator. Plans
+// replace the ad-hoc crash wiring previously duplicated across the crash
+// benches and the partition/property tests, and they serialize to JSON so
+// any failing schedule can be checked in as a deterministic replay artifact
+// (see tests/corpus/ and tools/chaos_run).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/time.hpp"
+
+namespace idem::sim {
+
+/// Partition endpoints name replicas by index and clients by index offset
+/// with kFaultClientBase, so plans stay portable across cluster sizes and
+/// transport address conventions.
+constexpr std::uint32_t kFaultClientBase = 100000;
+
+constexpr std::uint32_t fault_endpoint_replica(std::uint32_t index) { return index; }
+constexpr std::uint32_t fault_endpoint_client(std::uint32_t index) {
+  return kFaultClientBase + index;
+}
+constexpr bool fault_endpoint_is_client(std::uint32_t endpoint) {
+  return endpoint >= kFaultClientBase;
+}
+constexpr std::uint32_t fault_endpoint_index(std::uint32_t endpoint) {
+  return fault_endpoint_is_client(endpoint) ? endpoint - kFaultClientBase : endpoint;
+}
+
+struct Fault {
+  enum class Kind : std::uint8_t {
+    Crash,             ///< process crash of one replica (loses queued work)
+    Recover,           ///< restart a crashed replica (durable state intact)
+    Partition,         ///< cut both directions between side_a and side_b
+    PartitionOneWay,   ///< cut only side_a -> side_b (asymmetric failure)
+    Heal,              ///< remove every active link block
+    DelaySpike,        ///< multiply link latency by `magnitude`
+    DropBurst,         ///< add `magnitude` to the message drop probability
+  };
+
+  /// Crash/Recover targets resolved when the fault fires, not when the plan
+  /// is armed — "the leader" may have moved by then.
+  static constexpr std::int32_t kLeader = -1;       ///< current leader
+  static constexpr std::int32_t kFollower = -2;     ///< (leader + 1) mod n
+  static constexpr std::int32_t kLastCrashed = -3;  ///< most recent Crash victim
+
+  Kind kind = Kind::Crash;
+  Time at = 0;               ///< absolute sim time (plus any apply() offset)
+  std::int32_t replica = 0;  ///< Crash/Recover target (index or sentinel)
+  std::vector<std::uint32_t> side_a, side_b;  ///< partition endpoints
+  /// Partition*/DelaySpike/DropBurst: auto-revert after this window
+  /// (0 = sticky until an explicit Heal).
+  Duration duration = 0;
+  double magnitude = 0;  ///< DelaySpike factor / DropBurst drop probability
+
+  // Readable constructors for plan literals in tests and benches.
+  static Fault crash(Time at, std::int32_t replica);
+  static Fault recover(Time at, std::int32_t replica = kLastCrashed);
+  static Fault partition(Time at, std::vector<std::uint32_t> side_a,
+                         std::vector<std::uint32_t> side_b, Duration duration = 0);
+  static Fault partition_one_way(Time at, std::vector<std::uint32_t> from,
+                                 std::vector<std::uint32_t> to, Duration duration = 0);
+  static Fault heal(Time at);
+  static Fault delay_spike(Time at, double factor, Duration duration);
+  static Fault drop_burst(Time at, double drop_probability, Duration duration);
+
+  json::Value to_json() const;
+  static Fault from_json(const json::Value& value);
+
+  bool operator==(const Fault&) const = default;
+};
+
+const char* fault_kind_name(Fault::Kind kind);
+
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  FaultPlan() = default;
+  FaultPlan(std::initializer_list<Fault> list) : faults(list) {}
+
+  FaultPlan& add(Fault fault) {
+    faults.push_back(std::move(fault));
+    return *this;
+  }
+  bool empty() const { return faults.empty(); }
+  std::size_t size() const { return faults.size(); }
+
+  /// Latest time at which the plan still changes the system (including
+  /// auto-revert windows) — runs should quiesce after this.
+  Time end_time() const;
+
+  json::Value to_json() const;
+  std::string to_json_string() const { return to_json().dump(); }
+  static FaultPlan from_json(const json::Value& value);
+  static FaultPlan parse(std::string_view text) {
+    return from_json(json::Value::parse(text));
+  }
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace idem::sim

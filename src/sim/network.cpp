@@ -22,6 +22,9 @@ Duration SimNetwork::sample_latency(std::size_t total_bytes) {
     latency += static_cast<Duration>(
         jitter_rng_.exponential(static_cast<double>(config_.jitter_mean)));
   }
+  if (latency_factor_ != 1.0) {
+    latency = static_cast<Duration>(static_cast<double>(latency) * latency_factor_);
+  }
   latency += static_cast<Duration>(config_.ns_per_byte * static_cast<double>(total_bytes));
   return latency;
 }
@@ -47,7 +50,7 @@ void SimNetwork::send(NodeId from, NodeId to, PayloadPtr message) {
     return;
   }
   auto blocked_it = blocked_.find(link_key(from, to));
-  if (blocked_it != blocked_.end() && blocked_it->second) {
+  if (blocked_it != blocked_.end() && blocked_it->second > 0) {
     ++dropped_;
     return;
   }
@@ -80,11 +83,24 @@ void SimNetwork::partition(const std::vector<NodeId>& side_a, const std::vector<
   }
 }
 
+void SimNetwork::partition_one_way(const std::vector<NodeId>& from,
+                                   const std::vector<NodeId>& to) {
+  for (NodeId a : from) {
+    for (NodeId b : to) {
+      block_link(a, b);
+    }
+  }
+}
+
 void SimNetwork::heal() { blocked_.clear(); }
 
-void SimNetwork::block_link(NodeId from, NodeId to) { blocked_[link_key(from, to)] = true; }
+void SimNetwork::block_link(NodeId from, NodeId to) { blocked_[link_key(from, to)] += 1; }
 
-void SimNetwork::unblock_link(NodeId from, NodeId to) { blocked_.erase(link_key(from, to)); }
+void SimNetwork::unblock_link(NodeId from, NodeId to) {
+  auto it = blocked_.find(link_key(from, to));
+  if (it == blocked_.end()) return;
+  if (--it->second <= 0) blocked_.erase(it);
+}
 
 void SimNetwork::reset_traffic() {
   client_traffic_ = TrafficStats{};

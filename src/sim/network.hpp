@@ -62,15 +62,29 @@ class SimNetwork final : public Transport {
   /// Cuts both directions between every pair in (side_a x side_b).
   void partition(const std::vector<NodeId>& side_a, const std::vector<NodeId>& side_b);
 
+  /// Cuts only the from -> to direction of every pair in (from x to): an
+  /// asymmetric link failure. A node on `from` can still *receive* from
+  /// `to` — the classic "can send but not receive" (or vice versa) fault
+  /// that symmetric partitions cannot express.
+  void partition_one_way(const std::vector<NodeId>& from, const std::vector<NodeId>& to);
+
   /// Removes all partitions.
   void heal();
 
-  /// Cuts / restores a single directed link.
+  /// Cuts / restores a single directed link. Blocks are counted, so
+  /// overlapping partitions compose: a link stays cut until every block
+  /// placed on it is removed (or heal() wipes them all). Unblocking a
+  /// link with no active block is a no-op.
   void block_link(NodeId from, NodeId to);
   void unblock_link(NodeId from, NodeId to);
 
   const NetworkConfig& config() const { return config_; }
   void set_drop_probability(double p) { config_.drop_probability = p; }
+
+  /// Global latency multiplier applied to propagation + jitter (not the
+  /// per-byte transmission term); models congestion-style delay spikes.
+  double latency_factor() const { return latency_factor_; }
+  void set_latency_factor(double factor) { latency_factor_ = factor < 0 ? 0 : factor; }
 
   /// Traffic between a client and a replica (either direction).
   const TrafficStats& client_traffic() const { return client_traffic_; }
@@ -107,8 +121,9 @@ class SimNetwork final : public Transport {
   NetworkConfig config_;
   Rng& jitter_rng_;
   Rng& drop_rng_;
+  double latency_factor_ = 1.0;
   std::unordered_map<std::uint32_t, NodeEntry> nodes_;
-  std::unordered_map<std::uint64_t, bool> blocked_;  // directed link -> blocked
+  std::unordered_map<std::uint64_t, int> blocked_;  // directed link -> block count
   TrafficStats client_traffic_;
   TrafficStats replica_traffic_;
   std::uint64_t dropped_ = 0;

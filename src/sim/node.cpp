@@ -24,6 +24,14 @@ void Node::crash() {
   // deliver().
 }
 
+void Node::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  processing_ = false;
+  busy_until_ = runtime_.now();
+  on_restart();
+}
+
 void Node::deliver(NodeId from, PayloadPtr message) {
   if (crashed_) return;
   queue_push(Pending{from, std::move(message)});

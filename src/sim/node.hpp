@@ -49,6 +49,14 @@ class Node : public Endpoint {
   /// no further messages or timers are processed.
   void crash();
 
+  /// Restarts a crashed node. Durable protocol state (log, promises,
+  /// store) is preserved — this models a crash-recovery process whose
+  /// persistent state survived — but everything queued or in flight at
+  /// crash time is gone and timers that fired while down were lost, so
+  /// subclasses re-arm their periodic timers in on_restart(). No-op on a
+  /// live node.
+  void restart();
+
   /// Endpoint: called by the network when a message arrives.
   void deliver(NodeId from, PayloadPtr message) final;
 
@@ -60,6 +68,11 @@ class Node : public Endpoint {
   /// Handles one message. Invoked when the message's service time has
   /// elapsed, i.e. sends made here already account for processing delay.
   virtual void on_message(NodeId from, const Payload& message) = 0;
+
+  /// Invoked by restart() after the node is live again; subclasses re-arm
+  /// periodic timers here (timers pending across the crash window fired as
+  /// no-ops). Default: nothing.
+  virtual void on_restart() {}
 
   /// CPU cost of receiving/handling `message`. Subclasses model their
   /// protocol's per-message work here. Default: free.

@@ -15,6 +15,11 @@ SmartReplica::SmartReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
   retransmit_tick();
 }
 
+void SmartReplica::on_restart() {
+  cancel_timer(retransmit_timer_);
+  retransmit_tick();
+}
+
 void SmartReplica::retransmit_tick() {
   retransmit_timer_ = set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
   if (!is_leader()) return;

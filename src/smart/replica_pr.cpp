@@ -372,6 +372,13 @@ void SmartPrReplica::try_execute() {
   }
 }
 
+void SmartPrReplica::on_restart() {
+  for (auto& [id, timer] : forward_timers_) cancel_timer(timer);
+  forward_timers_.clear();
+  cancel_timer(retransmit_timer_);
+  retransmit_tick();
+}
+
 void SmartPrReplica::retransmit_tick() {
   retransmit_timer_ =
       set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });

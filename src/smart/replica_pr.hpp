@@ -85,6 +85,7 @@ class SmartPrReplica final : public sim::Node {
 
  protected:
   void on_message(sim::NodeId from, const sim::Payload& message) override;
+  void on_restart() override;
   Duration message_cost(const sim::Payload& message) const override;
   Duration send_cost(const sim::Payload& message) const override;
 

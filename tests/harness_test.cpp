@@ -131,7 +131,7 @@ TEST(Harness, CustomAcceptanceFactoryIsUsed) {
 TEST(Harness, CrashAtScheduledTimeTakesEffect) {
   auto config = test_cluster_config(Protocol::Idem);
   Cluster cluster(config);
-  cluster.crash_replica_at(2, 100 * kMillisecond);
+  cluster.apply({sim::Fault::crash(100 * kMillisecond, 2)});
   cluster.simulator().run_until(50 * kMillisecond);
   EXPECT_EQ(cluster.leader_index(), 0u);
   cluster.simulator().run_until(200 * kMillisecond);

@@ -281,7 +281,7 @@ TEST(IdemIntegration, RequestOutstandingAcrossLeaderCrashCompletes) {
   std::optional<consensus::Outcome> outcome;
   cluster.client(0).invoke(put_cmd("k", "v"),
                            [&](const consensus::Outcome& o) { outcome = o; });
-  cluster.crash_replica_at(0, cluster.simulator().now() + 60 * kMicrosecond);
+  cluster.apply({sim::Fault::crash(cluster.simulator().now() + 60 * kMicrosecond, 0)});
   cluster.simulator().run_while(
       [&] { return !outcome.has_value() && cluster.simulator().now() < 30 * kSecond; });
 

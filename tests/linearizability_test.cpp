@@ -1,0 +1,325 @@
+// Mutation tests for the linearizability checker: every classic history
+// corruption — lost write, duplicated execution, executed-after-reject,
+// stale read — must be flagged, while legal concurrency, maybe-executed
+// timeouts and ambivalent rejections must pass.
+#include <gtest/gtest.h>
+
+#include "app/counter.hpp"
+#include "app/kv_store.hpp"
+#include "check/linearizability.hpp"
+
+namespace idem {
+namespace {
+
+using check::CheckResult;
+using check::CounterModel;
+using check::History;
+using check::KvModel;
+using check::Op;
+
+std::vector<std::byte> put(const std::string& key, const std::string& value) {
+  app::KvCommand cmd;
+  cmd.op = app::KvOp::Put;
+  cmd.key = key;
+  cmd.value = value;
+  return cmd.encode();
+}
+
+std::vector<std::byte> get(const std::string& key) {
+  app::KvCommand cmd;
+  cmd.op = app::KvOp::Get;
+  cmd.key = key;
+  return cmd.encode();
+}
+
+std::vector<std::byte> del(const std::string& key) {
+  app::KvCommand cmd;
+  cmd.op = app::KvOp::Delete;
+  cmd.key = key;
+  return cmd.encode();
+}
+
+std::vector<std::byte> scan(const std::string& from, std::uint32_t len) {
+  app::KvCommand cmd;
+  cmd.op = app::KvOp::Scan;
+  cmd.key = from;
+  cmd.scan_len = len;
+  return cmd.encode();
+}
+
+std::vector<std::byte> kv_ok() { return app::KvResult{}.encode(); }
+
+std::vector<std::byte> kv_value(std::string value) {
+  app::KvResult res;
+  res.values.push_back(std::move(value));
+  return res.encode();
+}
+
+std::vector<std::byte> kv_values(std::vector<std::string> values) {
+  app::KvResult res;
+  res.values = std::move(values);
+  return res.encode();
+}
+
+std::vector<std::byte> kv_notfound() {
+  app::KvResult res;
+  res.status = app::KvResult::Status::NotFound;
+  return res.encode();
+}
+
+Op op(std::uint64_t client, std::uint64_t seq, Time invoke, Time complete, Op::Result result,
+      std::vector<std::byte> command, std::vector<std::byte> output = {},
+      bool definitive = false) {
+  Op o;
+  o.client = client;
+  o.seq = seq;
+  o.invoke = invoke;
+  o.complete = complete;
+  o.result = result;
+  o.command = std::move(command);
+  o.output = std::move(output);
+  o.definitive_reject = definitive;
+  return o;
+}
+
+History make_history(std::vector<Op> ops) {
+  History history;
+  history.ops() = std::move(ops);
+  return history;
+}
+
+// ---------------------------------------------------------------------------
+// Accepting legal histories
+// ---------------------------------------------------------------------------
+
+TEST(Linearizability, SequentialPutGetAccepted) {
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{});
+  EXPECT_TRUE(result.linearizable) << result.error;
+}
+
+TEST(Linearizability, ConcurrentPutsAcceptEitherOrder) {
+  // Two overlapping puts; a later read may observe either one.
+  for (const char* winner : {"v1", "v2"}) {
+    History h = make_history({
+        op(0, 1, 0, 100, Op::Result::Ok, put("k", "v1"), kv_ok()),
+        op(1, 1, 50, 90, Op::Result::Ok, put("k", "v2"), kv_ok()),
+        op(2, 1, 200, 210, Op::Result::Ok, get("k"), kv_value(winner)),
+    });
+    CheckResult result = check::check_linearizable(h, KvModel{});
+    EXPECT_TRUE(result.linearizable) << winner << ": " << result.error;
+  }
+}
+
+TEST(Linearizability, ReadDuringWriteSeesOldOrNew) {
+  for (auto output : {kv_notfound(), kv_value("v1")}) {
+    History h = make_history({
+        op(0, 1, 0, 100, Op::Result::Ok, put("k", "v1"), kv_ok()),
+        op(1, 1, 10, 90, Op::Result::Ok, get("k"), output),
+    });
+    EXPECT_TRUE(check::check_linearizable(h, KvModel{}).linearizable);
+  }
+}
+
+TEST(Linearizability, DeleteRoundTripAccepted) {
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, del("k"), kv_ok()),
+      op(0, 3, 40, 50, Op::Result::Ok, get("k"), kv_notfound()),
+      op(0, 4, 60, 70, Op::Result::Ok, del("k"), kv_notfound()),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{});
+  EXPECT_TRUE(result.linearizable) << result.error;
+}
+
+TEST(Linearizability, PartitionsPerKey) {
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("a", "1"), kv_ok()),
+      op(1, 1, 0, 10, Op::Result::Ok, put("b", "2"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, get("a"), kv_value("1")),
+      op(1, 2, 20, 30, Op::Result::Ok, get("b"), kv_value("2")),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{});
+  EXPECT_TRUE(result.linearizable) << result.error;
+  EXPECT_EQ(result.partitions_checked, 2u);
+}
+
+TEST(Linearizability, ScanForcesGlobalModeAndChecksWholeStore) {
+  History good = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("a", "va"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, put("b", "vb"), kv_ok()),
+      op(0, 3, 40, 50, Op::Result::Ok, scan("", 10), kv_values({"va", "vb"})),
+  });
+  CheckResult result = check::check_linearizable(good, KvModel{});
+  EXPECT_TRUE(result.linearizable) << result.error;
+  EXPECT_EQ(result.partitions_checked, 1u);  // scan disables partitioning
+
+  History bad = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("a", "va"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, put("b", "vb"), kv_ok()),
+      op(0, 3, 40, 50, Op::Result::Ok, scan("", 10), kv_values({"vb", "va"})),
+  });
+  EXPECT_FALSE(check::check_linearizable(bad, KvModel{}).linearizable);
+}
+
+// ---------------------------------------------------------------------------
+// Maybe-executed semantics: timeouts, open ops, ambivalent rejections
+// ---------------------------------------------------------------------------
+
+TEST(Linearizability, TimedOutWriteMayOrMayNotExecute) {
+  for (auto output : {kv_value("v1"), kv_notfound()}) {
+    History h = make_history({
+        op(0, 1, 0, 10, Op::Result::Timeout, put("k", "v1")),
+        op(1, 1, 20, 30, Op::Result::Ok, get("k"), output),
+    });
+    EXPECT_TRUE(check::check_linearizable(h, KvModel{}).linearizable);
+  }
+}
+
+TEST(Linearizability, TimedOutWriteMayTakeEffectLate) {
+  // The client gave up at t=10, but the write may land *after* v2: a
+  // timeout does not constrain later operations.
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Timeout, put("k", "v1")),
+      op(1, 1, 20, 30, Op::Result::Ok, put("k", "v2"), kv_ok()),
+      op(1, 2, 40, 50, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{});
+  EXPECT_TRUE(result.linearizable) << result.error;
+}
+
+TEST(Linearizability, OpenOpMayHaveExecuted) {
+  History h = make_history({
+      op(0, 1, 0, -1, Op::Result::Open, put("k", "v1")),
+      op(1, 1, 20, 30, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  EXPECT_TRUE(check::check_linearizable(h, KvModel{}).linearizable);
+}
+
+TEST(Linearizability, AmbivalentRejectionMayHaveExecuted) {
+  // n-f rejects: the client aborted but does not know whether the op
+  // executed (paper Sec. 5.3 ambivalence) — both futures are legal.
+  for (auto output : {kv_value("v1"), kv_notfound()}) {
+    History h = make_history({
+        op(0, 1, 0, 10, Op::Result::Rejected, put("k", "v1"), {}, /*definitive=*/false),
+        op(1, 1, 20, 30, Op::Result::Ok, get("k"), output),
+    });
+    EXPECT_TRUE(check::check_linearizable(h, KvModel{}).linearizable);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutations that MUST be flagged
+// ---------------------------------------------------------------------------
+
+TEST(Linearizability, FlagsLostWrite) {
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, get("k"), kv_notfound()),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{});
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(Linearizability, FlagsStaleRead) {
+  // v1 was overwritten by v2 strictly before the read was invoked.
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, put("k", "v2"), kv_ok()),
+      op(1, 1, 40, 50, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  EXPECT_FALSE(check::check_linearizable(h, KvModel{}).linearizable);
+}
+
+TEST(Linearizability, FlagsDuplicatedExecution) {
+  // One Add(+1) acknowledged once, but a later read observes it twice.
+  app::CounterCommand add;
+  add.op = app::CounterOp::Add;
+  add.name = "n";
+  add.delta = 1;
+  app::CounterCommand read;
+  read.op = app::CounterOp::Read;
+  read.name = "n";
+  auto value_bytes = [](std::int64_t v) {
+    ByteWriter w;
+    w.u64(static_cast<std::uint64_t>(v));
+    return w.take();
+  };
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, add.encode(), value_bytes(1)),
+      op(1, 1, 20, 30, Op::Result::Ok, read.encode(), value_bytes(2)),
+  });
+  EXPECT_FALSE(check::check_linearizable(h, CounterModel{}).linearizable);
+}
+
+TEST(Linearizability, FlagsExecutedAfterDefinitiveReject) {
+  // All n replicas rejected the put — it must never execute. A read that
+  // observes its value is a safety violation.
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Rejected, put("k", "v1"), {}, /*definitive=*/true),
+      op(1, 1, 20, 30, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{});
+  EXPECT_FALSE(result.linearizable);
+}
+
+TEST(Linearizability, FlagsWrongReadValue) {
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, get("k"), kv_value("v2")),
+  });
+  EXPECT_FALSE(check::check_linearizable(h, KvModel{}).linearizable);
+}
+
+TEST(Linearizability, FlagsReorderedNonOverlappingWrites) {
+  // w(v1) completes before w(v2) starts; two later reads observing
+  // v2 then v1 would require the writes in the other order.
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, put("k", "v2"), kv_ok()),
+      op(1, 1, 40, 50, Op::Result::Ok, get("k"), kv_value("v2")),
+      op(1, 2, 60, 70, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  EXPECT_FALSE(check::check_linearizable(h, KvModel{}).linearizable);
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+TEST(Linearizability, HistoryJsonRoundTripPreservesHash) {
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(1, 1, 5, 15, Op::Result::Timeout, put("k", "v2")),
+      op(2, 1, 20, 30, Op::Result::Rejected, put("k", "v3"), {}, /*definitive=*/true),
+      op(3, 1, 25, -1, Op::Result::Open, get("k")),
+  });
+  History round = History::from_json(json::Value::parse(h.to_json().dump()));
+  EXPECT_EQ(round, h);
+  EXPECT_EQ(round.hash(), h.hash());
+}
+
+TEST(Linearizability, SearchBudgetReportsExplicitly) {
+  // A budget of 1 state cannot prove anything: the checker must say so
+  // rather than claim non-linearizability of a fine history.
+  History h = make_history({
+      op(0, 1, 0, 10, Op::Result::Ok, put("k", "v1"), kv_ok()),
+      op(0, 2, 20, 30, Op::Result::Ok, get("k"), kv_value("v1")),
+  });
+  CheckResult result = check::check_linearizable(h, KvModel{}, /*max_states=*/1);
+  EXPECT_FALSE(result.linearizable);
+  EXPECT_NE(result.error.find("budget"), std::string::npos);
+}
+
+TEST(Linearizability, MakeModelSelectsByAppName) {
+  EXPECT_NE(check::make_model("kv"), nullptr);
+  EXPECT_NE(check::make_model("counter"), nullptr);
+  EXPECT_EQ(check::make_model("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace idem

@@ -1,9 +1,11 @@
 // Network-partition scenarios: the classic SMR behaviours — a majority
 // side keeps serving, a minority side stalls (but keeps rejecting!), and
 // healing reconciles state — plus IDEM-specific behaviour of the
-// rejection mechanism under partitions.
+// rejection mechanism under partitions. All faults are expressed as
+// declarative sim::FaultPlan schedules (see src/sim/fault_plan.hpp).
 #include <gtest/gtest.h>
 
+#include "sim/fault_plan.hpp"
 #include "test_util.hpp"
 
 namespace idem {
@@ -11,19 +13,21 @@ namespace {
 
 using harness::Cluster;
 using harness::Protocol;
-using test::get_cmd;
 using test::invoke_and_wait;
 using test::put_cmd;
 using test::test_cluster_config;
 
-sim::NodeId replica_addr(std::uint32_t i) {
-  return consensus::replica_address(ReplicaId{i});
+/// Arms `plan` and runs one tick so faults at t=0 fire before the test
+/// starts sending (client sends happen synchronously at invoke()).
+void arm(Cluster& cluster, sim::FaultPlan plan) {
+  cluster.apply(plan);
+  cluster.simulator().run_for(kMillisecond);
 }
 
 TEST(Partition, MajorityKeepsServing) {
   Cluster cluster(test_cluster_config(Protocol::Idem));
   // Replica 2 is cut off from its peers (but not from the client).
-  cluster.network().partition({replica_addr(2)}, {replica_addr(0), replica_addr(1)});
+  arm(cluster, {sim::Fault::partition(0, {2}, {0, 1})});
   for (int i = 0; i < 5; ++i) {
     auto outcome = invoke_and_wait(cluster, 0, put_cmd("k", "v" + std::to_string(i)),
                                    10 * kSecond);
@@ -39,7 +43,7 @@ TEST(Partition, MinorityLeaderCannotCommit) {
   // Isolate the leader (replica 0) from both followers; the client can
   // still reach everyone. The followers view-change among themselves and
   // continue; the old leader must never commit alone.
-  cluster.network().partition({replica_addr(0)}, {replica_addr(1), replica_addr(2)});
+  arm(cluster, {sim::Fault::partition(0, {0}, {1, 2})});
   auto outcome = invoke_and_wait(cluster, 0, put_cmd("k", "v"), 15 * kSecond);
   ASSERT_TRUE(outcome.has_value());
   EXPECT_EQ(outcome->kind, consensus::Outcome::Kind::Reply);
@@ -52,12 +56,12 @@ TEST(Partition, HealedReplicaCatchesUp) {
   config.reject_threshold = 2;  // small r_max: GC outruns the partition fast
   config.idem.checkpoint_interval = 8;
   Cluster cluster(config);
-  cluster.network().partition({replica_addr(2)}, {replica_addr(0), replica_addr(1)});
+  arm(cluster, {sim::Fault::partition(0, {2}, {0, 1})});  // sticky
   for (int i = 0; i < 30; ++i) {
     ASSERT_EQ(invoke_and_wait(cluster, 0, put_cmd("k" + std::to_string(i), "v"))->kind,
               consensus::Outcome::Kind::Reply);
   }
-  cluster.network().heal();
+  arm(cluster, {sim::Fault::heal(0)});  // fires at now (clamped)
   for (int i = 0; i < 5; ++i) {
     ASSERT_EQ(invoke_and_wait(cluster, 0, put_cmd("post" + std::to_string(i), "v"))->kind,
               consensus::Outcome::Kind::Reply);
@@ -77,8 +81,10 @@ TEST(Partition, IsolatedReplicasStillReject) {
   config.reject_threshold = 0;  // always reject
   Cluster cluster(config);
   // Full replica-to-replica partition; clients reach everyone.
-  cluster.network().partition({replica_addr(0)}, {replica_addr(1), replica_addr(2)});
-  cluster.network().partition({replica_addr(1)}, {replica_addr(2)});
+  arm(cluster, {
+                   sim::Fault::partition(0, {0}, {1, 2}),
+                   sim::Fault::partition(0, {1}, {2}),
+               });
 
   auto outcome = invoke_and_wait(cluster, 0, put_cmd("k", "v"), 5 * kSecond);
   ASSERT_TRUE(outcome.has_value());
@@ -94,9 +100,10 @@ TEST(Partition, ClientPartitionedFromMajorityStillLearnsViaRetry) {
   // The client initially reaches only replica 2; the request still
   // executes (replica 2 accepts and forwards), and once the client link
   // heals the retransmission collects the cached reply.
-  cluster.network().block_link(consensus::client_address(ClientId{0}), replica_addr(0));
-  cluster.network().block_link(consensus::client_address(ClientId{0}), replica_addr(1));
-  cluster.network().block_link(replica_addr(0), consensus::client_address(ClientId{0}));
+  arm(cluster, {
+                   sim::Fault::partition_one_way(0, {sim::fault_endpoint_client(0)}, {0, 1}),
+                   sim::Fault::partition_one_way(0, {0}, {sim::fault_endpoint_client(0)}),
+               });
 
   std::optional<consensus::Outcome> outcome;
   cluster.client(0).invoke(put_cmd("k", "v"),
@@ -106,7 +113,7 @@ TEST(Partition, ClientPartitionedFromMajorityStillLearnsViaRetry) {
   // yet (the leader's replies are blocked).
   EXPECT_GE(cluster.idem_replica(0)->next_execute().value, 1u);
 
-  cluster.network().heal();
+  cluster.apply({sim::Fault::heal(0)});
   cluster.simulator().run_while(
       [&] { return !outcome.has_value() && cluster.simulator().now() < 10 * kSecond; });
   ASSERT_TRUE(outcome.has_value());
@@ -115,7 +122,7 @@ TEST(Partition, ClientPartitionedFromMajorityStillLearnsViaRetry) {
 
 TEST(Partition, PaxosMajoritySideElectsAndServes) {
   Cluster cluster(test_cluster_config(Protocol::Paxos));
-  cluster.network().partition({replica_addr(0)}, {replica_addr(1), replica_addr(2)});
+  arm(cluster, {sim::Fault::partition(0, {0}, {1, 2})});
   auto outcome = invoke_and_wait(cluster, 0, put_cmd("k", "v"), 30 * kSecond);
   ASSERT_TRUE(outcome.has_value());
   EXPECT_EQ(outcome->kind, consensus::Outcome::Kind::Reply);
@@ -124,20 +131,17 @@ TEST(Partition, PaxosMajoritySideElectsAndServes) {
 
 TEST(Partition, FlappingLinkEventuallyConverges) {
   // The link to replica 2 flaps every 300 ms while traffic flows; when it
-  // stabilizes, all replicas agree.
+  // stabilizes, all replicas agree. One windowed partition per down-phase
+  // replaces the old hand-scheduled partition/heal ping-pong.
   auto config = test_cluster_config(Protocol::Idem, /*clients=*/2, /*seed=*/9);
   Cluster cluster(config);
   test::ExecutionRecorder recorder(cluster);
-  for (int flap = 0; flap < 10; ++flap) {
-    Time at = (flap + 1) * 300 * kMillisecond;
-    cluster.simulator().schedule_at(at, [&cluster, flap] {
-      if (flap % 2 == 0) {
-        cluster.network().partition({replica_addr(2)}, {replica_addr(0), replica_addr(1)});
-      } else {
-        cluster.network().heal();
-      }
-    });
+  sim::FaultPlan flaps;
+  for (int k = 0; k < 5; ++k) {
+    flaps.add(sim::Fault::partition((2 * k + 1) * 300 * kMillisecond, {2}, {0, 1},
+                                    300 * kMillisecond));
   }
+  cluster.apply(flaps);
   for (int i = 0; i < 20; ++i) {
     for (std::size_t c = 0; c < 2; ++c) {
       auto outcome =
@@ -146,7 +150,7 @@ TEST(Partition, FlappingLinkEventuallyConverges) {
       ASSERT_EQ(outcome->kind, consensus::Outcome::Kind::Reply);
     }
   }
-  cluster.network().heal();
+  cluster.apply({sim::Fault::heal(0)});
   cluster.simulator().run_for(3 * kSecond);
   recorder.expect_consistent();
 }

@@ -126,7 +126,7 @@ TEST(Paxos, ConsistentAfterViewChangeWithInflightRequests) {
   std::optional<consensus::Outcome> o1, o2;
   cluster.client(0).invoke(put_cmd("x", "1"), [&](const consensus::Outcome& o) { o1 = o; });
   cluster.client(1).invoke(put_cmd("y", "2"), [&](const consensus::Outcome& o) { o2 = o; });
-  cluster.crash_replica_at(0, cluster.simulator().now() + 100 * kMicrosecond);
+  cluster.apply({sim::Fault::crash(cluster.simulator().now() + 100 * kMicrosecond, 0)});
   cluster.simulator().run_while([&] {
     return (!o1.has_value() || !o2.has_value()) && cluster.simulator().now() < 30 * kSecond;
   });

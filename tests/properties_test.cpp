@@ -68,7 +68,7 @@ TEST_P(ProtocolProperties, SafetyAndLiveness) {
   for (std::size_t c = 0; c < scenario.clients; ++c) issue(c);
 
   if (scenario.crash_replica >= 0) {
-    cluster.crash_replica_at(static_cast<std::size_t>(scenario.crash_replica), 300 * kMillisecond);
+    cluster.apply({sim::Fault::crash(300 * kMillisecond, scenario.crash_replica)});
   }
 
   // Run until every client finished its quota (liveness) or a generous

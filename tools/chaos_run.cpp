@@ -1,0 +1,285 @@
+// chaos-run: generates, replays, checks and shrinks chaos schedules.
+//
+//   chaos-run --sweep 30                      # 30 random schedules, all protocols
+//   chaos-run --sweep 10 --protocol paxos --emit artifacts/
+//   chaos-run --replay tests/corpus/idem_seed7.json
+//   chaos-run --corpus tests/corpus           # replay every *.json
+//   chaos-run --shrink failing.json           # minimize a failing schedule
+//
+// Every run is deterministic in its config: --replay re-executes the
+// recorded config and verifies the stamped history hash bit for bit.
+// Exit code 0 when everything passed, 1 on any failure, 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/chaos.hpp"
+#include "harness/table.hpp"
+
+using namespace idem;
+
+namespace {
+
+struct Options {
+  std::size_t sweep = 0;
+  std::string replay;
+  std::string corpus;
+  std::string shrink;
+  std::string out;   ///< --replay/--shrink: write the (re-)stamped artifact here
+  std::string emit;  ///< --sweep: directory for per-run artifacts
+  std::optional<std::string> protocol;  ///< default: rotate idem/paxos/smart
+  std::string app = "kv";
+  std::uint64_t seed = 1;
+  std::size_t clients = 4;
+  std::size_t ops = 16;
+  std::size_t keys = 3;
+  std::size_t reject_threshold = 5;
+  std::size_t max_faults = 4;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s MODE [options]\n"
+               "modes (exactly one):\n"
+               "  --sweep N          run N randomly generated schedules\n"
+               "  --replay FILE      re-run one artifact, verify its history hash\n"
+               "  --corpus DIR       replay every *.json artifact in DIR\n"
+               "  --shrink FILE      greedily minimize a failing artifact's plan\n"
+               "options:\n"
+               "  --protocol P       idem|idem-nopr|idem-noaqm|paxos|paxos-lbr|smart|smart-pr\n"
+               "                     (sweep default: rotate idem, paxos, smart)\n"
+               "  --app A            kv | counter                (default: kv)\n"
+               "  --seed N           base seed                   (default: 1)\n"
+               "  --clients N        workload clients            (default: 4)\n"
+               "  --ops N            invokes per client          (default: 16)\n"
+               "  --keys N           workload key-space size     (default: 3)\n"
+               "  --rt N             reject threshold            (default: 5)\n"
+               "  --max-faults N     schedule size cap           (default: 4)\n"
+               "  --emit DIR         sweep: write artifact JSON per run into DIR\n"
+               "  --out FILE         replay/shrink: write resulting artifact to FILE\n",
+               argv0);
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(arg, "--sweep")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.sweep = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--replay")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.replay = v;
+    } else if (!std::strcmp(arg, "--corpus")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.corpus = v;
+    } else if (!std::strcmp(arg, "--shrink")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.shrink = v;
+    } else if (!std::strcmp(arg, "--out")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.out = v;
+    } else if (!std::strcmp(arg, "--emit")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.emit = v;
+    } else if (!std::strcmp(arg, "--protocol")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      if (!check::protocol_from_name(v)) return std::nullopt;
+      options.protocol = v;
+    } else if (!std::strcmp(arg, "--app")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.app = v;
+    } else if (!std::strcmp(arg, "--seed")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--clients")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.clients = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--ops")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.ops = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--keys")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.keys = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--rt")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.reject_threshold = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--max-faults")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.max_faults = std::strtoul(v, nullptr, 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  const int modes = (options.sweep > 0) + !options.replay.empty() + !options.corpus.empty() +
+                    !options.shrink.empty();
+  if (modes != 1) return std::nullopt;
+  return options;
+}
+
+std::optional<json::Value> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "chaos-run: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return json::Value::parse(buffer.str());
+  } catch (const json::ParseError& e) {
+    std::fprintf(stderr, "chaos-run: %s: %s\n", path.c_str(), e.what());
+    return std::nullopt;
+  }
+}
+
+bool write_json(const std::string& path, const json::Value& value) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "chaos-run: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << value.dump() << "\n";
+  return out.good();
+}
+
+check::ChaosConfig sweep_config(const Options& options, std::size_t i) {
+  static const char* kRotation[] = {"idem", "paxos", "smart"};
+  check::ChaosConfig config;
+  config.protocol = options.protocol ? *options.protocol : kRotation[i % 3];
+  config.app = options.app;
+  config.seed = options.seed + i;
+  config.clients = options.clients;
+  config.ops_per_client = options.ops;
+  config.keys = options.keys;
+  config.reject_threshold = options.reject_threshold;
+
+  check::PlanGenConfig gen;
+  gen.max_faults = options.max_faults;
+  gen.client_count = options.clients;
+  // The SMaRt analog has no view change: replica 0 must stay up.
+  gen.allow_leader_crash =
+      config.protocol != "smart" && config.protocol != "smart-pr";
+  config.plan = check::random_plan(config.seed, gen);
+  return config;
+}
+
+int run_sweep(const Options& options) {
+  harness::Table table(
+      {"run", "protocol", "seed", "faults", "ok", "rej", "to", "open", "result"});
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < options.sweep; ++i) {
+    check::ChaosConfig config = sweep_config(options, i);
+    check::ChaosResult result = check::run_chaos(config);
+    const bool passed = result.passed();
+    failures += !passed;
+    table.add_row({harness::Table::fmt(std::uint64_t(i)), config.protocol,
+                   harness::Table::fmt(config.seed),
+                   harness::Table::fmt(std::uint64_t(config.plan.size())),
+                   harness::Table::fmt(std::uint64_t(result.ok)),
+                   harness::Table::fmt(std::uint64_t(result.rejected)),
+                   harness::Table::fmt(std::uint64_t(result.timeouts)),
+                   harness::Table::fmt(std::uint64_t(result.open)),
+                   passed ? "pass" : "FAIL"});
+    if (!passed) {
+      std::fprintf(stderr, "run %zu (%s seed %llu) FAILED:\n  %s\n", i,
+                   config.protocol.c_str(), static_cast<unsigned long long>(config.seed),
+                   (result.check.linearizable ? result.exec_error : result.check.error).c_str());
+    }
+    if (!options.emit.empty()) {
+      std::filesystem::create_directories(options.emit);
+      std::ostringstream name;
+      name << config.protocol << "_" << config.app << "_seed" << config.seed << ".json";
+      write_json((std::filesystem::path(options.emit) / name.str()).string(),
+                 check::make_artifact(config, result));
+    }
+  }
+  table.print();
+  std::printf("%zu/%zu schedules passed\n", options.sweep - failures, options.sweep);
+  return failures == 0 ? 0 : 1;
+}
+
+int run_replay(const std::string& path, const std::string& out) {
+  auto artifact = load_json(path);
+  if (!artifact) return 1;
+  check::ReplayResult replay = check::replay_artifact(*artifact);
+  const check::ChaosResult& result = replay.result;
+  std::printf("%s: ok=%zu rejected=%zu timeouts=%zu open=%zu states=%zu -> %s\n", path.c_str(),
+              result.ok, result.rejected, result.timeouts, result.open,
+              result.check.states_explored, replay.passed() ? "pass" : "FAIL");
+  if (!replay.passed()) std::fprintf(stderr, "  %s\n", replay.error.c_str());
+  if (!out.empty()) {
+    check::ChaosConfig config = check::ChaosConfig::from_json(
+        artifact->contains("config") ? artifact->at("config") : *artifact);
+    if (!write_json(out, check::make_artifact(config, result))) return 1;
+  }
+  return replay.passed() ? 0 : 1;
+}
+
+int run_corpus(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path().string());
+  }
+  if (ec) {
+    std::fprintf(stderr, "chaos-run: cannot list %s: %s\n", dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "chaos-run: no *.json artifacts in %s\n", dir.c_str());
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  int rc = 0;
+  for (const std::string& file : files) rc |= run_replay(file, "");
+  return rc;
+}
+
+int run_shrink(const std::string& path, const std::string& out) {
+  auto artifact = load_json(path);
+  if (!artifact) return 1;
+  check::ChaosConfig config = check::ChaosConfig::from_json(
+      artifact->contains("config") ? artifact->at("config") : *artifact);
+
+  auto still_fails = [&](const sim::FaultPlan& plan) {
+    check::ChaosConfig candidate = config;
+    candidate.plan = plan;
+    return !check::run_chaos(candidate).passed();
+  };
+  if (!still_fails(config.plan)) {
+    std::fprintf(stderr, "chaos-run: %s does not fail — nothing to shrink\n", path.c_str());
+    return 1;
+  }
+  const std::size_t before = config.plan.size();
+  config.plan = check::shrink_plan(config.plan, still_fails);
+  std::printf("shrunk %zu -> %zu faults\n", before, config.plan.size());
+
+  check::ChaosResult result = check::run_chaos(config);
+  const std::string target = out.empty() ? path + ".shrunk.json" : out;
+  if (!write_json(target, check::make_artifact(config, result))) return 1;
+  std::printf("wrote %s\n", target.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = parse_args(argc, argv);
+  if (!options) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (options->sweep > 0) return run_sweep(*options);
+  if (!options->replay.empty()) return run_replay(options->replay, options->out);
+  if (!options->corpus.empty()) return run_corpus(options->corpus);
+  return run_shrink(options->shrink, options->out);
+}

@@ -167,17 +167,16 @@ int main(int argc, char** argv) {
   driver.warmup = static_cast<Duration>(options->warmup * kSecond);
   driver.measure = static_cast<Duration>(options->seconds * kSecond);
 
-  auto schedule_crash = [&](double at_seconds, bool leader) {
-    cluster.simulator().schedule_at(static_cast<Time>(at_seconds * kSecond),
-                                    [&cluster, leader] {
-                                      std::size_t lead = cluster.leader_index();
-                                      std::size_t victim =
-                                          leader ? lead : (lead + 1) % cluster.config().n;
-                                      cluster.crash_replica(victim);
-                                    });
-  };
-  if (options->crash_leader_at) schedule_crash(*options->crash_leader_at, true);
-  if (options->crash_follower_at) schedule_crash(*options->crash_follower_at, false);
+  sim::FaultPlan crash_plan;
+  if (options->crash_leader_at) {
+    crash_plan.add(sim::Fault::crash(static_cast<Time>(*options->crash_leader_at * kSecond),
+                                     sim::Fault::kLeader));
+  }
+  if (options->crash_follower_at) {
+    crash_plan.add(sim::Fault::crash(
+        static_cast<Time>(*options->crash_follower_at * kSecond), sim::Fault::kFollower));
+  }
+  if (!crash_plan.empty()) cluster.apply(crash_plan);
 
   harness::ClosedLoopDriver loop(cluster, driver);
   harness::RunMetrics metrics = loop.run();
