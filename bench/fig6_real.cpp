@@ -1,0 +1,154 @@
+// Figure 6, real mode: the increasing-load sweep of fig6_increasing_load
+// run against an actual 3-replica TCP cluster (one event-loop thread per
+// replica, loopback sockets, wall-clock time) instead of the simulator.
+//
+// Expected shape (EXPERIMENTS.md "Sim vs real"): median latency stays
+// flat below saturation, and once the offered load crosses the reject
+// threshold r the rejection rate engages instead of the latency
+// exploding — the same qualitative plateau the simulated Figure 6 shows,
+// at whatever absolute throughput this machine's loopback stack delivers.
+//
+// Emits machine-readable JSON (default ./BENCH_real.json, override with
+// IDEM_REAL_JSON) so real-mode results can be compared across commits.
+//
+// Environment knobs: IDEM_BENCH_SECONDS (default 2), IDEM_BENCH_WARMUP
+// (default 0.5), IDEM_REAL_RT (reject threshold, default 8),
+// IDEM_REAL_CLIENTS (comma list overriding the sweep).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/table.hpp"
+#include "real/cluster.hpp"
+#include "real/load.hpp"
+
+using namespace idem;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+std::vector<std::size_t> client_sweep() {
+  std::vector<std::size_t> counts;
+  if (const char* list = std::getenv("IDEM_REAL_CLIENTS"); list != nullptr && *list != '\0') {
+    std::string text = list;
+    for (std::size_t start = 0; start < text.size();) {
+      std::size_t comma = text.find(',', start);
+      if (comma == std::string::npos) comma = text.size();
+      counts.push_back(std::strtoul(text.substr(start, comma - start).c_str(), nullptr, 10));
+      start = comma + 1;
+    }
+    return counts;
+  }
+  return {1, 2, 4, 8, 16, 32, 64};
+}
+
+struct RealPoint {
+  std::size_t clients = 0;
+  double reply_kops = 0;
+  double reject_kops = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+};
+
+}  // namespace
+
+int main() {
+  const auto warmup = static_cast<Duration>(env_double("IDEM_BENCH_WARMUP", 0.5) * kSecond);
+  const auto measure = static_cast<Duration>(env_double("IDEM_BENCH_SECONDS", 2.0) * kSecond);
+  const auto reject_threshold =
+      static_cast<std::size_t>(env_double("IDEM_REAL_RT", 8));
+  const std::vector<std::size_t> client_counts = client_sweep();
+  std::size_t max_clients = 0;
+  for (std::size_t c : client_counts) max_clients = std::max(max_clients, c);
+
+  std::printf("=== Figure 6 (real mode): IDEM over loopback TCP under increasing load ===\n");
+  std::printf("(3 replicas, one event-loop thread each; closed-loop YCSB-A clients; r=%zu)\n\n",
+              reject_threshold);
+
+  harness::Table table({"clients", "throughput[kreq/s]", "latency[ms]", "p50[ms]", "p90[ms]",
+                        "p99[ms]", "rejects[kreq/s]"});
+  std::vector<RealPoint> points;
+  for (std::size_t clients : client_counts) {
+    real::RealClusterConfig config;
+    config.n = 3;
+    config.f = 1;
+    config.reject_threshold = reject_threshold;
+    config.seed = 1 + clients;
+    config.expected_clients = max_clients;
+    config.preload = true;
+    config.workload.record_count = 1000;
+    real::RealCluster cluster(config);
+    cluster.start();
+
+    real::LoadOptions load;
+    load.clients = clients;
+    load.warmup = warmup;
+    load.duration = measure;
+    load.seed = 1 + clients;
+    load.workload = config.workload;
+    load.replicas = cluster.replica_addresses();
+    load.client = cluster.client_config();
+    load.epoch = cluster.epoch();
+    real::LoadStats stats = real::run_load(load);
+    cluster.shutdown();
+
+    RealPoint point;
+    point.clients = clients;
+    point.reply_kops = stats.reply_rate() / 1000.0;
+    point.reject_kops = stats.reject_rate() / 1000.0;
+    point.p50_ms = to_ms(stats.reply_latency.p50());
+    point.p90_ms = to_ms(stats.reply_latency.p90());
+    point.p99_ms = to_ms(stats.reply_latency.p99());
+    point.mean_ms = stats.reply_latency.mean() / static_cast<double>(kMillisecond);
+    points.push_back(point);
+
+    table.add_row({harness::Table::fmt(std::uint64_t(clients)),
+                   harness::Table::fmt(point.reply_kops), harness::Table::fmt(point.mean_ms, 3),
+                   harness::Table::fmt(point.p50_ms, 3), harness::Table::fmt(point.p90_ms, 3),
+                   harness::Table::fmt(point.p99_ms, 3),
+                   harness::Table::fmt(point.reject_kops)});
+  }
+  table.print();
+
+  std::printf("\nshape checks:\n"
+              " - p50 latency stays flat while clients <= r (no queueing below saturation)\n"
+              " - rejections engage once concurrent clients exceed r = %zu\n",
+              reject_threshold);
+
+  const char* path = std::getenv("IDEM_REAL_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_real.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig6_real\",\n"
+               "  \"n\": 3,\n"
+               "  \"reject_threshold\": %zu,\n"
+               "  \"measure_seconds\": %.2f,\n"
+               "  \"points\": [\n",
+               reject_threshold, to_sec(measure));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const RealPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"clients\": %zu, \"reply_kops\": %.3f, \"reject_kops\": %.3f,"
+                 " \"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 p.clients, p.reply_kops, p.reject_kops, p.mean_ms, p.p50_ms, p.p90_ms,
+                 p.p99_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}

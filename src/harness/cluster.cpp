@@ -155,7 +155,9 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   if (config_.obs.metrics_interval > 0) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     register_metrics();
-    schedule_metrics_tick();
+    metrics_ticker_ = std::make_unique<obs::MetricsTicker>(*sim_, *metrics_,
+                                                           config_.obs.metrics_interval);
+    metrics_ticker_->start();
   }
 }
 
@@ -223,13 +225,6 @@ void Cluster::register_metrics() {
     }
   }
   reg.reserve_samples(config_.obs.metrics_reserve);
-}
-
-void Cluster::schedule_metrics_tick() {
-  sim_->schedule_after(config_.obs.metrics_interval, [this] {
-    metrics_->sample(sim_->now());
-    schedule_metrics_tick();
-  });
 }
 
 std::unique_ptr<app::StateMachine> Cluster::make_store() {

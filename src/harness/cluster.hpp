@@ -14,6 +14,7 @@
 #include "idem/client.hpp"
 #include "idem/replica.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/ticker.hpp"
 #include "obs/trace.hpp"
 #include "paxos/client.hpp"
 #include "paxos/replica.hpp"
@@ -137,13 +138,13 @@ class Cluster {
  private:
   std::unique_ptr<app::StateMachine> make_store();
   void register_metrics();
-  void schedule_metrics_tick();
 
   ClusterConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::SimNetwork> net_;
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::MetricsTicker> metrics_ticker_;
   std::vector<std::unique_ptr<sim::Node>> replicas_;
   std::vector<std::unique_ptr<sim::Node>> client_nodes_;
   std::vector<consensus::ServiceClient*> clients_;

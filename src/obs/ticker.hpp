@@ -1,0 +1,68 @@
+// Pluggable tick source for metrics sampling.
+//
+// MetricsRegistry::sample() needs a periodic driver, but the period lives
+// in a different clock depending on the deployment: simulated time in the
+// discrete-event harness, wall-clock nanoseconds on a real event loop.
+// MetricsTicker schedules itself on any sim::Runtime — the same seam the
+// protocol nodes use — so one implementation serves both. Timestamps of
+// the recorded rows come from the runtime's now(), i.e. simulated time in
+// sim mode and wall-clock nanoseconds since loop start in real mode.
+//
+// Thread-confinement: a ticker belongs to its runtime's thread. start()
+// may be called before that thread begins running the loop (the usual
+// real-mode setup path); stop() must happen on the runtime's thread or
+// after its loop has terminated.
+#pragma once
+
+#include "obs/metrics_registry.hpp"
+#include "sim/runtime.hpp"
+
+namespace idem::obs {
+
+class MetricsTicker {
+ public:
+  MetricsTicker(sim::Runtime& runtime, MetricsRegistry& registry, Duration interval)
+      : runtime_(runtime), registry_(registry), interval_(interval) {}
+
+  ~MetricsTicker() { stop(); }
+
+  MetricsTicker(const MetricsTicker&) = delete;
+  MetricsTicker& operator=(const MetricsTicker&) = delete;
+
+  /// Arms the periodic sample; no-op when already running or the interval
+  /// is non-positive.
+  void start() {
+    if (running_ || interval_ <= 0) return;
+    running_ = true;
+    arm();
+  }
+
+  /// Cancels the pending tick. Safe to call repeatedly.
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    if (pending_.valid()) {
+      runtime_.cancel(pending_);
+      pending_ = sim::EventId{};
+    }
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void arm() {
+    pending_ = runtime_.schedule_after(interval_, [this] {
+      if (!running_) return;
+      registry_.sample(runtime_.now());
+      arm();
+    });
+  }
+
+  sim::Runtime& runtime_;
+  MetricsRegistry& registry_;
+  Duration interval_;
+  sim::EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace idem::obs

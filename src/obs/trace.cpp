@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
+
 namespace idem::obs {
 
 const char* to_string(TraceEventKind kind) {
@@ -21,6 +23,21 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::ViewChangeDone: return "viewchange_done";
   }
   return "unknown";
+}
+
+std::vector<TraceEvent> merge_trace_snapshots(std::vector<std::vector<TraceEvent>> parts) {
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  merged.reserve(total);
+  for (auto& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  // Stable: events of one recorder keep their recording order on ties, so
+  // a merged timeline is still exporter-safe (begin never after end).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
+  return merged;
 }
 
 }  // namespace idem::obs

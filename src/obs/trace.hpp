@@ -129,6 +129,12 @@ class TraceRecorder {
   std::uint64_t total_ = 0;
 };
 
+/// Merges per-thread recorder snapshots (each oldest-first) into one
+/// timeline ordered by timestamp. Real-mode clusters run one TraceRecorder
+/// per event-loop thread; the loops share a clock epoch, so sorting on the
+/// stamped time interleaves them into a coherent cluster-wide trace.
+std::vector<TraceEvent> merge_trace_snapshots(std::vector<std::vector<TraceEvent>> parts);
+
 }  // namespace idem::obs
 
 // IDEM_TRACE(recorder, at, kind, node, ...): structured analog of LOG_*.

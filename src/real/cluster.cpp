@@ -1,0 +1,188 @@
+#include "real/cluster.hpp"
+
+#include <string>
+
+#include "app/kv_store.hpp"
+#include "consensus/addresses.hpp"
+#include "idem/acceptance.hpp"
+
+namespace idem::real {
+
+RealCluster::RealCluster(RealClusterConfig config)
+    : config_(std::move(config)), epoch_(std::chrono::steady_clock::now()) {
+  idem_ = config_.idem;
+  idem_.n = config_.n;
+  idem_.f = config_.f;
+  idem_.reject_threshold = config_.reject_threshold;
+  // Real time is the cost model: message handling occupies the loop thread
+  // for however long it actually takes, so the simulated CPU charges and
+  // their jitter/straggler knobs must be off.
+  idem_.costs = consensus::CostModel{0, 0.0, 0, 0.0, 0.0, 0.0, 1.0};
+  // Flush REQUIREs inline — the real loop's timer granularity (~1 ms) is
+  // far coarser than the sim's 50 us aggregation window.
+  idem_.require_batch_max = 1;
+
+  members_.resize(config_.n);
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    Member& member = members_[i];
+    RealRuntimeConfig runtime_config;
+    runtime_config.seed = config_.seed + i;
+    runtime_config.epoch = epoch_;
+    member.runtime = std::make_unique<RealRuntime>(runtime_config);
+
+    core::IdemConfig replica_config = idem_;
+    if (config_.trace) {
+      member.trace = std::make_unique<obs::TraceRecorder>(config_.trace_capacity);
+      replica_config.trace = member.trace.get();
+    }
+    member.replica = std::make_unique<core::IdemReplica>(
+        *member.runtime, member.runtime->transport(),
+        ReplicaId{static_cast<std::uint32_t>(i)}, replica_config, make_store(),
+        core::make_default_acceptance(replica_config, config_.expected_clients));
+    member.port = member.runtime->transport().port_of(
+        consensus::replica_address(ReplicaId{static_cast<std::uint32_t>(i)}));
+
+    if (config_.metrics_interval > 0) {
+      member.metrics = std::make_unique<obs::MetricsRegistry>();
+      register_metrics(member, i);
+      member.metrics->reserve_samples(config_.metrics_reserve);
+      member.ticker = std::make_unique<obs::MetricsTicker>(
+          *member.runtime, *member.metrics, config_.metrics_interval);
+      // Armed pre-start; the timer fires on the member's own loop thread.
+      member.ticker->start();
+    }
+  }
+
+  // Full mesh: every replica knows every peer's loopback port.
+  for (std::size_t i = 0; i < config_.n; ++i) {
+    for (std::size_t j = 0; j < config_.n; ++j) {
+      if (i == j) continue;
+      members_[i].runtime->transport().set_remote(
+          consensus::replica_address(ReplicaId{static_cast<std::uint32_t>(j)}),
+          members_[j].port);
+    }
+  }
+}
+
+RealCluster::~RealCluster() { shutdown(); }
+
+std::unique_ptr<app::StateMachine> RealCluster::make_store() const {
+  // Zero modelled costs: execution takes whatever it actually takes.
+  auto store = std::make_unique<app::KvStore>(app::KvStore::Costs{0, 0.0, 0});
+  if (config_.preload) {
+    // Same config + const load phase => byte-identical content everywhere.
+    Rng rng(config_.seed, /*stream=*/0x10ADull);
+    app::YcsbWorkload workload(config_.workload, rng);
+    for (const app::KvCommand& command : workload.load_phase()) {
+      store->execute(command.encode());
+    }
+  }
+  return store;
+}
+
+void RealCluster::register_metrics(Member& member, std::size_t index) {
+  // Same naming scheme as the sim harness so exporters and plots work on
+  // either mode's JSONL unchanged.
+  const std::string prefix = "r" + std::to_string(index) + ".";
+  core::IdemReplica* replica = member.replica.get();
+  member.metrics->add_gauge(prefix + "queue",
+                            [replica] { return static_cast<double>(replica->queue_length()); });
+  member.metrics->add_gauge(prefix + "active", [replica] {
+    return static_cast<double>(replica->active_requests());
+  });
+  member.metrics->add_gauge(prefix + "executed", [replica] {
+    return static_cast<double>(replica->stats().executed);
+  });
+  member.metrics->add_gauge(prefix + "rejected", [replica] {
+    return static_cast<double>(replica->stats().rejected);
+  });
+  member.metrics->add_gauge(prefix + "view", [replica] {
+    return static_cast<double>(replica->view().value);
+  });
+}
+
+void RealCluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (Member& member : members_) {
+    if (!member.crashed) member.runtime->start();
+  }
+}
+
+void RealCluster::shutdown() {
+  for (Member& member : members_) {
+    if (member.runtime) member.runtime->stop();
+  }
+}
+
+void RealCluster::crash_replica(std::size_t index) {
+  Member& member = members_[index];
+  if (member.crashed) return;
+  member.runtime->stop();
+  // Loop thread is gone; reading and tearing down on this thread is safe.
+  member.final_stats = member.replica->stats();
+  member.final_transport = member.runtime->transport().stats();
+  if (member.ticker) member.ticker->stop();
+  member.replica.reset();   // unregisters from the transport
+  member.runtime.reset();   // closes all sockets: peers see a crash
+  member.port = 0;
+  member.crashed = true;
+}
+
+std::vector<rpc::PeerAddress> RealCluster::replica_addresses() const {
+  std::vector<rpc::PeerAddress> addresses;
+  addresses.reserve(members_.size());
+  for (const Member& member : members_) {
+    addresses.push_back(rpc::PeerAddress{"127.0.0.1", member.port});
+  }
+  return addresses;
+}
+
+core::IdemClientConfig RealCluster::client_config() const {
+  core::IdemClientConfig client;
+  client.n = config_.n;
+  client.f = config_.f;
+  return client;
+}
+
+core::ReplicaStats RealCluster::replica_stats(std::size_t index) {
+  Member& member = members_[index];
+  if (member.crashed) return member.final_stats;
+  return member.runtime->call([&member] { return member.replica->stats(); });
+}
+
+rpc::TransportStats RealCluster::transport_stats(std::size_t index) {
+  Member& member = members_[index];
+  if (member.crashed) return member.final_transport;
+  return member.runtime->call([&member] { return member.runtime->transport().stats(); });
+}
+
+std::size_t RealCluster::leader_index() {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& member = members_[i];
+    if (member.crashed) continue;
+    bool leads = member.runtime->call([&member] { return member.replica->is_leader(); });
+    if (leads) return i;
+  }
+  return members_.size();
+}
+
+std::vector<std::vector<obs::TraceEvent>> RealCluster::trace_snapshots() {
+  std::vector<std::vector<obs::TraceEvent>> parts;
+  for (Member& member : members_) {
+    if (!member.trace) continue;
+    if (member.crashed || !member.runtime) {
+      parts.push_back(member.trace->snapshot());
+    } else {
+      parts.push_back(
+          member.runtime->call([&member] { return member.trace->snapshot(); }));
+    }
+  }
+  return parts;
+}
+
+std::vector<obs::TraceEvent> RealCluster::merged_trace() {
+  return obs::merge_trace_snapshots(trace_snapshots());
+}
+
+}  // namespace idem::real

@@ -1,0 +1,147 @@
+// In-process real cluster: n IDEM replicas, each on its own EventLoop
+// thread, talking over kernel TCP on loopback.
+//
+// The replicas are the byte-identical core::IdemReplica the simulator
+// benchmarks — only the Runtime (wall clock), Transport (TCP) and CPU
+// model (real message handling instead of simulated charges) differ.
+// Observability mirrors sim mode: one TraceRecorder and MetricsRegistry
+// per replica thread (strict thread confinement, so TSAN-clean), stamped
+// from a shared clock epoch so the per-thread rings merge into one
+// coherent timeline after shutdown.
+//
+// Thread protocol: the constructor builds everything on the controller
+// thread (no loop threads exist yet); start() hands each replica to its
+// loop thread; after that the controller touches replica state only via
+// RealRuntime::call(). crash_replica() tears the member's loop down and
+// destroys it — peers observe TCP resets, exactly a process crash.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/ycsb.hpp"
+#include "idem/client.hpp"
+#include "idem/config.hpp"
+#include "idem/replica.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/ticker.hpp"
+#include "obs/trace.hpp"
+#include "real/runtime.hpp"
+
+namespace idem::real {
+
+struct RealClusterConfig {
+  std::size_t n = 3;
+  std::size_t f = 1;
+  std::size_t reject_threshold = 50;
+  std::uint64_t seed = 1;
+
+  /// Base protocol configuration; n/f/reject_threshold, the CPU cost model
+  /// (zeroed: real time is the cost), require batching (flushed inline:
+  /// timer granularity on a real loop is milliseconds) and the trace sink
+  /// are overridden per replica.
+  core::IdemConfig idem;
+
+  /// Client population the acceptance test should assume (sizes the AQM
+  /// prioritization groups, exactly like the sim harness does).
+  std::size_t expected_clients = 16;
+
+  /// Per-replica request-lifecycle tracing (wall-clock timestamps).
+  bool trace = false;
+  std::size_t trace_capacity = 1u << 16;
+
+  /// Per-replica metrics sampling interval; 0 disables the registries.
+  Duration metrics_interval = 0;
+  std::size_t metrics_reserve = 4096;
+
+  /// Preload every replica's store with the workload's YCSB records so
+  /// reads hit existing keys (same content on every replica).
+  bool preload = false;
+  app::YcsbConfig workload;
+};
+
+class RealCluster {
+ public:
+  explicit RealCluster(RealClusterConfig config);
+  ~RealCluster();
+
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  const RealClusterConfig& config() const { return config_; }
+  /// The effective per-replica protocol configuration (costs zeroed etc.).
+  const core::IdemConfig& idem_config() const { return idem_; }
+  /// Clock epoch shared by every loop; load generators join it so client
+  /// and replica timestamps are mutually comparable.
+  rpc::EventLoop::Epoch epoch() const { return epoch_; }
+
+  std::size_t n() const { return members_.size(); }
+
+  /// Starts every replica's loop thread. Idempotent.
+  void start();
+  /// Stops every live loop thread and joins it. State (stats, traces,
+  /// metrics) stays inspectable afterwards. Idempotent; also runs from the
+  /// destructor.
+  void shutdown();
+
+  /// Tears replica `index` down: stops its loop, then destroys the node
+  /// and its sockets — to the surviving peers this is a process crash.
+  void crash_replica(std::size_t index);
+  bool crashed(std::size_t index) const { return members_[index].crashed; }
+
+  /// Loopback listening port of replica `index` (0 after a crash).
+  std::uint16_t port_of(std::size_t index) const { return members_[index].port; }
+  /// host:port of every replica, indexed by replica id — the shape load
+  /// generators and remote clients consume.
+  std::vector<rpc::PeerAddress> replica_addresses() const;
+
+  /// Client configuration matching this cluster (n/f prefilled).
+  core::IdemClientConfig client_config() const;
+
+  /// Protocol counters of replica `index`; live replicas are sampled on
+  /// their own loop thread, crashed ones return the values captured at
+  /// crash time.
+  core::ReplicaStats replica_stats(std::size_t index);
+  rpc::TransportStats transport_stats(std::size_t index);
+  /// Index of the first live replica that believes itself leader, or n().
+  std::size_t leader_index();
+
+  /// Metrics registry of replica `index` (nullptr when sampling is off).
+  /// Safe to read after shutdown(); while loops run, use run-time access
+  /// only through RealRuntime::call().
+  obs::MetricsRegistry* metrics(std::size_t index) { return members_[index].metrics.get(); }
+
+  /// Per-replica trace snapshots (each oldest-first), taken on the owning
+  /// loop thread when live. Merge with client-side rings via
+  /// obs::merge_trace_snapshots.
+  std::vector<std::vector<obs::TraceEvent>> trace_snapshots();
+  /// The replicas' rings merged into one timeline.
+  std::vector<obs::TraceEvent> merged_trace();
+
+ private:
+  struct Member {
+    // Declaration order doubles as teardown order (reversed): the replica
+    // must unregister from the transport before the runtime dies.
+    std::unique_ptr<RealRuntime> runtime;
+    std::unique_ptr<obs::TraceRecorder> trace;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<obs::MetricsTicker> ticker;
+    std::unique_ptr<core::IdemReplica> replica;
+    std::uint16_t port = 0;
+    bool crashed = false;
+    core::ReplicaStats final_stats;        ///< captured when crashed
+    rpc::TransportStats final_transport;   ///< captured when crashed
+  };
+
+  std::unique_ptr<app::StateMachine> make_store() const;
+  void register_metrics(Member& member, std::size_t index);
+
+  RealClusterConfig config_;
+  core::IdemConfig idem_;
+  rpc::EventLoop::Epoch epoch_;
+  std::vector<Member> members_;
+  bool started_ = false;
+};
+
+}  // namespace idem::real

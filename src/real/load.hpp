@@ -1,0 +1,74 @@
+// Wall-clock load generation against a real IDEM cluster.
+//
+// run_load() hosts a set of unmodified core::IdemClient instances on an
+// EventLoop owned by the *calling* thread and drives YCSB operations at
+// them for a fixed wall-clock span: closed-loop (each client re-issues the
+// moment its previous operation concludes) or open-loop (per-client
+// Poisson arrivals — under overload an arrival that finds its client busy
+// is deferred until the outstanding operation concludes, and counted).
+//
+// Several generators may run concurrently on separate threads (the CLIs
+// and benchmarks do this) as long as their client_id_base ranges do not
+// overlap; each call is fully self-contained — own loop, own transport,
+// own trace ring — so generators share nothing but the kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/ycsb.hpp"
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+#include "idem/client.hpp"
+#include "obs/trace.hpp"
+#include "rpc/event_loop.hpp"
+#include "rpc/tcp_transport.hpp"
+
+namespace idem::real {
+
+struct LoadOptions {
+  std::size_t clients = 4;
+  /// First ClientId; concurrent generators use disjoint ranges.
+  std::uint64_t client_id_base = 0;
+  Duration warmup = 0;          ///< ops run but are not recorded
+  Duration duration = kSecond;  ///< measured span (after warmup)
+  /// Per-client open-loop arrival rate in ops/s; 0 = closed loop.
+  double open_loop_rate = 0;
+  std::uint64_t seed = 1;
+
+  /// Replica i is reachable at replicas[i]; size sets the client's n.
+  std::vector<rpc::PeerAddress> replicas;
+  /// f and client strategy knobs; n/f default from replicas.size() when
+  /// left at their defaults, trace is overridden.
+  core::IdemClientConfig client;
+  app::YcsbConfig workload;
+
+  /// Record client-side request lifecycles into the returned snapshot.
+  bool trace = false;
+  std::size_t trace_capacity = 1u << 16;
+  /// Clock epoch — pass RealCluster::epoch() so client and replica trace
+  /// timestamps are mutually comparable.
+  rpc::EventLoop::Epoch epoch = std::chrono::steady_clock::now();
+};
+
+struct LoadStats {
+  Histogram reply_latency;
+  Histogram reject_latency;
+  std::uint64_t issued = 0;     ///< operations started in the measured span
+  std::uint64_t replies = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t malformed = 0;  ///< replies whose KvResult failed to decode
+  std::uint64_t deferred = 0;   ///< open-loop arrivals that found the client busy
+  Duration measured = 0;        ///< wall-clock span the rates refer to
+
+  std::vector<obs::TraceEvent> trace;  ///< client-side ring (when enabled)
+
+  double reply_rate() const { return measured > 0 ? replies / to_sec(measured) : 0.0; }
+  double reject_rate() const { return measured > 0 ? rejects / to_sec(measured) : 0.0; }
+};
+
+/// Runs the load inline on the calling thread; returns when the span ends.
+LoadStats run_load(const LoadOptions& options);
+
+}  // namespace idem::real

@@ -1,0 +1,24 @@
+#include "real/runtime.hpp"
+
+namespace idem::real {
+
+RealRuntime::RealRuntime(RealRuntimeConfig config)
+    : loop_(config.seed, config.epoch), transport_(loop_, config.transport) {}
+
+RealRuntime::~RealRuntime() { stop(); }
+
+void RealRuntime::start() {
+  if (running()) return;
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void RealRuntime::stop() {
+  if (!running()) return;
+  // Posted rather than called directly: run() resets the stop flag on
+  // entry, so a raw stop() racing with a just-starting thread could be
+  // lost. A posted task always executes inside the running loop.
+  loop_.post([this] { loop_.stop(); });
+  thread_.join();
+}
+
+}  // namespace idem::real

@@ -1,6 +1,7 @@
 #include "rpc/event_loop.hpp"
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -22,15 +23,26 @@ std::uint64_t hash_name(std::string_view name) {
 
 }  // namespace
 
-EventLoop::EventLoop(std::uint64_t seed)
-    : seed_(seed), start_(std::chrono::steady_clock::now()) {
+EventLoop::EventLoop(std::uint64_t seed, Epoch epoch) : seed_(seed), start_(epoch) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
     throw std::runtime_error(std::string("epoll_create1: ") + std::strerror(errno));
   }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  // Registered directly (not via watch()) so watchers_ stays loop-private:
+  // the wakeup is the one fd a foreign thread may poke.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 }
 
 EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
@@ -87,6 +99,33 @@ void EventLoop::unwatch(int fd) {
   }
 }
 
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::stop() {
+  stopped_.store(true, std::memory_order_release);
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (Task& task : tasks) task();
+}
+
 void EventLoop::fire_due_timers() {
   Time current = now();
   while (!timers_.empty() && timers_.next_time() <= current) {
@@ -104,6 +143,10 @@ void EventLoop::poll_once(Duration max_wait) {
   epoll_event events[64];
   int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
   for (int i = 0; i < ready; ++i) {
+    if (events[i].data.fd == wake_fd_) {
+      drain_posted();
+      continue;
+    }
     auto it = watchers_.find(events[i].data.fd);
     if (it == watchers_.end()) continue;
     // Hold a reference: the callback may unwatch (and erase) itself.
@@ -114,16 +157,16 @@ void EventLoop::poll_once(Duration max_wait) {
 }
 
 void EventLoop::run() {
-  stopped_ = false;
-  while (!stopped_) {
+  stopped_.store(false, std::memory_order_release);
+  while (!stopped_.load(std::memory_order_acquire)) {
     poll_once(100 * kMillisecond);
   }
 }
 
 void EventLoop::run_for(Duration span) {
-  stopped_ = false;
+  stopped_.store(false, std::memory_order_release);
   Time deadline = now() + span;
-  while (!stopped_ && now() < deadline) {
+  while (!stopped_.load(std::memory_order_acquire) && now() < deadline) {
     poll_once(std::min<Duration>(deadline - now(), 50 * kMillisecond));
   }
 }

@@ -5,14 +5,23 @@
 // Single-threaded by design: protocol nodes are not thread-safe, and the
 // paper's replicas are single event loops too. All I/O callbacks and
 // timers fire on the thread that calls run()/run_for().
+//
+// Multi-loop deployments (src/real) run one EventLoop per thread. The only
+// thread-safe entry points are post() — which enqueues a task for the loop
+// thread and wakes it through an eventfd — and stop(). Everything else
+// (watch, schedule_*, transports, protocol nodes) must either happen on
+// the loop thread or before the loop thread starts running.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -24,8 +33,13 @@ namespace idem::rpc {
 class EventLoop final : public sim::Runtime {
  public:
   using IoCallback = std::function<void(std::uint32_t epoll_events)>;
+  using Task = std::function<void()>;
+  using Epoch = std::chrono::steady_clock::time_point;
 
-  explicit EventLoop(std::uint64_t seed = 1);
+  /// `epoch` anchors now() == 0. Loops that share an epoch (real clusters
+  /// hosting several loops in one process) produce mutually comparable
+  /// timestamps, so per-thread trace rings merge into one coherent timeline.
+  explicit EventLoop(std::uint64_t seed = 1, Epoch epoch = std::chrono::steady_clock::now());
   ~EventLoop() override;
 
   EventLoop(const EventLoop&) = delete;
@@ -47,24 +61,37 @@ class EventLoop final : public sim::Runtime {
   void modify(int fd, std::uint32_t events);
   void unwatch(int fd);
 
+  // --- cross-thread ---
+  /// Enqueues `task` to run on the loop thread and wakes the loop if it is
+  /// blocked in epoll_wait. Safe to call from any thread; tasks run in
+  /// post order. May also be called before run() — queued tasks execute as
+  /// soon as the loop starts polling.
+  void post(Task task);
+
   // --- driving ---
   /// Processes I/O and timers until stop() is called.
   void run();
   /// Processes I/O and timers for (roughly) `span` of wall-clock time.
   void run_for(Duration span);
-  void stop() { stopped_ = true; }
+  /// Requests the loop to return from run()/run_for(). Safe from any
+  /// thread; cross-thread stops wake a sleeping loop promptly.
+  void stop();
 
  private:
   void poll_once(Duration max_wait);
   void fire_due_timers();
+  void drain_posted();
 
   std::uint64_t seed_;
   int epoll_fd_ = -1;
-  bool stopped_ = false;
-  std::chrono::steady_clock::time_point start_;
+  int wake_fd_ = -1;  ///< eventfd: written by post()/stop(), drained by the loop
+  std::atomic<bool> stopped_{false};
+  Epoch start_;
   sim::EventQueue timers_;
   std::unordered_map<int, std::shared_ptr<IoCallback>> watchers_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Rng>> rngs_;
+  std::mutex posted_mutex_;
+  std::vector<Task> posted_;
 };
 
 }  // namespace idem::rpc

@@ -6,6 +6,13 @@
 // return addresses automatically (a replica can answer a client it has
 // never been configured with). FrameReader reassembles frames from an
 // arbitrary stream of socket reads.
+//
+// Hardening: decode enforces a maximum frame size (configurable per
+// reader; kMaxFrameBytes by default) so one malformed or hostile length
+// header cannot make a replica buffer gigabytes. The reader reports *why*
+// it gave up (error()) and whether a closed stream ended mid-frame
+// (truncated()), so transports can count both conditions instead of
+// dropping connections silently.
 #pragma once
 
 #include <cstddef>
@@ -46,17 +53,32 @@ class FrameReader {
   using FrameCallback = std::function<void(std::uint32_t sender, std::uint32_t sender_port,
                                            std::span<const std::byte> payload)>;
 
+  enum class Error : std::uint8_t {
+    None = 0,
+    Oversized,  ///< a length header exceeded the frame-size bound
+  };
+
+  /// `max_frame` bounds the payload size decode will accept; larger length
+  /// headers poison the stream (feed() returns false and stays false).
+  explicit FrameReader(std::size_t max_frame = kMaxFrameBytes) : max_frame_(max_frame) {}
+
   /// Appends `data` and invokes `callback` for every completed frame.
-  /// Returns false if the stream is malformed (oversized frame) — the
-  /// caller should drop the connection.
+  /// Returns false if the stream is malformed (oversized frame; see
+  /// error()) — the caller should drop the connection and account for the
+  /// bad frame.
   bool feed(std::span<const std::byte> data, const FrameCallback& callback) {
+    if (error_ != Error::None) return false;
     buffer_.insert(buffer_.end(), data.begin(), data.end());
     std::size_t offset = 0;
     while (buffer_.size() - offset >= kFrameHeaderBytes) {
       std::uint32_t length = read_u32(offset);
       std::uint32_t sender = read_u32(offset + 4);
       std::uint32_t sender_port = read_u32(offset + 8);
-      if (length > kMaxFrameBytes) return false;
+      if (length > max_frame_) {
+        error_ = Error::Oversized;
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+        return false;
+      }
       if (buffer_.size() - offset - kFrameHeaderBytes < length) break;
       callback(sender, sender_port,
                std::span<const std::byte>(buffer_.data() + offset + kFrameHeaderBytes, length));
@@ -67,6 +89,12 @@ class FrameReader {
   }
 
   std::size_t buffered() const { return buffer_.size(); }
+  std::size_t max_frame() const { return max_frame_; }
+  Error error() const { return error_; }
+
+  /// True when the stream holds a partial frame — meaningful when the
+  /// peer closed the connection: the frame in flight was truncated.
+  bool truncated() const { return !buffer_.empty(); }
 
  private:
   std::uint32_t read_u32(std::size_t at) const {
@@ -76,6 +104,8 @@ class FrameReader {
            (static_cast<std::uint32_t>(buffer_[at + 3]) << 24);
   }
 
+  std::size_t max_frame_;
+  Error error_ = Error::None;
   std::vector<std::byte> buffer_;
 };
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -23,7 +24,37 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+bool resolve(const std::string& host, std::uint16_t port, sockaddr_in& out) {
+  out = sockaddr_in{};
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (host.empty() || host == "localhost") {
+    out.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  return ::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1;
+}
+
 }  // namespace
+
+std::optional<PeerAddress> parse_address(const std::string& text) {
+  PeerAddress address;
+  std::string port_part = text;
+  std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    address.host = text.substr(0, colon);
+    port_part = text.substr(colon + 1);
+  }
+  if (address.host.empty()) address.host = "127.0.0.1";
+  if (port_part.empty()) return std::nullopt;
+  char* end = nullptr;
+  unsigned long port = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535) return std::nullopt;
+  sockaddr_in probe;
+  if (!resolve(address.host, 1, probe)) return std::nullopt;
+  address.port = static_cast<std::uint16_t>(port);
+  return address;
+}
 
 struct TcpTransport::LocalNode {
   sim::NodeId id;
@@ -37,7 +68,10 @@ struct TcpTransport::LocalNode {
 struct TcpTransport::InboundConnection {
   int fd = -1;
   std::uint32_t local_node = 0;  // destination of the frames on this connection
+  std::string peer_host;         // learned at accept; return address for senders
   FrameReader reader;
+
+  explicit InboundConnection(std::size_t max_frame) : reader(max_frame) {}
 };
 
 struct TcpTransport::OutboundConnection {
@@ -48,7 +82,7 @@ struct TcpTransport::OutboundConnection {
 };
 
 TcpTransport::TcpTransport(EventLoop& loop, TcpTransportConfig config)
-    : loop_(loop), config_(config) {}
+    : loop_(loop), config_(std::move(config)) {}
 
 TcpTransport::~TcpTransport() {
   for (auto& [fd, connection] : inbound_) {
@@ -85,10 +119,12 @@ void TcpTransport::add_node(sim::NodeId id, sim::NodeKind kind, sim::Endpoint* e
     requested = config_.fixed_port;
     fixed_port_used_ = true;
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(requested);  // 0 = ephemeral
+  sockaddr_in addr;
+  if (!resolve(config_.listen_host, requested, addr)) {
+    ::close(fd);
+    throw std::runtime_error("listen_host is not a numeric IPv4 address: " +
+                             config_.listen_host);
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(fd, 128) < 0) {
     ::close(fd);
@@ -128,22 +164,42 @@ std::uint16_t TcpTransport::port_of(sim::NodeId id) const {
   return it == locals_.end() ? 0 : it->second->port;
 }
 
-void TcpTransport::set_remote(sim::NodeId id, std::uint16_t port) {
-  remote_ports_[id.value] = port;
+void TcpTransport::set_remote(sim::NodeId id, const PeerAddress& address) {
+  remotes_[id.value] = address;
 }
 
 void TcpTransport::accept_ready(LocalNode& node) {
   for (;;) {
-    int fd = ::accept4(node.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    int fd = ::accept4(node.listen_fd, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or error: done for now
     set_nodelay(fd);
-    auto connection = std::make_unique<InboundConnection>();
+    auto connection = std::make_unique<InboundConnection>(config_.max_frame_bytes);
     connection->fd = fd;
     connection->local_node = node.id.value;
+    char host[INET_ADDRSTRLEN] = "127.0.0.1";
+    if (peer.sin_family == AF_INET) {
+      ::inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host));
+    }
+    connection->peer_host = host;
     node.inbound_fds.push_back(fd);
     inbound_[fd] = std::move(connection);
     loop_.watch(fd, EPOLLIN, [this, fd](std::uint32_t) { inbound_ready(fd); });
   }
+}
+
+void TcpTransport::close_inbound(int fd, InboundConnection& connection) {
+  loop_.unwatch(fd);
+  ::close(fd);
+  // Detach from the owning node so remove_node never touches a recycled
+  // fd number.
+  if (auto local_it = locals_.find(connection.local_node); local_it != locals_.end()) {
+    auto& fds = local_it->second->inbound_fds;
+    std::erase(fds, fd);
+  }
+  inbound_.erase(fd);
 }
 
 void TcpTransport::inbound_ready(int fd) {
@@ -159,11 +215,12 @@ void TcpTransport::inbound_ready(int fd) {
           std::span<const std::byte>(buffer, static_cast<std::size_t>(n)),
           [&](std::uint32_t sender, std::uint32_t sender_port,
               std::span<const std::byte> payload) {
-            // Learn the sender's return address (self-advertised): this is
-            // how replicas can answer clients they were never configured
-            // with in multi-process deployments.
+            // Learn the sender's return address (self-advertised port, peer
+            // IP from the socket): this is how replicas can answer clients
+            // they were never configured with in multi-process deployments.
             if (sender_port != 0 && !locals_.contains(sender)) {
-              remote_ports_[sender] = static_cast<std::uint16_t>(sender_port);
+              remotes_[sender] =
+                  PeerAddress{connection.peer_host, static_cast<std::uint16_t>(sender_port)};
             }
             auto local_it = locals_.find(connection.local_node);
             if (local_it == locals_.end()) return;
@@ -176,21 +233,20 @@ void TcpTransport::inbound_ready(int fd) {
             }
           });
       if (!ok) {
-        n = 0;  // malformed stream: fall through to close
-      } else {
-        continue;
+        // Oversized length header: poisoned stream, count and drop it.
+        ++stats_.decode_errors;
+        LOG_WARN("tcp", "dropping connection to node ", connection.local_node,
+                 " (oversized frame)");
+        close_inbound(fd, connection);
+        return;
       }
+      continue;
     }
     if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
-      loop_.unwatch(fd);
-      ::close(fd);
-      // Detach from the owning node so remove_node never touches a
-      // recycled fd number.
-      if (auto local_it = locals_.find(connection.local_node); local_it != locals_.end()) {
-        auto& fds = local_it->second->inbound_fds;
-        std::erase(fds, fd);
-      }
-      inbound_.erase(it);
+      // Peer closed or reset. Bytes of an unfinished frame mean the stream
+      // was cut mid-message: account for the truncated frame.
+      if (connection.reader.truncated()) ++stats_.decode_errors;
+      close_inbound(fd, connection);
       return;
     }
     return;  // EAGAIN: wait for more data
@@ -198,15 +254,14 @@ void TcpTransport::inbound_ready(int fd) {
 }
 
 TcpTransport::OutboundConnection* TcpTransport::connect_to(std::uint32_t dest,
-                                                           std::uint16_t port) {
+                                                           const PeerAddress& address) {
+  sockaddr_in addr;
+  if (!resolve(address.host, address.port, addr)) return nullptr;
+
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return nullptr;
   set_nodelay(fd);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc < 0 && errno != EINPROGRESS) {
     ::close(fd);
@@ -282,20 +337,20 @@ void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr messag
     return;
   }
 
-  std::uint16_t port = 0;
+  PeerAddress address;
   if (auto it = locals_.find(to.value); it != locals_.end()) {
-    port = it->second->port;
-  } else if (auto remote = remote_ports_.find(to.value); remote != remote_ports_.end()) {
-    port = remote->second;
+    address = PeerAddress{"127.0.0.1", it->second->port};
+  } else if (auto remote = remotes_.find(to.value); remote != remotes_.end()) {
+    address = remote->second;
   }
-  if (port == 0) {
+  if (address.port == 0) {
     ++stats_.dropped;
     return;
   }
 
   auto it = outbound_.find(to.value);
   OutboundConnection* connection =
-      it != outbound_.end() ? it->second.get() : connect_to(to.value, port);
+      it != outbound_.end() ? it->second.get() : connect_to(to.value, address);
   if (connection == nullptr) {
     ++stats_.dropped;
     return;

@@ -1,22 +1,32 @@
 // Real TCP transport implementing sim::Transport.
 //
-// Every registered node gets its own loopback listener; send() lazily
-// opens one outgoing connection per destination node and writes
-// length-prefixed frames (rpc/framing.hpp) carrying consensus::messages
-// encodings. Connections are unidirectional: replies travel over the
-// peer's own outgoing connection to our listener, mirroring how the
-// protocols treat links as independent fair-loss channels.
+// Every registered node gets its own listener; send() lazily opens one
+// outgoing connection per destination node and writes length-prefixed
+// frames (rpc/framing.hpp) carrying consensus::messages encodings.
+// Connections are unidirectional: replies travel over the peer's own
+// outgoing connection to our listener, mirroring how the protocols treat
+// links as independent fair-loss channels.
 //
 // Failure semantics match the protocols' fair-loss assumption: a send to
 // an unknown, crashed or unreachable node is silently dropped (and
 // counted); a broken connection is torn down and re-established on the
-// next send.
+// next send. Malformed inbound streams (oversized length headers,
+// connections closed mid-frame) are counted in TransportStats::
+// decode_errors and the connection is dropped.
 //
-// Single-threaded: all calls must happen on the EventLoop thread.
+// Addressing: nodes on this transport bind `listen_host` (loopback by
+// default; "0.0.0.0" for multi-host deployments). Remote nodes are
+// declared with set_remote() as host:port pairs, so a deployment can span
+// machines — the loopback-port overload remains for single-host setups.
+//
+// Single-threaded: all calls must happen on the EventLoop thread (or
+// before that thread starts running the loop).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "rpc/event_loop.hpp"
@@ -30,14 +40,31 @@ struct TransportStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t dropped = 0;        ///< unknown destination / send failure
-  std::uint64_t decode_errors = 0;  ///< malformed frames received
+  std::uint64_t decode_errors = 0;  ///< malformed frames received (bad
+                                    ///< encoding, oversized, truncated)
 };
+
+/// Where a node can be reached: numeric IPv4 host + TCP port.
+struct PeerAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (host optional: ":9100" and "9100" mean loopback).
+/// Returns nullopt on malformed input or a port outside [1, 65535].
+std::optional<PeerAddress> parse_address(const std::string& text);
 
 struct TcpTransportConfig {
   /// When non-zero, the first locally registered node binds this port
   /// instead of an ephemeral one (multi-process deployments agree on
   /// fixed ports up front). Further nodes keep getting ephemeral ports.
   std::uint16_t fixed_port = 0;
+  /// Numeric IPv4 address the listeners bind ("0.0.0.0" to accept
+  /// non-local peers).
+  std::string listen_host = "127.0.0.1";
+  /// Maximum accepted inbound frame payload; larger length headers count
+  /// as decode errors and drop the connection.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
 };
 
 class TcpTransport final : public sim::Transport {
@@ -49,7 +76,7 @@ class TcpTransport final : public sim::Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   // --- sim::Transport ---
-  /// Registers a local node: binds a listener on 127.0.0.1 (ephemeral
+  /// Registers a local node: binds a listener on `listen_host` (ephemeral
   /// port; query it with port_of).
   void add_node(sim::NodeId id, sim::NodeKind kind, sim::Endpoint* endpoint) override;
   /// Unregisters a node: closes its listener and all its connections
@@ -61,9 +88,13 @@ class TcpTransport final : public sim::Transport {
   std::uint16_t port_of(sim::NodeId id) const;
 
   /// Declares where a non-local node can be reached, enabling multi-
-  /// process deployments (every process registers its own nodes and the
-  /// remote ports of the others).
-  void set_remote(sim::NodeId id, std::uint16_t port);
+  /// process and multi-host deployments (every process registers its own
+  /// nodes and the addresses of the others).
+  void set_remote(sim::NodeId id, const PeerAddress& address);
+  /// Loopback convenience for single-host deployments.
+  void set_remote(sim::NodeId id, std::uint16_t port) {
+    set_remote(id, PeerAddress{"127.0.0.1", port});
+  }
 
   const TransportStats& stats() const { return stats_; }
 
@@ -74,8 +105,9 @@ class TcpTransport final : public sim::Transport {
 
   void accept_ready(LocalNode& node);
   void inbound_ready(int fd);
+  void close_inbound(int fd, InboundConnection& connection);
   void outbound_ready(std::uint32_t dest, std::uint32_t events);
-  OutboundConnection* connect_to(std::uint32_t dest, std::uint16_t port);
+  OutboundConnection* connect_to(std::uint32_t dest, const PeerAddress& address);
   void drop_outbound(std::uint32_t dest);
   void flush(OutboundConnection& connection);
 
@@ -83,7 +115,7 @@ class TcpTransport final : public sim::Transport {
   TcpTransportConfig config_;
   bool fixed_port_used_ = false;
   std::unordered_map<std::uint32_t, std::unique_ptr<LocalNode>> locals_;
-  std::unordered_map<std::uint32_t, std::uint16_t> remote_ports_;
+  std::unordered_map<std::uint32_t, PeerAddress> remotes_;
   std::unordered_map<std::uint32_t, std::unique_ptr<OutboundConnection>> outbound_;
   std::unordered_map<int, std::unique_ptr<InboundConnection>> inbound_;
   TransportStats stats_;

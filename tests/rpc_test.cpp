@@ -3,6 +3,11 @@
 // IDEM protocol running over real kernel TCP instead of the simulator.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <optional>
 
 #include "app/kv_store.hpp"
@@ -111,6 +116,79 @@ TEST(FramingTest, RejectsOversizedFrame) {
   rpc::FrameReader reader;
   EXPECT_FALSE(reader.feed(
       bogus, [](std::uint32_t, std::uint32_t, std::span<const std::byte>) {}));
+  EXPECT_EQ(reader.error(), rpc::FrameReader::Error::Oversized);
+  // The stream is poisoned: further feeds fail without invoking the callback.
+  int frames = 0;
+  auto good = rpc::encode_frame(1, 0, test::put_cmd("k", "v"));
+  EXPECT_FALSE(reader.feed(
+      good, [&](std::uint32_t, std::uint32_t, std::span<const std::byte>) { ++frames; }));
+  EXPECT_EQ(frames, 0);
+}
+
+TEST(FramingTest, ConfigurableBoundRejectsJustAboveLimit) {
+  rpc::FrameReader reader(/*max_frame=*/16);
+  std::vector<std::byte> payload(17, std::byte{0xAB});
+  auto frame = rpc::encode_frame(3, 0, payload);
+  EXPECT_FALSE(reader.feed(
+      frame, [](std::uint32_t, std::uint32_t, std::span<const std::byte>) {}));
+  EXPECT_EQ(reader.error(), rpc::FrameReader::Error::Oversized);
+
+  // At the limit the frame passes.
+  rpc::FrameReader ok_reader(/*max_frame=*/16);
+  std::vector<std::byte> fitting(16, std::byte{0xCD});
+  int frames = 0;
+  EXPECT_TRUE(ok_reader.feed(
+      rpc::encode_frame(3, 0, fitting),
+      [&](std::uint32_t, std::uint32_t, std::span<const std::byte> body) {
+        ++frames;
+        EXPECT_EQ(body.size(), 16u);
+      }));
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(FramingTest, ReportsTruncatedStream) {
+  auto frame = rpc::encode_frame(5, 0, test::put_cmd("key", "value"));
+  rpc::FrameReader reader;
+  EXPECT_FALSE(reader.truncated());
+  // Feed all but the last byte: a peer closing now left a frame in flight.
+  ASSERT_TRUE(reader.feed(std::span<const std::byte>(frame.data(), frame.size() - 1),
+                          [](std::uint32_t, std::uint32_t, std::span<const std::byte>) {}));
+  EXPECT_TRUE(reader.truncated());
+  // The final byte completes the frame; nothing is left buffered.
+  ASSERT_TRUE(reader.feed(std::span<const std::byte>(frame.data() + frame.size() - 1, 1),
+                          [](std::uint32_t, std::uint32_t, std::span<const std::byte>) {}));
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.error(), rpc::FrameReader::Error::None);
+}
+
+// ---------------------------------------------------------------------------
+// Address parsing
+// ---------------------------------------------------------------------------
+
+TEST(ParseAddressTest, AcceptsHostPortForms) {
+  auto full = rpc::parse_address("10.1.2.3:9100");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->host, "10.1.2.3");
+  EXPECT_EQ(full->port, 9100);
+
+  auto bare_port = rpc::parse_address("9100");
+  ASSERT_TRUE(bare_port.has_value());
+  EXPECT_EQ(bare_port->host, "127.0.0.1");
+  EXPECT_EQ(bare_port->port, 9100);
+
+  auto colon_port = rpc::parse_address(":9100");
+  ASSERT_TRUE(colon_port.has_value());
+  EXPECT_EQ(colon_port->host, "127.0.0.1");
+  EXPECT_EQ(colon_port->port, 9100);
+}
+
+TEST(ParseAddressTest, RejectsMalformedInput) {
+  EXPECT_FALSE(rpc::parse_address("").has_value());
+  EXPECT_FALSE(rpc::parse_address("host:").has_value());
+  EXPECT_FALSE(rpc::parse_address("127.0.0.1:0").has_value());
+  EXPECT_FALSE(rpc::parse_address("127.0.0.1:70000").has_value());
+  EXPECT_FALSE(rpc::parse_address("127.0.0.1:abc").has_value());
+  EXPECT_FALSE(rpc::parse_address("not-an-ip:9100").has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -187,6 +265,80 @@ TEST(TcpTransportTest, RemovedNodeStopsReceiving) {
                  std::make_shared<const msg::Reject>(RequestId{}));
   loop.run_for(100 * kMillisecond);
   EXPECT_TRUE(b.received.empty());
+}
+
+namespace {
+
+/// Blocking loopback connection to a transport listener (simulating a
+/// buggy or hostile peer speaking raw TCP).
+int connect_raw(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+}  // namespace
+
+TEST(TcpTransportTest, OversizedInboundFrameCountsDecodeError) {
+  rpc::EventLoop loop;
+  rpc::TcpTransportConfig config;
+  config.max_frame_bytes = 1024;
+  rpc::TcpTransport transport(loop, config);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  int fd = connect_raw(transport.port_of(sim::NodeId{1}));
+  // Header claiming a 1 MiB payload on a 1 KiB-bounded transport.
+  auto frame = rpc::encode_frame(9, 0, std::vector<std::byte>(8));
+  frame[2] = std::byte{0x10};  // length: 0x100008
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()), static_cast<ssize_t>(frame.size()));
+  loop.run_for(200 * kMillisecond);
+
+  EXPECT_EQ(transport.stats().decode_errors, 1u);
+  EXPECT_TRUE(a.received.empty());
+  ::close(fd);
+}
+
+TEST(TcpTransportTest, TruncatedInboundStreamCountsDecodeError) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  int fd = connect_raw(transport.port_of(sim::NodeId{1}));
+  // A well-formed header followed by only part of the promised payload,
+  // then a close: the frame in flight was truncated.
+  auto frame = rpc::encode_frame(9, 0, std::vector<std::byte>(100));
+  ASSERT_EQ(::write(fd, frame.data(), 40), 40);
+  loop.run_for(100 * kMillisecond);
+  ::close(fd);
+  loop.run_for(200 * kMillisecond);
+
+  EXPECT_EQ(transport.stats().decode_errors, 1u);
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(TcpTransportTest, CleanCloseBetweenFramesIsNotAnError) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  int fd = connect_raw(transport.port_of(sim::NodeId{1}));
+  auto frame = rpc::encode_frame(
+      9, 0, msg::Reject{RequestId{ClientId{1}, OpNum{1}}}.encode());
+  ASSERT_EQ(::write(fd, frame.data(), frame.size()), static_cast<ssize_t>(frame.size()));
+  loop.run_for(100 * kMillisecond);
+  ::close(fd);
+  loop.run_for(100 * kMillisecond);
+
+  EXPECT_EQ(transport.stats().decode_errors, 0u);
+  EXPECT_EQ(a.received.size(), 1u);
 }
 
 // ---------------------------------------------------------------------------

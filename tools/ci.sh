@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, a time-boxed chaos sweep, an ASan+UBSan test pass,
-# a trace-export smoke, and a sim-core bench smoke.
+# a TSan pass over the multi-threaded real-mode suites, a real-deployment
+# CLI smoke, a trace-export smoke, and a sim-core bench smoke.
 #
 # Usage: tools/ci.sh [--fast] [--coverage]
-#   --fast      skip the chaos sweep and the sanitizer pass
+#   --fast      skip the chaos sweep and the sanitizer passes
 #   --coverage  additionally build with IDEM_COVERAGE=ON, re-run the test
 #               suite instrumented, and print a line-coverage summary
 #               (gcovr when available, raw gcov totals otherwise)
 #
-# Build dirs: build/ (plain), build-asan/ (address,undefined), build-cov/
-# (coverage). All are cmake-standard and safe to delete.
+# Build dirs: build/ (plain), build-asan/ (address,undefined), build-tsan/
+# (thread), build-cov/ (coverage). All are cmake-standard and safe to
+# delete.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,7 +54,36 @@ if [[ "${FAST}" -eq 0 ]]; then
   echo "== sanitizers: ctest =="
   (cd build-asan && ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
       ctest --output-on-failure -j "${JOBS}")
+
+  # TSan over the suites that actually spawn threads: the rpc event loop's
+  # cross-thread post()/stop() and the whole real-mode runtime (one loop
+  # thread per replica). Run serially — TSan-instrumented loopback clusters
+  # are heavyweight enough that parallel suites time-box each other out.
+  echo "== sanitizers: TSan build (rpc + real runtime) =="
+  cmake -B build-tsan -S . -DIDEM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}"
+
+  echo "== sanitizers: TSan ctest =="
+  (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
+      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge')
 fi
+
+echo "== real mode: CLI smoke =="
+./build/tools/idem_server --help >/dev/null
+./build/tools/idem_client --help >/dev/null
+SMOKE_BASE=$(( 7300 + RANDOM % 500 ))
+for i in 0 1 2; do
+  PEERS=()
+  for j in 0 1 2; do
+    [[ "${i}" -ne "${j}" ]] && PEERS+=(--peer "${j}=:$(( SMOKE_BASE + j ))")
+  done
+  ./build/tools/idem_server --replica-id "${i}" --listen ":$(( SMOKE_BASE + i ))" \
+      "${PEERS[@]}" --seconds 6 >/dev/null &
+done
+sleep 0.5
+./build/tools/idem_client --replica ":${SMOKE_BASE}" --replica ":$(( SMOKE_BASE + 1 ))" \
+    --replica ":$(( SMOKE_BASE + 2 ))" --clients 4 --seconds 2 --warmup 0.5
+wait
 
 echo "== obs: trace export smoke =="
 TRACE_TMP="$(mktemp --suffix=.json)"

@@ -1,0 +1,218 @@
+// idem-client: wall-clock YCSB load generator for a live IDEM cluster
+// (idem_server processes, or anything speaking the rpc framing).
+//
+//   idem_client --replica :7000 --replica :7001 --replica :7002 \
+//               --clients 8 --seconds 5
+//
+// Replicas must be listed in replica-id order. Closed-loop by default;
+// --rate R switches to open-loop Poisson arrivals (R ops/s per client).
+// Prints throughput, latency percentiles and rejection counts; exit code
+// 0 when at least one operation succeeded, 1 when none did, 2 on usage
+// errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "real/load.hpp"
+
+using namespace idem;
+
+namespace {
+
+struct Options {
+  std::vector<rpc::PeerAddress> replicas;
+  std::size_t clients = 4;
+  std::uint64_t client_id_base = 0;
+  double seconds = 5.0;
+  double warmup = 0.5;
+  double rate = 0;  ///< per-client open-loop ops/s; 0 = closed loop
+  std::uint64_t seed = 1;
+  std::size_t f = 0;  ///< 0 = derive (n-1)/2
+  std::uint64_t records = 10'000;
+  std::size_t value_size = 100;
+  std::string workload = "a";
+  std::string trace_out;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --replica [HOST:]PORT [--replica ...] [options]\n"
+      "  --replica ADDR     replica address, repeated in replica-id order\n"
+      "  --clients N        concurrent clients            (default: 4)\n"
+      "  --client-id-base B first client id, keep ranges disjoint across\n"
+      "                     concurrent generators         (default: 0)\n"
+      "  --seconds S        measured seconds              (default: 5)\n"
+      "  --warmup S         warm-up seconds               (default: 0.5)\n"
+      "  --rate R           open-loop arrivals per client per second\n"
+      "                     (default: 0 = closed loop)\n"
+      "  --seed N           rng seed                      (default: 1)\n"
+      "  --f F              tolerated faults              (default: (n-1)/2)\n"
+      "  --records N        YCSB key-space size           (default: 10000)\n"
+      "  --value-size B     YCSB value bytes              (default: 100)\n"
+      "  --workload W       a | b | c                     (default: a)\n"
+      "  --trace-out F      write client-side Chrome/Perfetto trace to F\n",
+      argv0);
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (!std::strcmp(arg, "--replica")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      auto address = rpc::parse_address(v);
+      if (!address.has_value()) {
+        std::fprintf(stderr, "%s: bad --replica address '%s'\n", argv[0], v);
+        return std::nullopt;
+      }
+      options.replicas.push_back(*address);
+    } else if (!std::strcmp(arg, "--clients")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.clients = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--client-id-base")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.client_id_base = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--seconds")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.seconds = std::atof(v);
+    } else if (!std::strcmp(arg, "--warmup")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.warmup = std::atof(v);
+    } else if (!std::strcmp(arg, "--rate")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.rate = std::atof(v);
+    } else if (!std::strcmp(arg, "--seed")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--f")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.f = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--records")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.records = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--value-size")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.value_size = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--workload")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.workload = v;
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.trace_out = v;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      return std::nullopt;
+    }
+  }
+  if (options.replicas.empty()) {
+    if (argc > 1) std::fprintf(stderr, "%s: at least one --replica is required\n", argv[0]);
+    return std::nullopt;
+  }
+  return options;
+}
+
+std::optional<app::YcsbConfig> workload_by_name(const std::string& name) {
+  if (name == "a") return app::YcsbConfig::update_heavy();
+  if (name == "b") return app::YcsbConfig::read_heavy();
+  if (name == "c") return app::YcsbConfig::read_only();
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parse_args(argc, argv);
+  if (!parsed.has_value()) {
+    usage(argv[0]);
+    return 2;
+  }
+  const Options& options = *parsed;
+
+  auto workload = workload_by_name(options.workload);
+  if (!workload.has_value()) {
+    std::fprintf(stderr, "%s: unknown workload '%s'\n", argv[0], options.workload.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+
+  real::LoadOptions load;
+  load.clients = options.clients;
+  load.client_id_base = options.client_id_base;
+  load.warmup = static_cast<Duration>(options.warmup * kSecond);
+  load.duration = static_cast<Duration>(options.seconds * kSecond);
+  load.open_loop_rate = options.rate;
+  load.seed = options.seed;
+  load.replicas = options.replicas;
+  load.client.n = options.replicas.size();
+  load.client.f = options.f != 0 ? options.f : (options.replicas.size() - 1) / 2;
+  load.workload = *workload;
+  load.workload.record_count = options.records;
+  load.workload.value_size = options.value_size;
+  load.trace = !options.trace_out.empty();
+
+  std::printf("idem_client: %zu %s clients -> %zu replicas, %.1f s (+%.1f s warmup)\n",
+              options.clients, options.rate > 0 ? "open-loop" : "closed-loop",
+              options.replicas.size(), options.seconds, options.warmup);
+  std::fflush(stdout);
+
+  real::LoadStats stats = real::run_load(load);
+
+  std::printf("\n  throughput : %8.1f replies/s, %8.1f rejects/s\n",
+              stats.reply_rate(), stats.reject_rate());
+  std::printf("  outcomes   : %llu replies, %llu rejects, %llu timeouts"
+              " (%llu issued, %llu malformed)\n",
+              static_cast<unsigned long long>(stats.replies),
+              static_cast<unsigned long long>(stats.rejects),
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.issued),
+              static_cast<unsigned long long>(stats.malformed));
+  if (stats.deferred > 0) {
+    std::printf("  open loop  : %llu arrivals deferred behind a busy client\n",
+                static_cast<unsigned long long>(stats.deferred));
+  }
+  if (stats.replies > 0) {
+    std::printf("  latency    : p50 %.3f ms | p90 %.3f ms | p99 %.3f ms | p99.9 %.3f ms\n",
+                to_ms(stats.reply_latency.p50()), to_ms(stats.reply_latency.p90()),
+                to_ms(stats.reply_latency.p99()), to_ms(stats.reply_latency.p999()));
+  }
+  if (stats.rejects > 0) {
+    std::printf("  rejections : p50 %.3f ms | p99 %.3f ms\n",
+                to_ms(stats.reject_latency.p50()), to_ms(stats.reject_latency.p99()));
+  }
+
+  if (!options.trace_out.empty()) {
+    if (std::FILE* f = std::fopen(options.trace_out.c_str(), "w")) {
+      obs::write_chrome_trace(f, stats.trace);
+      std::fclose(f);
+      std::printf("  trace      : wrote %s (%zu events)\n", options.trace_out.c_str(),
+                  stats.trace.size());
+    } else {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], options.trace_out.c_str());
+    }
+  }
+  return stats.replies > 0 ? 0 : 1;
+}

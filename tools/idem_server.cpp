@@ -1,0 +1,224 @@
+// idem-server: hosts one IDEM replica as a standalone TCP server.
+//
+// Three of these on one machine make a live cluster (ports chosen up
+// front); clients connect with idem_client. The replica code is the exact
+// IdemReplica the simulator benchmarks — only the runtime (epoll event
+// loop, wall clock) and transport (kernel TCP) differ.
+//
+//   idem_server --replica-id 0 --listen :7000 --peer 1=:7001 --peer 2=:7002
+//   idem_server --replica-id 1 --listen :7001 --peer 0=:7000 --peer 2=:7002
+//   idem_server --replica-id 2 --listen :7002 --peer 0=:7000 --peer 1=:7001
+//
+// Runs until SIGINT/SIGTERM (or --seconds); prints protocol and transport
+// counters on exit. Exit code 0 on a clean stop, 2 on usage errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "consensus/addresses.hpp"
+#include "idem/acceptance.hpp"
+#include "idem/replica.hpp"
+#include "rpc/event_loop.hpp"
+#include "rpc/tcp_transport.hpp"
+
+using namespace idem;
+
+namespace {
+
+struct Options {
+  std::uint32_t replica_id = 0;
+  rpc::PeerAddress listen{"127.0.0.1", 0};
+  std::vector<std::pair<std::uint32_t, rpc::PeerAddress>> peers;
+  std::size_t n = 3;
+  std::size_t f = 1;
+  std::size_t reject_threshold = 50;
+  std::size_t expected_clients = 16;
+  std::uint64_t seed = 1;
+  double seconds = 0;  ///< 0 = run until SIGINT/SIGTERM
+  double viewchange_seconds = 1.5;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --replica-id I --listen [HOST:]PORT --peer J=[HOST:]PORT ...\n"
+      "  --replica-id I     id of this replica (0-based, required)\n"
+      "  --listen ADDR      bind address; HOST defaults to 127.0.0.1, use\n"
+      "                     0.0.0.0 to accept non-local peers (required)\n"
+      "  --peer J=ADDR      address of replica J (repeat for every peer)\n"
+      "  --n N              cluster size                  (default: 3)\n"
+      "  --f F              tolerated crash faults        (default: 1)\n"
+      "  --rt N             reject threshold r            (default: 50)\n"
+      "  --clients N        expected client population,\n"
+      "                     sizes the AQM groups          (default: 16)\n"
+      "  --seed N           rng seed                      (default: 1)\n"
+      "  --seconds S        stop after S seconds          (default: until signal)\n"
+      "  --viewchange S     progress timeout in seconds   (default: 1.5)\n",
+      argv0);
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  bool saw_id = false, saw_listen = false;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (!std::strcmp(arg, "--replica-id")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.replica_id = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      saw_id = true;
+    } else if (!std::strcmp(arg, "--listen")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      auto address = rpc::parse_address(v);
+      if (!address.has_value()) {
+        std::fprintf(stderr, "%s: bad --listen address '%s'\n", argv[0], v);
+        return std::nullopt;
+      }
+      options.listen = *address;
+      saw_listen = true;
+    } else if (!std::strcmp(arg, "--peer")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr) {
+        std::fprintf(stderr, "%s: --peer wants J=ADDR, got '%s'\n", argv[0], v);
+        return std::nullopt;
+      }
+      auto address = rpc::parse_address(eq + 1);
+      if (!address.has_value()) {
+        std::fprintf(stderr, "%s: bad --peer address '%s'\n", argv[0], eq + 1);
+        return std::nullopt;
+      }
+      options.peers.emplace_back(
+          static_cast<std::uint32_t>(std::strtoul(std::string(v, eq).c_str(), nullptr, 10)),
+          *address);
+    } else if (!std::strcmp(arg, "--n")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.n = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--f")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.f = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--rt")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.reject_threshold = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--clients")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.expected_clients = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--seed")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--seconds")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.seconds = std::atof(v);
+    } else if (!std::strcmp(arg, "--viewchange")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.viewchange_seconds = std::atof(v);
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      return std::nullopt;
+    }
+  }
+  if (!saw_id || !saw_listen) {
+    if (argc > 1) std::fprintf(stderr, "%s: --replica-id and --listen are required\n", argv[0]);
+    return std::nullopt;
+  }
+  return options;
+}
+
+rpc::EventLoop* g_loop = nullptr;
+
+// stop() is async-signal-safe: an atomic store plus an eventfd write.
+void handle_signal(int) {
+  if (g_loop != nullptr) g_loop->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parse_args(argc, argv);
+  if (!parsed.has_value()) {
+    usage(argv[0]);
+    return 2;
+  }
+  const Options& options = *parsed;
+
+  rpc::EventLoop loop(options.seed);
+  rpc::TcpTransportConfig transport_config;
+  transport_config.fixed_port = options.listen.port;
+  transport_config.listen_host = options.listen.host;
+  rpc::TcpTransport transport(loop, transport_config);
+
+  core::IdemConfig config;
+  config.n = options.n;
+  config.f = options.f;
+  config.reject_threshold = options.reject_threshold;
+  config.viewchange_timeout = static_cast<Duration>(options.viewchange_seconds * kSecond);
+  // Real time is the cost model; flush REQUIREs inline (the loop's timer
+  // granularity is far coarser than the sim's aggregation window).
+  config.costs = consensus::CostModel{0, 0.0, 0, 0.0, 0.0, 0.0, 1.0};
+  config.require_batch_max = 1;
+
+  core::IdemReplica replica(loop, transport, ReplicaId{options.replica_id}, config,
+                            std::make_unique<app::KvStore>(app::KvStore::Costs{0, 0.0, 0}),
+                            core::make_default_acceptance(config, options.expected_clients));
+  for (const auto& [peer_id, address] : options.peers) {
+    transport.set_remote(consensus::replica_address(ReplicaId{peer_id}), address);
+  }
+
+  std::printf("idem_server: replica %u listening on %s:%u (n=%zu f=%zu rt=%zu)\n",
+              options.replica_id, options.listen.host.c_str(),
+              transport.port_of(consensus::replica_address(ReplicaId{options.replica_id})),
+              options.n, options.f, options.reject_threshold);
+  std::fflush(stdout);
+
+  g_loop = &loop;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  if (options.seconds > 0) {
+    loop.run_for(static_cast<Duration>(options.seconds * kSecond));
+  } else {
+    loop.run();
+  }
+
+  const core::ReplicaStats& stats = replica.stats();
+  std::printf("idem_server: stopping (view %llu, leader %s)\n",
+              static_cast<unsigned long long>(replica.view().value),
+              replica.is_leader() ? "yes" : "no");
+  std::printf("  requests %llu | accepted %llu | rejected %llu | executed %llu\n",
+              static_cast<unsigned long long>(stats.requests_received),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.executed));
+  const rpc::TransportStats& net = transport.stats();
+  std::printf("  tcp: sent %llu msgs / %llu bytes | delivered %llu | dropped %llu |"
+              " decode errors %llu\n",
+              static_cast<unsigned long long>(net.messages_sent),
+              static_cast<unsigned long long>(net.bytes_sent),
+              static_cast<unsigned long long>(net.messages_delivered),
+              static_cast<unsigned long long>(net.dropped),
+              static_cast<unsigned long long>(net.decode_errors));
+  return 0;
+}
