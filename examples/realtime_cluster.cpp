@@ -9,6 +9,7 @@
 
 #include "app/kv_store.hpp"
 #include "common/histogram.hpp"
+#include "idem/acceptance.hpp"
 #include "idem/client.hpp"
 #include "idem/replica.hpp"
 #include "rpc/event_loop.hpp"

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "app/kv_store.hpp"
+#include "idem/acceptance.hpp"
 #include "idem/client.hpp"
 #include "idem/replica.hpp"
 #include "rpc/event_loop.hpp"

@@ -46,6 +46,9 @@ json::Value ChaosConfig::to_json() const {
   obj["ops_per_client"] = json::Value(static_cast<std::uint64_t>(ops_per_client));
   obj["keys"] = json::Value(static_cast<std::uint64_t>(keys));
   obj["reject_threshold"] = json::Value(static_cast<std::uint64_t>(reject_threshold));
+  if (rejected_cache > 0) {
+    obj["rejected_cache"] = json::Value(static_cast<std::uint64_t>(rejected_cache));
+  }
   obj["read_fraction"] = json::Value(read_fraction);
   obj["think_min_ns"] = json::Value(static_cast<std::int64_t>(think_min));
   obj["think_max_ns"] = json::Value(static_cast<std::int64_t>(think_max));
@@ -64,6 +67,7 @@ ChaosConfig ChaosConfig::from_json(const json::Value& value) {
   config.ops_per_client = value.get_or<std::uint64_t>("ops_per_client", 16);
   config.keys = value.get_or<std::uint64_t>("keys", 3);
   config.reject_threshold = value.get_or<std::uint64_t>("reject_threshold", 5);
+  config.rejected_cache = value.get_or<std::uint64_t>("rejected_cache", 0);
   config.read_fraction = value.get_or<double>("read_fraction", 0.35);
   config.think_min = value.get_or<std::int64_t>("think_min_ns", 50 * kMillisecond);
   config.think_max = value.get_or<std::int64_t>("think_max_ns", 300 * kMillisecond);
@@ -198,6 +202,10 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     cluster_config.store_factory = [] { return std::make_unique<app::KvStore>(); };
   } else {
     throw std::runtime_error("chaos: unknown app '" + config.app + "'");
+  }
+  if (config.rejected_cache > 0) {
+    cluster_config.idem.rejected_cache_size = config.rejected_cache;
+    cluster_config.smart_pr.rejected_cache_size = config.rejected_cache;
   }
   // Fast failover so crashes resolve well inside the horizon.
   cluster_config.idem.viewchange_timeout = 300 * kMillisecond;

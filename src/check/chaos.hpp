@@ -28,6 +28,10 @@ struct ChaosConfig {
   std::size_t ops_per_client = 16;  ///< invokes per client (retries are new ops)
   std::size_t keys = 3;             ///< workload key-space size
   std::size_t reject_threshold = 5;
+  /// Rejected-bodies cache capacity for the proactive-rejection protocols
+  /// (0 keeps the protocol default). Tiny values force LRU evictions and
+  /// make the Section 4.5 refresh-on-repeat-rejection rule observable.
+  std::size_t rejected_cache = 0;
   double read_fraction = 0.35;
   /// Think time between a client's operations, uniform in [min, max].
   /// Paces the workload across the fault schedule — without it a small

@@ -43,6 +43,37 @@ enum class Type : std::uint8_t {
   SmartAccept = 42,
 };
 
+// ---------------------------------------------------------------------------
+// Shared item codec
+//
+// Several messages carry "a count followed by items", where an item is
+// either a bare RequestId (IDEM agrees on ids) or a full Request (the
+// baselines ship bodies). One overload set keeps the wire format in one
+// place; encode_items/decode_items add the varint length prefix.
+// ---------------------------------------------------------------------------
+
+struct Request;  // defined below
+
+inline void encode_item(ByteWriter& w, RequestId id) { w.request_id(id); }
+inline void decode_item(ByteReader& r, RequestId& id) { id = r.request_id(); }
+void encode_item(ByteWriter& w, const Request& req);
+void decode_item(ByteReader& r, Request& req);
+
+template <typename Item>
+void encode_items(ByteWriter& w, const std::vector<Item>& items) {
+  w.varint(items.size());
+  for (const Item& item : items) encode_item(w, item);
+}
+
+template <typename Item>
+std::vector<Item> decode_items(ByteReader& r) {
+  auto n = r.varint();
+  std::vector<Item> items;
+  items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) decode_item(r, items.emplace_back());
+  return items;
+}
+
 /// Base for all messages: encodes lazily, caches the wire size.
 class Message : public sim::Payload {
  public:
@@ -101,6 +132,15 @@ struct Request final : Message {
   }
 };
 
+inline void encode_item(ByteWriter& w, const Request& req) {
+  w.request_id(req.id);
+  w.bytes(req.command);
+}
+inline void decode_item(ByteReader& r, Request& req) {
+  req.id = r.request_id();
+  req.command = r.bytes();
+}
+
 /// <REPLY, id, result>
 struct Reply final : Message {
   RequestId id;
@@ -155,15 +195,12 @@ struct Require final : Message {
   std::string kind() const override { return "REQUIRE"; }
   void encode_body(ByteWriter& w) const override {
     w.u32(from.value);
-    w.varint(ids.size());
-    for (auto id : ids) w.request_id(id);
+    encode_items(w, ids);
   }
   static Require decode_body(ByteReader& r) {
     Require m;
     m.from.value = r.u32();
-    auto n = r.varint();
-    m.ids.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) m.ids.push_back(r.request_id());
+    m.ids = decode_items<RequestId>(r);
     return m;
   }
 };
@@ -180,16 +217,13 @@ struct Propose final : Message {
   void encode_body(ByteWriter& w) const override {
     w.varint(view.value);
     w.varint(sqn.value);
-    w.varint(ids.size());
-    for (auto id : ids) w.request_id(id);
+    encode_items(w, ids);
   }
   static Propose decode_body(ByteReader& r) {
     Propose m;
     m.view.value = r.varint();
     m.sqn.value = r.varint();
-    auto n = r.varint();
-    m.ids.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) m.ids.push_back(r.request_id());
+    m.ids = decode_items<RequestId>(r);
     return m;
   }
 };
@@ -208,17 +242,14 @@ struct Commit final : Message {
     w.u32(from.value);
     w.varint(view.value);
     w.varint(sqn.value);
-    w.varint(ids.size());
-    for (auto id : ids) w.request_id(id);
+    encode_items(w, ids);
   }
   static Commit decode_body(ByteReader& r) {
     Commit m;
     m.from.value = r.u32();
     m.view.value = r.varint();
     m.sqn.value = r.varint();
-    auto n = r.varint();
-    m.ids.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) m.ids.push_back(r.request_id());
+    m.ids = decode_items<RequestId>(r);
     return m;
   }
 };
@@ -232,23 +263,12 @@ struct Forward final : Message {
   std::string kind() const override { return "FORWARD"; }
   void encode_body(ByteWriter& w) const override {
     w.u32(from.value);
-    w.varint(requests.size());
-    for (const auto& req : requests) {
-      w.request_id(req.id);
-      w.bytes(req.command);
-    }
+    encode_items(w, requests);
   }
   static Forward decode_body(ByteReader& r) {
     Forward m;
     m.from.value = r.u32();
-    auto n = r.varint();
-    m.requests.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      Request req;
-      req.id = r.request_id();
-      req.command = r.bytes();
-      m.requests.push_back(std::move(req));
-    }
+    m.requests = decode_items<Request>(r);
     return m;
   }
 };
@@ -272,28 +292,32 @@ struct Fetch final : Message {
   }
 };
 
-/// One slot of a replica's proposal window, shipped in VIEWCHANGE messages.
-struct WindowEntry {
+/// One slot of a replica's proposal window, shipped in view-change
+/// messages: the newest binding the sender has seen for `sqn`, with the
+/// view it was proposed in (merge recency). IDEM windows carry bare ids;
+/// the baselines carry full requests — the codec is the same either way.
+template <typename Item>
+struct BasicWindowEntry {
   SeqNum sqn;
   ViewId view;  ///< view of the newest PROPOSE seen for this slot
-  std::vector<RequestId> ids;
+  std::vector<Item> items;
 
   void encode(ByteWriter& w) const {
     w.varint(sqn.value);
     w.varint(view.value);
-    w.varint(ids.size());
-    for (auto id : ids) w.request_id(id);
+    encode_items(w, items);
   }
-  static WindowEntry decode(ByteReader& r) {
-    WindowEntry e;
+  static BasicWindowEntry decode(ByteReader& r) {
+    BasicWindowEntry e;
     e.sqn.value = r.varint();
     e.view.value = r.varint();
-    auto n = r.varint();
-    e.ids.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) e.ids.push_back(r.request_id());
+    e.items = decode_items<Item>(r);
     return e;
   }
 };
+
+using WindowEntry = BasicWindowEntry<RequestId>;
+using PaxosWindowEntry = BasicWindowEntry<Request>;
 
 /// <VIEWCHANGE, v_t, proposals> (Section 4.5).
 struct ViewChange final : Message {
@@ -392,24 +416,13 @@ struct PaxosPropose final : Message {
   void encode_body(ByteWriter& w) const override {
     w.varint(view.value);
     w.varint(sqn.value);
-    w.varint(requests.size());
-    for (const auto& req : requests) {
-      w.request_id(req.id);
-      w.bytes(req.command);
-    }
+    encode_items(w, requests);
   }
   static PaxosPropose decode_body(ByteReader& r) {
     PaxosPropose m;
     m.view.value = r.varint();
     m.sqn.value = r.varint();
-    auto n = r.varint();
-    m.requests.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      Request req;
-      req.id = r.request_id();
-      req.command = r.bytes();
-      m.requests.push_back(std::move(req));
-    }
+    m.requests = decode_items<Request>(r);
     return m;
   }
 };
@@ -432,38 +445,6 @@ struct PaxosAccept final : Message {
     m.view.value = r.varint();
     m.sqn.value = r.varint();
     return m;
-  }
-};
-
-/// One window slot in a Paxos view change: the newest binding a replica
-/// has seen for `sqn`, with the view it was proposed in (merge recency).
-struct PaxosWindowEntry {
-  SeqNum sqn;
-  ViewId view;
-  std::vector<Request> requests;
-
-  void encode(ByteWriter& w) const {
-    w.varint(sqn.value);
-    w.varint(view.value);
-    w.varint(requests.size());
-    for (const auto& req : requests) {
-      w.request_id(req.id);
-      w.bytes(req.command);
-    }
-  }
-  static PaxosWindowEntry decode(ByteReader& r) {
-    PaxosWindowEntry e;
-    e.sqn.value = r.varint();
-    e.view.value = r.varint();
-    auto k = r.varint();
-    e.requests.reserve(k);
-    for (std::uint64_t j = 0; j < k; ++j) {
-      Request req;
-      req.id = r.request_id();
-      req.command = r.bytes();
-      e.requests.push_back(std::move(req));
-    }
-    return e;
   }
 };
 
@@ -529,24 +510,13 @@ struct SmartPropose final : Message {
   void encode_body(ByteWriter& w) const override {
     w.varint(view.value);
     w.varint(sqn.value);
-    w.varint(requests.size());
-    for (const auto& req : requests) {
-      w.request_id(req.id);
-      w.bytes(req.command);
-    }
+    encode_items(w, requests);
   }
   static SmartPropose decode_body(ByteReader& r) {
     SmartPropose m;
     m.view.value = r.varint();
     m.sqn.value = r.varint();
-    auto n = r.varint();
-    m.requests.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      Request req;
-      req.id = r.request_id();
-      req.command = r.bytes();
-      m.requests.push_back(std::move(req));
-    }
+    m.requests = decode_items<Request>(r);
     return m;
   }
 };

@@ -1,4 +1,4 @@
-#include "idem/acceptance.hpp"
+#include "core/acceptance.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -89,15 +89,15 @@ bool CostAware::accept(RequestId, std::span<const std::byte> command,
   return ctx.active_requests < admission_limit(cost, r);
 }
 
-std::unique_ptr<AcceptanceTest> make_default_acceptance(const IdemConfig& config,
+std::unique_ptr<AcceptanceTest> make_default_acceptance(const AcceptanceOptions& options,
                                                         std::size_t client_count) {
   AqmPrioritized::Params params;
-  params.start_fraction = config.aqm_start_fraction;
-  params.time_slice = config.aqm_time_slice;
-  params.prf_seed = config.acceptance_prf_seed;
-  std::size_t r = config.reject_threshold;
-  if (config.aqm_group_count > 0) {
-    params.group_count = config.aqm_group_count;
+  params.start_fraction = options.aqm_start_fraction;
+  params.time_slice = options.aqm_time_slice;
+  params.prf_seed = options.prf_seed;
+  std::size_t r = options.reject_threshold;
+  if (options.aqm_group_count > 0) {
+    params.group_count = options.aqm_group_count;
   } else if (r > 0 && client_count > 0) {
     params.group_count = (client_count + r - 1) / r;
   } else {

@@ -1,0 +1,87 @@
+// Request-lifecycle trace points, hoisted out of the protocol replicas.
+//
+// Every protocol emits the same span skeleton — accept verdict, proposal,
+// decision quorum, execution, reply — so the exporters and the fig6/fig10
+// plots work on any protocol's trace unchanged. Keeping the emission
+// helpers here (instead of four copies of the IDEM_TRACE incantations)
+// makes that invariant structural: a new protocol gets identical lifecycle
+// spans by calling these.
+//
+// All helpers are passive pass-throughs to IDEM_TRACE: they must never
+// change the simulation trajectory.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "obs/trace.hpp"
+
+namespace idem::core::lifecycle {
+
+inline void accept_verdict([[maybe_unused]] obs::TraceRecorder* trace,
+                           [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                           [[maybe_unused]] RequestId id, [[maybe_unused]] bool accepted) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::AcceptVerdict, me, id, accepted ? 1 : 0);
+}
+
+inline void forward_accepted([[maybe_unused]] obs::TraceRecorder* trace,
+                             [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                             [[maybe_unused]] RequestId id) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::ForwardAccepted, me, id);
+}
+
+inline void require_noted([[maybe_unused]] obs::TraceRecorder* trace,
+                          [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                          [[maybe_unused]] RequestId id, [[maybe_unused]] std::uint32_t voter) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::RequireNoted, me, id, voter);
+}
+
+inline void proposed([[maybe_unused]] obs::TraceRecorder* trace, [[maybe_unused]] Time now,
+                     [[maybe_unused]] std::uint32_t me, [[maybe_unused]] RequestId id,
+                     [[maybe_unused]] std::uint64_t sqn) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::Proposed, me, id, sqn);
+}
+
+inline void propose_received([[maybe_unused]] obs::TraceRecorder* trace,
+                             [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                             [[maybe_unused]] std::uint64_t sqn) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::ProposeReceived, me, sqn);
+}
+
+/// Emits the decision-quorum event once per slot (any protocol: commit
+/// votes, accept votes, ...). `votes` is the current vote count.
+template <typename Slot>
+inline void decision_quorum([[maybe_unused]] obs::TraceRecorder* trace,
+                            [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                            [[maybe_unused]] std::uint64_t sqn, Slot& slot, std::size_t votes,
+                            std::size_t quorum) {
+  if (slot.quorum_traced || votes < quorum) return;
+  slot.quorum_traced = true;
+  IDEM_TRACE(trace, now, obs::TraceEventKind::CommitQuorum, me, sqn);
+}
+
+inline void executed([[maybe_unused]] obs::TraceRecorder* trace, [[maybe_unused]] Time now,
+                     [[maybe_unused]] std::uint32_t me, [[maybe_unused]] RequestId id,
+                     [[maybe_unused]] std::uint64_t sqn) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::Executed, me, id, sqn);
+}
+
+inline void reply_sent([[maybe_unused]] obs::TraceRecorder* trace, [[maybe_unused]] Time now,
+                       [[maybe_unused]] std::uint32_t me, [[maybe_unused]] RequestId id) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::ReplySent, me, id);
+}
+
+inline void viewchange_start([[maybe_unused]] obs::TraceRecorder* trace,
+                             [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                             [[maybe_unused]] std::uint64_t target) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::ViewChangeStart, me, target);
+}
+
+inline void viewchange_done([[maybe_unused]] obs::TraceRecorder* trace,
+                            [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
+                            [[maybe_unused]] std::uint64_t view) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::ViewChangeDone, me, view);
+}
+
+}  // namespace idem::core::lifecycle

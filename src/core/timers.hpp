@@ -1,0 +1,61 @@
+// Timeout bookkeeping shared by the protocol replicas.
+//
+// Every replica used to hand-roll the same three patterns: the
+// view-change escalation target, the "head of the log has not moved for a
+// full timer interval" stall check behind retransmission, and the
+// once-per-interval rate limit on retried actions (FETCH, state
+// transfer). One implementation each, unit-tested in tests/core_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace idem::core {
+
+/// The escalation rule of Section 4.5: a progress timeout amid a view
+/// change targets the view after the one already being established, so
+/// stragglers escalate monotonically instead of re-demanding view_ + 1.
+inline ViewId next_view_target(bool in_viewchange, ViewId view, ViewId vc_target) {
+  return ViewId{(in_viewchange ? vc_target.value : view.value) + 1};
+}
+
+/// Stall detector for the leader's retransmission tick: the head of the
+/// log is considered stalled when two consecutive observations (one timer
+/// interval apart) see the same unexecuted sequence number.
+class StallWatermark {
+ public:
+  /// No head to watch (not leader, head executed, ...).
+  void reset() { mark_ = kIdle; }
+
+  /// Observes the current head; true when it has not moved since the
+  /// previous observation.
+  bool stalled_at(std::uint64_t head) {
+    bool stalled = mark_ == head;
+    mark_ = head;
+    return stalled;
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = UINT64_MAX;
+  std::uint64_t mark_ = kIdle;
+};
+
+/// Rate limit for retried actions on fair-loss links: the first allow()
+/// passes, further ones only after `interval` has elapsed.
+class RetryGate {
+ public:
+  bool allow(Time now, Duration interval) {
+    if (last_ >= 0 && now - last_ < interval) return false;
+    last_ = now;
+    return true;
+  }
+
+  void reset() { last_ = -1; }
+
+ private:
+  Time last_ = -1;
+};
+
+}  // namespace idem::core

@@ -1,0 +1,114 @@
+// View tracking and VIEWCHANGE collection (paper Section 4.5), shared by
+// every protocol with leader fail-over.
+//
+// The engine owns the pure state machine: current view, in-progress
+// target, and the per-sender store of the newest VIEWCHANGE message. The
+// protocol keeps the policy around it — when to start a view change, what
+// the messages carry, and the new leader's log merge (driven through
+// for_each_matching). Template parameter: the protocol's VIEWCHANGE
+// message type (it must expose `.target`, a ViewId).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "core/timers.hpp"
+
+namespace idem::core {
+
+template <typename VCMessage>
+class ViewEngine {
+ public:
+  ViewId view() const { return view_; }
+  bool in_viewchange() const { return in_viewchange_; }
+  ViewId target() const { return vc_target_; }
+
+  /// The view whose leader new intake traffic should be routed to: the
+  /// target amid a view change (the old leader is presumed dead).
+  ViewId leader_view() const { return in_viewchange_ ? vc_target_ : view_; }
+
+  /// Escalation target for a fresh progress timeout.
+  ViewId next_target() const { return next_view_target(in_viewchange_, view_, vc_target_); }
+
+  enum class Observe {
+    Ignore,   ///< stale view, or current view while a view change is pending
+    Process,  ///< current view, business as usual
+    Enter,    ///< newer view: the caller must enter it, then process
+  };
+
+  /// Classifies a view stamped on an incoming protocol message.
+  Observe observe(ViewId view) const {
+    if (view < view_) return Observe::Ignore;
+    if (view == view_) return in_viewchange_ ? Observe::Ignore : Observe::Process;
+    return Observe::Enter;
+  }
+
+  /// Starts (or escalates to) a view change toward `target`. False when
+  /// the target is stale or already being established.
+  bool begin(ViewId target) {
+    if (target <= view_) return false;
+    if (in_viewchange_ && vc_target_ >= target) return false;
+    in_viewchange_ = true;
+    vc_target_ = target;
+    return true;
+  }
+
+  /// Keeps the newest VIEWCHANGE per sender (by target view).
+  void store(const VCMessage& viewchange) {
+    auto it = store_.find(viewchange.from.value);
+    if (it == store_.end() || it->second.target <= viewchange.target) {
+      store_[viewchange.from.value] = viewchange;
+    }
+  }
+
+  /// Unconditionally records our own VIEWCHANGE.
+  void store_own(std::uint32_t me, const VCMessage& viewchange) { store_[me] = viewchange; }
+
+  /// Replicas currently demanding exactly `target`.
+  std::size_t matching(ViewId target) const {
+    std::size_t count = 0;
+    for (const auto& [from, stored] : store_) {
+      if (stored.target == target) ++count;
+    }
+    return count;
+  }
+
+  /// Invokes `f` on every stored VIEWCHANGE demanding exactly `target` —
+  /// the new leader's window merge.
+  template <typename F>
+  void for_each_matching(ViewId target, F&& f) const {
+    for (const auto& [from, stored] : store_) {
+      if (stored.target == target) f(stored);
+    }
+  }
+
+  /// A peer demands a higher target than the one we are establishing:
+  /// adopt it, or independent timeout escalation chases forever.
+  bool should_escalate(ViewId target) const { return in_viewchange_ && target > vc_target_; }
+
+  /// Already part of the view change toward (at least) `target`.
+  bool joined(ViewId target) const { return in_viewchange_ && vc_target_ >= target; }
+
+  /// Completes the view change: adopts `view` and prunes obsolete
+  /// VIEWCHANGE messages.
+  void enter(ViewId view) {
+    view_ = view;
+    in_viewchange_ = false;
+    for (auto it = store_.begin(); it != store_.end();) {
+      if (it->second.target <= view_) {
+        it = store_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  ViewId view_;
+  bool in_viewchange_ = false;
+  ViewId vc_target_;
+  std::unordered_map<std::uint32_t, VCMessage> store_;  ///< newest per sender
+};
+
+}  // namespace idem::core

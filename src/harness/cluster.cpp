@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "idem/acceptance.hpp"
+
 namespace idem::harness {
 
 const char* protocol_name(Protocol protocol) {
@@ -37,11 +39,18 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   }
 
   const std::size_t n = config_.n;
+  // Cluster-level batching overrides (zero keeps the protocol default).
+  auto apply_batching = [this](auto& rc) {
+    if (config_.batch_max > 0) rc.batch_max = config_.batch_max;
+    if (config_.batch_min > 0) rc.batch_min = config_.batch_min;
+    if (config_.batch_flush_delay > 0) rc.batch_flush_delay = config_.batch_flush_delay;
+  };
   switch (config_.protocol) {
     case Protocol::Idem:
     case Protocol::IdemNoPR:
     case Protocol::IdemNoAQM: {
       core::IdemConfig rc = config_.idem;
+      apply_batching(rc);
       rc.n = n;
       rc.f = config_.f;
       rc.reject_threshold = config_.reject_threshold;
@@ -81,6 +90,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     case Protocol::Paxos:
     case Protocol::PaxosLBR: {
       paxos::PaxosConfig rc = config_.paxos;
+      apply_batching(rc);
       rc.n = n;
       rc.f = config_.f;
       rc.reject_threshold =
@@ -102,6 +112,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     }
     case Protocol::SmartPR: {
       smart::SmartPrConfig rc = config_.smart_pr;
+      apply_batching(rc);
       rc.n = n;
       rc.f = config_.f;
       rc.reject_threshold = config_.reject_threshold;
@@ -133,6 +144,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     }
     case Protocol::Smart: {
       smart::SmartConfig rc = config_.smart;
+      apply_batching(rc);
       rc.n = n;
       rc.f = config_.f;
       rc.trace = trace_.get();

@@ -1,159 +1,25 @@
-// Acceptance tests (paper Section 5.1).
-//
-// Whenever a replica receives a new client request it consults its
-// acceptance test. The test is local, pluggable, and explicitly allowed to
-// be non-deterministic. Implementations provided:
-//   - NeverReject:      disables proactive rejection (the IDEM_noPR baseline)
-//   - TailDrop:         reject iff the active-request count reached r
-//   - AqmPrioritized:   the paper's default — active queue management with
-//                       rotating prioritized client groups and a shared PRF
-//   - PriorityClasses:  Section 5.1 "further options": per-client priority
-//                       categories with per-class admission levels
-//   - CostAware:        Section 5.1 "further options": admission based on
-//                       the estimated resource cost of the request
+// IDEM's binding of the shared acceptance tests (src/core/acceptance.hpp):
+// maps IdemConfig onto the protocol-independent AcceptanceOptions. The
+// tests themselves live in the replication core so other protocols (e.g.
+// SMaRt+PR) can reuse them without depending on IDEM.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <memory>
-#include <span>
-#include <vector>
 
-#include "common/ids.hpp"
-#include "common/rng.hpp"
-#include "common/time.hpp"
+#include "core/acceptance.hpp"
 #include "idem/config.hpp"
 
 namespace idem::core {
 
-/// Everything a test may consult about the replica's current load.
-struct AcceptanceContext {
-  /// Requests this replica has accepted and not yet seen executed (r_now).
-  std::size_t active_requests = 0;
-  /// The configured reject threshold r.
-  std::size_t reject_threshold = 0;
-  /// Current (simulated) time — drives AQM time slices.
-  Time now = 0;
-};
-
-class AcceptanceTest {
- public:
-  virtual ~AcceptanceTest() = default;
-
-  /// True = accept the request, false = send a REJECT. `command` is the
-  /// request payload, available for cost- or content-sensitive policies.
-  virtual bool accept(RequestId id, std::span<const std::byte> command,
-                      const AcceptanceContext& ctx) = 0;
-
-  /// Display name for experiment output.
-  virtual const char* name() const = 0;
-};
-
-/// Accepts everything: IDEM with the rejection mechanism disabled.
-class NeverReject final : public AcceptanceTest {
- public:
-  bool accept(RequestId, std::span<const std::byte>, const AcceptanceContext&) override {
-    return true;
-  }
-  const char* name() const override { return "never-reject"; }
-};
-
-/// Classic tail drop: accept while r_now < r.
-class TailDrop final : public AcceptanceTest {
- public:
-  bool accept(RequestId, std::span<const std::byte>,
-              const AcceptanceContext& ctx) override {
-    return ctx.active_requests < ctx.reject_threshold;
-  }
-  const char* name() const override { return "tail-drop"; }
-};
-
-/// The paper's acceptance test: below 60% of r everything is accepted;
-/// above it, clients of the currently prioritized group are tail-dropped
-/// at r while all other clients are rejected with probability
-/// p = r_now / r, decided by a PRF keyed on (seed, request id) so that all
-/// replicas tend toward the same verdict.
-class AqmPrioritized final : public AcceptanceTest {
- public:
-  struct Params {
-    double start_fraction = 0.6;
-    Duration time_slice = 2 * kSecond;
-    std::size_t group_count = 1;
-    std::uint64_t prf_seed = 0;
-  };
-
-  explicit AqmPrioritized(Params params);
-
-  bool accept(RequestId id, std::span<const std::byte> command,
-              const AcceptanceContext& ctx) override;
-  const char* name() const override { return "aqm-prioritized"; }
-
-  /// Group of a client: at most r clients per group, assigned statically
-  /// by client id. Exposed for tests.
-  std::size_t group_of(ClientId cid, std::size_t r) const;
-
-  /// Group prioritized at time `now`.
-  std::size_t prioritized_group(Time now) const;
-
-  /// The shared PRF: uniform in [0,1), identical across replicas.
-  double prf(RequestId id) const;
-
- private:
-  Params params_;
-};
-
-/// Priority categories (Section 5.1, "further options"): a classifier maps
-/// each client to a priority class; class k is admitted while
-/// r_now < admission_fraction[k] * r. The highest class is always
-/// tail-dropped at r, so critical clients are the last to be rejected.
-class PriorityClasses final : public AcceptanceTest {
- public:
-  using Classifier = std::function<std::size_t(ClientId)>;
-
-  /// `admission_fractions[k]` is the fill level (relative to r) at which
-  /// class k stops being admitted; must be ascending. Classes beyond the
-  /// vector use 1.0 (tail drop at r).
-  PriorityClasses(Classifier classifier, std::vector<double> admission_fractions);
-
-  bool accept(RequestId id, std::span<const std::byte> command,
-              const AcceptanceContext& ctx) override;
-  const char* name() const override { return "priority-classes"; }
-
- private:
-  Classifier classifier_;
-  std::vector<double> admission_fractions_;
-};
-
-/// Cost-aware admission (Section 5.1, "further options"): an estimator
-/// prices each request; expensive requests are rejected earlier than
-/// cheap ones, keeping capacity for lightweight traffic under pressure.
-class CostAware final : public AcceptanceTest {
- public:
-  using CostEstimator = std::function<Duration(std::span<const std::byte>)>;
-
-  /// Requests at or below `cheap_cost` are admitted until r; the admission
-  /// level decreases linearly to `min_fraction * r` for requests at
-  /// `expensive_cost` and beyond.
-  CostAware(CostEstimator estimator, Duration cheap_cost, Duration expensive_cost,
-            double min_fraction = 0.25);
-
-  bool accept(RequestId id, std::span<const std::byte> command,
-              const AcceptanceContext& ctx) override;
-  const char* name() const override { return "cost-aware"; }
-
-  /// Admission threshold (in request slots) for a given estimated cost.
-  std::size_t admission_limit(Duration cost, std::size_t r) const;
-
- private:
-  CostEstimator estimator_;
-  Duration cheap_cost_;
-  Duration expensive_cost_;
-  double min_fraction_;
-};
-
-/// Builds the acceptance test selected by `config` (AqmPrioritized unless
-/// group_count resolution or variants dictate otherwise).
-std::unique_ptr<AcceptanceTest> make_default_acceptance(const IdemConfig& config,
-                                                        std::size_t client_count);
+inline std::unique_ptr<AcceptanceTest> make_default_acceptance(const IdemConfig& config,
+                                                               std::size_t client_count) {
+  AcceptanceOptions options;
+  options.aqm_start_fraction = config.aqm_start_fraction;
+  options.aqm_time_slice = config.aqm_time_slice;
+  options.aqm_group_count = config.aqm_group_count;
+  options.prf_seed = config.acceptance_prf_seed;
+  options.reject_threshold = config.reject_threshold;
+  return make_default_acceptance(options, client_count);
+}
 
 }  // namespace idem::core

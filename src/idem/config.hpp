@@ -46,6 +46,12 @@ struct IdemConfig {
   /// Maximum request ids per PROPOSE batch.
   std::size_t batch_max = 32;
 
+  /// Ordered-log batching: a batch is cut as soon as batch_min eligible ids
+  /// are queued, or once the oldest queued id has waited batch_flush_delay.
+  /// The defaults (1, 0) cut immediately, i.e. legacy behavior.
+  std::size_t batch_min = 1;
+  Duration batch_flush_delay = 0;
+
   /// REQUIRE aggregation: accepted ids are flushed to the leader when this
   /// many are pending or the flush interval elapses, whichever is first.
   std::size_t require_batch_max = 32;

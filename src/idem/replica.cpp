@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "core/lifecycle.hpp"
 
 namespace idem::core {
 
@@ -22,17 +23,13 @@ IdemReplica::IdemReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
       me_(id),
       sm_(std::move(state_machine)),
       acceptance_(std::move(acceptance)),
+      rejected_(config.rejected_cache_size),
       checkpoints_(config.checkpoint_interval),
       cost_rng_(sim.seed(), 0xC057'0000ull + id.value) {
   assert(config_.n == 2 * config_.f + 1);
   assert(sm_ != nullptr);
   assert(acceptance_ != nullptr);
-}
-
-std::optional<OpNum> IdemReplica::last_executed(ClientId cid) const {
-  auto it = last_exec_.find(cid.value);
-  if (it == last_exec_.end()) return std::nullopt;
-  return OpNum{it->second};
+  batch_.configure({config_.batch_max, config_.batch_min, config_.batch_flush_delay});
 }
 
 void IdemReplica::on_restart() {
@@ -42,6 +39,7 @@ void IdemReplica::on_restart() {
   for (auto& [id, timer] : forward_timers_) cancel_timer(timer);
   forward_timers_.clear();
   cancel_timer(require_flush_timer_);
+  cancel_timer(batch_timer_);
   cancel_timer(state_retry_timer_);
   cancel_timer(progress_timer_);
   arm_progress_timer();
@@ -63,8 +61,7 @@ void IdemReplica::multicast(sim::PayloadPtr message) {
 }
 
 void IdemReplica::send_to_leader(sim::PayloadPtr message) {
-  ViewId v = in_viewchange_ ? vc_target_ : view_;
-  ReplicaId leader = consensus::leader_of(v, config_.n);
+  ReplicaId leader = consensus::leader_of(views_.leader_view(), config_.n);
   if (leader == me_) return;  // callers short-circuit local handling
   send(consensus::replica_address(leader), std::move(message));
 }
@@ -120,14 +117,10 @@ void IdemReplica::handle_request(const msg::Request& request) {
   ++stats_.requests_received;
   const RequestId id = request.id;
 
-  auto last_it = last_exec_.find(id.cid.value);
-  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+  if (clients_.executed(id)) {
     // Already executed (client retransmission): re-send the cached reply if
     // it is for exactly this operation.
-    auto reply_it = last_reply_.find(id.cid.value);
-    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
-      reply_to_client(id.cid, reply_it->second);
-    }
+    if (auto reply = clients_.cached_reply(id)) reply_to_client(id.cid, std::move(reply));
     return;
   }
 
@@ -143,10 +136,10 @@ void IdemReplica::handle_request(const msg::Request& request) {
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
   if (acceptance_->accept(id, request.command, ctx)) {
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
+    lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
     accept_request(id, request.command, /*client_issued=*/true);
   } else {
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 0);
+    lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
     reject_request(request);
   }
 }
@@ -154,16 +147,13 @@ void IdemReplica::handle_request(const msg::Request& request) {
 void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
                                  bool client_issued) {
   requests_[id] = std::move(command);
-  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
-    rejected_lru_.erase(it->second);
-    rejected_index_.erase(it);
-  }
+  rejected_.erase(id);
   if (client_issued) {
     active_.insert(id);
     ++stats_.accepted;
   } else {
     ++stats_.forward_accepted;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ForwardAccepted, me_.value, id);
+    lifecycle::forward_accepted(config_.trace, now(), me_.value, id);
   }
   arm_forward_timer(id);
   queue_require(id);
@@ -172,7 +162,7 @@ void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
 
 void IdemReplica::reject_request(const msg::Request& request) {
   ++stats_.rejected;
-  cache_rejected(request.id, request.command);
+  rejected_.insert(request.id, request.command);
   reply_to_client(request.id.cid, std::make_shared<const msg::Reject>(request.id));
 }
 
@@ -211,15 +201,13 @@ void IdemReplica::flush_requires() {
 // ---------------------------------------------------------------------------
 
 void IdemReplica::note_require(ReplicaId voter, RequestId id) {
-  auto last_it = last_exec_.find(id.cid.value);
-  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) return;
+  if (clients_.executed(id)) return;
   if (proposed_.contains(id)) return;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequireNoted, me_.value, id,
-             voter.value);
+  lifecycle::require_noted(config_.trace, now(), me_.value, id, voter.value);
   std::size_t votes = requires_.vote(id, voter);
   if (votes >= config_.quorum() && !in_eligible_.contains(id)) {
     in_eligible_.insert(id);
-    eligible_.push_back(id);
+    batch_.push(id, now());
     arm_progress_timer();
   }
   try_propose();
@@ -227,28 +215,31 @@ void IdemReplica::note_require(ReplicaId voter, RequestId id) {
 
 void IdemReplica::try_propose() {
   if (!is_leader()) return;
-  if (next_sqn_ < sqn_low_) next_sqn_ = sqn_low_;
-  const std::uint64_t window_end = sqn_low_ + config_.effective_window();
-  while (!eligible_.empty() && next_sqn_ < window_end) {
+  if (next_sqn_ < log_.low()) next_sqn_ = log_.low();
+  const std::uint64_t window_end = log_.low() + config_.effective_window();
+  while (!batch_.empty() && next_sqn_ < window_end) {
+    if (!batch_.ready(now())) {
+      arm_batch_timer();
+      break;
+    }
     // Skip sequence numbers that already carry a binding (re-proposed slots
     // taken over from an earlier view).
-    while (instances_.contains(next_sqn_) && instances_[next_sqn_].has_binding) ++next_sqn_;
+    next_sqn_ = log_.skip_bound(next_sqn_);
     if (next_sqn_ >= window_end) break;
 
     std::vector<RequestId> batch;
-    while (!eligible_.empty() && batch.size() < config_.batch_max) {
-      RequestId id = eligible_.front();
-      eligible_.pop_front();
+    batch_.cut([&](RequestId id) {
       in_eligible_.erase(id);
-      auto last_it = last_exec_.find(id.cid.value);
-      if (last_it != last_exec_.end() && id.onr.value <= last_it->second) continue;
-      if (proposed_.contains(id)) continue;
+      if (clients_.executed(id) || proposed_.contains(id)) {
+        return BatchPipeline<RequestId>::Verdict::Drop;
+      }
       batch.push_back(id);
-    }
+      return BatchPipeline<RequestId>::Verdict::Take;
+    });
     if (batch.empty()) break;
 
-    Instance& inst = instances_[next_sqn_];
-    inst.view = view_;
+    Instance& inst = log_.at(next_sqn_);
+    inst.view = views_.view();
     inst.ids = batch;
     inst.has_binding = true;
     inst.own_commit_sent = true;  // the leader's proposal counts as a commit
@@ -256,13 +247,13 @@ void IdemReplica::try_propose() {
     for (RequestId id : batch) {
       proposed_.insert(id);
       requires_.erase(id);
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, id, next_sqn_);
+      lifecycle::proposed(config_.trace, now(), me_.value, id, next_sqn_);
     }
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
+    lifecycle::propose_received(config_.trace, now(), me_.value, next_sqn_);
     note_commit_quorum(next_sqn_, inst);
 
     auto propose = std::make_shared<msg::Propose>();
-    propose->view = view_;
+    propose->view = views_.view();
     propose->sqn = SeqNum{next_sqn_};
     propose->ids = std::move(batch);
     multicast(std::move(propose));
@@ -272,20 +263,36 @@ void IdemReplica::try_propose() {
   try_execute();
 }
 
+void IdemReplica::arm_batch_timer() {
+  // Only reachable with batch_min > 1 and a nonzero flush delay (the
+  // defaults cut every nonempty queue immediately).
+  if (batch_timer_.valid()) return;
+  batch_timer_ = set_timer(batch_.delay_until_ready(now()), [this] {
+    batch_timer_ = sim::TimerId{};
+    try_propose();
+  });
+}
+
 bool IdemReplica::observe_view(ViewId view) {
-  if (view < view_) return false;
-  if (view == view_) return !in_viewchange_;
-  enter_view(view);
-  return true;
+  switch (views_.observe(view)) {
+    case ViewEngine<msg::ViewChange>::Observe::Ignore:
+      return false;
+    case ViewEngine<msg::ViewChange>::Observe::Process:
+      return true;
+    case ViewEngine<msg::ViewChange>::Observe::Enter:
+      enter_view(view);
+      return true;
+  }
+  return false;
 }
 
 void IdemReplica::adopt_binding(std::uint64_t sqn, ViewId view, const std::vector<RequestId>& ids) {
-  if (sqn < sqn_low_) return;
-  Instance& inst = instances_[sqn];
+  if (sqn < log_.low()) return;
+  Instance& inst = log_.at(sqn);
   if (inst.executed) return;  // applied state is immutable
   if (inst.has_binding && inst.view >= view) return;
   if (!inst.has_binding) {
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
+    lifecycle::propose_received(config_.trace, now(), me_.value, sqn);
   }
   inst.view = view;
   inst.ids = ids;
@@ -295,25 +302,24 @@ void IdemReplica::adopt_binding(std::uint64_t sqn, ViewId view, const std::vecto
 }
 
 void IdemReplica::note_commit_quorum(std::uint64_t sqn, Instance& inst) {
-  if (inst.quorum_traced || inst.commit_votes.size() < config_.quorum()) return;
-  inst.quorum_traced = true;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
+  lifecycle::decision_quorum(config_.trace, now(), me_.value, sqn, inst,
+                             inst.commit_votes.size(), config_.quorum());
 }
 
 void IdemReplica::add_commit_vote(std::uint64_t sqn, ReplicaId voter) {
-  if (sqn < sqn_low_) return;
-  auto it = instances_.find(sqn);
-  if (it == instances_.end()) return;
-  it->second.commit_votes.insert(voter.value);
+  if (sqn < log_.low()) return;
+  Instance* inst = log_.find(sqn);
+  if (inst == nullptr) return;
+  inst->commit_votes.insert(voter.value);
 }
 
 void IdemReplica::handle_propose(const msg::Propose& propose) {
   if (!observe_view(propose.view)) return;
   const std::uint64_t sqn = propose.sqn.value;
-  if (sqn < sqn_low_) return;
+  if (sqn < log_.low()) return;
 
   adopt_binding(sqn, propose.view, propose.ids);
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (inst.view != propose.view) return;  // a newer binding superseded this
 
   // The leader's proposal counts as its commit.
@@ -336,12 +342,12 @@ void IdemReplica::handle_propose(const msg::Propose& propose) {
 void IdemReplica::handle_commit(const msg::Commit& commit) {
   if (!observe_view(commit.view)) return;
   const std::uint64_t sqn = commit.sqn.value;
-  if (sqn < sqn_low_) return;
+  if (sqn < log_.low()) return;
 
   // Commits echo the proposal, so a replica that missed the PROPOSE still
   // learns the binding here.
   adopt_binding(sqn, commit.view, commit.ids);
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (inst.view != commit.view) return;
 
   inst.commit_votes.insert(commit.from.value);
@@ -364,13 +370,11 @@ void IdemReplica::handle_commit(const msg::Commit& commit) {
 bool IdemReplica::fetch_missing(std::uint64_t sqn, Instance& inst) {
   std::vector<RequestId> missing;
   for (RequestId id : inst.ids) {
-    auto last_it = last_exec_.find(id.cid.value);
-    if (last_it != last_exec_.end() && id.onr.value <= last_it->second) continue;
+    if (clients_.executed(id)) continue;
     if (find_command(id) == nullptr) missing.push_back(id);
   }
   if (missing.empty()) return false;
-  if (inst.fetch_sent_at >= 0 && now() - inst.fetch_sent_at < kFetchRetry) return true;
-  inst.fetch_sent_at = now();
+  if (!inst.fetch_gate.allow(now(), kFetchRetry)) return true;
   // Ask a replica that committed this instance (it executed or will
   // execute it, so it owns the bodies or can get them).
   ReplicaId target = consensus::leader_of(inst.view, config_.n);
@@ -393,19 +397,19 @@ bool IdemReplica::fetch_missing(std::uint64_t sqn, Instance& inst) {
 
 void IdemReplica::try_execute() {
   for (;;) {
-    auto it = instances_.find(next_exec_);
-    if (it == instances_.end()) return;
+    auto it = log_.slots().find(log_.next_exec());
+    if (it == log_.slots().end()) return;
     Instance& inst = it->second;
     if (!inst.has_binding || inst.executed) return;
     if (inst.commit_votes.size() < config_.quorum()) return;
 
-    if (fetch_missing(next_exec_, inst)) {
+    if (fetch_missing(log_.next_exec(), inst)) {
       // The head is blocked on missing bodies. Prefetch for the committed
       // instances behind it too: fetching one instance per round trip
       // would otherwise serialize catch-up at network latency.
       std::size_t prefetched = 0;
       for (auto ahead = std::next(it);
-           ahead != instances_.end() && prefetched < kFetchPrefetch; ++ahead, ++prefetched) {
+           ahead != log_.slots().end() && prefetched < kFetchPrefetch; ++ahead, ++prefetched) {
         Instance& future = ahead->second;
         if (!future.has_binding || future.executed) continue;
         if (future.commit_votes.size() < config_.quorum()) continue;
@@ -416,17 +420,16 @@ void IdemReplica::try_execute() {
       return;
     }
 
-    execute_instance(next_exec_, inst);
-    maybe_checkpoint(next_exec_);
-    ++next_exec_;
+    execute_instance(log_.next_exec(), inst);
+    maybe_checkpoint(log_.next_exec());
+    log_.advance_head();
     note_progress();
   }
 }
 
 void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
   for (RequestId id : inst.ids) {
-    auto last_it = last_exec_.find(id.cid.value);
-    if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+    if (clients_.executed(id)) {
       ++stats_.duplicates_skipped;
       continue;
     }
@@ -435,10 +438,9 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
     charge(config_.costs.apply_jitter(sm_->execution_cost(*command), cost_rng_));
     std::vector<std::byte> result = sm_->execute(*command);
     ++stats_.executed;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, sqn);
-    last_exec_[id.cid.value] = id.onr.value;
+    lifecycle::executed(config_.trace, now(), me_.value, id, sqn);
     auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
-    last_reply_[id.cid.value] = reply;
+    clients_.record(id, reply);
     active_.erase(id);
     if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
       cancel_timer(timer_it->second);
@@ -446,7 +448,7 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
     }
     if (is_leader()) {
       reply_to_client(id.cid, reply);
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
+      lifecycle::reply_sent(config_.trace, now(), me_.value, id);
     }
     if (on_execute) on_execute(SeqNum{sqn}, id);
   }
@@ -466,8 +468,7 @@ void IdemReplica::arm_forward_timer(RequestId id) {
 }
 
 void IdemReplica::forward_request(RequestId id) {
-  auto last_it = last_exec_.find(id.cid.value);
-  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) return;
+  if (clients_.executed(id)) return;
   auto body_it = requests_.find(id);
   if (body_it == requests_.end()) return;
 
@@ -483,8 +484,7 @@ void IdemReplica::forward_request(RequestId id) {
 
 void IdemReplica::handle_forward(const msg::Forward& forward) {
   for (const msg::Request& request : forward.requests) {
-    auto last_it = last_exec_.find(request.id.cid.value);
-    if (last_it != last_exec_.end() && request.id.onr.value <= last_it->second) continue;
+    if (clients_.executed(request.id)) continue;
     if (requests_.contains(request.id)) continue;
     // Forwarded requests are accepted regardless of the current load
     // (Section 4.3): some replica accepted them, so they must be ordered.
@@ -501,26 +501,9 @@ void IdemReplica::handle_fetch(ReplicaId from, const msg::Fetch& fetch) {
   send(consensus::replica_address(from), std::move(forward));
 }
 
-void IdemReplica::cache_rejected(RequestId id, std::vector<std::byte> command) {
-  if (config_.rejected_cache_size == 0) return;
-  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
-    rejected_lru_.splice(rejected_lru_.begin(), rejected_lru_, it->second);
-    return;
-  }
-  rejected_lru_.emplace_front(id, std::move(command));
-  rejected_index_[id] = rejected_lru_.begin();
-  while (rejected_lru_.size() > config_.rejected_cache_size) {
-    rejected_index_.erase(rejected_lru_.back().first);
-    rejected_lru_.pop_back();
-  }
-}
-
 const std::vector<std::byte>* IdemReplica::find_command(RequestId id) const {
   if (auto it = requests_.find(id); it != requests_.end()) return &it->second;
-  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
-    return &it->second->second;
-  }
-  return nullptr;
+  return rejected_.find(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -533,7 +516,7 @@ void IdemReplica::request_state_transfer(ReplicaId source) {
   state_transfer_source_ = source;
   auto request = std::make_shared<msg::StateRequest>();
   request->from = me_;
-  request->have = SeqNum{next_exec_ == 0 ? 0 : next_exec_ - 1};
+  request->have = SeqNum{log_.next_exec() == 0 ? 0 : log_.next_exec() - 1};
   send(consensus::replica_address(source), std::move(request));
   // The peer stays silent when it has no newer checkpoint (or the
   // response is lost): release the latch after a while and re-evaluate,
@@ -550,11 +533,11 @@ void IdemReplica::maybe_request_state() {
   // A bound instance ahead of an unbound execution head means the missing
   // slots may have been garbage-collected cluster-wide: only a checkpoint
   // can bridge the gap.
-  auto head = instances_.find(next_exec_);
-  if (head != instances_.end() && head->second.has_binding) return;
-  auto ahead = instances_.upper_bound(next_exec_);
-  while (ahead != instances_.end() && !ahead->second.has_binding) ++ahead;
-  if (ahead == instances_.end()) return;
+  const Instance* head = log_.find(log_.next_exec());
+  if (head != nullptr && head->has_binding) return;
+  auto ahead = log_.slots().upper_bound(log_.next_exec());
+  while (ahead != log_.slots().end() && !ahead->second.has_binding) ++ahead;
+  if (ahead == log_.slots().end()) return;
 
   ReplicaId target = consensus::leader_of(ahead->second.view, config_.n);
   for (std::uint32_t voter : ahead->second.commit_votes) {
@@ -571,29 +554,25 @@ void IdemReplica::maybe_request_state() {
 
 void IdemReplica::observe_sequence(std::uint64_t sqn, ReplicaId source) {
   const std::uint64_t r_max = config_.r_max();
-  if (sqn < sqn_low_ + r_max) return;
+  if (sqn < log_.low() + r_max) return;
   std::uint64_t new_low = sqn - r_max + 1;
 
-  if (new_low > next_exec_) {
+  if (new_low > log_.next_exec()) {
     // We are lagging: f+1 replicas have executed past our window, so the
     // old instances may be gone system-wide. Catch up via checkpoint.
     request_state_transfer(source);
-    new_low = next_exec_;
+    new_low = log_.next_exec();
   }
-  if (new_low > sqn_low_) advance_window(new_low);
+  if (new_low > log_.low()) advance_window(new_low);
 }
 
 void IdemReplica::advance_window(std::uint64_t new_low) {
-  for (auto it = instances_.begin(); it != instances_.end() && it->first < new_low;) {
-    if (it->second.executed) {
-      for (RequestId id : it->second.ids) {
-        requests_.erase(id);
-        proposed_.erase(id);
-      }
+  log_.advance_low(new_low, [this](Instance& inst) {
+    for (RequestId id : inst.ids) {
+      requests_.erase(id);
+      proposed_.erase(id);
     }
-    it = instances_.erase(it);
-  }
-  sqn_low_ = new_low;
+  });
 }
 
 void IdemReplica::maybe_checkpoint(std::uint64_t executed_sqn) {
@@ -604,7 +583,7 @@ void IdemReplica::maybe_checkpoint(std::uint64_t executed_sqn) {
   consensus::Checkpoint checkpoint;
   checkpoint.upto = SeqNum{executed_sqn};
   checkpoint.snapshot = std::move(snapshot);
-  checkpoint.last_executed = {last_exec_.begin(), last_exec_.end()};
+  checkpoint.last_executed = {clients_.sessions().begin(), clients_.sessions().end()};
   checkpoints_.store(std::move(checkpoint));
   ++stats_.checkpoints_created;
 }
@@ -629,7 +608,7 @@ void IdemReplica::handle_state_response(const msg::StateResponse& response) {
   // state (a replica never needs state it did not request).
   if (!state_transfer_pending_ || response.from != state_transfer_source_) return;
   state_transfer_pending_ = false;
-  if (response.upto.value < next_exec_) return;  // stale; we caught up meanwhile
+  if (response.upto.value < log_.next_exec()) return;  // stale; we caught up meanwhile
   try {
     sm_->restore(response.snapshot);
   } catch (const CodecError&) {
@@ -640,17 +619,15 @@ void IdemReplica::handle_state_response(const msg::StateResponse& response) {
   charge(kCheckpointBaseCost + static_cast<Duration>(kCheckpointNsPerByte *
                                                      static_cast<double>(response.snapshot.size())));
   for (const auto& [cid, onr] : response.last_executed) {
-    auto& entry = last_exec_[cid.value];
-    if (onr.value > entry) entry = onr.value;
+    clients_.merge_executed(cid, onr);
   }
   // Cached replies are stale after a restore; clients retransmit if needed.
-  last_reply_.clear();
-  next_exec_ = response.upto.value + 1;
-  if (next_exec_ > sqn_low_) advance_window(next_exec_);
+  clients_.clear_replies();
+  log_.set_next_exec(response.upto.value + 1);
+  if (log_.next_exec() > log_.low()) advance_window(log_.next_exec());
   // Drop active entries that the checkpoint proves executed.
   for (auto it = active_.begin(); it != active_.end();) {
-    auto last_it = last_exec_.find(it->cid.value);
-    if (last_it != last_exec_.end() && it->onr.value <= last_it->second) {
+    if (clients_.executed(*it)) {
       if (auto timer_it = forward_timers_.find(*it); timer_it != forward_timers_.end()) {
         cancel_timer(timer_it->second);
         forward_timers_.erase(timer_it);
@@ -674,9 +651,9 @@ void IdemReplica::handle_state_response(const msg::StateResponse& response) {
 // ---------------------------------------------------------------------------
 
 bool IdemReplica::has_outstanding_work() const {
-  if (!active_.empty() || !eligible_.empty()) return true;
-  auto it = instances_.lower_bound(next_exec_);
-  return it != instances_.end() && it->second.has_binding && !it->second.executed;
+  if (!active_.empty() || !batch_.empty()) return true;
+  auto it = log_.slots().lower_bound(log_.next_exec());
+  return it != log_.slots().end() && it->second.has_binding && !it->second.executed;
 }
 
 void IdemReplica::arm_progress_timer() {
@@ -685,8 +662,7 @@ void IdemReplica::arm_progress_timer() {
   progress_timer_ = set_timer(config_.viewchange_timeout, [this] {
     progress_timer_ = sim::TimerId{};
     if (!has_outstanding_work()) return;
-    ViewId target{(in_viewchange_ ? vc_target_.value : view_.value) + 1};
-    start_viewchange(target);
+    start_viewchange(views_.next_target());
   });
 }
 
@@ -696,27 +672,23 @@ void IdemReplica::note_progress() {
 }
 
 void IdemReplica::start_viewchange(ViewId target) {
-  if (target <= view_) return;
-  if (in_viewchange_ && vc_target_ >= target) return;
-  in_viewchange_ = true;
-  vc_target_ = target;
+  if (!views_.begin(target)) return;
   ++stats_.view_changes;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeStart, me_.value,
-             target.value);
+  lifecycle::viewchange_start(config_.trace, now(), me_.value, target.value);
 
   auto viewchange = std::make_shared<msg::ViewChange>();
   viewchange->from = me_;
   viewchange->target = target;
-  viewchange->window_start = SeqNum{sqn_low_};
-  for (const auto& [sqn, inst] : instances_) {
+  viewchange->window_start = SeqNum{log_.low()};
+  for (const auto& [sqn, inst] : log_.slots()) {
     if (!inst.has_binding) continue;
     msg::WindowEntry entry;
     entry.sqn = SeqNum{sqn};
     entry.view = inst.view;
-    entry.ids = inst.ids;
+    entry.items = inst.ids;
     viewchange->proposals.push_back(std::move(entry));
   }
-  viewchange_store_[me_.value] = *viewchange;
+  views_.store_own(me_.value, *viewchange);
   multicast(viewchange);
 
   // Make sure the prospective leader learns about our accepted requests;
@@ -731,28 +703,21 @@ void IdemReplica::start_viewchange(ViewId target) {
 }
 
 void IdemReplica::handle_viewchange(const msg::ViewChange& viewchange) {
-  if (viewchange.target <= view_) return;
-  auto it = viewchange_store_.find(viewchange.from.value);
-  if (it == viewchange_store_.end() || it->second.target <= viewchange.target) {
-    viewchange_store_[viewchange.from.value] = viewchange;
-  }
+  if (viewchange.target <= views_.view()) return;
+  views_.store(viewchange);
 
   // A replica already amid a view change adopts a higher target right
   // away: independent timeout escalation would otherwise let stragglers
   // chase each other's targets forever.
-  if (in_viewchange_ && viewchange.target > vc_target_) {
+  if (views_.should_escalate(viewchange.target)) {
     start_viewchange(viewchange.target);
     return;
   }
 
   // Join the view change once f+1 replicas demand it: the current view no
   // longer has enough support to make progress.
-  std::size_t matching = 0;
-  for (const auto& [from, stored] : viewchange_store_) {
-    if (stored.target == viewchange.target) ++matching;
-  }
-  bool joined = in_viewchange_ && vc_target_ >= viewchange.target;
-  if (!joined && matching >= config_.quorum()) {
+  if (!views_.joined(viewchange.target) &&
+      views_.matching(viewchange.target) >= config_.quorum()) {
     start_viewchange(viewchange.target);
     return;  // start_viewchange re-runs maybe_become_leader
   }
@@ -761,54 +726,46 @@ void IdemReplica::handle_viewchange(const msg::ViewChange& viewchange) {
 
 void IdemReplica::maybe_become_leader(ViewId target) {
   if (consensus::leader_of(target, config_.n) != me_) return;
-  if (view_ >= target) return;
-  if (!in_viewchange_ || vc_target_ != target) return;
-
-  std::size_t matching = 0;
-  for (const auto& [from, stored] : viewchange_store_) {
-    if (stored.target == target) ++matching;
-  }
-  if (matching < config_.quorum()) return;
+  if (views_.view() >= target) return;
+  if (!views_.in_viewchange() || views_.target() != target) return;
+  if (views_.matching(target) < config_.quorum()) return;
 
   // Merge the collected windows: per slot, the binding of the newest view
   // wins (adopt_binding enforces that).
-  for (const auto& [from, stored] : viewchange_store_) {
-    if (stored.target != target) continue;
+  views_.for_each_matching(target, [this](const msg::ViewChange& stored) {
     for (const auto& entry : stored.proposals) {
-      adopt_binding(entry.sqn.value, entry.view, entry.ids);
+      adopt_binding(entry.sqn.value, entry.view, entry.items);
     }
-  }
+  });
 
   enter_view(target);
 
   // Determine the first free sequence number and fill binding gaps with
   // no-ops so execution cannot stall behind a hole.
-  std::uint64_t high = sqn_low_ == 0 ? 0 : sqn_low_;
-  for (const auto& [sqn, inst] : instances_) {
-    if (inst.has_binding && sqn + 1 > high) high = sqn + 1;
-  }
+  std::uint64_t high =
+      log_.high_watermark(log_.low(), [](const Instance& inst) { return inst.has_binding; });
   if (next_sqn_ < high) next_sqn_ = high;
-  if (next_sqn_ < sqn_low_) next_sqn_ = sqn_low_;
+  if (next_sqn_ < log_.low()) next_sqn_ = log_.low();
 
-  for (std::uint64_t sqn = std::max(sqn_low_, next_exec_); sqn < high; ++sqn) {
-    Instance& inst = instances_[sqn];
+  for (std::uint64_t sqn = std::max(log_.low(), log_.next_exec()); sqn < high; ++sqn) {
+    Instance& inst = log_.at(sqn);
     if (inst.executed) continue;
     if (!inst.has_binding) {
       inst.ids.clear();  // no-op filler
       inst.has_binding = true;
     }
     // Re-propose under the new view; old-view commit votes are void.
-    inst.view = view_;
+    inst.view = views_.view();
     inst.commit_votes.clear();
     inst.commit_votes.insert(me_.value);
     inst.own_commit_sent = true;
     for (RequestId id : inst.ids) {
       proposed_.insert(id);
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, id, sqn);
+      lifecycle::proposed(config_.trace, now(), me_.value, id, sqn);
     }
 
     auto propose = std::make_shared<msg::Propose>();
-    propose->view = view_;
+    propose->view = views_.view();
     propose->sqn = SeqNum{sqn};
     propose->ids = inst.ids;
     multicast(std::move(propose));
@@ -820,16 +777,8 @@ void IdemReplica::maybe_become_leader(ViewId target) {
 }
 
 void IdemReplica::enter_view(ViewId view) {
-  view_ = view;
-  in_viewchange_ = false;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeDone, me_.value, view.value);
-  for (auto it = viewchange_store_.begin(); it != viewchange_store_.end();) {
-    if (it->second.target <= view_) {
-      it = viewchange_store_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  views_.enter(view);
+  lifecycle::viewchange_done(config_.trace, now(), me_.value, view.value);
   resend_requires();
   note_progress();
 }
@@ -839,14 +788,12 @@ void IdemReplica::resend_requires() {
   // unexecuted; its REQUIRE bookkeeping may have died with the old leader.
   std::vector<RequestId> outstanding;
   for (const auto& [id, command] : requests_) {
-    auto last_it = last_exec_.find(id.cid.value);
-    if (last_it != last_exec_.end() && id.onr.value <= last_it->second) continue;
+    if (clients_.executed(id)) continue;
     outstanding.push_back(id);
   }
   if (outstanding.empty()) return;
 
-  ViewId v = in_viewchange_ ? vc_target_ : view_;
-  if (consensus::leader_of(v, config_.n) == me_) {
+  if (consensus::leader_of(views_.leader_view(), config_.n) == me_) {
     for (RequestId id : outstanding) note_require(me_, id);
   } else {
     auto require = std::make_shared<msg::Require>();

@@ -13,13 +13,16 @@
 // a rejected-request cache and on-demand FETCH. Implicit garbage
 // collection advances the window without dedicated progress messages, and
 // a view change replaces a crashed leader.
+//
+// Structurally this is a policy layer over the replication core
+// (src/core): the ordered log, view engine, client table, rejected cache
+// and batch pipeline are shared with the baseline protocols; IDEM
+// contributes the acceptance tests, the REQUIRE/REJECT collaboration and
+// the rejection-aware view change.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -32,7 +35,13 @@
 #include "consensus/checkpoint.hpp"
 #include "consensus/messages.hpp"
 #include "consensus/quorum.hpp"
-#include "idem/acceptance.hpp"
+#include "core/acceptance.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/client_table.hpp"
+#include "core/ordered_log.hpp"
+#include "core/rejected_cache.hpp"
+#include "core/timers.hpp"
+#include "core/view_engine.hpp"
 #include "idem/config.hpp"
 #include "sim/node.hpp"
 
@@ -61,9 +70,9 @@ class IdemReplica final : public sim::Node {
               std::unique_ptr<AcceptanceTest> acceptance);
 
   ReplicaId replica_id() const { return me_; }
-  ViewId view() const { return view_; }
+  ViewId view() const { return views_.view(); }
   bool is_leader() const {
-    return !in_viewchange_ && consensus::leader_of(view_, config_.n) == me_;
+    return !views_.in_viewchange() && consensus::leader_of(views_.view(), config_.n) == me_;
   }
   const ReplicaStats& stats() const { return stats_; }
   const IdemConfig& config() const { return config_; }
@@ -72,12 +81,12 @@ class IdemReplica final : public sim::Node {
   std::size_t active_requests() const { return active_.size(); }
 
   /// Next sequence number this replica would execute.
-  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+  SeqNum next_execute() const { return SeqNum{log_.next_exec()}; }
   /// Start of the consensus window (sqn_low).
-  SeqNum window_start() const { return SeqNum{sqn_low_}; }
+  SeqNum window_start() const { return SeqNum{log_.low()}; }
 
   /// Highest executed operation number per client (duplicate detection).
-  std::optional<OpNum> last_executed(ClientId cid) const;
+  std::optional<OpNum> last_executed(ClientId cid) const { return clients_.last_executed(cid); }
 
   app::StateMachine& state_machine() { return *sm_; }
   const app::StateMachine& state_machine() const { return *sm_; }
@@ -92,15 +101,12 @@ class IdemReplica final : public sim::Node {
   Duration send_cost(const sim::Payload& message) const override;
 
  private:
-  struct Instance {
-    ViewId view;                       ///< view of the newest binding seen
-    std::vector<RequestId> ids;        ///< empty until a PROPOSE/COMMIT arrives
-    bool has_binding = false;
+  struct Instance : SlotBase {
+    ViewId view;                 ///< view of the newest binding seen
+    std::vector<RequestId> ids;  ///< empty until a PROPOSE/COMMIT arrives
     bool own_commit_sent = false;
     std::unordered_set<std::uint32_t> commit_votes;
-    bool executed = false;
-    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
-    Time fetch_sent_at = -1;
+    RetryGate fetch_gate;  ///< rate-limits FETCH rounds for this slot
   };
 
   // -- request intake ------------------------------------------------------
@@ -113,6 +119,7 @@ class IdemReplica final : public sim::Node {
   // -- agreement -----------------------------------------------------------
   void note_require(ReplicaId voter, RequestId id);
   void try_propose();
+  void arm_batch_timer();
   void handle_propose(const msg::Propose& propose);
   void handle_commit(const msg::Commit& commit);
   void adopt_binding(std::uint64_t sqn, ViewId view, const std::vector<RequestId>& ids);
@@ -131,7 +138,6 @@ class IdemReplica final : public sim::Node {
   void handle_fetch(ReplicaId from, const msg::Fetch& fetch);
   void arm_forward_timer(RequestId id);
   void forward_request(RequestId id);
-  void cache_rejected(RequestId id, std::vector<std::byte> command);
   const std::vector<std::byte>* find_command(RequestId id) const;
 
   // -- garbage collection / checkpoints (Section 4.4) -----------------------
@@ -164,9 +170,7 @@ class IdemReplica final : public sim::Node {
   std::unique_ptr<app::StateMachine> sm_;
   std::unique_ptr<AcceptanceTest> acceptance_;
 
-  ViewId view_;
-  bool in_viewchange_ = false;
-  ViewId vc_target_;
+  ViewEngine<msg::ViewChange> views_;
 
   // Owned request bodies (accepted, forwarded, or fetched).
   std::unordered_map<RequestId, std::vector<std::byte>> requests_;
@@ -175,9 +179,8 @@ class IdemReplica final : public sim::Node {
   // Forward timers per accepted-but-unexecuted request.
   std::unordered_map<RequestId, sim::TimerId> forward_timers_;
 
-  // Recently rejected requests (LRU), still available for FETCH/agreement.
-  std::list<std::pair<RequestId, std::vector<std::byte>>> rejected_lru_;
-  std::unordered_map<RequestId, decltype(rejected_lru_)::iterator> rejected_index_;
+  // Recently rejected requests, still available for FETCH/agreement.
+  RejectedCache rejected_;
 
   // REQUIRE aggregation.
   std::vector<RequestId> pending_requires_;
@@ -186,27 +189,23 @@ class IdemReplica final : public sim::Node {
   // Leader-side ordering state (maintained on every replica so a new
   // leader can take over immediately).
   consensus::QuorumTracker<RequestId> requires_;
-  std::deque<RequestId> eligible_;
+  BatchPipeline<RequestId> batch_;  ///< ids with an f+1 REQUIRE quorum
   std::unordered_set<RequestId> in_eligible_;
   std::unordered_set<RequestId> proposed_;
   std::uint64_t next_sqn_ = 0;
+  sim::TimerId batch_timer_;  ///< pending time-based batch cut
 
-  // Consensus instances, window [sqn_low_, sqn_low_ + w).
-  std::map<std::uint64_t, Instance> instances_;
-  std::uint64_t sqn_low_ = 0;
-  std::uint64_t next_exec_ = 0;
+  // Consensus instances, window [log_.low(), log_.low() + w).
+  OrderedLog<Instance> log_;
 
   // Execution results for duplicate suppression and re-replies.
-  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;  // cid -> onr
-  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+  ClientTable clients_;
 
   consensus::CheckpointStore checkpoints_;
   bool state_transfer_pending_ = false;
   ReplicaId state_transfer_source_;  ///< the only replica whose response we accept
   sim::TimerId state_retry_timer_;
 
-  // View change state: latest VIEWCHANGE per replica.
-  std::unordered_map<std::uint32_t, msg::ViewChange> viewchange_store_;
   sim::TimerId progress_timer_;
 
   // Service-time variability stream (CostModel::jitter).

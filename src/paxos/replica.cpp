@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/lifecycle.hpp"
+
 namespace idem::paxos {
+
+namespace core = idem::core;
 
 PaxosReplica::PaxosReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
                            PaxosConfig config, std::unique_ptr<app::StateMachine> state_machine)
@@ -13,6 +17,7 @@ PaxosReplica::PaxosReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
       sm_(std::move(state_machine)),
       cost_rng_(sim.seed(), 0xC057'1000ull + id.value) {
   assert(config_.n == 2 * config_.f + 1);
+  batch_.configure({config_.batch_max, config_.batch_min, config_.batch_flush_delay});
   if (is_leader()) send_heartbeat();
   arm_failure_timer();
   retransmit_tick();
@@ -24,6 +29,7 @@ void PaxosReplica::on_restart() {
   cancel_timer(heartbeat_timer_);
   cancel_timer(failure_timer_);
   cancel_timer(retransmit_timer_);
+  cancel_timer(batch_timer_);
   if (is_leader()) send_heartbeat();
   arm_failure_timer();
   retransmit_tick();
@@ -45,7 +51,7 @@ void PaxosReplica::multicast(sim::PayloadPtr message) {
 }
 
 std::size_t PaxosReplica::active_requests() const {
-  return pending_.size() + inflight_requests_;
+  return batch_.size() + inflight_requests_;
 }
 
 void PaxosReplica::on_message(sim::NodeId from, const sim::Payload& message) {
@@ -82,11 +88,9 @@ void PaxosReplica::handle_request(const msg::Request& request) {
   if (!is_leader()) return;  // clients discover the leader by timeout
 
   const RequestId id = request.id;
-  auto last_it = last_exec_.find(id.cid.value);
-  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
-    auto reply_it = last_reply_.find(id.cid.value);
-    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
-      send(consensus::client_address(id.cid), reply_it->second);
+  if (clients_.executed(id)) {
+    if (auto reply = clients_.cached_reply(id)) {
+      send(consensus::client_address(id.cid), std::move(reply));
     }
     return;
   }
@@ -95,47 +99,50 @@ void PaxosReplica::handle_request(const msg::Request& request) {
   // Leader-based rejection (Paxos_LBR): the single leader decides.
   if (config_.reject_threshold > 0 && active_requests() >= config_.reject_threshold) {
     ++stats_.rejected;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 0);
+    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
     send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
     return;
   }
 
   ++stats_.accepted;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
+  core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
   queued_.insert(id);
-  pending_.push_back(request);
+  batch_.push(request, now());
   try_propose();
   arm_failure_timer();
 }
 
 void PaxosReplica::try_propose() {
   if (!is_leader()) return;
-  const std::uint64_t window_end = next_exec_ + config_.window_size;
-  while (!pending_.empty() && next_sqn_ < window_end) {
-    while (instances_.contains(next_sqn_) && instances_[next_sqn_].has_binding) ++next_sqn_;
+  const std::uint64_t window_end = log_.next_exec() + config_.window_size;
+  while (!batch_.empty() && next_sqn_ < window_end) {
+    if (!batch_.ready(now())) {
+      arm_batch_timer();
+      break;
+    }
+    next_sqn_ = log_.skip_bound(next_sqn_);
     if (next_sqn_ >= window_end) break;
 
     std::vector<msg::Request> batch;
-    while (!pending_.empty() && batch.size() < config_.batch_max) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-    }
+    batch_.cut([&](msg::Request& request) {
+      batch.push_back(std::move(request));
+      return core::BatchPipeline<msg::Request>::Verdict::Take;
+    });
     inflight_requests_ += batch.size();
 
-    Instance& inst = instances_[next_sqn_];
-    inst.view = view_;
+    Instance& inst = log_.at(next_sqn_);
+    inst.view = views_.view();
     inst.requests = batch;
     inst.has_binding = true;
     inst.own_accept_sent = true;
     inst.accept_votes.insert(me_.value);
     for (const msg::Request& request : inst.requests) {
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, request.id,
-                 next_sqn_);
+      core::lifecycle::proposed(config_.trace, now(), me_.value, request.id, next_sqn_);
     }
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
+    core::lifecycle::propose_received(config_.trace, now(), me_.value, next_sqn_);
 
     auto propose = std::make_shared<msg::PaxosPropose>();
-    propose->view = view_;
+    propose->view = views_.view();
     propose->sqn = SeqNum{next_sqn_};
     propose->requests = std::move(batch);
     multicast(std::move(propose));
@@ -145,20 +152,35 @@ void PaxosReplica::try_propose() {
   try_execute();
 }
 
+void PaxosReplica::arm_batch_timer() {
+  // Only reachable with batch_min > 1 and a nonzero flush delay.
+  if (batch_timer_.valid()) return;
+  batch_timer_ = set_timer(batch_.delay_until_ready(now()), [this] {
+    batch_timer_ = sim::TimerId{};
+    try_propose();
+  });
+}
+
 bool PaxosReplica::observe_view(ViewId view) {
-  if (view < view_) return false;
-  if (view == view_) return !in_viewchange_;
-  enter_view(view);
-  return true;
+  switch (views_.observe(view)) {
+    case core::ViewEngine<msg::PaxosViewChange>::Observe::Ignore:
+      return false;
+    case core::ViewEngine<msg::PaxosViewChange>::Observe::Process:
+      return true;
+    case core::ViewEngine<msg::PaxosViewChange>::Observe::Enter:
+      enter_view(view);
+      return true;
+  }
+  return false;
 }
 
 void PaxosReplica::adopt_binding(std::uint64_t sqn, ViewId view,
                                  std::vector<msg::Request> requests) {
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (inst.executed) return;  // applied state is immutable
   if (inst.has_binding && inst.view >= view) return;
   if (!inst.has_binding) {
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
+    core::lifecycle::propose_received(config_.trace, now(), me_.value, sqn);
   }
   inst.view = view;
   inst.requests = std::move(requests);
@@ -168,18 +190,17 @@ void PaxosReplica::adopt_binding(std::uint64_t sqn, ViewId view,
 }
 
 void PaxosReplica::note_accept_quorum(std::uint64_t sqn, Instance& inst) {
-  if (inst.quorum_traced || inst.accept_votes.size() < config_.quorum()) return;
-  inst.quorum_traced = true;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
+  core::lifecycle::decision_quorum(config_.trace, now(), me_.value, sqn, inst,
+                                   inst.accept_votes.size(), config_.quorum());
 }
 
 void PaxosReplica::handle_propose(const msg::PaxosPropose& propose) {
   if (!observe_view(propose.view)) return;
   const std::uint64_t sqn = propose.sqn.value;
-  if (sqn < next_exec_) {
+  if (sqn < log_.next_exec()) {
     // A retransmission for an instance we already executed: the sender is
     // missing our ACCEPT (it was lost), so repeat it or it stalls forever.
-    if (instances_.contains(sqn)) {
+    if (log_.contains(sqn)) {
       auto accept = std::make_shared<msg::PaxosAccept>();
       accept->from = me_;
       accept->view = propose.view;
@@ -190,7 +211,7 @@ void PaxosReplica::handle_propose(const msg::PaxosPropose& propose) {
   }
 
   adopt_binding(sqn, propose.view, propose.requests);
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (inst.view != propose.view) return;
 
   inst.accept_votes.insert(consensus::leader_of(propose.view, config_.n).value);
@@ -210,54 +231,48 @@ void PaxosReplica::handle_propose(const msg::PaxosPropose& propose) {
 
 void PaxosReplica::handle_accept(const msg::PaxosAccept& accept) {
   if (!observe_view(accept.view)) return;
-  auto it = instances_.find(accept.sqn.value);
-  if (it == instances_.end()) return;
-  if (it->second.view != accept.view) return;
-  it->second.accept_votes.insert(accept.from.value);
-  note_accept_quorum(accept.sqn.value, it->second);
+  Instance* inst = log_.find(accept.sqn.value);
+  if (inst == nullptr) return;
+  if (inst->view != accept.view) return;
+  inst->accept_votes.insert(accept.from.value);
+  note_accept_quorum(accept.sqn.value, *inst);
   try_execute();
 }
 
 void PaxosReplica::try_execute() {
   for (;;) {
-    auto it = instances_.find(next_exec_);
-    if (it == instances_.end()) return;
-    Instance& inst = it->second;
-    if (!inst.has_binding || inst.executed) return;
-    if (inst.accept_votes.size() < config_.quorum()) return;
+    Instance* inst = log_.head();
+    if (inst == nullptr) return;
+    if (!inst->has_binding || inst->executed) return;
+    if (inst->accept_votes.size() < config_.quorum()) return;
 
-    for (const msg::Request& request : inst.requests) {
+    for (const msg::Request& request : inst->requests) {
       const RequestId id = request.id;
-      auto last_it = last_exec_.find(id.cid.value);
-      if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+      if (clients_.executed(id)) {
         ++stats_.duplicates_skipped;
         continue;
       }
       charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
       std::vector<std::byte> result = sm_->execute(request.command);
       ++stats_.executed;
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, next_exec_);
-      last_exec_[id.cid.value] = id.onr.value;
+      core::lifecycle::executed(config_.trace, now(), me_.value, id, log_.next_exec());
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
-      last_reply_[id.cid.value] = reply;
+      clients_.record(id, reply);
       queued_.erase(id);
       if (is_leader()) {
         send(consensus::client_address(id.cid), reply);
-        IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
+        core::lifecycle::reply_sent(config_.trace, now(), me_.value, id);
       }
-      if (on_execute) on_execute(SeqNum{next_exec_}, id);
+      if (on_execute) on_execute(SeqNum{log_.next_exec()}, id);
     }
-    if (is_leader() && inflight_requests_ >= inst.requests.size()) {
-      inflight_requests_ -= inst.requests.size();
+    if (is_leader() && inflight_requests_ >= inst->requests.size()) {
+      inflight_requests_ -= inst->requests.size();
     }
-    inst.executed = true;
+    inst->executed = true;
     // Old instances are not needed once executed (crash tolerance for the
     // baseline does not include lagging-replica state transfer).
-    if (next_exec_ >= 2 * config_.window_size) {
-      instances_.erase(instances_.begin(),
-                       instances_.lower_bound(next_exec_ - 2 * config_.window_size));
-    }
-    ++next_exec_;
+    log_.gc_executed(config_.window_size);
+    log_.advance_head();
     note_liveness();
   }
 }
@@ -269,32 +284,31 @@ void PaxosReplica::try_execute() {
 void PaxosReplica::retransmit_tick() {
   retransmit_timer_ = set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
   if (!is_leader()) {
-    retransmit_watermark_ = UINT64_MAX;
+    retransmit_stall_.reset();
     return;
   }
-  auto it = instances_.find(next_exec_);
-  if (it == instances_.end() || !it->second.has_binding || it->second.executed ||
-      it->second.view != view_) {
-    retransmit_watermark_ = UINT64_MAX;
+  Instance* head = log_.head();
+  if (head == nullptr || !head->has_binding || head->executed ||
+      head->view != views_.view()) {
+    retransmit_stall_.reset();
     return;
   }
-  if (retransmit_watermark_ == next_exec_) {
+  if (retransmit_stall_.stalled_at(log_.next_exec())) {
     // The head of the log made no progress for a full interval: assume the
     // PROPOSE (or the accepts) got lost and retransmit.
     auto propose = std::make_shared<msg::PaxosPropose>();
-    propose->view = view_;
-    propose->sqn = SeqNum{next_exec_};
-    propose->requests = it->second.requests;
+    propose->view = views_.view();
+    propose->sqn = SeqNum{log_.next_exec()};
+    propose->requests = head->requests;
     multicast(std::move(propose));
   }
-  retransmit_watermark_ = next_exec_;
 }
 
 void PaxosReplica::send_heartbeat() {
   if (!is_leader()) return;
   auto heartbeat = std::make_shared<msg::PaxosHeartbeat>();
   heartbeat->from = me_;
-  heartbeat->view = view_;
+  heartbeat->view = views_.view();
   multicast(std::move(heartbeat));
   heartbeat_timer_ = set_timer(config_.heartbeat_interval, [this] {
     heartbeat_timer_ = sim::TimerId{};
@@ -316,16 +330,14 @@ void PaxosReplica::arm_failure_timer() {
       // stalled: the quorum is gone (e.g. a follower falsely abandoned
       // the view while another is crashed) and retransmission alone
       // cannot fix that.
-      auto it = instances_.find(next_exec_);
-      bool stalled =
-          it != instances_.end() && it->second.has_binding && !it->second.executed;
+      Instance* head = log_.head();
+      bool stalled = head != nullptr && head->has_binding && !head->executed;
       if (!stalled) {
         arm_failure_timer();
         return;
       }
     }
-    ViewId target{(in_viewchange_ ? vc_target_.value : view_.value) + 1};
-    start_viewchange(target);
+    start_viewchange(views_.next_target());
   });
 }
 
@@ -335,19 +347,15 @@ void PaxosReplica::note_liveness() {
 }
 
 void PaxosReplica::start_viewchange(ViewId target) {
-  if (target <= view_) return;
-  if (in_viewchange_ && vc_target_ >= target) return;
-  in_viewchange_ = true;
-  vc_target_ = target;
+  if (!views_.begin(target)) return;
   ++stats_.view_changes;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeStart, me_.value,
-             target.value);
+  core::lifecycle::viewchange_start(config_.trace, now(), me_.value, target.value);
 
   auto viewchange = std::make_shared<msg::PaxosViewChange>();
   viewchange->from = me_;
   viewchange->target = target;
-  viewchange->window_start = SeqNum{next_exec_};
-  for (const auto& [sqn, inst] : instances_) {
+  viewchange->window_start = SeqNum{log_.next_exec()};
+  for (const auto& [sqn, inst] : log_.slots()) {
     // Executed instances must be shipped too: a committed binding that
     // only this replica executed would otherwise be invisible to the new
     // leader's merge, which could then rebind the slot - a safety
@@ -356,10 +364,10 @@ void PaxosReplica::start_viewchange(ViewId target) {
     msg::PaxosWindowEntry entry;
     entry.sqn = SeqNum{sqn};
     entry.view = inst.view;
-    entry.requests = inst.requests;
+    entry.items = inst.requests;
     viewchange->proposals.push_back(std::move(entry));
   }
-  viewchange_store_[me_.value] = *viewchange;
+  views_.store_own(me_.value, *viewchange);
   multicast(viewchange);
 
   cancel_timer(failure_timer_);
@@ -368,22 +376,15 @@ void PaxosReplica::start_viewchange(ViewId target) {
 }
 
 void PaxosReplica::handle_viewchange(const msg::PaxosViewChange& viewchange) {
-  if (viewchange.target <= view_) return;
-  auto it = viewchange_store_.find(viewchange.from.value);
-  if (it == viewchange_store_.end() || it->second.target <= viewchange.target) {
-    viewchange_store_[viewchange.from.value] = viewchange;
-  }
+  if (viewchange.target <= views_.view()) return;
+  views_.store(viewchange);
   // Synchronize escalating stragglers on the highest demanded target.
-  if (in_viewchange_ && viewchange.target > vc_target_) {
+  if (views_.should_escalate(viewchange.target)) {
     start_viewchange(viewchange.target);
     return;
   }
-  std::size_t matching = 0;
-  for (const auto& [from, stored] : viewchange_store_) {
-    if (stored.target == viewchange.target) ++matching;
-  }
-  bool joined = in_viewchange_ && vc_target_ >= viewchange.target;
-  if (!joined && matching >= config_.quorum()) {
+  if (!views_.joined(viewchange.target) &&
+      views_.matching(viewchange.target) >= config_.quorum()) {
     start_viewchange(viewchange.target);
     return;
   }
@@ -392,44 +393,36 @@ void PaxosReplica::handle_viewchange(const msg::PaxosViewChange& viewchange) {
 
 void PaxosReplica::maybe_become_leader(ViewId target) {
   if (consensus::leader_of(target, config_.n) != me_) return;
-  if (view_ >= target) return;
-  if (!in_viewchange_ || vc_target_ != target) return;
+  if (views_.view() >= target) return;
+  if (!views_.in_viewchange() || views_.target() != target) return;
+  if (views_.matching(target) < config_.quorum()) return;
 
-  std::size_t matching = 0;
-  for (const auto& [from, stored] : viewchange_store_) {
-    if (stored.target == target) ++matching;
-  }
-  if (matching < config_.quorum()) return;
-
-  for (const auto& [from, stored] : viewchange_store_) {
-    if (stored.target != target) continue;
+  views_.for_each_matching(target, [this](const msg::PaxosViewChange& stored) {
     for (const auto& entry : stored.proposals) {
-      adopt_binding(entry.sqn.value, entry.view, entry.requests);
+      adopt_binding(entry.sqn.value, entry.view, entry.items);
     }
-  }
+  });
 
   enter_view(target);
 
-  std::uint64_t high = next_exec_;
-  for (const auto& [sqn, inst] : instances_) {
-    if (inst.has_binding && !inst.executed && sqn + 1 > high) high = sqn + 1;
-  }
+  std::uint64_t high = log_.high_watermark(
+      log_.next_exec(), [](const Instance& inst) { return inst.has_binding && !inst.executed; });
   if (next_sqn_ < high) next_sqn_ = high;
 
-  for (std::uint64_t sqn = next_exec_; sqn < high; ++sqn) {
-    Instance& inst = instances_[sqn];
+  for (std::uint64_t sqn = log_.next_exec(); sqn < high; ++sqn) {
+    Instance& inst = log_.at(sqn);
     if (inst.executed) continue;
     if (!inst.has_binding) {
       inst.requests.clear();  // no-op filler for window gaps
       inst.has_binding = true;
     }
-    inst.view = view_;
+    inst.view = views_.view();
     inst.accept_votes.clear();
     inst.accept_votes.insert(me_.value);
     inst.own_accept_sent = true;
 
     auto propose = std::make_shared<msg::PaxosPropose>();
-    propose->view = view_;
+    propose->view = views_.view();
     propose->sqn = SeqNum{sqn};
     propose->requests = inst.requests;
     multicast(std::move(propose));
@@ -443,21 +436,14 @@ void PaxosReplica::maybe_become_leader(ViewId target) {
 
 void PaxosReplica::enter_view(ViewId view) {
   bool was_leader = is_leader();
-  view_ = view;
-  in_viewchange_ = false;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ViewChangeDone, me_.value, view.value);
-  for (auto it = viewchange_store_.begin(); it != viewchange_store_.end();) {
-    if (it->second.target <= view_) {
-      it = viewchange_store_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  views_.enter(view);
+  core::lifecycle::viewchange_done(config_.trace, now(), me_.value, view.value);
   if (was_leader && !is_leader()) {
     cancel_timer(heartbeat_timer_);
+    cancel_timer(batch_timer_);
     // A demoted leader's pending queue dies with its leadership; clients
     // retransmit to the new leader.
-    pending_.clear();
+    batch_.clear();
     queued_.clear();
     inflight_requests_ = 0;
   }

@@ -11,14 +11,16 @@
 //     leader alone runs an acceptance test and rejects excess requests —
 //     which stops working for the duration of a leader crash + view change
 //     (Figure 3 / Figure 10d).
+//
+// Structurally a policy layer over the replication core (src/core): the
+// ordered log, view engine, client table and batch pipeline are shared
+// with the other protocols; Paxos contributes the leader-only intake, the
+// heartbeat liveness chain and the full-request distribution.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -27,6 +29,11 @@
 #include "consensus/addresses.hpp"
 #include "consensus/cost_model.hpp"
 #include "consensus/messages.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/client_table.hpp"
+#include "core/ordered_log.hpp"
+#include "core/timers.hpp"
+#include "core/view_engine.hpp"
 #include "obs/trace.hpp"
 #include "sim/node.hpp"
 
@@ -36,6 +43,11 @@ struct PaxosConfig {
   std::size_t n = 3;
   std::size_t f = 1;
   std::size_t batch_max = 32;
+  /// Ordered-log batching (see core::BatchPipeline): cut once batch_min
+  /// requests are queued or the oldest waited batch_flush_delay. Defaults
+  /// (1, 0) cut immediately, i.e. legacy behavior.
+  std::size_t batch_min = 1;
+  Duration batch_flush_delay = 0;
   /// In-flight consensus instances (relative to execution progress).
   std::uint64_t window_size = 256;
   Duration viewchange_timeout = 1500 * kMillisecond;
@@ -72,13 +84,13 @@ class PaxosReplica final : public sim::Node {
                std::unique_ptr<app::StateMachine> state_machine);
 
   ReplicaId replica_id() const { return me_; }
-  ViewId view() const { return view_; }
+  ViewId view() const { return views_.view(); }
   bool is_leader() const {
-    return !in_viewchange_ && consensus::leader_of(view_, config_.n) == me_;
+    return !views_.in_viewchange() && consensus::leader_of(views_.view(), config_.n) == me_;
   }
   const PaxosStats& stats() const { return stats_; }
-  std::size_t backlog() const { return pending_.size(); }
-  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+  std::size_t backlog() const { return batch_.size(); }
+  SeqNum next_execute() const { return SeqNum{log_.next_exec()}; }
 
   app::StateMachine& state_machine() { return *sm_; }
 
@@ -92,18 +104,16 @@ class PaxosReplica final : public sim::Node {
   Duration send_cost(const sim::Payload& message) const override;
 
  private:
-  struct Instance {
+  struct Instance : core::SlotBase {
     ViewId view;
     std::vector<msg::Request> requests;
-    bool has_binding = false;
     bool own_accept_sent = false;
     std::unordered_set<std::uint32_t> accept_votes;
-    bool executed = false;
-    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
   };
 
   void handle_request(const msg::Request& request);
   void try_propose();
+  void arm_batch_timer();
   void handle_propose(const msg::PaxosPropose& propose);
   void handle_accept(const msg::PaxosAccept& accept);
   void adopt_binding(std::uint64_t sqn, ViewId view, std::vector<msg::Request> requests);
@@ -129,26 +139,22 @@ class PaxosReplica final : public sim::Node {
   ReplicaId me_;
   std::unique_ptr<app::StateMachine> sm_;
 
-  ViewId view_;
-  bool in_viewchange_ = false;
-  ViewId vc_target_;
+  core::ViewEngine<msg::PaxosViewChange> views_;
 
-  std::deque<msg::Request> pending_;  ///< leader: accepted, not yet proposed
+  core::BatchPipeline<msg::Request> batch_;  ///< leader: accepted, not yet proposed
   std::unordered_set<RequestId> queued_;
   std::size_t inflight_requests_ = 0;  ///< proposed, not yet executed
+  sim::TimerId batch_timer_;           ///< pending time-based batch cut
 
-  std::map<std::uint64_t, Instance> instances_;
+  core::OrderedLog<Instance> log_;
   std::uint64_t next_sqn_ = 0;
-  std::uint64_t next_exec_ = 0;
 
-  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+  core::ClientTable clients_;
 
-  std::unordered_map<std::uint32_t, msg::PaxosViewChange> viewchange_store_;
   sim::TimerId failure_timer_;
   sim::TimerId heartbeat_timer_;
   sim::TimerId retransmit_timer_;
-  std::uint64_t retransmit_watermark_ = UINT64_MAX;
+  core::StallWatermark retransmit_stall_;
 
   // Service-time variability stream (CostModel::jitter).
   mutable Rng cost_rng_;

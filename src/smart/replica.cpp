@@ -2,7 +2,11 @@
 
 #include <cassert>
 
+#include "core/lifecycle.hpp"
+
 namespace idem::smart {
+
+namespace core = idem::core;
 
 SmartReplica::SmartReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
                            SmartConfig config, std::unique_ptr<app::StateMachine> state_machine)
@@ -12,30 +16,31 @@ SmartReplica::SmartReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
       sm_(std::move(state_machine)),
       cost_rng_(sim.seed(), 0xC057'2000ull + id.value) {
   assert(config_.n == 2 * config_.f + 1);
+  batch_.configure({config_.batch_max, config_.batch_min, config_.batch_flush_delay});
   retransmit_tick();
 }
 
 void SmartReplica::on_restart() {
   cancel_timer(retransmit_timer_);
+  cancel_timer(batch_timer_);
   retransmit_tick();
 }
 
 void SmartReplica::retransmit_tick() {
   retransmit_timer_ = set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
   if (!is_leader()) return;
-  auto it = instances_.find(next_exec_);
-  if (it == instances_.end() || !it->second.has_binding || it->second.executed) {
-    retransmit_watermark_ = UINT64_MAX;
+  Instance* head = log_.head();
+  if (head == nullptr || !head->has_binding || head->executed) {
+    retransmit_stall_.reset();
     return;
   }
-  if (retransmit_watermark_ == next_exec_) {
+  if (retransmit_stall_.stalled_at(log_.next_exec())) {
     auto propose = std::make_shared<msg::SmartPropose>();
     propose->view = view_;
-    propose->sqn = SeqNum{next_exec_};
-    propose->requests = it->second.requests;
+    propose->sqn = SeqNum{log_.next_exec()};
+    propose->requests = head->requests;
     multicast(std::move(propose));
   }
-  retransmit_watermark_ = next_exec_;
 }
 
 Duration SmartReplica::message_cost(const sim::Payload& message) const {
@@ -78,43 +83,44 @@ void SmartReplica::on_message(sim::NodeId from, const sim::Payload& message) {
 void SmartReplica::handle_request(const msg::Request& request) {
   ++stats_.requests_received;
   const RequestId id = request.id;
-  auto last_it = last_exec_.find(id.cid.value);
-  if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
-    auto reply_it = last_reply_.find(id.cid.value);
-    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
-      send(consensus::client_address(id.cid), reply_it->second);
+  if (clients_.executed(id)) {
+    if (auto reply = clients_.cached_reply(id)) {
+      send(consensus::client_address(id.cid), std::move(reply));
     }
     return;
   }
   if (!is_leader()) return;  // followers see the request again in the PROPOSE
   if (queued_.contains(id)) return;
-  // No acceptance test: the leader takes everything (arg=1 always).
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
+  // No acceptance test: the leader takes everything (accepted always).
+  core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
   queued_.insert(id);
-  pending_.push_back(request);  // unbounded: no overload protection
+  batch_.push(request, now());  // unbounded: no overload protection
   try_propose();
 }
 
 void SmartReplica::try_propose() {
   if (!is_leader()) return;
-  const std::uint64_t window_end = next_exec_ + config_.window_size;
-  while (!pending_.empty() && next_sqn_ < window_end) {
-    std::vector<msg::Request> batch;
-    while (!pending_.empty() && batch.size() < config_.batch_max) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
+  const std::uint64_t window_end = log_.next_exec() + config_.window_size;
+  while (!batch_.empty() && next_sqn_ < window_end) {
+    if (!batch_.ready(now())) {
+      arm_batch_timer();
+      break;
     }
+    std::vector<msg::Request> batch;
+    batch_.cut([&](msg::Request& request) {
+      batch.push_back(std::move(request));
+      return core::BatchPipeline<msg::Request>::Verdict::Take;
+    });
 
-    Instance& inst = instances_[next_sqn_];
+    Instance& inst = log_.at(next_sqn_);
     inst.requests = batch;
     inst.has_binding = true;
     inst.own_write_sent = true;  // the leader's proposal implies its WRITE
     inst.write_votes.insert(me_.value);
     for (const msg::Request& request : inst.requests) {
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, request.id,
-                 next_sqn_);
+      core::lifecycle::proposed(config_.trace, now(), me_.value, request.id, next_sqn_);
     }
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
+    core::lifecycle::propose_received(config_.trace, now(), me_.value, next_sqn_);
 
     auto propose = std::make_shared<msg::SmartPropose>();
     propose->view = view_;
@@ -128,12 +134,21 @@ void SmartReplica::try_propose() {
   try_execute();
 }
 
+void SmartReplica::arm_batch_timer() {
+  // Only reachable with batch_min > 1 and a nonzero flush delay.
+  if (batch_timer_.valid()) return;
+  batch_timer_ = set_timer(batch_.delay_until_ready(now()), [this] {
+    batch_timer_ = sim::TimerId{};
+    try_propose();
+  });
+}
+
 void SmartReplica::handle_propose(const msg::SmartPropose& propose) {
   const std::uint64_t sqn = propose.sqn.value;
-  if (sqn < next_exec_) {
+  if (sqn < log_.next_exec()) {
     // Retransmission for an executed instance: the sender lost our votes;
     // repeat WRITE and ACCEPT (idempotent) so it can catch up.
-    if (instances_.contains(sqn)) {
+    if (log_.contains(sqn)) {
       auto write = std::make_shared<msg::SmartWrite>();
       write->from = me_;
       write->view = propose.view;
@@ -147,11 +162,11 @@ void SmartReplica::handle_propose(const msg::SmartPropose& propose) {
     }
     return;
   }
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (!inst.has_binding) {
     inst.requests = propose.requests;
     inst.has_binding = true;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
+    core::lifecycle::propose_received(config_.trace, now(), me_.value, sqn);
   }
   inst.write_votes.insert(consensus::leader_of(propose.view, config_.n).value);
   // Sent unconditionally: a duplicate PROPOSE is the leader's loss-recovery
@@ -176,15 +191,15 @@ void SmartReplica::handle_propose(const msg::SmartPropose& propose) {
 
 void SmartReplica::handle_write(const msg::SmartWrite& write) {
   const std::uint64_t sqn = write.sqn.value;
-  if (sqn < next_exec_) return;
-  Instance& inst = instances_[sqn];
+  if (sqn < log_.next_exec()) return;
+  Instance& inst = log_.at(sqn);
   inst.write_votes.insert(write.from.value);
   maybe_advance(sqn);
   try_execute();
 }
 
 void SmartReplica::maybe_advance(std::uint64_t sqn) {
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (inst.write_votes.size() >= config_.quorum() && !inst.own_accept_sent) {
     auto accept = std::make_shared<msg::SmartAccept>();
     accept->from = me_;
@@ -198,15 +213,14 @@ void SmartReplica::maybe_advance(std::uint64_t sqn) {
 }
 
 void SmartReplica::note_accept_quorum(std::uint64_t sqn, Instance& inst) {
-  if (inst.quorum_traced || inst.accept_votes.size() < config_.quorum()) return;
-  inst.quorum_traced = true;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
+  core::lifecycle::decision_quorum(config_.trace, now(), me_.value, sqn, inst,
+                                   inst.accept_votes.size(), config_.quorum());
 }
 
 void SmartReplica::handle_accept(const msg::SmartAccept& accept) {
   const std::uint64_t sqn = accept.sqn.value;
-  if (sqn < next_exec_) return;
-  Instance& inst = instances_[sqn];
+  if (sqn < log_.next_exec()) return;
+  Instance& inst = log_.at(sqn);
   inst.accept_votes.insert(accept.from.value);
   note_accept_quorum(sqn, inst);
   try_execute();
@@ -214,38 +228,32 @@ void SmartReplica::handle_accept(const msg::SmartAccept& accept) {
 
 void SmartReplica::try_execute() {
   for (;;) {
-    auto it = instances_.find(next_exec_);
-    if (it == instances_.end()) return;
-    Instance& inst = it->second;
-    if (!inst.has_binding || inst.executed) return;
-    if (inst.accept_votes.size() < config_.quorum()) return;
+    Instance* inst = log_.head();
+    if (inst == nullptr) return;
+    if (!inst->has_binding || inst->executed) return;
+    if (inst->accept_votes.size() < config_.quorum()) return;
 
-    for (const msg::Request& request : inst.requests) {
+    for (const msg::Request& request : inst->requests) {
       const RequestId id = request.id;
-      auto last_it = last_exec_.find(id.cid.value);
-      if (last_it != last_exec_.end() && id.onr.value <= last_it->second) {
+      if (clients_.executed(id)) {
         ++stats_.duplicates_skipped;
         continue;
       }
       charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
       std::vector<std::byte> result = sm_->execute(request.command);
       ++stats_.executed;
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, next_exec_);
-      last_exec_[id.cid.value] = id.onr.value;
+      core::lifecycle::executed(config_.trace, now(), me_.value, id, log_.next_exec());
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
-      last_reply_[id.cid.value] = reply;
+      clients_.record(id, reply);
       queued_.erase(id);
       // All replicas reply; a CFT client needs just one reply.
       send(consensus::client_address(id.cid), reply);
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
-      if (on_execute) on_execute(SeqNum{next_exec_}, id);
+      core::lifecycle::reply_sent(config_.trace, now(), me_.value, id);
+      if (on_execute) on_execute(SeqNum{log_.next_exec()}, id);
     }
-    inst.executed = true;
-    if (next_exec_ >= 2 * config_.window_size) {
-      instances_.erase(instances_.begin(),
-                       instances_.lower_bound(next_exec_ - 2 * config_.window_size));
-    }
-    ++next_exec_;
+    inst->executed = true;
+    log_.gc_executed(config_.window_size);
+    log_.advance_head();
   }
 }
 

@@ -10,21 +10,27 @@
 // behaviour Figures 2 and 6 capture. Leader fail-over is out of scope for
 // this baseline (the paper's crash experiments only involve IDEM variants
 // and Paxos_LBR); see DESIGN.md.
+//
+// Structurally a policy layer over the replication core (src/core): the
+// ordered log, client table and batch pipeline are shared with the other
+// protocols; SMaRt contributes the three-phase agreement.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "app/state_machine.hpp"
 #include "common/ids.hpp"
 #include "consensus/addresses.hpp"
 #include "consensus/cost_model.hpp"
 #include "consensus/messages.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/client_table.hpp"
+#include "core/ordered_log.hpp"
+#include "core/timers.hpp"
 #include "obs/trace.hpp"
 #include "sim/node.hpp"
 
@@ -34,6 +40,11 @@ struct SmartConfig {
   std::size_t n = 3;
   std::size_t f = 1;
   std::size_t batch_max = 32;
+  /// Ordered-log batching (see core::BatchPipeline): cut once batch_min
+  /// requests are queued or the oldest waited batch_flush_delay. Defaults
+  /// (1, 0) cut immediately, i.e. legacy behavior.
+  std::size_t batch_min = 1;
+  Duration batch_flush_delay = 0;
   std::uint64_t window_size = 256;
   /// Leader retransmits the proposal of the oldest unexecuted instance
   /// when it makes no progress for this long (fair-loss links).
@@ -53,6 +64,16 @@ struct SmartStats {
   std::uint64_t proposals_sent = 0;
 };
 
+/// The three-phase consensus slot, shared with the proactive-rejection
+/// variant (smart/replica_pr.hpp) whose agreement path is identical.
+struct SmartSlot : core::SlotBase {
+  std::vector<msg::Request> requests;
+  bool own_write_sent = false;
+  bool own_accept_sent = false;
+  std::unordered_set<std::uint32_t> write_votes;
+  std::unordered_set<std::uint32_t> accept_votes;
+};
+
 class SmartReplica final : public sim::Node {
  public:
   SmartReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id, SmartConfig config,
@@ -61,8 +82,8 @@ class SmartReplica final : public sim::Node {
   ReplicaId replica_id() const { return me_; }
   bool is_leader() const { return consensus::leader_of(view_, config_.n) == me_; }
   const SmartStats& stats() const { return stats_; }
-  std::size_t backlog() const { return pending_.size(); }
-  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+  std::size_t backlog() const { return batch_.size(); }
+  SeqNum next_execute() const { return SeqNum{log_.next_exec()}; }
 
   app::StateMachine& state_machine() { return *sm_; }
 
@@ -75,19 +96,11 @@ class SmartReplica final : public sim::Node {
   Duration send_cost(const sim::Payload& message) const override;
 
  private:
-  struct Instance {
-    std::vector<msg::Request> requests;
-    bool has_binding = false;
-    bool own_write_sent = false;
-    bool own_accept_sent = false;
-    std::unordered_set<std::uint32_t> write_votes;
-    std::unordered_set<std::uint32_t> accept_votes;
-    bool executed = false;
-    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
-  };
+  using Instance = SmartSlot;
 
   void handle_request(const msg::Request& request);
   void try_propose();
+  void arm_batch_timer();
   void handle_propose(const msg::SmartPropose& propose);
   void handle_write(const msg::SmartWrite& write);
   void handle_accept(const msg::SmartAccept& accept);
@@ -103,18 +116,17 @@ class SmartReplica final : public sim::Node {
   std::unique_ptr<app::StateMachine> sm_;
   ViewId view_;
 
-  std::deque<msg::Request> pending_;  ///< leader's unbounded request buffer
+  core::BatchPipeline<msg::Request> batch_;  ///< leader's unbounded request buffer
   std::unordered_set<RequestId> queued_;
+  sim::TimerId batch_timer_;  ///< pending time-based batch cut
 
-  std::map<std::uint64_t, Instance> instances_;
+  core::OrderedLog<Instance> log_;
   std::uint64_t next_sqn_ = 0;
-  std::uint64_t next_exec_ = 0;
 
-  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+  core::ClientTable clients_;
 
   sim::TimerId retransmit_timer_;
-  std::uint64_t retransmit_watermark_ = UINT64_MAX;
+  core::StallWatermark retransmit_stall_;
 
   // Service-time variability stream (CostModel::jitter).
   mutable Rng cost_rng_;

@@ -2,7 +2,11 @@
 
 #include <cassert>
 
+#include "core/lifecycle.hpp"
+
 namespace idem::smart {
+
+namespace core = idem::core;
 
 SmartPrReplica::SmartPrReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId id,
                                SmartPrConfig config,
@@ -13,8 +17,10 @@ SmartPrReplica::SmartPrReplica(sim::Runtime& sim, sim::Transport& net, ReplicaId
       me_(id),
       sm_(std::move(state_machine)),
       acceptance_(std::move(acceptance)),
+      rejected_(config.rejected_cache_size),
       cost_rng_(sim.seed(), 0xC057'3000ull + id.value) {
   assert(config_.n == 2 * config_.f + 1);
+  batch_.configure({config_.batch_max, config_.batch_min, config_.batch_flush_delay});
   retransmit_tick();
 }
 
@@ -67,18 +73,12 @@ void SmartPrReplica::on_message(sim::NodeId from, const sim::Payload& message) {
 // Intake phase (collaborative proactive rejection)
 // ---------------------------------------------------------------------------
 
-bool SmartPrReplica::already_executed(RequestId id) const {
-  auto it = last_exec_.find(id.cid.value);
-  return it != last_exec_.end() && id.onr.value <= it->second;
-}
-
 void SmartPrReplica::handle_request(const msg::Request& request) {
   ++stats_.requests_received;
   const RequestId id = request.id;
-  if (already_executed(id)) {
-    auto reply_it = last_reply_.find(id.cid.value);
-    if (reply_it != last_reply_.end() && reply_it->second->id == id) {
-      send(consensus::client_address(id.cid), reply_it->second);
+  if (clients_.executed(id)) {
+    if (auto reply = clients_.cached_reply(id)) {
+      send(consensus::client_address(id.cid), std::move(reply));
     }
     return;
   }
@@ -91,12 +91,15 @@ void SmartPrReplica::handle_request(const msg::Request& request) {
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
   if (acceptance_->accept(id, request.command, ctx)) {
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 1);
+    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
     accept_request(id, request.command, /*client_issued=*/true);
   } else {
     ++stats_.rejected;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::AcceptVerdict, me_.value, id, 0);
-    cache_rejected(id, request.command);
+    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
+    // insert() refreshes an already-cached entry to the LRU front: every
+    // retransmission of an ambivalently rejected request (Section 4.5)
+    // keeps its body fetchable.
+    rejected_.insert(id, request.command);
     send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
   }
 }
@@ -104,16 +107,13 @@ void SmartPrReplica::handle_request(const msg::Request& request) {
 void SmartPrReplica::accept_request(RequestId id, std::vector<std::byte> command,
                                     bool client_issued) {
   requests_[id] = std::move(command);
-  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
-    rejected_lru_.erase(it->second);
-    rejected_index_.erase(it);
-  }
+  rejected_.erase(id);
   if (client_issued) {
     active_.insert(id);
     ++stats_.accepted;
   } else {
     ++stats_.forward_accepted;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ForwardAccepted, me_.value, id);
+    core::lifecycle::forward_accepted(config_.trace, now(), me_.value, id);
   }
   arm_forward_timer(id);
   if (is_leader()) {
@@ -128,20 +128,19 @@ void SmartPrReplica::accept_request(RequestId id, std::vector<std::byte> command
 }
 
 void SmartPrReplica::note_require(ReplicaId voter, RequestId id) {
-  if (already_executed(id) || proposed_.contains(id)) return;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequireNoted, me_.value, id,
-             voter.value);
+  if (clients_.executed(id) || proposed_.contains(id)) return;
+  core::lifecycle::require_noted(config_.trace, now(), me_.value, id, voter.value);
   std::size_t votes = requires_.vote(id, voter);
   if (votes >= config_.quorum() && !in_eligible_.contains(id)) {
     in_eligible_.insert(id);
-    eligible_.push_back(id);
+    batch_.push(id, now());
   }
   try_propose();
 }
 
 void SmartPrReplica::handle_forward(const msg::Forward& forward) {
   for (const msg::Request& request : forward.requests) {
-    if (already_executed(request.id) || requests_.contains(request.id)) continue;
+    if (clients_.executed(request.id) || requests_.contains(request.id)) continue;
     accept_request(request.id, request.command, /*client_issued=*/false);
   }
 }
@@ -155,7 +154,7 @@ void SmartPrReplica::arm_forward_timer(RequestId id) {
 }
 
 void SmartPrReplica::forward_request(RequestId id) {
-  if (already_executed(id)) return;
+  if (clients_.executed(id)) return;
   auto it = requests_.find(id);
   if (it == requests_.end()) return;
   auto forward = std::make_shared<msg::Forward>();
@@ -177,23 +176,9 @@ void SmartPrReplica::forward_request(RequestId id) {
   arm_forward_timer(id);
 }
 
-void SmartPrReplica::cache_rejected(RequestId id, std::vector<std::byte> command) {
-  if (config_.rejected_cache_size == 0) return;
-  if (rejected_index_.contains(id)) return;
-  rejected_lru_.emplace_front(id, std::move(command));
-  rejected_index_[id] = rejected_lru_.begin();
-  while (rejected_lru_.size() > config_.rejected_cache_size) {
-    rejected_index_.erase(rejected_lru_.back().first);
-    rejected_lru_.pop_back();
-  }
-}
-
 const std::vector<std::byte>* SmartPrReplica::find_command(RequestId id) const {
   if (auto it = requests_.find(id); it != requests_.end()) return &it->second;
-  if (auto it = rejected_index_.find(id); it != rejected_index_.end()) {
-    return &it->second->second;
-  }
-  return nullptr;
+  return rejected_.find(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -203,39 +188,39 @@ const std::vector<std::byte>* SmartPrReplica::find_command(RequestId id) const {
 
 void SmartPrReplica::try_propose() {
   if (!is_leader()) return;
-  const std::uint64_t window_end = next_exec_ + config_.window_size;
-  while (!eligible_.empty() && next_sqn_ < window_end) {
+  const std::uint64_t window_end = log_.next_exec() + config_.window_size;
+  while (!batch_.empty() && next_sqn_ < window_end) {
+    if (!batch_.ready(now())) {
+      arm_batch_timer();
+      break;
+    }
     std::vector<msg::Request> batch;
-    std::deque<RequestId> deferred;
-    while (!eligible_.empty() && batch.size() < config_.batch_max) {
-      RequestId id = eligible_.front();
-      eligible_.pop_front();
-      if (already_executed(id) || proposed_.contains(id)) {
+    batch_.cut([&](RequestId id) {
+      if (clients_.executed(id) || proposed_.contains(id)) {
         in_eligible_.erase(id);
-        continue;
+        return core::BatchPipeline<RequestId>::Verdict::Drop;
       }
       const std::vector<std::byte>* body = find_command(id);
       if (body == nullptr) {
         // Required by f+1 replicas but the body has not reached us yet;
         // the forwarding mechanism will deliver it. Keep it eligible.
-        deferred.push_back(id);
-        continue;
+        return core::BatchPipeline<RequestId>::Verdict::Defer;
       }
       in_eligible_.erase(id);
       proposed_.insert(id);
       requires_.erase(id);
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Proposed, me_.value, id, next_sqn_);
+      core::lifecycle::proposed(config_.trace, now(), me_.value, id, next_sqn_);
       batch.emplace_back(id, *body);
-    }
-    for (RequestId id : deferred) eligible_.push_back(id);
+      return core::BatchPipeline<RequestId>::Verdict::Take;
+    });
     if (batch.empty()) break;
 
-    Instance& inst = instances_[next_sqn_];
+    Instance& inst = log_.at(next_sqn_);
     inst.requests = batch;
     inst.has_binding = true;
     inst.own_write_sent = true;
     inst.write_votes.insert(me_.value);
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, next_sqn_);
+    core::lifecycle::propose_received(config_.trace, now(), me_.value, next_sqn_);
 
     auto propose = std::make_shared<msg::SmartPropose>();
     propose->view = view_;
@@ -249,12 +234,21 @@ void SmartPrReplica::try_propose() {
   try_execute();
 }
 
+void SmartPrReplica::arm_batch_timer() {
+  // Only reachable with batch_min > 1 and a nonzero flush delay.
+  if (batch_timer_.valid()) return;
+  batch_timer_ = set_timer(batch_.delay_until_ready(now()), [this] {
+    batch_timer_ = sim::TimerId{};
+    try_propose();
+  });
+}
+
 void SmartPrReplica::handle_propose(const msg::SmartPropose& propose) {
   const std::uint64_t sqn = propose.sqn.value;
-  if (sqn < next_exec_) {
+  if (sqn < log_.next_exec()) {
     // Retransmission for an executed instance: the sender lost our votes;
     // repeat WRITE and ACCEPT (idempotent) so it can catch up.
-    if (instances_.contains(sqn)) {
+    if (log_.contains(sqn)) {
       auto write = std::make_shared<msg::SmartWrite>();
       write->from = me_;
       write->view = propose.view;
@@ -268,11 +262,11 @@ void SmartPrReplica::handle_propose(const msg::SmartPropose& propose) {
     }
     return;
   }
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (!inst.has_binding) {
     inst.requests = propose.requests;
     inst.has_binding = true;
-    IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ProposeReceived, me_.value, sqn);
+    core::lifecycle::propose_received(config_.trace, now(), me_.value, sqn);
   }
   inst.write_votes.insert(consensus::leader_of(propose.view, config_.n).value);
   auto write = std::make_shared<msg::SmartWrite>();
@@ -295,15 +289,15 @@ void SmartPrReplica::handle_propose(const msg::SmartPropose& propose) {
 
 void SmartPrReplica::handle_write(const msg::SmartWrite& write) {
   const std::uint64_t sqn = write.sqn.value;
-  if (sqn < next_exec_) return;
-  Instance& inst = instances_[sqn];
+  if (sqn < log_.next_exec()) return;
+  Instance& inst = log_.at(sqn);
   inst.write_votes.insert(write.from.value);
   maybe_advance(sqn);
   try_execute();
 }
 
 void SmartPrReplica::maybe_advance(std::uint64_t sqn) {
-  Instance& inst = instances_[sqn];
+  Instance& inst = log_.at(sqn);
   if (inst.write_votes.size() >= config_.quorum() && !inst.own_accept_sent) {
     auto accept = std::make_shared<msg::SmartAccept>();
     accept->from = me_;
@@ -317,15 +311,14 @@ void SmartPrReplica::maybe_advance(std::uint64_t sqn) {
 }
 
 void SmartPrReplica::note_accept_quorum(std::uint64_t sqn, Instance& inst) {
-  if (inst.quorum_traced || inst.accept_votes.size() < config_.quorum()) return;
-  inst.quorum_traced = true;
-  IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::CommitQuorum, me_.value, sqn);
+  core::lifecycle::decision_quorum(config_.trace, now(), me_.value, sqn, inst,
+                                   inst.accept_votes.size(), config_.quorum());
 }
 
 void SmartPrReplica::handle_accept(const msg::SmartAccept& accept) {
   const std::uint64_t sqn = accept.sqn.value;
-  if (sqn < next_exec_) return;
-  Instance& inst = instances_[sqn];
+  if (sqn < log_.next_exec()) return;
+  Instance& inst = log_.at(sqn);
   inst.accept_votes.insert(accept.from.value);
   note_accept_quorum(sqn, inst);
   try_execute();
@@ -333,25 +326,23 @@ void SmartPrReplica::handle_accept(const msg::SmartAccept& accept) {
 
 void SmartPrReplica::try_execute() {
   for (;;) {
-    auto it = instances_.find(next_exec_);
-    if (it == instances_.end()) return;
-    Instance& inst = it->second;
-    if (!inst.has_binding || inst.executed) return;
-    if (inst.accept_votes.size() < config_.quorum()) return;
+    Instance* inst = log_.head();
+    if (inst == nullptr) return;
+    if (!inst->has_binding || inst->executed) return;
+    if (inst->accept_votes.size() < config_.quorum()) return;
 
-    for (const msg::Request& request : inst.requests) {
+    for (const msg::Request& request : inst->requests) {
       const RequestId id = request.id;
-      if (already_executed(id)) {
+      if (clients_.executed(id)) {
         ++stats_.duplicates_skipped;
         continue;
       }
       charge(config_.costs.apply_jitter(sm_->execution_cost(request.command), cost_rng_));
       std::vector<std::byte> result = sm_->execute(request.command);
       ++stats_.executed;
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::Executed, me_.value, id, next_exec_);
-      last_exec_[id.cid.value] = id.onr.value;
+      core::lifecycle::executed(config_.trace, now(), me_.value, id, log_.next_exec());
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
-      last_reply_[id.cid.value] = reply;
+      clients_.record(id, reply);
       // Free the intake slot and stop the forwarding of this request.
       active_.erase(id);
       requests_.erase(id);
@@ -360,15 +351,12 @@ void SmartPrReplica::try_execute() {
         forward_timers_.erase(timer_it);
       }
       send(consensus::client_address(id.cid), reply);
-      IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::ReplySent, me_.value, id);
-      if (on_execute) on_execute(SeqNum{next_exec_}, id);
+      core::lifecycle::reply_sent(config_.trace, now(), me_.value, id);
+      if (on_execute) on_execute(SeqNum{log_.next_exec()}, id);
     }
-    inst.executed = true;
-    if (next_exec_ >= 2 * config_.window_size) {
-      instances_.erase(instances_.begin(),
-                       instances_.lower_bound(next_exec_ - 2 * config_.window_size));
-    }
-    ++next_exec_;
+    inst->executed = true;
+    log_.gc_executed(config_.window_size);
+    log_.advance_head();
   }
 }
 
@@ -376,6 +364,7 @@ void SmartPrReplica::on_restart() {
   for (auto& [id, timer] : forward_timers_) cancel_timer(timer);
   forward_timers_.clear();
   cancel_timer(retransmit_timer_);
+  cancel_timer(batch_timer_);
   retransmit_tick();
 }
 
@@ -383,19 +372,18 @@ void SmartPrReplica::retransmit_tick() {
   retransmit_timer_ =
       set_timer(config_.retransmit_interval, [this] { retransmit_tick(); });
   if (!is_leader()) return;
-  auto it = instances_.find(next_exec_);
-  if (it == instances_.end() || !it->second.has_binding || it->second.executed) {
-    retransmit_watermark_ = UINT64_MAX;
+  Instance* head = log_.head();
+  if (head == nullptr || !head->has_binding || head->executed) {
+    retransmit_stall_.reset();
     return;
   }
-  if (retransmit_watermark_ == next_exec_) {
+  if (retransmit_stall_.stalled_at(log_.next_exec())) {
     auto propose = std::make_shared<msg::SmartPropose>();
     propose->view = view_;
-    propose->sqn = SeqNum{next_exec_};
-    propose->requests = it->second.requests;
+    propose->sqn = SeqNum{log_.next_exec()};
+    propose->requests = head->requests;
     multicast(std::move(propose));
   }
-  retransmit_watermark_ = next_exec_;
 }
 
 }  // namespace idem::smart

@@ -16,14 +16,15 @@
 //     rejected bodies stay in a cache, preserving IDEM's liveness
 //     guarantee (a request accepted anywhere eventually executes).
 // Clients use core::IdemClient: SMaRt clients already multicast, and the
-// reject-quorum semantics (Section 5.3) are protocol-independent.
+// reject-quorum semantics (Section 5.3) are protocol-independent. The
+// rejected cache is core::RejectedCache, which refreshes an entry on
+// repeat rejection — paper Section 4.5: a rejection is ambivalent until
+// all n replicas rejected, so the body of a request the client is still
+// retrying must not age out beneath it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <list>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,7 +33,12 @@
 #include "common/ids.hpp"
 #include "consensus/addresses.hpp"
 #include "consensus/quorum.hpp"
-#include "idem/acceptance.hpp"
+#include "core/acceptance.hpp"
+#include "core/batch_pipeline.hpp"
+#include "core/client_table.hpp"
+#include "core/ordered_log.hpp"
+#include "core/rejected_cache.hpp"
+#include "core/timers.hpp"
 #include "smart/replica.hpp"
 
 namespace idem::smart {
@@ -41,6 +47,11 @@ struct SmartPrConfig {
   std::size_t n = 3;
   std::size_t f = 1;
   std::size_t batch_max = 32;
+  /// Ordered-log batching (see core::BatchPipeline): cut once batch_min
+  /// requests are queued or the oldest waited batch_flush_delay. Defaults
+  /// (1, 0) cut immediately, i.e. legacy behavior.
+  std::size_t batch_min = 1;
+  Duration batch_flush_delay = 0;
   std::uint64_t window_size = 256;
   Duration retransmit_interval = 200 * kMillisecond;
   consensus::CostModel costs;
@@ -77,7 +88,7 @@ class SmartPrReplica final : public sim::Node {
   bool is_leader() const { return consensus::leader_of(view_, config_.n) == me_; }
   const SmartPrStats& stats() const { return stats_; }
   std::size_t active_requests() const { return active_.size(); }
-  SeqNum next_execute() const { return SeqNum{next_exec_}; }
+  SeqNum next_execute() const { return SeqNum{log_.next_exec()}; }
 
   app::StateMachine& state_machine() { return *sm_; }
 
@@ -90,16 +101,7 @@ class SmartPrReplica final : public sim::Node {
   Duration send_cost(const sim::Payload& message) const override;
 
  private:
-  struct Instance {
-    std::vector<msg::Request> requests;
-    bool has_binding = false;
-    bool own_write_sent = false;
-    bool own_accept_sent = false;
-    std::unordered_set<std::uint32_t> write_votes;
-    std::unordered_set<std::uint32_t> accept_votes;
-    bool executed = false;
-    bool quorum_traced = false;  ///< CommitQuorum trace event emitted once
-  };
+  using Instance = SmartSlot;  ///< agreement state shared with SmartReplica
 
   // Intake phase (IDEM, Section 4.3 / 5.1 / 5.2).
   void handle_request(const msg::Request& request);
@@ -108,12 +110,11 @@ class SmartPrReplica final : public sim::Node {
   void handle_forward(const msg::Forward& forward);
   void arm_forward_timer(RequestId id);
   void forward_request(RequestId id);
-  void cache_rejected(RequestId id, std::vector<std::byte> command);
   const std::vector<std::byte>* find_command(RequestId id) const;
-  bool already_executed(RequestId id) const;
 
   // Unmodified Mod-SMaRt-style agreement.
   void try_propose();
+  void arm_batch_timer();
   void handle_propose(const msg::SmartPropose& propose);
   void handle_write(const msg::SmartWrite& write);
   void handle_accept(const msg::SmartAccept& accept);
@@ -134,21 +135,19 @@ class SmartPrReplica final : public sim::Node {
   std::unordered_map<RequestId, std::vector<std::byte>> requests_;
   std::unordered_set<RequestId> active_;
   std::unordered_map<RequestId, sim::TimerId> forward_timers_;
-  std::list<std::pair<RequestId, std::vector<std::byte>>> rejected_lru_;
-  std::unordered_map<RequestId, decltype(rejected_lru_)::iterator> rejected_index_;
+  core::RejectedCache rejected_;
   consensus::QuorumTracker<RequestId> requires_;
-  std::deque<RequestId> eligible_;
+  core::BatchPipeline<RequestId> batch_;  ///< ids with an f+1 REQUIRE quorum
   std::unordered_set<RequestId> in_eligible_;
   std::unordered_set<RequestId> proposed_;
+  sim::TimerId batch_timer_;  ///< pending time-based batch cut
 
   // Agreement state.
-  std::map<std::uint64_t, Instance> instances_;
+  core::OrderedLog<Instance> log_;
   std::uint64_t next_sqn_ = 0;
-  std::uint64_t next_exec_ = 0;
-  std::unordered_map<std::uint64_t, std::uint64_t> last_exec_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const msg::Reply>> last_reply_;
+  core::ClientTable clients_;
   sim::TimerId retransmit_timer_;
-  std::uint64_t retransmit_watermark_ = UINT64_MAX;
+  core::StallWatermark retransmit_stall_;
 
   mutable Rng cost_rng_;
   SmartPrStats stats_;

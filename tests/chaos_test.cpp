@@ -43,6 +43,37 @@ TEST(Chaos, MiniSweepAcrossProtocolsPasses) {
   }
 }
 
+// A client whose request executed just before the leader crash retransmits
+// into the new view; the answer must come from the replicas' client-table
+// reply cache, never from a second execution. The execution-log
+// cross-invariants pin this: "executed twice" on any replica fails
+// exec_ok, and linearizability fails if a duplicate execution mutated
+// state. Inflight ops never time out here (op_timeout >> crash window),
+// so every op spanning the crash completes through retransmission.
+TEST(Chaos, RetransmitAfterLeaderCrashAnswersFromCache) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ChaosConfig config;
+    config.protocol = "idem";
+    config.seed = seed;
+    config.clients = 4;
+    config.ops_per_client = 20;
+    config.reject_threshold = 50;  // no rejection noise in this scenario
+    config.think_min = 10 * kMillisecond;
+    config.think_max = 60 * kMillisecond;
+    config.op_timeout = 10 * kSecond;
+    config.plan.faults = {
+        sim::Fault::crash(300 * kMillisecond, sim::Fault::kLeader),
+        sim::Fault::recover(1500 * kMillisecond),
+    };
+    ChaosResult result = check::run_chaos(config);
+    EXPECT_TRUE(result.exec_ok) << "seed " << seed << ": " << result.exec_error;
+    EXPECT_TRUE(result.check.linearizable) << "seed " << seed << ": " << result.check.error;
+    // The whole workload completes: nothing times out or stays open, so
+    // the ops inflight across the crash really were answered on retry.
+    EXPECT_EQ(result.ok, config.clients * config.ops_per_client) << "seed " << seed;
+  }
+}
+
 TEST(Chaos, ReplayIsDeterministic) {
   ChaosConfig config = small_config("idem", 7);
   ChaosResult first = check::run_chaos(config);

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "app/counter.hpp"
+#include "idem/acceptance.hpp"
 #include "idem/client.hpp"
 #include "idem/replica.hpp"
 #include "test_util.hpp"

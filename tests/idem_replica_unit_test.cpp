@@ -315,7 +315,7 @@ TEST(IdemReplicaUnit, ViewChangeMessageCarriesWindow) {
   EXPECT_EQ(viewchanges[0]->target.value, 1u);
   ASSERT_GE(viewchanges[0]->proposals.size(), 1u);
   EXPECT_EQ(viewchanges[0]->proposals[0].sqn.value, 0u);
-  EXPECT_EQ(viewchanges[0]->proposals[0].ids[0], req.id);
+  EXPECT_EQ(viewchanges[0]->proposals[0].items[0], req.id);
   // It also re-sends its REQUIREs to the prospective leader (replica 1 is
   // itself the leader of view 1 here, so nothing goes on the wire; the
   // stats record the view change instead).

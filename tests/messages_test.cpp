@@ -1,6 +1,8 @@
 // Round-trip and framing tests for every wire message type.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "consensus/messages.hpp"
 
 namespace idem::msg {
@@ -112,13 +114,13 @@ TEST(Messages, ViewChangeRoundTrip) {
   WindowEntry entry;
   entry.sqn = SeqNum{101};
   entry.view = ViewId{3};
-  entry.ids = {RequestId{ClientId{1}, OpNum{2}}, RequestId{ClientId{3}, OpNum{4}}};
+  entry.items = {RequestId{ClientId{1}, OpNum{2}}, RequestId{ClientId{3}, OpNum{4}}};
   m.proposals.push_back(entry);
   ViewChange back = round_trip(m);
   ASSERT_EQ(back.proposals.size(), 1u);
   EXPECT_EQ(back.proposals[0].sqn, entry.sqn);
   EXPECT_EQ(back.proposals[0].view, entry.view);
-  EXPECT_EQ(back.proposals[0].ids, entry.ids);
+  EXPECT_EQ(back.proposals[0].items, entry.items);
 }
 
 TEST(Messages, StateRequestRoundTrip) {
@@ -183,12 +185,12 @@ TEST(Messages, PaxosViewChangeRoundTrip) {
   PaxosWindowEntry entry;
   entry.sqn = SeqNum{11};
   entry.view = ViewId{1};
-  entry.requests.emplace_back(RequestId{ClientId{4}, OpNum{4}}, bytes_of("cmd"));
+  entry.items.emplace_back(RequestId{ClientId{4}, OpNum{4}}, bytes_of("cmd"));
   m.proposals.push_back(entry);
   PaxosViewChange back = round_trip(m);
   ASSERT_EQ(back.proposals.size(), 1u);
   EXPECT_EQ(back.proposals[0].view, ViewId{1});
-  EXPECT_EQ(back.proposals[0].requests[0].command, bytes_of("cmd"));
+  EXPECT_EQ(back.proposals[0].items[0].command, bytes_of("cmd"));
 }
 
 TEST(Messages, PaxosHeartbeatRoundTrip) {
@@ -216,6 +218,79 @@ TEST(Messages, SmartMessagesRoundTrip) {
   a.view = ViewId{0};
   a.sqn = SeqNum{1};
   EXPECT_EQ(round_trip(a).sqn, a.sqn);
+}
+
+// Randomized round-trips over the shared window-entry codec
+// (BasicWindowEntry<Item>): both instantiations, random shapes — empty
+// proposal lists, empty item lists, and odd body sizes included. The
+// fixed seed keeps failures reproducible.
+TEST(Messages, WindowEntryRandomRoundTrip) {
+  std::mt19937_64 rng(0xF00D);
+  for (int iter = 0; iter < 200; ++iter) {
+    ViewChange m;
+    m.from = ReplicaId{static_cast<std::uint32_t>(rng() % 7)};
+    m.target = ViewId{rng() % 1000};
+    m.window_start = SeqNum{rng() % 100000};
+    const std::size_t entries = rng() % 6;
+    for (std::size_t e = 0; e < entries; ++e) {
+      WindowEntry entry;
+      entry.sqn = SeqNum{rng()};
+      entry.view = ViewId{rng() % 1000};
+      const std::size_t items = rng() % 9;
+      for (std::size_t i = 0; i < items; ++i) {
+        entry.items.push_back(RequestId{ClientId{rng() % 512}, OpNum{rng() % 100000}});
+      }
+      m.proposals.push_back(std::move(entry));
+    }
+    ViewChange back = round_trip(m);
+    EXPECT_EQ(back.from, m.from);
+    EXPECT_EQ(back.target, m.target);
+    EXPECT_EQ(back.window_start, m.window_start);
+    ASSERT_EQ(back.proposals.size(), m.proposals.size());
+    for (std::size_t e = 0; e < m.proposals.size(); ++e) {
+      EXPECT_EQ(back.proposals[e].sqn, m.proposals[e].sqn);
+      EXPECT_EQ(back.proposals[e].view, m.proposals[e].view);
+      EXPECT_EQ(back.proposals[e].items, m.proposals[e].items);
+    }
+  }
+}
+
+TEST(Messages, PaxosWindowEntryRandomRoundTrip) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int iter = 0; iter < 200; ++iter) {
+    PaxosViewChange m;
+    m.from = ReplicaId{static_cast<std::uint32_t>(rng() % 7)};
+    m.target = ViewId{rng() % 1000};
+    m.window_start = SeqNum{rng() % 100000};
+    const std::size_t entries = rng() % 5;
+    for (std::size_t e = 0; e < entries; ++e) {
+      PaxosWindowEntry entry;
+      entry.sqn = SeqNum{rng()};
+      entry.view = ViewId{rng() % 1000};
+      const std::size_t items = rng() % 5;
+      for (std::size_t i = 0; i < items; ++i) {
+        std::vector<std::byte> command(rng() % 65);
+        for (std::byte& b : command) b = static_cast<std::byte>(rng());
+        entry.items.emplace_back(RequestId{ClientId{rng() % 512}, OpNum{rng() % 100000}},
+                                 std::move(command));
+      }
+      m.proposals.push_back(std::move(entry));
+    }
+    PaxosViewChange back = round_trip(m);
+    EXPECT_EQ(back.from, m.from);
+    EXPECT_EQ(back.target, m.target);
+    EXPECT_EQ(back.window_start, m.window_start);
+    ASSERT_EQ(back.proposals.size(), m.proposals.size());
+    for (std::size_t e = 0; e < m.proposals.size(); ++e) {
+      EXPECT_EQ(back.proposals[e].sqn, m.proposals[e].sqn);
+      EXPECT_EQ(back.proposals[e].view, m.proposals[e].view);
+      ASSERT_EQ(back.proposals[e].items.size(), m.proposals[e].items.size());
+      for (std::size_t i = 0; i < m.proposals[e].items.size(); ++i) {
+        EXPECT_EQ(back.proposals[e].items[i].id, m.proposals[e].items[i].id);
+        EXPECT_EQ(back.proposals[e].items[i].command, m.proposals[e].items[i].command);
+      }
+    }
+  }
 }
 
 TEST(Messages, DecodeRejectsUnknownType) {

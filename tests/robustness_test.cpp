@@ -109,7 +109,7 @@ sim::PayloadPtr random_message(Rng& rng, bool spoofing = true) {
         msg::WindowEntry entry;
         entry.sqn = SeqNum{rng.next_u64() % 128};
         entry.view = ViewId{rng.next_u64() % 6};
-        entry.ids = rand_ids();
+        entry.items = rand_ids();
         m->proposals.push_back(std::move(entry));
       }
       return m;

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "app/kv_store.hpp"
+#include "idem/acceptance.hpp"
 #include "idem/client.hpp"
 #include "idem/replica.hpp"
 #include "rpc/event_loop.hpp"

@@ -40,6 +40,7 @@ struct Options {
   std::size_t ops = 16;
   std::size_t keys = 3;
   std::size_t reject_threshold = 5;
+  std::size_t rejected_cache = 0;  ///< 0 = protocol default
   std::size_t max_faults = 4;
 };
 
@@ -60,6 +61,7 @@ void usage(const char* argv0) {
                "  --ops N            invokes per client          (default: 16)\n"
                "  --keys N           workload key-space size     (default: 3)\n"
                "  --rt N             reject threshold            (default: 5)\n"
+               "  --rejected-cache N rejected-cache capacity      (default: protocol)\n"
                "  --max-faults N     schedule size cap           (default: 4)\n"
                "  --emit DIR         sweep: write artifact JSON per run into DIR\n"
                "  --out FILE         replay/shrink: write resulting artifact to FILE\n",
@@ -112,6 +114,9 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--rt")) {
       if ((v = value()) == nullptr) return std::nullopt;
       options.reject_threshold = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--rejected-cache")) {
+      if ((v = value()) == nullptr) return std::nullopt;
+      options.rejected_cache = std::strtoul(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--max-faults")) {
       if ((v = value()) == nullptr) return std::nullopt;
       options.max_faults = std::strtoul(v, nullptr, 10);
@@ -161,6 +166,7 @@ check::ChaosConfig sweep_config(const Options& options, std::size_t i) {
   config.ops_per_client = options.ops;
   config.keys = options.keys;
   config.reject_threshold = options.reject_threshold;
+  config.rejected_cache = options.rejected_cache;
 
   check::PlanGenConfig gen;
   gen.max_faults = options.max_faults;

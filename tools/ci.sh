@@ -9,9 +9,9 @@
 #               suite instrumented, and print a line-coverage summary
 #               (gcovr when available, raw gcov totals otherwise)
 #
-# Build dirs: build/ (plain), build-asan/ (address,undefined), build-tsan/
-# (thread), build-cov/ (coverage). All are cmake-standard and safe to
-# delete.
+# Build dirs: build/ (plain), build-api/ (isolated protocol-library builds),
+# build-asan/ (address,undefined), build-tsan/ (thread), build-cov/
+# (coverage). All are cmake-standard and safe to delete.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +32,25 @@ cmake --build build -j "${JOBS}"
 
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "${JOBS}")
+
+# Layering check for the replication core: protocol libraries are policy
+# layers over src/core and must not reach into each other. Enforced two
+# ways: an include grep (fast, catches header-only leaks) and an isolated
+# build of each protocol target (its dependency closure is core + the
+# shared lower layers only, so a stray cross-protocol dependency fails).
+echo "== core_api_check: no cross-protocol includes =="
+if grep -rn '#include "' src/idem src/paxos src/smart src/core \
+    | grep -E '"(idem|paxos|smart)/' \
+    | grep -vE 'src/idem/[^:]*:.*"idem/|src/paxos/[^:]*:.*"paxos/|src/smart/[^:]*:.*"smart/'; then
+  echo "core_api_check FAILED: cross-protocol include found" >&2
+  exit 1
+fi
+
+echo "== core_api_check: isolated protocol builds =="
+cmake -B build-api -S . >/dev/null
+for target in idem_replication idem_core idem_paxos idem_smart; do
+  cmake --build build-api -j "${JOBS}" --target "${target}"
+done
 
 if [[ "${FAST}" -eq 0 ]]; then
   # Time-boxed randomized sweep: N fresh seeds per protocol, linearizability
@@ -94,6 +113,13 @@ trap 'rm -f "${TRACE_TMP}"' EXIT
 
 echo "== bench: sim-core smoke =="
 IDEM_SIMCORE_SMOKE=1 IDEM_SIMCORE_JSON=/dev/null ./build/bench/micro_simcore
+
+# Batching sweep: batch 1/4/16 load sweep writing BENCH_batching.json. The
+# binary itself asserts the shape (batch >= 4 saturates higher than batch 1,
+# rejects still appear at 4x load) and exits nonzero when it does not hold.
+echo "== bench: fig6 batching sweep =="
+IDEM_BENCH_SECONDS=1 IDEM_BENCH_WARMUP=0.3 IDEM_BATCHING_JSON=BENCH_batching.json \
+    ./build/bench/fig6_batching
 
 if [[ "${COVERAGE}" -eq 1 ]]; then
   echo "== coverage: instrumented build =="
