@@ -13,7 +13,10 @@
 //
 // Environment knobs: IDEM_BENCH_SECONDS (default 2), IDEM_BENCH_WARMUP
 // (default 0.5), IDEM_REAL_RT (reject threshold, default 8),
-// IDEM_REAL_CLIENTS (comma list overriding the sweep).
+// IDEM_REAL_CLIENTS (comma list overriding the sweep). The measured and
+// warm-up spans can also be set on the command line (--measure-seconds S,
+// --warmup S), which wins over the environment.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,13 +60,31 @@ struct RealPoint {
   double p90_ms = 0;
   double p99_ms = 0;
   double mean_ms = 0;
+  double reject_p99_ms = 0;  ///< reject-notification tail (0 when no rejects)
 };
 
 }  // namespace
 
-int main() {
-  const auto warmup = static_cast<Duration>(env_double("IDEM_BENCH_WARMUP", 0.5) * kSecond);
-  const auto measure = static_cast<Duration>(env_double("IDEM_BENCH_SECONDS", 2.0) * kSecond);
+int main(int argc, char** argv) {
+  double warmup_sec = env_double("IDEM_BENCH_WARMUP", 0.5);
+  double measure_sec = env_double("IDEM_BENCH_SECONDS", 2.0);
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (!std::strcmp(argv[i], "--measure-seconds")) {
+      if (const char* v = value()) measure_sec = std::atof(v);
+    } else if (!std::strcmp(argv[i], "--warmup")) {
+      if (const char* v = value()) warmup_sec = std::atof(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--measure-seconds S] [--warmup S]\n"
+                   "(env: IDEM_BENCH_SECONDS, IDEM_BENCH_WARMUP, IDEM_REAL_RT,"
+                   " IDEM_REAL_CLIENTS, IDEM_REAL_JSON)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const auto warmup = static_cast<Duration>(warmup_sec * kSecond);
+  const auto measure = static_cast<Duration>(measure_sec * kSecond);
   const auto reject_threshold =
       static_cast<std::size_t>(env_double("IDEM_REAL_RT", 8));
   const std::vector<std::size_t> client_counts = client_sweep();
@@ -75,7 +96,7 @@ int main() {
               reject_threshold);
 
   harness::Table table({"clients", "throughput[kreq/s]", "latency[ms]", "p50[ms]", "p90[ms]",
-                        "p99[ms]", "rejects[kreq/s]"});
+                        "p99[ms]", "rejects[kreq/s]", "reject p99[ms]"});
   std::vector<RealPoint> points;
   for (std::size_t clients : client_counts) {
     real::RealClusterConfig config;
@@ -109,20 +130,54 @@ int main() {
     point.p90_ms = to_ms(stats.reply_latency.p90());
     point.p99_ms = to_ms(stats.reply_latency.p99());
     point.mean_ms = stats.reply_latency.mean() / static_cast<double>(kMillisecond);
+    if (stats.rejects > 0) point.reject_p99_ms = to_ms(stats.reject_latency.p99());
     points.push_back(point);
 
     table.add_row({harness::Table::fmt(std::uint64_t(clients)),
                    harness::Table::fmt(point.reply_kops), harness::Table::fmt(point.mean_ms, 3),
                    harness::Table::fmt(point.p50_ms, 3), harness::Table::fmt(point.p90_ms, 3),
                    harness::Table::fmt(point.p99_ms, 3),
-                   harness::Table::fmt(point.reject_kops)});
+                   harness::Table::fmt(point.reject_kops),
+                   harness::Table::fmt(point.reject_p99_ms, 3)});
   }
   table.print();
 
-  std::printf("\nshape checks:\n"
-              " - p50 latency stays flat while clients <= r (no queueing below saturation)\n"
-              " - rejections engage once concurrent clients exceed r = %zu\n",
-              reject_threshold);
+  // Shape assertions — machine-independent (all ratios, no absolute
+  // rates), so they hold on any host where the relative Figure 6 shape
+  // survives. Three ways overload handling can rot, each caught here:
+  // queueing delay leaking into latency (p50 blow-up), proactive
+  // rejection never engaging past the knee, and the goodput collapse
+  // (served throughput falling off a cliff once rejects start).
+  bool shape_ok = true;
+  auto check = [&shape_ok](bool ok, const char* what) {
+    std::printf(" - %s %s\n", ok ? "ok  " : "FAIL", what);
+    if (!ok) shape_ok = false;
+  };
+  double peak_kops = 0;
+  double floor_p50 = points.front().p50_ms;
+  double worst_p50 = 0;
+  double min_over_kops = -1;
+  bool rejects_past_knee = false;
+  for (const RealPoint& p : points) {
+    peak_kops = std::max(peak_kops, p.reply_kops);
+    worst_p50 = std::max(worst_p50, p.p50_ms);
+    if (p.clients > reject_threshold) {
+      if (p.reject_kops > 0) rejects_past_knee = true;
+      if (min_over_kops < 0 || p.reply_kops < min_over_kops) min_over_kops = p.reply_kops;
+    }
+  }
+  std::printf("\nshape checks (r = %zu):\n", reject_threshold);
+  check(worst_p50 <= 5.0 * floor_p50,
+        "p50 stays flat through overload (worst <= 5x the 1-client floor)");
+  if (min_over_kops >= 0) {
+    check(rejects_past_knee, "rejections engage once concurrent clients exceed r");
+    check(min_over_kops >= 0.5 * peak_kops,
+          "goodput holds past the knee (every overloaded point >= 50% of peak)");
+  }
+  if (!shape_ok) {
+    std::fprintf(stderr, "fig6_real: shape check failed\n");
+    return 1;
+  }
 
   const char* path = std::getenv("IDEM_REAL_JSON");
   if (path == nullptr || *path == '\0') path = "BENCH_real.json";
@@ -143,9 +198,10 @@ int main() {
     const RealPoint& p = points[i];
     std::fprintf(f,
                  "    {\"clients\": %zu, \"reply_kops\": %.3f, \"reject_kops\": %.3f,"
-                 " \"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 " \"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f,"
+                 " \"reject_p99_ms\": %.4f}%s\n",
                  p.clients, p.reply_kops, p.reject_kops, p.mean_ms, p.p50_ms, p.p90_ms,
-                 p.p99_ms, i + 1 < points.size() ? "," : "");
+                 p.p99_ms, p.reject_p99_ms, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "core/executor.hpp"
 #include "core/lifecycle.hpp"
 
 namespace idem::core {
@@ -79,7 +80,10 @@ void IdemReplica::on_message(sim::NodeId from, const sim::Payload& message) {
       break;
     case msg::Type::Require: {
       const auto& require = static_cast<const msg::Require&>(*base);
-      for (RequestId id : require.ids) note_require(require.from, id);
+      for (RequestId id : require.ids) {
+        maybe_adopt_required(id);
+        note_require(require.from, id);
+      }
       break;
     }
     case msg::Type::Propose:
@@ -124,6 +128,10 @@ void IdemReplica::handle_request(const msg::Request& request) {
     return;
   }
 
+  // This request is proof that every lower-numbered operation of the same
+  // client is resolved — reclaim any their abandoned copies still hold.
+  if (config_.release_superseded) release_superseded(id);
+
   if (requests_.contains(id)) return;  // already accepted; agreement is underway
 
   // A previously rejected request (still cached) is re-tested below: the
@@ -141,6 +149,37 @@ void IdemReplica::handle_request(const msg::Request& request) {
   } else {
     lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
     reject_request(request);
+  }
+}
+
+void IdemReplica::release_superseded(RequestId newer) {
+  // Clients issue one operation at a time: an incoming (cid, onr) means
+  // every (cid, onr' < onr) is resolved from the client's point of view.
+  // One of those may still sit in active_ here — accepted by this replica,
+  // rejected by enough others that the client gave up — where it can never
+  // be executed or replied to (the client table supersedes it the moment
+  // the newer operation executes, and forward/REQUIRE/propose all drop
+  // superseded ids). Erase it so it stops counting against r_now; keep the
+  // body findable through the rejected cache in case a concurrent binding
+  // still FETCHes it.
+  std::vector<RequestId> stale;  // active_ is capped at r, so the sweep is O(r)
+  for (const RequestId& id : active_) {
+    if (id.cid == newer.cid && id.onr.value < newer.onr.value) stale.push_back(id);
+  }
+  for (const RequestId& id : stale) {
+    active_.erase(id);
+    if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
+      cancel_timer(timer_it->second);
+      forward_timers_.erase(timer_it);
+    }
+    // A proposed id is bound to an instance: execution still needs the
+    // body under requests_, and execute_instance does its own cleanup.
+    if (auto body_it = requests_.find(id);
+        body_it != requests_.end() && !proposed_.contains(id)) {
+      rejected_.insert(id, std::move(body_it->second));
+      requests_.erase(body_it);
+    }
+    ++stats_.superseded_released;
   }
 }
 
@@ -200,6 +239,20 @@ void IdemReplica::flush_requires() {
 // Agreement
 // ---------------------------------------------------------------------------
 
+void IdemReplica::maybe_adopt_required(RequestId id) {
+  if (!config_.require_adoption) return;
+  if (requests_.contains(id) || clients_.executed(id) || proposed_.contains(id)) return;
+  const std::vector<std::byte>* body = rejected_.find(id);
+  if (body == nullptr) return;
+  // The REQUIRE proves another replica accepted this request, so it must be
+  // ordered regardless of our verdict — exactly the FORWARD-acceptance
+  // argument, minus the forward-timeout wait. Non-client-issued: adoption
+  // must not consume an r_now slot. (*body is copied into the argument
+  // before accept_request evicts it from the cache.)
+  accept_request(id, *body, /*client_issued=*/false);
+  ++stats_.requires_adopted;
+}
+
 void IdemReplica::note_require(ReplicaId voter, RequestId id) {
   if (clients_.executed(id)) return;
   if (proposed_.contains(id)) return;
@@ -209,6 +262,18 @@ void IdemReplica::note_require(ReplicaId voter, RequestId id) {
     in_eligible_.insert(id);
     batch_.push(id, now());
     arm_progress_timer();
+  }
+  if (config_.defer_propose) {
+    // Collect every quorum completed in this scheduling step into one
+    // PROPOSE: the zero-delay timer fires after the step's input batch is
+    // drained but before the loop sleeps, so batching costs no latency.
+    if (!propose_cut_timer_.valid()) {
+      propose_cut_timer_ = set_timer(0, [this] {
+        propose_cut_timer_ = sim::TimerId{};
+        try_propose();
+      });
+    }
+    return;
   }
   try_propose();
 }
@@ -330,7 +395,11 @@ void IdemReplica::handle_propose(const msg::Propose& propose) {
     commit->view = inst.view;
     commit->sqn = SeqNum{sqn};
     commit->ids = inst.ids;
-    multicast(std::move(commit));
+    if (config_.commit_to_leader_only && config_.f == 1 && !is_leader()) {
+      send_to_leader(std::move(commit));
+    } else {
+      multicast(std::move(commit));
+    }
     inst.own_commit_sent = true;
     inst.commit_votes.insert(me_.value);
   }
@@ -358,7 +427,11 @@ void IdemReplica::handle_commit(const msg::Commit& commit) {
     own->view = inst.view;
     own->sqn = SeqNum{sqn};
     own->ids = inst.ids;
-    multicast(std::move(own));
+    if (config_.commit_to_leader_only && config_.f == 1 && !is_leader()) {
+      send_to_leader(std::move(own));
+    } else {
+      multicast(std::move(own));
+    }
     inst.own_commit_sent = true;
     inst.commit_votes.insert(me_.value);
   }
@@ -396,6 +469,9 @@ bool IdemReplica::fetch_missing(std::uint64_t sqn, Instance& inst) {
 }
 
 void IdemReplica::try_execute() {
+  // While the executor holds the head instance, execution order is already
+  // pinned; we resume from finish_async_execute.
+  if (exec_inflight_) return;
   for (;;) {
     auto it = log_.slots().find(log_.next_exec());
     if (it == log_.slots().end()) return;
@@ -420,11 +496,75 @@ void IdemReplica::try_execute() {
       return;
     }
 
+    if (config_.executor != nullptr) {
+      begin_async_execute(log_.next_exec(), inst);
+      return;
+    }
     execute_instance(log_.next_exec(), inst);
     maybe_checkpoint(log_.next_exec());
     log_.advance_head();
     note_progress();
   }
+}
+
+void IdemReplica::begin_async_execute(std::uint64_t sqn, Instance& inst) {
+  // Duplicates are filtered at submission (nothing can execute them in the
+  // meantime: only this path executes, and only one instance is in
+  // flight). Command bodies are copied because find_command may point into
+  // the rejected cache, which evicts under LRU while the executor runs.
+  exec_ids_.clear();
+  std::vector<std::vector<std::byte>> commands;
+  for (RequestId id : inst.ids) {
+    if (clients_.executed(id)) {
+      ++stats_.duplicates_skipped;
+      continue;
+    }
+    const std::vector<std::byte>* command = find_command(id);
+    assert(command != nullptr);
+    exec_ids_.push_back(id);
+    commands.push_back(*command);
+  }
+  exec_inflight_ = true;
+  ++stats_.exec_offloaded;
+  config_.executor->execute(
+      *sm_, std::move(commands),
+      [this, sqn](std::vector<std::vector<std::byte>> results) {
+        finish_async_execute(sqn, std::move(results));
+      });
+}
+
+void IdemReplica::finish_async_execute(std::uint64_t sqn,
+                                       std::vector<std::vector<std::byte>> results) {
+  exec_inflight_ = false;
+  assert(sqn == log_.next_exec());
+  auto it = log_.slots().find(sqn);
+  assert(it != log_.slots().end());
+  Instance& inst = it->second;
+
+  assert(results.size() == exec_ids_.size());
+  for (std::size_t i = 0; i < exec_ids_.size(); ++i) {
+    RequestId id = exec_ids_[i];
+    ++stats_.executed;
+    lifecycle::executed(config_.trace, now(), me_.value, id, sqn);
+    auto reply = std::make_shared<const msg::Reply>(id, std::move(results[i]));
+    clients_.record(id, reply);
+    active_.erase(id);
+    if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
+      cancel_timer(timer_it->second);
+      forward_timers_.erase(timer_it);
+    }
+    if (is_leader()) {
+      reply_to_client(id.cid, reply);
+      lifecycle::reply_sent(config_.trace, now(), me_.value, id);
+    }
+    if (on_execute) on_execute(SeqNum{sqn}, id);
+  }
+  exec_ids_.clear();
+  inst.executed = true;
+  maybe_checkpoint(sqn);
+  log_.advance_head();
+  note_progress();
+  try_execute();
 }
 
 void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
@@ -607,6 +747,9 @@ void IdemReplica::handle_state_response(const msg::StateResponse& response) {
   // unsolicited or duplicate checkpoints must not be able to replace
   // state (a replica never needs state it did not request).
   if (!state_transfer_pending_ || response.from != state_transfer_source_) return;
+  // restore() while the executor runs would race the state machine; keep
+  // the latch set and let the retry timer ask again once execution drains.
+  if (exec_inflight_) return;
   state_transfer_pending_ = false;
   if (response.upto.value < log_.next_exec()) return;  // stale; we caught up meanwhile
   try {

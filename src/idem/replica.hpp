@@ -61,6 +61,9 @@ struct ReplicaStats {
   std::uint64_t view_changes = 0;
   std::uint64_t checkpoints_created = 0;
   std::uint64_t state_transfers = 0;
+  std::uint64_t exec_offloaded = 0;   ///< instances handed to the async executor
+  std::uint64_t requires_adopted = 0;  ///< rejected bodies adopted on REQUIRE evidence
+  std::uint64_t superseded_released = 0;  ///< abandoned active slots released
 };
 
 class IdemReplica final : public sim::Node {
@@ -111,12 +114,14 @@ class IdemReplica final : public sim::Node {
 
   // -- request intake ------------------------------------------------------
   void handle_request(const msg::Request& request);
+  void release_superseded(RequestId newer);
   void accept_request(RequestId id, std::vector<std::byte> command, bool client_issued);
   void reject_request(const msg::Request& request);
   void queue_require(RequestId id);
   void flush_requires();
 
   // -- agreement -----------------------------------------------------------
+  void maybe_adopt_required(RequestId id);
   void note_require(ReplicaId voter, RequestId id);
   void try_propose();
   void arm_batch_timer();
@@ -132,6 +137,12 @@ class IdemReplica final : public sim::Node {
   bool fetch_missing(std::uint64_t sqn, Instance& inst);
   void try_execute();
   void execute_instance(std::uint64_t sqn, Instance& instance);
+  // Async execution (config_.executor set): the head instance's commands
+  // are copied out and handed to the executor; the completion callback
+  // replays execute_instance's bookkeeping on the runtime thread and
+  // resumes try_execute. At most one instance is in flight.
+  void begin_async_execute(std::uint64_t sqn, Instance& instance);
+  void finish_async_execute(std::uint64_t sqn, std::vector<std::vector<std::byte>> results);
 
   // -- availability (Section 5.2) -------------------------------------------
   void handle_forward(const msg::Forward& forward);
@@ -194,12 +205,18 @@ class IdemReplica final : public sim::Node {
   std::unordered_set<RequestId> proposed_;
   std::uint64_t next_sqn_ = 0;
   sim::TimerId batch_timer_;  ///< pending time-based batch cut
+  sim::TimerId propose_cut_timer_;  ///< pending deferred cut (defer_propose)
 
   // Consensus instances, window [log_.low(), log_.low() + w).
   OrderedLog<Instance> log_;
 
   // Execution results for duplicate suppression and re-replies.
   ClientTable clients_;
+
+  // Async execution state: the instance in flight on the executor, and the
+  // ids it is executing (already filtered for duplicates).
+  bool exec_inflight_ = false;
+  std::vector<RequestId> exec_ids_;
 
   consensus::CheckpointStore checkpoints_;
   bool state_transfer_pending_ = false;

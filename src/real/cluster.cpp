@@ -18,9 +18,18 @@ RealCluster::RealCluster(RealClusterConfig config)
   // for however long it actually takes, so the simulated CPU charges and
   // their jitter/straggler knobs must be off.
   idem_.costs = consensus::CostModel{0, 0.0, 0, 0.0, 0.0, 0.0, 1.0};
-  // Flush REQUIREs inline — the real loop's timer granularity (~1 ms) is
-  // far coarser than the sim's 50 us aggregation window.
-  idem_.require_batch_max = 1;
+  // REQUIRE flushes and leader batch cuts happen at end-of-iteration by
+  // default (zero-delay timers fire after the iteration's I/O phase): one
+  // recv burst of accepts leaves as one REQUIRE, one burst of quorums as
+  // one PROPOSE, without adding wall-clock latency anywhere.
+  if (config_.require_batch_max != 0) {
+    idem_.require_batch_max = config_.require_batch_max;
+    idem_.require_flush_interval = config_.require_flush_interval;
+  }
+  idem_.defer_propose = config_.defer_propose;
+  idem_.commit_to_leader_only = config_.commit_to_leader_only;
+  idem_.require_adoption = config_.require_adoption;
+  idem_.release_superseded = config_.release_superseded;
 
   members_.resize(config_.n);
   for (std::size_t i = 0; i < config_.n; ++i) {
@@ -35,10 +44,21 @@ RealCluster::RealCluster(RealClusterConfig config)
       member.trace = std::make_unique<obs::TraceRecorder>(config_.trace_capacity);
       replica_config.trace = member.trace.get();
     }
+    if (config_.execution_thread) {
+      member.executor = std::make_unique<ExecutionThread>(member.runtime->loop());
+      replica_config.executor = member.executor.get();
+    }
     member.replica = std::make_unique<core::IdemReplica>(
         *member.runtime, member.runtime->transport(),
         ReplicaId{static_cast<std::uint32_t>(i)}, replica_config, make_store(),
         core::make_default_acceptance(replica_config, config_.expected_clients));
+    if (config_.inline_dispatch) member.replica->set_inline_dispatch(true);
+    if (config_.peer_priority) {
+      // Agreement traffic ahead of the client-REQUEST flood: the sender id
+      // distinguishes the two, replicas live below kClientAddressBase.
+      member.replica->set_urgent_classifier(
+          [](sim::NodeId from) { return !consensus::is_client_address(from); });
+    }
     member.port = member.runtime->transport().port_of(
         consensus::replica_address(ReplicaId{static_cast<std::uint32_t>(i)}));
 
@@ -120,9 +140,13 @@ void RealCluster::crash_replica(std::size_t index) {
   if (member.crashed) return;
   member.runtime->stop();
   // Loop thread is gone; reading and tearing down on this thread is safe.
+  // The executor joins before the replica dies — a completion it posted to
+  // the stopped loop is never run.
+  if (member.executor) member.executor->stop();
   member.final_stats = member.replica->stats();
   member.final_transport = member.runtime->transport().stats();
   if (member.ticker) member.ticker->stop();
+  member.executor.reset();
   member.replica.reset();   // unregisters from the transport
   member.runtime.reset();   // closes all sockets: peers see a crash
   member.port = 0;

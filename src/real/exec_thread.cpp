@@ -1,0 +1,69 @@
+#include "real/exec_thread.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace idem::real {
+
+ExecutionThread::ExecutionThread(rpc::EventLoop& loop) : loop_(loop) {
+  worker_ = std::thread([this] { worker_main(); });
+}
+
+ExecutionThread::~ExecutionThread() { stop(); }
+
+void ExecutionThread::execute(app::StateMachine& sm,
+                              std::vector<std::vector<std::byte>> commands, Done done) {
+  Job job;
+  job.sm = &sm;
+  job.commands = std::move(commands);
+  job.done = std::move(done);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One-in-flight contract (core/executor.hpp): the previous completion
+    // must have run on the loop before the next submit.
+    assert(!slot_.has_value());
+    slot_.emplace(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+void ExecutionThread::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      if (worker_.joinable()) worker_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  wake_.notify_one();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ExecutionThread::worker_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return slot_.has_value() || stopping_; });
+      if (!slot_.has_value()) return;  // stopping with an empty slot
+      job = std::move(*slot_);
+      slot_.reset();
+    }
+    std::vector<std::vector<std::byte>> results;
+    results.reserve(job.commands.size());
+    for (const std::vector<std::byte>& command : job.commands) {
+      results.push_back(job.sm->execute(command));
+    }
+    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+    // Hand the results back to the replica's thread. post() is the one
+    // cross-thread-safe EventLoop entry point; if the loop has already
+    // stopped the task is parked forever, which teardown ordering makes
+    // safe (see header).
+    loop_.post([done = std::move(job.done), results = std::move(results)]() mutable {
+      done(std::move(results));
+    });
+  }
+}
+
+}  // namespace idem::real

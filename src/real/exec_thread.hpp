@@ -1,0 +1,76 @@
+// Per-replica execution thread: the real-mode implementation of
+// core::Executor.
+//
+// The replica's event-loop thread stays latency-bound (decode, acceptance
+// test, reject, agreement) while state-machine execution — the
+// throughput-bound work — runs on this dedicated worker. The handoff is a
+// single-producer/single-consumer slot of depth one: the protocol submits
+// at most one instance at a time and does not touch the state machine
+// until the completion lands back on its loop (EventLoop::post), so a
+// mutex+condvar slot is a complete SPSC queue here and trivially
+// TSan-clean.
+//
+// Lifecycle: construct against the replica's loop, submit from that loop's
+// thread only, stop() (or destroy) after the loop thread has been joined —
+// RealCluster declares the executor after the replica so teardown joins
+// the worker before the replica and its state machine die. A completion
+// posted to a stopped loop is simply never run, which is safe: the
+// replica it targets is only destroyed afterwards, and by then the
+// callback is just a discarded closure.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "rpc/event_loop.hpp"
+
+namespace idem::real {
+
+class ExecutionThread final : public core::Executor {
+ public:
+  /// `loop` is the submitting replica's event loop; completions are posted
+  /// to it. The worker thread starts immediately.
+  explicit ExecutionThread(rpc::EventLoop& loop);
+  ~ExecutionThread() override;
+
+  ExecutionThread(const ExecutionThread&) = delete;
+  ExecutionThread& operator=(const ExecutionThread&) = delete;
+
+  // --- core::Executor ---
+  void execute(app::StateMachine& sm, std::vector<std::vector<std::byte>> commands,
+               Done done) override;
+
+  /// Joins the worker; a job still in the slot is executed first (the
+  /// completion may land on a stopped loop — see file comment). Idempotent.
+  void stop();
+
+  /// Batches executed so far. Safe to read from any thread.
+  std::uint64_t batches_executed() const {
+    return batches_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Job {
+    app::StateMachine* sm = nullptr;
+    std::vector<std::vector<std::byte>> commands;
+    Done done;
+  };
+
+  void worker_main();
+
+  rpc::EventLoop& loop_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::optional<Job> slot_;  ///< depth-1 SPSC handoff
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> batches_executed_{0};
+  std::thread worker_;
+};
+
+}  // namespace idem::real

@@ -15,6 +15,7 @@ struct ClientDriver {
   std::unique_ptr<core::IdemClient> client;
   std::unique_ptr<app::YcsbWorkload> workload;
   Rng* arrivals = nullptr;   ///< open-loop inter-arrival stream
+  Rng* backoff = nullptr;    ///< rejection-backoff draw stream
   bool arrival_pending = false;  ///< open loop: an arrival found us busy
 };
 
@@ -22,6 +23,8 @@ struct RunState {
   LoadStats stats;
   bool measuring = false;
   bool issuing = true;
+  Duration backoff_min = 0;
+  Duration backoff_max = 0;
 };
 
 void issue(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate);
@@ -54,9 +57,17 @@ void on_outcome(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, dou
       issue(loop, driver, state, rate);
     }
   } else {
-    // Closed loop: think time zero, issue through the loop so the stack
-    // unwinds between operations.
-    loop.schedule_after(0, [&loop, &driver, &state, rate] {
+    // Closed loop: think time zero, but a non-REPLY outcome means the
+    // system is overloaded — back off 50-100 ms (paper Section 7.1)
+    // before the next operation. Issue through the loop either way so the
+    // stack unwinds between operations.
+    Duration delay = 0;
+    if (outcome.kind != consensus::Outcome::Kind::Reply && state.backoff_max > 0) {
+      delay = state.backoff_min +
+              static_cast<Duration>(
+                  driver.backoff->uniform_int(0, state.backoff_max - state.backoff_min));
+    }
+    loop.schedule_after(delay, [&loop, &driver, &state, rate] {
       if (state.issuing) issue(loop, driver, state, rate);
     });
   }
@@ -109,6 +120,8 @@ LoadStats run_load(const LoadOptions& options) {
   client_config.trace = options.trace ? &recorder : nullptr;
 
   RunState state;
+  state.backoff_min = options.backoff_min;
+  state.backoff_max = options.backoff_max;
   const double rate = options.open_loop_rate;
   std::vector<ClientDriver> drivers(options.clients);
   for (std::size_t c = 0; c < options.clients; ++c) {
@@ -116,6 +129,10 @@ LoadStats run_load(const LoadOptions& options) {
     const ClientId cid{options.client_id_base + c};
     driver.client =
         std::make_unique<core::IdemClient>(loop, transport, cid, client_config);
+    // Real transport, zero modelled service time: skip the event-queue hop
+    // per delivered REPLY/REJECT.
+    driver.client->set_inline_dispatch(true);
+    driver.backoff = &loop.rng("load.backoff.c" + std::to_string(cid.value));
     driver.workload = std::make_unique<app::YcsbWorkload>(
         options.workload, loop.rng("load.c" + std::to_string(cid.value)));
     if (rate > 0) {

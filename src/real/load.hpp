@@ -36,6 +36,16 @@ struct LoadOptions {
   double open_loop_rate = 0;
   std::uint64_t seed = 1;
 
+  /// Rejection backoff (paper Section 7.1): a closed-loop client whose
+  /// operation ends in anything but a REPLY waits a uniform draw from
+  /// [backoff_min, backoff_max] before its next operation — the client
+  /// learned the system is overloaded and stops hammering it. Mirrors
+  /// harness::DriverConfig so sim and real load react identically;
+  /// backoff_max = 0 disables. Open-loop arrivals are not delayed (the
+  /// arrival process models demand, not politeness).
+  Duration backoff_min = 50 * kMillisecond;
+  Duration backoff_max = 100 * kMillisecond;
+
   /// Replica i is reachable at replicas[i]; size sets the client's n.
   std::vector<rpc::PeerAddress> replicas;
   /// f and client strategy knobs; n/f default from replicas.size() when

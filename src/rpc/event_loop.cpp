@@ -126,9 +126,28 @@ void EventLoop::drain_posted() {
   for (Task& task : tasks) task();
 }
 
+void EventLoop::defer(Task task) { deferred_.push_back(std::move(task)); }
+
+void EventLoop::run_deferred() {
+  // Tasks deferred by a deferred task run in the next iteration; the swap
+  // keeps iteration safe under such re-entrant defer() calls and hands its
+  // capacity back to deferred_, so steady state never allocates.
+  if (deferred_.empty()) return;
+  deferred_swap_.clear();
+  deferred_swap_.swap(deferred_);
+  for (Task& task : deferred_swap_) task();
+}
+
 void EventLoop::fire_due_timers() {
-  Time current = now();
-  while (!timers_.empty() && timers_.next_time() <= current) {
+  // Re-read the clock as we drain: handlers routinely schedule follow-up
+  // work "at now" (node service queues dispatch exactly one message per
+  // timer), and deferring it to the next epoll round trip would cap
+  // dispatch at one message per poll — the real-mode overload collapse.
+  // The burst budget keeps a busy node from starving I/O forever; due
+  // timers left over make the next epoll_wait time out immediately.
+  constexpr int kTimerBurst = 1024;
+  for (int burst = 0; burst < kTimerBurst; ++burst) {
+    if (timers_.empty() || timers_.next_time() > now()) return;
     auto event = timers_.pop();
     event.fn();
   }
@@ -139,6 +158,7 @@ void EventLoop::poll_once(Duration max_wait) {
   Duration until_timer = timers_.empty() ? max_wait : timers_.next_time() - now();
   Duration wait = std::min(max_wait, std::max<Duration>(0, until_timer));
   int timeout_ms = static_cast<int>((wait + kMillisecond - 1) / kMillisecond);
+  if (!deferred_.empty()) timeout_ms = 0;
 
   epoll_event events[64];
   int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
@@ -154,6 +174,7 @@ void EventLoop::poll_once(Duration max_wait) {
     (*callback)(events[i].events);
   }
   fire_due_timers();
+  run_deferred();
 }
 
 void EventLoop::run() {

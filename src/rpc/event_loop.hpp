@@ -68,6 +68,15 @@ class EventLoop final : public sim::Runtime {
   /// soon as the loop starts polling.
   void post(Task task);
 
+  // --- same-thread deferral ---
+  /// Runs `task` at the end of the current poll iteration, after I/O
+  /// handlers and due timers but before the next epoll_wait. Loop-thread
+  /// only (no locking); tasks deferred while the loop is idle run on the
+  /// next iteration. This is the transport's write-coalescing hook: every
+  /// send during one iteration queues frames, one deferred flush per
+  /// connection writes them with a single syscall.
+  void defer(Task task);
+
   // --- driving ---
   /// Processes I/O and timers until stop() is called.
   void run();
@@ -81,6 +90,7 @@ class EventLoop final : public sim::Runtime {
   void poll_once(Duration max_wait);
   void fire_due_timers();
   void drain_posted();
+  void run_deferred();
 
   std::uint64_t seed_;
   int epoll_fd_ = -1;
@@ -92,6 +102,8 @@ class EventLoop final : public sim::Runtime {
   std::unordered_map<std::uint64_t, std::unique_ptr<Rng>> rngs_;
   std::mutex posted_mutex_;
   std::vector<Task> posted_;
+  std::vector<Task> deferred_;       ///< loop-thread-only end-of-iteration tasks
+  std::vector<Task> deferred_swap_;  ///< reused scratch so run_deferred never allocates
 };
 
 }  // namespace idem::rpc

@@ -7,6 +7,14 @@
 // never been configured with). FrameReader reassembles frames from an
 // arbitrary stream of socket reads.
 //
+// Hot-path shape: the reader owns one grow-only buffer that sockets recv
+// directly into (write_span()/commit()), and parsing tracks a head offset
+// instead of erasing consumed bytes from the front — so the steady state
+// does zero allocation and zero per-frame memmove. The buffer compacts
+// (one memmove of the partial-frame tail) only when a frame straddles the
+// buffer end, and grows only when a frame is larger than anything seen
+// before on this connection.
+//
 // Hardening: decode enforces a maximum frame size (configurable per
 // reader; kMaxFrameBytes by default) so one malformed or hostile length
 // header cannot make a replica buffer gigabytes. The reader reports *why*
@@ -17,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <span>
 #include <vector>
@@ -25,6 +34,10 @@ namespace idem::rpc {
 
 constexpr std::size_t kFrameHeaderBytes = 12;  // u32 length + u32 sender + u32 port
 constexpr std::size_t kMaxFrameBytes = 64 * 1024 * 1024;
+
+/// Default size of the span write_span() offers to recv into; also the
+/// reader's initial buffer capacity, so typical connections never grow.
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
 
 /// Builds one frame ready for transmission. `sender_port` is the port on
 /// which the sending node accepts connections (0 when unknown).
@@ -45,9 +58,10 @@ inline std::vector<std::byte> encode_frame(std::uint32_t sender, std::uint32_t s
   return out;
 }
 
-/// Incremental frame decoder: feed() raw bytes, get complete frames back
-/// through the callback. Tolerates frames split across any number of
-/// reads, and multiple frames per read.
+/// Incremental frame decoder: recv into write_span(), commit() the byte
+/// count, then drain() complete frames through the callback. feed() wraps
+/// the three for callers that already hold the bytes. Tolerates frames
+/// split across any number of reads, and multiple frames per read.
 class FrameReader {
  public:
   using FrameCallback = std::function<void(std::uint32_t sender, std::uint32_t sender_port,
@@ -59,44 +73,94 @@ class FrameReader {
   };
 
   /// `max_frame` bounds the payload size decode will accept; larger length
-  /// headers poison the stream (feed() returns false and stays false).
-  explicit FrameReader(std::size_t max_frame = kMaxFrameBytes) : max_frame_(max_frame) {}
+  /// headers poison the stream (drain() returns false and stays false).
+  /// The buffer is pre-sized to `initial_capacity` so steady-state reads
+  /// never allocate.
+  explicit FrameReader(std::size_t max_frame = kMaxFrameBytes,
+                       std::size_t initial_capacity = kReadChunkBytes)
+      : max_frame_(max_frame) {
+    buffer_.resize(initial_capacity);
+  }
 
-  /// Appends `data` and invokes `callback` for every completed frame.
-  /// Returns false if the stream is malformed (oversized frame; see
-  /// error()) — the caller should drop the connection and account for the
-  /// bad frame.
-  bool feed(std::span<const std::byte> data, const FrameCallback& callback) {
+  /// Writable space to recv into, at least `min_bytes` long. Compacts the
+  /// buffered partial frame to the front if the tail space ran out, and
+  /// grows the buffer only if even a compacted buffer cannot hold
+  /// `min_bytes` more.
+  std::span<std::byte> write_span(std::size_t min_bytes = kReadChunkBytes) {
+    if (buffer_.size() - fill_ < min_bytes) {
+      compact();
+      if (buffer_.size() - fill_ < min_bytes) {
+        std::size_t grown = std::max(buffer_.size() * 2, fill_ + min_bytes);
+        buffer_.resize(grown);
+      }
+    }
+    return std::span<std::byte>(buffer_.data() + fill_, buffer_.size() - fill_);
+  }
+
+  /// Marks `n` bytes of the last write_span() as filled by the socket.
+  void commit(std::size_t n) { fill_ += n; }
+
+  /// Parses every complete frame out of the buffer, invoking `callback`
+  /// for each. Returns false if the stream is malformed (oversized frame;
+  /// see error()) — the caller should drop the connection and account for
+  /// the bad frame. Templated on the callback so hot-path callers pass a
+  /// raw lambda with no std::function conversion (which could allocate).
+  template <typename Callback>
+  bool drain(const Callback& callback) {
     if (error_ != Error::None) return false;
-    buffer_.insert(buffer_.end(), data.begin(), data.end());
-    std::size_t offset = 0;
-    while (buffer_.size() - offset >= kFrameHeaderBytes) {
-      std::uint32_t length = read_u32(offset);
-      std::uint32_t sender = read_u32(offset + 4);
-      std::uint32_t sender_port = read_u32(offset + 8);
+    while (fill_ - head_ >= kFrameHeaderBytes) {
+      std::uint32_t length = read_u32(head_);
+      std::uint32_t sender = read_u32(head_ + 4);
+      std::uint32_t sender_port = read_u32(head_ + 8);
       if (length > max_frame_) {
         error_ = Error::Oversized;
-        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
         return false;
       }
-      if (buffer_.size() - offset - kFrameHeaderBytes < length) break;
+      if (fill_ - head_ - kFrameHeaderBytes < length) break;
       callback(sender, sender_port,
-               std::span<const std::byte>(buffer_.data() + offset + kFrameHeaderBytes, length));
-      offset += kFrameHeaderBytes + length;
+               std::span<const std::byte>(buffer_.data() + head_ + kFrameHeaderBytes, length));
+      head_ += kFrameHeaderBytes + length;
     }
-    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (head_ == fill_) {
+      // Everything parsed: rewind for free instead of compacting later.
+      head_ = 0;
+      fill_ = 0;
+    }
     return true;
   }
 
-  std::size_t buffered() const { return buffer_.size(); }
+  /// Appends `data` and parses; equivalent to write_span+memcpy+commit+
+  /// drain. Kept for callers (and tests) that already hold the bytes.
+  template <typename Callback>
+  bool feed(std::span<const std::byte> data, const Callback& callback) {
+    if (error_ != Error::None) return false;
+    if (!data.empty()) {
+      std::span<std::byte> dst = write_span(data.size());
+      std::memcpy(dst.data(), data.data(), data.size());
+      commit(data.size());
+    }
+    return drain(callback);
+  }
+
+  /// Bytes received but not yet consumed as complete frames.
+  std::size_t buffered() const { return fill_ - head_; }
+  /// Current buffer capacity — stable across reads once warmed up.
+  std::size_t capacity() const { return buffer_.size(); }
   std::size_t max_frame() const { return max_frame_; }
   Error error() const { return error_; }
 
   /// True when the stream holds a partial frame — meaningful when the
   /// peer closed the connection: the frame in flight was truncated.
-  bool truncated() const { return !buffer_.empty(); }
+  bool truncated() const { return buffered() != 0; }
 
  private:
+  void compact() {
+    if (head_ == 0) return;
+    std::memmove(buffer_.data(), buffer_.data() + head_, fill_ - head_);
+    fill_ -= head_;
+    head_ = 0;
+  }
+
   std::uint32_t read_u32(std::size_t at) const {
     return static_cast<std::uint32_t>(buffer_[at]) |
            (static_cast<std::uint32_t>(buffer_[at + 1]) << 8) |
@@ -107,6 +171,8 @@ class FrameReader {
   std::size_t max_frame_;
   Error error_ = Error::None;
   std::vector<std::byte> buffer_;
+  std::size_t head_ = 0;  ///< start of unparsed bytes
+  std::size_t fill_ = 0;  ///< end of valid bytes
 };
 
 }  // namespace idem::rpc

@@ -74,11 +74,38 @@ struct TcpTransport::InboundConnection {
   explicit InboundConnection(std::size_t max_frame) : reader(max_frame) {}
 };
 
+std::size_t PendingWrites::fill_iovec(iovec* iov, std::size_t max) const {
+  std::size_t n = 0;
+  for (const std::vector<std::byte>& frame : frames) {
+    if (n == max) break;
+    std::size_t skip = (n == 0) ? front_offset : 0;
+    iov[n].iov_base = const_cast<std::byte*>(frame.data() + skip);
+    iov[n].iov_len = frame.size() - skip;
+    ++n;
+  }
+  return n;
+}
+
+void PendingWrites::consume(std::size_t written) {
+  total_bytes -= written;
+  while (written > 0) {
+    std::size_t front_left = frames.front().size() - front_offset;
+    if (written < front_left) {
+      front_offset += written;
+      return;
+    }
+    written -= front_left;
+    frames.pop_front();
+    front_offset = 0;
+  }
+}
+
 struct TcpTransport::OutboundConnection {
   int fd = -1;
   std::uint32_t dest = 0;
   bool connected = false;
-  std::vector<std::byte> out;
+  bool flush_scheduled = false;  ///< a deferred end-of-iteration flush is queued
+  PendingWrites out;
 };
 
 TcpTransport::TcpTransport(EventLoop& loop, TcpTransportConfig config)
@@ -207,12 +234,15 @@ void TcpTransport::inbound_ready(int fd) {
   if (it == inbound_.end()) return;
   InboundConnection& connection = *it->second;
 
-  std::byte buffer[16 * 1024];
   for (;;) {
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    // Recv straight into the reader's reuse buffer: no intermediate copy,
+    // and no allocation once the buffer has warmed up to the connection's
+    // largest frame.
+    std::span<std::byte> dst = connection.reader.write_span();
+    ssize_t n = ::recv(fd, dst.data(), dst.size(), 0);
     if (n > 0) {
-      bool ok = connection.reader.feed(
-          std::span<const std::byte>(buffer, static_cast<std::size_t>(n)),
+      connection.reader.commit(static_cast<std::size_t>(n));
+      bool ok = connection.reader.drain(
           [&](std::uint32_t sender, std::uint32_t sender_port,
               std::span<const std::byte> payload) {
             // Learn the sender's return address (self-advertised port, peer
@@ -311,19 +341,41 @@ void TcpTransport::outbound_ready(std::uint32_t dest, std::uint32_t events) {
   flush(connection);
 }
 
+void TcpTransport::schedule_flush(OutboundConnection& connection) {
+  // Coalescing point: every send during this loop iteration appends to the
+  // pending queue, and one deferred flush writes them all with a single
+  // sendmsg. The deferred task re-resolves the connection by destination —
+  // it may have been dropped (or dropped and re-established) before the
+  // end of the iteration.
+  if (connection.flush_scheduled) return;
+  connection.flush_scheduled = true;
+  std::uint32_t dest = connection.dest;
+  loop_.defer([this, dest] {
+    auto it = outbound_.find(dest);
+    if (it == outbound_.end()) return;
+    it->second->flush_scheduled = false;
+    if (it->second->connected) flush(*it->second);
+  });
+}
+
 void TcpTransport::flush(OutboundConnection& connection) {
   while (!connection.out.empty()) {
-    ssize_t n = ::send(connection.fd, connection.out.data(), connection.out.size(),
-                       MSG_NOSIGNAL);
+    iovec iov[kMaxFlushIov];
+    std::size_t n_iov = connection.out.fill_iovec(iov, kMaxFlushIov);
+    msghdr header{};
+    header.msg_iov = iov;
+    header.msg_iovlen = n_iov;
+    ssize_t n = ::sendmsg(connection.fd, &header, MSG_NOSIGNAL);
     if (n > 0) {
-      connection.out.erase(connection.out.begin(), connection.out.begin() + n);
+      ++stats_.write_syscalls;
+      connection.out.consume(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       loop_.modify(connection.fd, EPOLLOUT);
       return;
     }
-    drop_outbound(connection.dest);
+    drop_outbound(connection.dest);  // invalidates `connection`
     return;
   }
   // Fully flushed: only wake on errors until there is more to send.
@@ -361,15 +413,19 @@ void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr messag
     sender_port = sender_it->second->port;
   }
   std::vector<std::byte> frame = encode_frame(from.value, sender_port, typed->encode());
+  if (connection->out.total_bytes + frame.size() > config_.max_pending_write_bytes) {
+    // The peer stopped draining: shed this frame (fair loss) rather than
+    // buffer without bound.
+    ++stats_.send_queue_overflows;
+    ++stats_.dropped;
+    return;
+  }
   stats_.messages_sent += 1;
   stats_.bytes_sent += frame.size();
-  bool was_empty = connection->out.empty();
-  connection->out.insert(connection->out.end(), frame.begin(), frame.end());
-  if (connection->connected && was_empty) {
-    flush(*connection);
-  } else if (connection->connected) {
-    loop_.modify(connection->fd, EPOLLOUT);
-  }
+  connection->out.push(std::move(frame));
+  if (connection->connected) schedule_flush(*connection);
+  // Not yet connected: the EPOLLOUT watcher flushes once the connect
+  // completes.
 }
 
 }  // namespace idem::rpc

@@ -23,11 +23,15 @@
 // before that thread starts running the loop).
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "rpc/event_loop.hpp"
 #include "rpc/framing.hpp"
@@ -42,6 +46,51 @@ struct TransportStats {
   std::uint64_t dropped = 0;        ///< unknown destination / send failure
   std::uint64_t decode_errors = 0;  ///< malformed frames received (bad
                                     ///< encoding, oversized, truncated)
+  std::uint64_t write_syscalls = 0;    ///< sendmsg calls that moved bytes;
+                                       ///< messages_sent / write_syscalls is
+                                       ///< the coalescing ratio
+  std::uint64_t send_queue_overflows = 0;  ///< frames dropped because a
+                                           ///< connection's pending-write
+                                           ///< queue hit its byte bound
+};
+
+/// Upper bound on iovec entries per flush; writev/sendmsg reject more
+/// than IOV_MAX (1024 on Linux), and 64 frames per syscall already
+/// amortizes the syscall to noise.
+constexpr std::size_t kMaxFlushIov = 64;
+
+/// Per-connection queue of encoded frames awaiting transmission, flushed
+/// with one sendmsg per event-loop iteration. Frames keep their identity
+/// (no flattening copy) and `front_offset` tracks how far a partial write
+/// got into the front frame, so resumption after EAGAIN mid-iovec is
+/// exact. Separate from the socket code so tests can drive partial-write
+/// sequences without a kernel.
+struct PendingWrites {
+  std::deque<std::vector<std::byte>> frames;
+  std::size_t front_offset = 0;  ///< bytes of frames.front() already written
+  std::size_t total_bytes = 0;   ///< unwritten bytes across all frames
+
+  bool empty() const { return frames.empty(); }
+
+  void push(std::vector<std::byte> frame) {
+    total_bytes += frame.size();
+    frames.push_back(std::move(frame));
+  }
+
+  /// Fills up to `max` iovec entries with the unwritten byte ranges,
+  /// starting mid-frame if a previous write stopped there. Returns the
+  /// number of entries filled.
+  std::size_t fill_iovec(iovec* iov, std::size_t max) const;
+
+  /// Advances past `written` bytes: fully-written frames are released,
+  /// a partially-written front frame is remembered via front_offset.
+  void consume(std::size_t written);
+
+  void clear() {
+    frames.clear();
+    front_offset = 0;
+    total_bytes = 0;
+  }
 };
 
 /// Where a node can be reached: numeric IPv4 host + TCP port.
@@ -65,6 +114,11 @@ struct TcpTransportConfig {
   /// Maximum accepted inbound frame payload; larger length headers count
   /// as decode errors and drop the connection.
   std::size_t max_frame_bytes = kMaxFrameBytes;
+  /// Byte bound on each connection's pending-write queue. A frame that
+  /// would push the queue past this is dropped (fair loss) and counted in
+  /// TransportStats::send_queue_overflows — backpressure instead of
+  /// unbounded buffering when a peer stops reading.
+  std::size_t max_pending_write_bytes = 8 * 1024 * 1024;
 };
 
 class TcpTransport final : public sim::Transport {
@@ -109,6 +163,7 @@ class TcpTransport final : public sim::Transport {
   void outbound_ready(std::uint32_t dest, std::uint32_t events);
   OutboundConnection* connect_to(std::uint32_t dest, const PeerAddress& address);
   void drop_outbound(std::uint32_t dest);
+  void schedule_flush(OutboundConnection& connection);
   void flush(OutboundConnection& connection);
 
   EventLoop& loop_;

@@ -17,7 +17,8 @@ Node::~Node() {
 void Node::crash() {
   if (crashed_) return;
   crashed_ = true;
-  queue_clear();
+  queue_.clear();
+  urgent_.clear();
   processing_ = false;
   // Stay registered with the network so traffic addressed to the crashed
   // node is still *sent* (and counted) by peers; deliveries are dropped in
@@ -34,42 +35,56 @@ void Node::restart() {
 
 void Node::deliver(NodeId from, PayloadPtr message) {
   if (crashed_) return;
-  queue_push(Pending{from, std::move(message)});
+  if (inline_dispatch_ && !processing_ && queue_.count == 0 && urgent_.count == 0 &&
+      busy_until_ <= runtime_.now() && message_cost(*message) <= 0) {
+    // Idle node, free message: handle it right here instead of taking a
+    // round trip through the runtime's event queue. processing_ guards
+    // against recursion when on_message triggers a same-thread delivery.
+    processing_ = true;
+    on_message(from, *message);
+    if (crashed_) return;  // on_message may have crashed this node
+    processing_ = false;
+    maybe_start_processing();  // drain anything that queued up meanwhile
+    return;
+  }
+  Ring& lane =
+      (urgent_classifier_ != nullptr && urgent_classifier_(from)) ? urgent_ : queue_;
+  lane.push(Pending{from, std::move(message)});
   maybe_start_processing();
 }
 
-void Node::queue_push(Pending p) {
-  if (queue_count_ == queue_.size()) {
+void Node::Ring::push(Pending p) {
+  if (count == slots.size()) {
     // Full (or never allocated): grow to the next power of two, unrolling
     // the ring so the live elements are contiguous again from index 0.
     std::vector<Pending> bigger;
-    std::size_t cap = queue_.empty() ? 8 : queue_.size() * 2;
+    std::size_t cap = slots.empty() ? 8 : slots.size() * 2;
     bigger.reserve(cap);
-    for (std::size_t i = 0; i < queue_count_; ++i) {
-      bigger.push_back(std::move(queue_[(queue_head_ + i) & (queue_.size() - 1)]));
+    for (std::size_t i = 0; i < count; ++i) {
+      bigger.push_back(std::move(slots[(head + i) & (slots.size() - 1)]));
     }
     bigger.resize(cap);
-    queue_ = std::move(bigger);
-    queue_head_ = 0;
+    slots = std::move(bigger);
+    head = 0;
   }
-  queue_[(queue_head_ + queue_count_) & (queue_.size() - 1)] = std::move(p);
-  ++queue_count_;
+  slots[(head + count) & (slots.size() - 1)] = std::move(p);
+  ++count;
 }
 
-Node::Pending Node::queue_pop() {
-  Pending out = std::move(queue_[queue_head_]);
-  queue_[queue_head_] = Pending{};  // drop the payload ref now, not at reuse
-  queue_head_ = (queue_head_ + 1) & (queue_.size() - 1);
-  --queue_count_;
+Node::Pending Node::Ring::pop() {
+  Pending out = std::move(slots[head]);
+  slots[head] = Pending{};  // drop the payload ref now, not at reuse
+  head = (head + 1) & (slots.size() - 1);
+  --count;
   return out;
 }
 
-void Node::queue_clear() {
-  for (std::size_t i = 0; i < queue_count_; ++i) {
-    queue_[(queue_head_ + i) & (queue_.size() - 1)] = Pending{};
+void Node::Ring::clear() {
+  for (std::size_t i = 0; i < count; ++i) {
+    slots[(head + i) & (slots.size() - 1)] = Pending{};
   }
-  queue_head_ = 0;
-  queue_count_ = 0;
+  head = 0;
+  count = 0;
 }
 
 Duration Node::message_cost(const Payload&) const { return 0; }
@@ -83,10 +98,10 @@ void Node::charge(Duration extra) {
 }
 
 void Node::maybe_start_processing() {
-  if (processing_ || queue_count_ == 0 || crashed_) return;
+  if (processing_ || (queue_.count == 0 && urgent_.count == 0) || crashed_) return;
   processing_ = true;
 
-  Pending next = queue_pop();
+  Pending next = urgent_.count > 0 ? urgent_.pop() : queue_.pop();
 
   Time start = std::max(now(), busy_until_);
   Duration cost = message_cost(*next.message);

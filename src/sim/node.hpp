@@ -61,8 +61,30 @@ class Node : public Endpoint {
   void deliver(NodeId from, PayloadPtr message) final;
 
   /// Length of the service queue (messages waiting for CPU), exposed for
-  /// tests and load metrics.
-  std::size_t queue_length() const { return queue_count_; }
+  /// tests and load metrics. Counts both lanes.
+  std::size_t queue_length() const { return queue_.count + urgent_.count; }
+
+  /// Messages waiting in the urgent lane only.
+  std::size_t urgent_queue_length() const { return urgent_.count; }
+
+  /// Sender-based service-queue prioritization: messages whose sender the
+  /// classifier marks urgent are dispatched before anything in the normal
+  /// lane. Off (nullptr) by default — the single-lane FIFO is part of the
+  /// pinned simulation trajectory; real deployments switch it on so
+  /// agreement traffic between replicas keeps a guaranteed share of loop
+  /// time while a flood of client requests is being rejected (the paper's
+  /// goodput-under-overload promise). Plain function pointer: classifying
+  /// happens on every delivery, and the classifiers are stateless.
+  using UrgentClassifier = bool (*)(NodeId from);
+  void set_urgent_classifier(UrgentClassifier classifier) { urgent_classifier_ = classifier; }
+
+  /// Dispatch a delivery inline when the node is idle (nothing queued, not
+  /// mid-message, no outstanding CPU charge) and the message itself is
+  /// free. Skips the schedule-at-now hop through the runtime's event queue
+  /// — per-message timer-heap traffic that exists only to model service
+  /// time, which real mode does not model. Off by default: inline dispatch
+  /// reorders events relative to the pinned simulation trajectories.
+  void set_inline_dispatch(bool on) { inline_dispatch_ = on; }
 
  protected:
   /// Handles one message. Invoked when the message's service time has
@@ -110,23 +132,30 @@ class Node : public Endpoint {
     PayloadPtr message;
   };
 
-  void maybe_start_processing();
-
-  // Service queue as a grow-only power-of-two ring buffer: once warmed up,
-  // enqueue/dequeue never allocate (std::deque allocates a block roughly
-  // every page of churn, which breaks the kernel's steady-state
+  // Service-queue lane as a grow-only power-of-two ring buffer: once warmed
+  // up, enqueue/dequeue never allocate (std::deque allocates a block
+  // roughly every page of churn, which breaks the kernel's steady-state
   // zero-allocation budget — see tests/alloc_test.cpp).
-  void queue_push(Pending p);
-  Pending queue_pop();
-  void queue_clear();
+  struct Ring {
+    std::vector<Pending> slots;  // capacity is a power of two
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    void push(Pending p);
+    Pending pop();
+    void clear();
+  };
+
+  void maybe_start_processing();
 
   Runtime& runtime_;
   Transport& net_;
   NodeId id_;
   bool crashed_ = false;
-  std::vector<Pending> queue_;  // ring storage; capacity is a power of two
-  std::size_t queue_head_ = 0;
-  std::size_t queue_count_ = 0;
+  Ring queue_;   ///< normal lane (everything, when no classifier is set)
+  Ring urgent_;  ///< dispatched first; fed only by the classifier
+  UrgentClassifier urgent_classifier_ = nullptr;
+  bool inline_dispatch_ = false;
   bool processing_ = false;
   Time busy_until_ = 0;
   // Liveness token: scheduled lambdas hold a weak_ptr and become no-ops

@@ -342,6 +342,131 @@ TEST(TcpTransportTest, CleanCloseBetweenFramesIsNotAnError) {
   EXPECT_EQ(a.received.size(), 1u);
 }
 
+TEST(FramingTest, DecodeBufferIsReusedAcrossFrames) {
+  rpc::FrameReader reader;
+  const std::size_t warm = reader.capacity();
+  ASSERT_GT(warm, 0u);
+
+  std::size_t delivered = 0;
+  auto count = [&](std::uint32_t, std::uint32_t, std::span<const std::byte>) { ++delivered; };
+
+  // Steady state: frames smaller than the warm buffer, each split across
+  // two reads to exercise the partial-frame path. The grow-only buffer
+  // must never reallocate — zero allocation per frame is the contract the
+  // transport's recv loop relies on.
+  auto frame = rpc::encode_frame(1, 0, std::vector<std::byte>(1000));
+  const std::size_t half = frame.size() / 2;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(reader.feed(std::span<const std::byte>(frame).first(half), count));
+    ASSERT_TRUE(reader.feed(std::span<const std::byte>(frame).subspan(half), count));
+    EXPECT_EQ(reader.capacity(), warm) << "iteration " << i;
+  }
+  EXPECT_EQ(delivered, 200u);
+  EXPECT_EQ(reader.buffered(), 0u);
+
+  // A frame larger than anything seen grows the buffer once; repeats of
+  // the same size reuse the grown arena.
+  auto big = rpc::encode_frame(1, 0, std::vector<std::byte>(3 * warm));
+  ASSERT_TRUE(reader.feed(big, count));
+  const std::size_t grown = reader.capacity();
+  EXPECT_GT(grown, warm);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(reader.feed(big, count));
+  EXPECT_EQ(reader.capacity(), grown);
+  EXPECT_EQ(delivered, 206u);
+}
+
+// ---------------------------------------------------------------------------
+// PendingWrites: the per-connection queue behind sendmsg coalescing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::byte> frame_of(std::size_t size, int fill) {
+  return std::vector<std::byte>(size, std::byte(fill));
+}
+
+}  // namespace
+
+TEST(TcpTransportTest, PendingWritesResumeExactlyAfterPartialWrite) {
+  rpc::PendingWrites out;
+  out.push(frame_of(10, 1));
+  out.push(frame_of(20, 2));
+  out.push(frame_of(30, 3));
+  EXPECT_EQ(out.total_bytes, 60u);
+
+  iovec iov[8];
+  ASSERT_EQ(out.fill_iovec(iov, 8), 3u);
+  EXPECT_EQ(iov[0].iov_len, 10u);
+  EXPECT_EQ(iov[1].iov_len, 20u);
+  EXPECT_EQ(iov[2].iov_len, 30u);
+
+  // sendmsg moved 25 bytes before EAGAIN: frame 0 fully, frame 1 to byte
+  // 15. The next fill must start mid-frame, not re-send written bytes.
+  out.consume(25);
+  EXPECT_EQ(out.total_bytes, 35u);
+  ASSERT_EQ(out.fill_iovec(iov, 8), 2u);
+  EXPECT_EQ(iov[0].iov_base, out.frames.front().data() + 15);
+  EXPECT_EQ(iov[0].iov_len, 5u);
+  EXPECT_EQ(iov[1].iov_len, 30u);
+
+  // Exactly finishing the partial frame resets the offset.
+  out.consume(5);
+  EXPECT_EQ(out.front_offset, 0u);
+  ASSERT_EQ(out.fill_iovec(iov, 8), 1u);
+  EXPECT_EQ(iov[0].iov_len, 30u);
+
+  out.consume(30);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.total_bytes, 0u);
+}
+
+TEST(TcpTransportTest, PendingWritesCapIovecEntries) {
+  rpc::PendingWrites out;
+  for (int i = 0; i < 5; ++i) out.push(frame_of(8, i));
+  iovec iov[5];
+  EXPECT_EQ(out.fill_iovec(iov, 2), 2u);  // kMaxFlushIov-style cap
+  EXPECT_EQ(out.fill_iovec(iov, 5), 5u);
+}
+
+TEST(TcpTransportTest, PendingWriteBoundShedsFramesAndCounts) {
+  rpc::EventLoop loop;
+  rpc::TcpTransportConfig config;
+  config.max_pending_write_bytes = 600;
+  rpc::TcpTransport transport(loop, config);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  // A listener that completes handshakes but is never served by an event
+  // loop on our side: the loop never runs, so nothing is flushed and every
+  // send stays in the connection's pending-write queue.
+  int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  transport.set_remote(sim::NodeId{2}, ntohs(addr.sin_port));
+
+  const std::string value(200, 'x');
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    transport.send(sim::NodeId{1}, sim::NodeId{2},
+                   std::make_shared<const msg::Request>(RequestId{ClientId{7}, OpNum{i}},
+                                                        test::put_cmd("key", value)));
+  }
+
+  const rpc::TransportStats& stats = transport.stats();
+  // ~220-byte frames against a 600-byte bound: the first few queue, the
+  // rest are shed (fair loss) instead of buffering without bound.
+  EXPECT_GT(stats.send_queue_overflows, 0u);
+  EXPECT_EQ(stats.send_queue_overflows, stats.dropped);
+  EXPECT_EQ(stats.messages_sent + stats.send_queue_overflows, 10u);
+  EXPECT_LE(stats.bytes_sent, config.max_pending_write_bytes);
+  ::close(listener);
+}
+
 // ---------------------------------------------------------------------------
 // The full IDEM protocol over real TCP
 // ---------------------------------------------------------------------------

@@ -1,0 +1,207 @@
+// bench-compare: diffs a freshly produced benchmark JSON against a
+// committed baseline and fails on regressions beyond a tolerance.
+//
+//   bench_compare --baseline BENCH_real.json --fresh /tmp/fresh.json \
+//                 [--tolerance 0.10] [--label real]
+//
+// Works on any of the repo's benchmark emissions (BENCH_real.json,
+// BENCH_simcore.json, BENCH_batching.json): both documents are walked in
+// parallel and every numeric leaf present in both is compared. Array
+// entries are matched positionally, except arrays of objects carrying a
+// "clients" field (the sweep shape), which are matched by that key so
+// adding or reordering sweep points does not misalign the comparison.
+//
+// Which direction is "worse" is inferred from the metric name:
+//   higher is better:  *kops*, *per_sec*, *rate*        (throughput)
+//   lower is better:   p50_ms, mean_ms                  (stable latencies)
+//   informational:     everything else — printed, never gated. This
+//     includes tail percentiles (p90/p99: too noisy for a 10% gate on a
+//     shared machine), reject_* (the reject rate tracks offered load, not
+//     quality), and configuration echoes like "clients" or "n".
+// Baselines below an absolute floor are also not gated: the relative
+// error on a near-zero value is meaningless.
+//
+// --throughput-only demotes the lower-is-better latency metrics to
+// informational too. Wall-clock benches on a shared machine inflate
+// absolute latency by tens of percent whenever the host is contended,
+// while throughput at saturation is far steadier — so the real-mode
+// gate checks only throughput and leaves latency shape assertions to
+// the bench binary itself.
+//
+// Exit code 0 when no gated metric regressed, 1 on regression (or a
+// metric missing from the fresh run), 2 on usage/IO/parse errors.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "json_util.hpp"
+
+using idem::tooljson::JsonValue;
+
+namespace {
+
+enum class Direction { HigherIsBetter, LowerIsBetter, Informational };
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool g_throughput_only = false;
+
+Direction direction_of(const std::string& key) {
+  // Reject-side metrics track offered load and client patience, not
+  // server quality — a faster server rejects *less*. Never gate them.
+  if (contains(key, "reject")) return Direction::Informational;
+  if (contains(key, "kops") || contains(key, "per_sec") || contains(key, "rate")) {
+    return Direction::HigherIsBetter;
+  }
+  if (key == "p50_ms" || key == "mean_ms") {
+    return g_throughput_only ? Direction::Informational : Direction::LowerIsBetter;
+  }
+  return Direction::Informational;
+}
+
+/// Relative values this small carry no meaningful relative error.
+constexpr double kAbsoluteFloor = 0.05;
+
+struct Report {
+  double tolerance = 0.10;
+  std::size_t compared = 0;  ///< gated metrics that were checked
+  std::size_t failed = 0;
+  std::size_t missing = 0;   ///< gated baseline metrics absent from fresh
+
+  void leaf(const std::string& path, const std::string& key, double base, double fresh) {
+    const Direction dir = direction_of(key);
+    const bool gated = dir != Direction::Informational && std::fabs(base) >= kAbsoluteFloor;
+    double delta = 0;
+    if (std::fabs(base) > 0) delta = (fresh - base) / std::fabs(base);
+    bool bad = false;
+    if (gated) {
+      ++compared;
+      bad = dir == Direction::HigherIsBetter ? delta < -tolerance : delta > tolerance;
+      if (bad) ++failed;
+    }
+    std::printf("  %-4s %-40s %12.4f -> %12.4f  (%+.1f%%)\n",
+                bad ? "FAIL" : (gated ? "ok" : "info"), path.c_str(), base, fresh,
+                delta * 100.0);
+  }
+
+  void absent(const std::string& path, const std::string& key) {
+    if (direction_of(key) == Direction::Informational) return;
+    ++missing;
+    std::printf("  FAIL %-40s missing from fresh run\n", path.c_str());
+  }
+};
+
+std::string point_key(const JsonValue& entry) {
+  if (entry.kind != JsonValue::Kind::Object) return {};
+  const JsonValue* clients = entry.find("clients");
+  if (clients == nullptr || clients->kind != JsonValue::Kind::Number) return {};
+  return "clients=" + std::to_string(static_cast<long long>(clients->number));
+}
+
+void walk(const std::string& path, const std::string& key, const JsonValue& base,
+          const JsonValue* fresh, Report& report) {
+  if (base.kind == JsonValue::Kind::Number) {
+    if (fresh == nullptr || fresh->kind != JsonValue::Kind::Number) {
+      report.absent(path, key);
+    } else {
+      report.leaf(path, key, base.number, fresh->number);
+    }
+    return;
+  }
+  if (base.kind == JsonValue::Kind::Object) {
+    for (const auto& [k, v] : base.object) {
+      const JsonValue* twin =
+          (fresh != nullptr && fresh->kind == JsonValue::Kind::Object) ? fresh->find(k.c_str())
+                                                                       : nullptr;
+      walk(path.empty() ? k : path + "." + k, k, v, twin, report);
+    }
+    return;
+  }
+  if (base.kind == JsonValue::Kind::Array) {
+    for (std::size_t i = 0; i < base.array.size(); ++i) {
+      const JsonValue& entry = base.array[i];
+      const JsonValue* twin = nullptr;
+      std::string label = point_key(entry);
+      if (fresh != nullptr && fresh->kind == JsonValue::Kind::Array) {
+        if (!label.empty()) {
+          for (const JsonValue& candidate : fresh->array) {
+            if (point_key(candidate) == label) { twin = &candidate; break; }
+          }
+        } else if (i < fresh->array.size()) {
+          twin = &fresh->array[i];
+          label = "[" + std::to_string(i) + "]";
+        }
+      }
+      if (label.empty()) label = "[" + std::to_string(i) + "]";
+      walk(path + "." + label, key, entry, twin, report);
+    }
+    return;
+  }
+  // Strings/bools/nulls (bench names, modes) are identification, not data.
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* fresh_path = nullptr;
+  const char* label = nullptr;
+  double tolerance = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (!std::strcmp(argv[i], "--baseline")) {
+      baseline_path = value();
+    } else if (!std::strcmp(argv[i], "--fresh")) {
+      fresh_path = value();
+    } else if (!std::strcmp(argv[i], "--tolerance")) {
+      if (const char* v = value()) tolerance = std::atof(v);
+    } else if (!std::strcmp(argv[i], "--label")) {
+      label = value();
+    } else if (!std::strcmp(argv[i], "--throughput-only")) {
+      g_throughput_only = true;
+    } else {
+      baseline_path = nullptr;
+      break;
+    }
+  }
+  if (baseline_path == nullptr || fresh_path == nullptr || tolerance <= 0) {
+    std::fprintf(stderr,
+                 "usage: %s --baseline FILE --fresh FILE [--tolerance T] [--label NAME]\n"
+                 "       [--throughput-only]\n"
+                 "fails (exit 1) when a throughput metric drops, or a gated latency\n"
+                 "metric rises, by more than T (default 0.10) relative to baseline;\n"
+                 "--throughput-only gates throughput metrics alone\n",
+                 argv[0]);
+    return 2;
+  }
+
+  JsonValue baseline, fresh;
+  std::string error;
+  if (!idem::tooljson::parse_file(baseline_path, baseline, error)) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], baseline_path, error.c_str());
+    return 2;
+  }
+  if (!idem::tooljson::parse_file(fresh_path, fresh, error)) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], fresh_path, error.c_str());
+    return 2;
+  }
+
+  std::printf("bench_compare%s%s: %s vs %s (tolerance %.0f%%)\n", label != nullptr ? " " : "",
+              label != nullptr ? label : "", baseline_path, fresh_path, tolerance * 100.0);
+  Report report;
+  report.tolerance = tolerance;
+  walk("", "", baseline, &fresh, report);
+
+  if (report.failed > 0 || report.missing > 0) {
+    std::printf("REGRESSION: %zu of %zu gated metrics beyond -%.0f%%, %zu missing\n",
+                report.failed, report.compared, tolerance * 100.0, report.missing);
+    return 1;
+  }
+  std::printf("PASS: %zu gated metrics within %.0f%% of baseline\n", report.compared,
+              tolerance * 100.0);
+  return 0;
+}

@@ -36,6 +36,10 @@ struct Options {
   std::size_t value_size = 100;
   std::string workload = "a";
   std::string trace_out;
+  /// Closed-loop rejection backoff window in ms (paper Section 7.1);
+  /// backoff_max_ms = 0 disables the wait entirely.
+  double backoff_min_ms = 50;
+  double backoff_max_ms = 100;
 };
 
 void usage(const char* argv0) {
@@ -55,6 +59,9 @@ void usage(const char* argv0) {
       "  --records N        YCSB key-space size           (default: 10000)\n"
       "  --value-size B     YCSB value bytes              (default: 100)\n"
       "  --workload W       a | b | c                     (default: a)\n"
+      "  --backoff-min MS   closed-loop wait after a reject/timeout,\n"
+      "                     lower bound in ms             (default: 50)\n"
+      "  --backoff-max MS   upper bound in ms; 0 disables (default: 100)\n"
       "  --trace-out F      write client-side Chrome/Perfetto trace to F\n",
       argv0);
 }
@@ -119,6 +126,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       options.workload = v;
+    } else if (!std::strcmp(arg, "--backoff-min")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.backoff_min_ms = std::atof(v);
+    } else if (!std::strcmp(arg, "--backoff-max")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.backoff_max_ms = std::atof(v);
     } else if (!std::strcmp(arg, "--trace-out")) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -172,6 +187,8 @@ int main(int argc, char** argv) {
   load.workload = *workload;
   load.workload.record_count = options.records;
   load.workload.value_size = options.value_size;
+  load.backoff_min = static_cast<Duration>(options.backoff_min_ms * kMillisecond);
+  load.backoff_max = static_cast<Duration>(options.backoff_max_ms * kMillisecond);
   load.trace = !options.trace_out.empty();
 
   std::printf("idem_client: %zu %s clients -> %zu replicas, %.1f s (+%.1f s warmup)\n",

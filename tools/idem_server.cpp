@@ -25,6 +25,7 @@
 #include "consensus/addresses.hpp"
 #include "idem/acceptance.hpp"
 #include "idem/replica.hpp"
+#include "real/exec_thread.hpp"
 #include "rpc/event_loop.hpp"
 #include "rpc/tcp_transport.hpp"
 
@@ -43,6 +44,11 @@ struct Options {
   std::uint64_t seed = 1;
   double seconds = 0;  ///< 0 = run until SIGINT/SIGTERM
   double viewchange_seconds = 1.5;
+  std::size_t batch_max = 32;
+  std::size_t batch_min = 1;
+  double batch_flush_delay_us = 0;
+  bool exec_thread = false;
+  bool peer_priority = true;
 };
 
 void usage(const char* argv0) {
@@ -60,7 +66,17 @@ void usage(const char* argv0) {
       "                     sizes the AQM groups          (default: 16)\n"
       "  --seed N           rng seed                      (default: 1)\n"
       "  --seconds S        stop after S seconds          (default: until signal)\n"
-      "  --viewchange S     progress timeout in seconds   (default: 1.5)\n",
+      "  --viewchange S     progress timeout in seconds   (default: 1.5)\n"
+      "  --batch-max N      max request ids per PROPOSE   (default: 32)\n"
+      "  --batch-min N      ids needed to cut a batch\n"
+      "                     immediately                   (default: 1)\n"
+      "  --batch-flush-delay US\n"
+      "                     max microseconds a queued id\n"
+      "                     waits for a fuller batch      (default: 0)\n"
+      "  --exec-thread      run state-machine execution on a dedicated\n"
+      "                     thread (pays off with spare cores)\n"
+      "  --no-peer-priority service client and replica traffic through one\n"
+      "                     FIFO lane (disables overload prioritization)\n",
       argv0);
 }
 
@@ -135,6 +151,22 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       options.viewchange_seconds = std::atof(v);
+    } else if (!std::strcmp(arg, "--batch-max")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.batch_max = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--batch-min")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.batch_min = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--batch-flush-delay")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.batch_flush_delay_us = std::atof(v);
+    } else if (!std::strcmp(arg, "--exec-thread")) {
+      options.exec_thread = true;
+    } else if (!std::strcmp(arg, "--no-peer-priority")) {
+      options.peer_priority = false;
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
       return std::nullopt;
@@ -175,14 +207,40 @@ int main(int argc, char** argv) {
   config.f = options.f;
   config.reject_threshold = options.reject_threshold;
   config.viewchange_timeout = static_cast<Duration>(options.viewchange_seconds * kSecond);
-  // Real time is the cost model; flush REQUIREs inline (the loop's timer
-  // granularity is far coarser than the sim's aggregation window).
+  // Real time is the cost model (no simulated CPU charges), and the
+  // real-mode hot path is on by default, matching RealClusterConfig:
+  // REQUIREs and leader batch cuts aggregate at end-of-iteration (due
+  // timers fire after each iteration's I/O phase, so a recv burst leaves
+  // as one REQUIRE / one PROPOSE at no latency cost), followers ack
+  // instances to the leader only, and slots whose clients moved on are
+  // adopted or released instead of leaking until the forward timeout.
   config.costs = consensus::CostModel{0, 0.0, 0, 0.0, 0.0, 0.0, 1.0};
-  config.require_batch_max = 1;
+  config.batch_max = options.batch_max;
+  config.batch_min = options.batch_min;
+  config.batch_flush_delay = static_cast<Duration>(options.batch_flush_delay_us * kMicrosecond);
+  config.require_batch_max = 32;
+  config.require_flush_interval = 0;
+  config.defer_propose = true;
+  config.commit_to_leader_only = true;
+  config.require_adoption = true;
+  config.release_superseded = true;
+
+  std::unique_ptr<real::ExecutionThread> executor;
+  if (options.exec_thread) {
+    executor = std::make_unique<real::ExecutionThread>(loop);
+    config.executor = executor.get();
+  }
 
   core::IdemReplica replica(loop, transport, ReplicaId{options.replica_id}, config,
                             std::make_unique<app::KvStore>(app::KvStore::Costs{0, 0.0, 0}),
                             core::make_default_acceptance(config, options.expected_clients));
+  // No modelled service time: dispatch deliveries inline while idle, and
+  // serve agreement traffic ahead of the client-REQUEST flood.
+  replica.set_inline_dispatch(true);
+  if (options.peer_priority) {
+    replica.set_urgent_classifier(
+        [](sim::NodeId from) { return !consensus::is_client_address(from); });
+  }
   for (const auto& [peer_id, address] : options.peers) {
     transport.set_remote(consensus::replica_address(ReplicaId{peer_id}), address);
   }
@@ -202,6 +260,9 @@ int main(int argc, char** argv) {
   } else {
     loop.run();
   }
+  // Join the execution worker before the replica (and its state machine)
+  // goes out of scope; a completion posted to the stopped loop never runs.
+  if (executor) executor->stop();
 
   const core::ReplicaStats& stats = replica.stats();
   std::printf("idem_server: stopping (view %llu, leader %s)\n",

@@ -1,0 +1,224 @@
+// Minimal JSON document model + recursive-descent parser shared by the
+// repo's CLI tools (trace_check, bench_compare). Self-contained on
+// purpose: the tools stay dependency-free and link against nothing but
+// the standard library.
+//
+// The model is deliberately small: every number is a double, objects
+// preserve insertion order (lookup is linear — documents here are tiny),
+// and \u escapes decode BMP code points only. Good enough for the JSON
+// the repo itself emits; not a general-purpose parser.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace idem::tooljson {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  Parser(const char* data, std::size_t size) : pos_(data), end_(data + size) {}
+
+  bool parse(JsonValue& out) {
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != end_) return fail("trailing garbage after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  std::size_t offset(const char* base) const { return static_cast<std::size_t>(pos_ - base); }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ != end_ &&
+           (*pos_ == ' ' || *pos_ == '\t' || *pos_ == '\n' || *pos_ == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* text) {
+    std::size_t len = std::strlen(text);
+    if (static_cast<std::size_t>(end_ - pos_) < len || std::memcmp(pos_, text, len) != 0) {
+      return fail("invalid literal");
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ == end_) return fail("unexpected end of input");
+    switch (*pos_) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.string);
+      case 't': out.kind = JsonValue::Kind::Bool; out.boolean = true; return literal("true");
+      case 'f': out.kind = JsonValue::Kind::Bool; out.boolean = false; return literal("false");
+      case 'n': out.kind = JsonValue::Kind::Null; return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ != end_ && *pos_ == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (pos_ == end_ || *pos_ != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ == end_ || *pos_ != ':') return fail("expected ':' after key");
+      ++pos_;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ == end_) return fail("unterminated object");
+      if (*pos_ == ',') { ++pos_; continue; }
+      if (*pos_ == '}') { ++pos_; return true; }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ != end_ && *pos_ == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ == end_) return fail("unterminated array");
+      if (*pos_ == ',') { ++pos_; continue; }
+      if (*pos_ == ']') { ++pos_; return true; }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ != end_) {
+      char c = *pos_++;
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char in string");
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ == end_) break;
+      char esc = *pos_++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end_ - pos_ < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *pos_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // Emitters in this repo never produce non-ASCII; decode BMP code
+          // points as UTF-8 so hand-edited files still pass.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = pos_;
+    if (pos_ != end_ && *pos_ == '-') ++pos_;
+    while (pos_ != end_ && ((*pos_ >= '0' && *pos_ <= '9') || *pos_ == '.' ||
+                            *pos_ == 'e' || *pos_ == 'E' || *pos_ == '+' || *pos_ == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string text(start, pos_);
+    char* parsed_end = nullptr;
+    out.number = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end == nullptr || *parsed_end != '\0') return fail("malformed number");
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  const char* pos_;
+  const char* end_;
+  std::string error_;
+};
+
+/// Reads `path` and parses it; on failure prints a diagnostic to stderr
+/// and returns false. `out` is left default-constructed on error.
+inline bool parse_file(const char* path, JsonValue& out, std::string& error) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    error = "cannot open file";
+    return false;
+  }
+  std::string data;
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, f)) > 0) data.append(buffer, got);
+  std::fclose(f);
+
+  Parser parser(data.data(), data.size());
+  if (!parser.parse(out)) {
+    error = "parse error at byte " + std::to_string(parser.offset(data.data())) + ": " +
+            parser.error();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace idem::tooljson
