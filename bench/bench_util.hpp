@@ -6,10 +6,12 @@
 //   IDEM_BENCH_RUNS         independent runs (seeds) averaged per point (default 1)
 //   IDEM_BENCH_CSV          when set, also print CSV after each table
 //   IDEM_BENCH_TRACE_OUT    record request lifecycles and write a Chrome
-//                           trace JSON here (rewritten per load point; the
-//                           last point's trace survives)
+//                           trace JSON per load point; "-c<clients>" (and
+//                           "-r<run>" when IDEM_BENCH_RUNS > 1) is inserted
+//                           before the extension, so a sweep keeps every
+//                           point instead of the last one overwriting
 //   IDEM_BENCH_METRICS_OUT  sample per-replica metrics every 100 ms and
-//                           write JSONL here (same rewrite semantics)
+//                           write JSONL per load point (same suffixing)
 #pragma once
 
 #include <cstdio>
@@ -62,19 +64,31 @@ inline void apply_obs_env(harness::ClusterConfig& config) {
   }
 }
 
-/// Writes the obs sinks of a finished run to the env-selected paths.
-/// Each call rewrites the files, so a sweep leaves the last point behind.
-inline void export_obs_env(harness::Cluster& cluster) {
+/// Inserts `suffix` before `path`'s extension: ("sweep.json", "-c8") ->
+/// "sweep-c8.json"; extensionless paths just get the suffix appended.
+inline std::string suffixed_path(const char* path, const std::string& suffix) {
+  std::string p = path;
+  std::size_t dot = p.rfind('.');
+  std::size_t slash = p.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return p + suffix;
+  }
+  return p.substr(0, dot) + suffix + p.substr(dot);
+}
+
+/// Writes the obs sinks of a finished run to the env-selected paths,
+/// `suffix` distinguishing load points so a sweep keeps all of them.
+inline void export_obs_env(harness::Cluster& cluster, const std::string& suffix = "") {
   if (const char* path = env_path("IDEM_BENCH_TRACE_OUT");
       path != nullptr && cluster.trace() != nullptr) {
-    if (std::FILE* f = std::fopen(path, "w")) {
+    if (std::FILE* f = std::fopen(suffixed_path(path, suffix).c_str(), "w")) {
       obs::write_chrome_trace(f, cluster.trace()->snapshot());
       std::fclose(f);
     }
   }
   if (const char* path = env_path("IDEM_BENCH_METRICS_OUT");
       path != nullptr && cluster.metrics() != nullptr) {
-    if (std::FILE* f = std::fopen(path, "w")) {
+    if (std::FILE* f = std::fopen(suffixed_path(path, suffix).c_str(), "w")) {
       cluster.metrics()->write_jsonl(f);
       std::fclose(f);
     }
@@ -112,7 +126,9 @@ inline LoadPoint run_load_point(harness::ClusterConfig base, std::size_t clients
     harness::Cluster cluster(config);
     harness::ClosedLoopDriver driver(cluster, driver_config);
     harness::RunMetrics metrics = driver.run();
-    export_obs_env(cluster);
+    std::string suffix = "-c" + std::to_string(clients);
+    if (runs > 1) suffix += "-r" + std::to_string(run);
+    export_obs_env(cluster, suffix);
 
     point.reply_kops += metrics.reply_throughput() / 1000.0;
     point.reject_kops += metrics.reject_throughput() / 1000.0;

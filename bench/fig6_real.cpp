@@ -13,9 +13,11 @@
 //
 // Environment knobs: IDEM_BENCH_SECONDS (default 2), IDEM_BENCH_WARMUP
 // (default 0.5), IDEM_REAL_RT (reject threshold, default 8),
-// IDEM_REAL_CLIENTS (comma list overriding the sweep). The measured and
-// warm-up spans can also be set on the command line (--measure-seconds S,
-// --warmup S), which wins over the environment.
+// IDEM_REAL_CLIENTS (comma list overriding the sweep), IDEM_REAL_LIVE=1
+// (run with live telemetry armed — windowed shards recording on the hot
+// path plus the admin endpoint — to measure its overhead against a plain
+// run). The measured and warm-up spans can also be set on the command
+// line (--measure-seconds S, --warmup S), which wins over the environment.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -78,7 +80,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--measure-seconds S] [--warmup S]\n"
                    "(env: IDEM_BENCH_SECONDS, IDEM_BENCH_WARMUP, IDEM_REAL_RT,"
-                   " IDEM_REAL_CLIENTS, IDEM_REAL_JSON)\n",
+                   " IDEM_REAL_CLIENTS, IDEM_REAL_LIVE, IDEM_REAL_JSON)\n",
                    argv[0]);
       return 2;
     }
@@ -87,13 +89,14 @@ int main(int argc, char** argv) {
   const auto measure = static_cast<Duration>(measure_sec * kSecond);
   const auto reject_threshold =
       static_cast<std::size_t>(env_double("IDEM_REAL_RT", 8));
+  const bool live = env_double("IDEM_REAL_LIVE", 0) != 0;
   const std::vector<std::size_t> client_counts = client_sweep();
   std::size_t max_clients = 0;
   for (std::size_t c : client_counts) max_clients = std::max(max_clients, c);
 
   std::printf("=== Figure 6 (real mode): IDEM over loopback TCP under increasing load ===\n");
-  std::printf("(3 replicas, one event-loop thread each; closed-loop YCSB-A clients; r=%zu)\n\n",
-              reject_threshold);
+  std::printf("(3 replicas, one event-loop thread each; closed-loop YCSB-A clients; r=%zu%s)\n\n",
+              reject_threshold, live ? "; live telemetry on" : "");
 
   harness::Table table({"clients", "throughput[kreq/s]", "latency[ms]", "p50[ms]", "p90[ms]",
                         "p99[ms]", "rejects[kreq/s]", "reject p99[ms]"});
@@ -107,6 +110,8 @@ int main(int argc, char** argv) {
     config.expected_clients = max_clients;
     config.preload = true;
     config.workload.record_count = 1000;
+    config.live_metrics = live;
+    config.admin = live;
     real::RealCluster cluster(config);
     cluster.start();
 

@@ -54,6 +54,33 @@ void Histogram::merge(const Histogram& other) {
   sum_sq_ += other.sum_sq_;
 }
 
+Histogram Histogram::delta(const Histogram& earlier) const {
+  Histogram out;
+  std::uint32_t first = 0, last = 0;
+  bool any = false;
+  for (std::uint32_t i = 0; i < buckets_.size(); ++i) {
+    std::uint64_t before = earlier.buckets_[i];
+    // Guard against a torn or non-prefix `earlier`: never underflow.
+    std::uint64_t diff = buckets_[i] > before ? buckets_[i] - before : 0;
+    out.buckets_[i] = diff;
+    if (diff > 0) {
+      if (!any) first = i;
+      last = i;
+      any = true;
+    }
+    out.count_ += diff;
+  }
+  if (!any) return out;
+  // Approximate extremes from the occupied bucket range: the lower edge of
+  // the first nonzero bucket and the upper edge of the last.
+  std::uint64_t lower = first == 0 ? 0 : bucket_upper_edge(first - 1) + 1;
+  out.min_ = static_cast<Duration>(lower);
+  out.max_ = static_cast<Duration>(bucket_upper_edge(last));
+  out.sum_ = sum_ > earlier.sum_ ? sum_ - earlier.sum_ : 0;
+  out.sum_sq_ = sum_sq_ > earlier.sum_sq_ ? sum_sq_ - earlier.sum_sq_ : 0;
+  return out;
+}
+
 double Histogram::mean() const {
   if (count_ == 0) return 0.0;
   return sum_ / static_cast<double>(count_);

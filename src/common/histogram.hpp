@@ -26,6 +26,15 @@ class Histogram {
   /// recorders into one experiment-wide distribution).
   void merge(const Histogram& other);
 
+  /// Distribution of everything recorded here but not in `earlier`, where
+  /// `earlier` is a past copy of this histogram (windowed snapshots:
+  /// current minus previous = the last window). Counts, sums and buckets
+  /// subtract exactly; min/max are approximated from the first/last
+  /// nonzero delta bucket's edges (the true extremes of only-the-window
+  /// are not recoverable from two cumulative states). quantile(), count()
+  /// and mean() on the result are exact up to bucket resolution.
+  Histogram delta(const Histogram& earlier) const;
+
   std::uint64_t count() const { return count_; }
   Duration min() const { return count_ ? min_ : 0; }
   Duration max() const { return count_ ? max_ : 0; }

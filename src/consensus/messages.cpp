@@ -1,8 +1,24 @@
 #include "consensus/messages.hpp"
 
+#include <atomic>
 #include <memory>
 
 namespace idem::msg {
+
+namespace {
+
+// Process-wide, set once by real-mode entry points before loop threads
+// exist; relaxed loads keep the encode hot path branch-predictable and
+// TSan-clean.
+std::atomic<bool> g_wire_reject_reasons{false};
+
+}  // namespace
+
+void set_wire_reject_reasons(bool enabled) {
+  g_wire_reject_reasons.store(enabled, std::memory_order_relaxed);
+}
+
+bool wire_reject_reasons() { return g_wire_reject_reasons.load(std::memory_order_relaxed); }
 
 namespace {
 

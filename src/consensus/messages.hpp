@@ -14,9 +14,28 @@
 
 #include "common/codec.hpp"
 #include "common/ids.hpp"
+#include "common/reject_reason.hpp"
 #include "sim/payload.hpp"
 
 namespace idem::msg {
+
+// ---------------------------------------------------------------------------
+// Real-mode wire extension gate
+//
+// REJECT carries its RejectReason as a trailing byte — but only when this
+// process-wide flag is set. The simulator's cost model charges
+// per_message + ns_per_byte * wire_size() for every send, so growing
+// REJECT unconditionally would perturb every pinned simulated trajectory
+// (determinism tests, the hash-stamped replay corpus). Real-mode entry
+// points (RealCluster, idem_server, run_load) set the flag before any
+// loop thread starts; decoding tolerates both forms unconditionally, so
+// mixed deployments interoperate.
+// ---------------------------------------------------------------------------
+
+/// Enables the REJECT reason byte on the wire for this process. Call
+/// before protocol threads start (reads are relaxed-atomic).
+void set_wire_reject_reasons(bool enabled);
+bool wire_reject_reasons();
 
 enum class Type : std::uint8_t {
   // Client <-> replica (shared by all protocols)
@@ -163,19 +182,28 @@ struct Reply final : Message {
   }
 };
 
-/// <REJECT, id> — a replica opted not to process this request any further.
+/// <REJECT, id[, reason]> — a replica opted not to process this request
+/// any further. The reason byte is appended only when
+/// set_wire_reject_reasons() armed it (real mode); the decoder accepts
+/// both forms, and absent/unknown bytes decode as RejectReason::None.
 struct Reject final : Message {
   RequestId id;
+  RejectReason reason = RejectReason::None;
 
   Reject() = default;
-  explicit Reject(RequestId id_) : id(id_) {}
+  explicit Reject(RequestId id_, RejectReason reason_ = RejectReason::None)
+      : id(id_), reason(reason_) {}
 
   Type type() const override { return Type::Reject; }
   std::string kind() const override { return "REJECT"; }
-  void encode_body(ByteWriter& w) const override { w.request_id(id); }
+  void encode_body(ByteWriter& w) const override {
+    w.request_id(id);
+    if (wire_reject_reasons()) w.u8(static_cast<std::uint8_t>(reason));
+  }
   static Reject decode_body(ByteReader& r) {
     Reject m;
     m.id = r.request_id();
+    if (r.remaining() > 0) m.reason = reject_reason_from(r.u8());
     return m;
   }
 };

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/reject_reason.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 
@@ -44,8 +45,30 @@ class AcceptanceTest {
   virtual bool accept(RequestId id, std::span<const std::byte> command,
                       const AcceptanceContext& ctx) = 0;
 
+  /// Classified variant: same verdict as accept(), but on refusal `reason`
+  /// names why. Every built-in test refuses for load, so the default
+  /// classification is RtQueueFull; a policy with another failure mode
+  /// overrides classify_rejection(). (Cache-hit and view-change rejects
+  /// are classified by the replica, which owns that state.)
+  bool accept(RequestId id, std::span<const std::byte> command,
+              const AcceptanceContext& ctx, RejectReason& reason) {
+    if (accept(id, command, ctx)) {
+      reason = RejectReason::None;
+      return true;
+    }
+    reason = classify_rejection(id, command, ctx);
+    return false;
+  }
+
   /// Display name for experiment output.
   virtual const char* name() const = 0;
+
+ protected:
+  /// Why the test just said no. Only consulted after accept() refused.
+  virtual RejectReason classify_rejection(RequestId, std::span<const std::byte>,
+                                          const AcceptanceContext&) const {
+    return RejectReason::RtQueueFull;
+  }
 };
 
 /// Accepts everything: IDEM with the rejection mechanism disabled.

@@ -14,15 +14,20 @@
 #include <cstdint>
 
 #include "common/ids.hpp"
+#include "common/reject_reason.hpp"
 #include "common/time.hpp"
 #include "obs/trace.hpp"
 
 namespace idem::core::lifecycle {
 
+/// Accepts keep arg == 1 exactly (legacy encoding, pinned by trace
+/// consumers); rejects carry their RejectReason in arg bits 8+.
 inline void accept_verdict([[maybe_unused]] obs::TraceRecorder* trace,
                            [[maybe_unused]] Time now, [[maybe_unused]] std::uint32_t me,
-                           [[maybe_unused]] RequestId id, [[maybe_unused]] bool accepted) {
-  IDEM_TRACE(trace, now, obs::TraceEventKind::AcceptVerdict, me, id, accepted ? 1 : 0);
+                           [[maybe_unused]] RequestId id, [[maybe_unused]] bool accepted,
+                           [[maybe_unused]] RejectReason reason = RejectReason::None) {
+  IDEM_TRACE(trace, now, obs::TraceEventKind::AcceptVerdict, me, id,
+             pack_accept_verdict(accepted, reason));
 }
 
 inline void forward_accepted([[maybe_unused]] obs::TraceRecorder* trace,

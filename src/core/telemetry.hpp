@@ -1,0 +1,58 @@
+// Per-replica live-telemetry surface (real mode only).
+//
+// A replica's hot path updates live series through this struct: every
+// series is pre-registered at attach() time so updates are id-indexed,
+// and a default-constructed (shard == nullptr) instance no-ops, which is
+// what the simulator always runs with — live telemetry cannot perturb
+// simulated trajectories by construction.
+#pragma once
+
+#include <string>
+
+#include "common/reject_reason.hpp"
+#include "common/time.hpp"
+#include "obs/live_metrics.hpp"
+
+namespace idem::core {
+
+struct LiveTelemetry {
+  obs::LiveShard* shard = nullptr;  ///< borrowed from the process hub; may be null
+  obs::LiveShard::SeriesId accepts = 0;
+  obs::LiveShard::SeriesId replies = 0;
+  obs::LiveShard::SeriesId rejects[kRejectReasonCount] = {};
+  obs::LiveShard::SeriesId reply_latency = 0;
+
+  /// Registers the replica series on `shard` (null → inert instance).
+  /// Identical names across replicas aggregate cluster-wide in snapshots.
+  static LiveTelemetry attach(obs::LiveShard* shard) {
+    LiveTelemetry t;
+    t.shard = shard;
+    if (shard == nullptr) return t;
+    t.accepts = shard->counter("accepts");
+    t.replies = shard->counter("replies");
+    for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
+      t.rejects[i] = shard->counter(
+          std::string("rejects[reason=") + to_label(static_cast<RejectReason>(i)) + "]");
+    }
+    t.reply_latency = shard->histogram("reply_latency");
+    return t;
+  }
+
+  bool enabled() const { return shard != nullptr; }
+
+  void count_accept() {
+    if (shard != nullptr) shard->add(accepts);
+  }
+  void count_reject(RejectReason reason) {
+    if (shard != nullptr) shard->add(rejects[static_cast<std::size_t>(reason)]);
+  }
+  /// Server-side reply latency: REPLY sent minus REQUEST arrival.
+  void record_reply_latency(Duration value) {
+    if (shard != nullptr) {
+      shard->add(replies);
+      shard->record(reply_latency, value);
+    }
+  }
+};
+
+}  // namespace idem::core

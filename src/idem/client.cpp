@@ -67,7 +67,7 @@ void IdemClient::on_message(sim::NodeId from, const sim::Payload& message) {
     const auto& reject = static_cast<const msg::Reject&>(*base);
     if (reject.id != pending_->id) return;
     IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RejectSeen, id().value, pending_->id,
-               from.value);
+               pack_reject_seen(from.value, reject.reason));
     pending_->rejects.insert(from.value);
     const std::size_t rejects = pending_->rejects.size();
 

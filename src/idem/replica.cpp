@@ -143,12 +143,23 @@ void IdemReplica::handle_request(const msg::Request& request) {
   ctx.active_requests = active_.size();
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
-  if (acceptance_->accept(id, request.command, ctx)) {
+  RejectReason reason = RejectReason::None;
+  if (acceptance_->accept(id, request.command, ctx, reason)) {
     lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
     accept_request(id, request.command, /*client_issued=*/true);
   } else {
-    lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
-    reject_request(request);
+    // Replica-owned classification outranks the test's generic verdict: a
+    // reject during a view change names the view change, and a reject of
+    // a request already sitting in the rejected cache is a retransmission
+    // bouncing off it. (find() is const — classification never perturbs
+    // the trajectory.)
+    if (views_.in_viewchange()) {
+      reason = RejectReason::ViewChangeInProgress;
+    } else if (rejected_.find(id) != nullptr) {
+      reason = RejectReason::RejectedCacheHit;
+    }
+    lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false, reason);
+    reject_request(request, reason);
   }
 }
 
@@ -168,6 +179,7 @@ void IdemReplica::release_superseded(RequestId newer) {
   }
   for (const RequestId& id : stale) {
     active_.erase(id);
+    arrival_.erase(id);
     if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
       cancel_timer(timer_it->second);
       forward_timers_.erase(timer_it);
@@ -190,6 +202,10 @@ void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
   if (client_issued) {
     active_.insert(id);
     ++stats_.accepted;
+    if (config_.telemetry.enabled()) {
+      config_.telemetry.count_accept();
+      arrival_[id] = now();
+    }
   } else {
     ++stats_.forward_accepted;
     lifecycle::forward_accepted(config_.trace, now(), me_.value, id);
@@ -199,10 +215,19 @@ void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
   arm_progress_timer();
 }
 
-void IdemReplica::reject_request(const msg::Request& request) {
+void IdemReplica::reject_request(const msg::Request& request, RejectReason reason) {
   ++stats_.rejected;
+  config_.telemetry.count_reject(reason);
   rejected_.insert(request.id, request.command);
-  reply_to_client(request.id.cid, std::make_shared<const msg::Reject>(request.id));
+  reply_to_client(request.id.cid, std::make_shared<const msg::Reject>(request.id, reason));
+}
+
+void IdemReplica::telemetry_reply(RequestId id, bool replied) {
+  if (!config_.telemetry.enabled()) return;
+  auto it = arrival_.find(id);
+  if (it == arrival_.end()) return;  // arrived via FORWARD/FETCH, not a client REQUEST
+  if (replied) config_.telemetry.record_reply_latency(now() - it->second);
+  arrival_.erase(it);
 }
 
 void IdemReplica::queue_require(RequestId id) {
@@ -557,6 +582,7 @@ void IdemReplica::finish_async_execute(std::uint64_t sqn,
       reply_to_client(id.cid, reply);
       lifecycle::reply_sent(config_.trace, now(), me_.value, id);
     }
+    telemetry_reply(id, is_leader());
     if (on_execute) on_execute(SeqNum{sqn}, id);
   }
   exec_ids_.clear();
@@ -590,6 +616,7 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
       reply_to_client(id.cid, reply);
       lifecycle::reply_sent(config_.trace, now(), me_.value, id);
     }
+    telemetry_reply(id, is_leader());
     if (on_execute) on_execute(SeqNum{sqn}, id);
   }
   inst.executed = true;

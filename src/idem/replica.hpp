@@ -116,7 +116,7 @@ class IdemReplica final : public sim::Node {
   void handle_request(const msg::Request& request);
   void release_superseded(RequestId newer);
   void accept_request(RequestId id, std::vector<std::byte> command, bool client_issued);
-  void reject_request(const msg::Request& request);
+  void reject_request(const msg::Request& request, RejectReason reason);
   void queue_require(RequestId id);
   void flush_requires();
 
@@ -176,6 +176,11 @@ class IdemReplica final : public sim::Node {
   void send_to_leader(sim::PayloadPtr message);
   void reply_to_client(ClientId cid, sim::PayloadPtr message);
 
+  /// Closes a request's live reply-latency measurement: records REPLY
+  /// minus arrival when this replica replied, always drops the arrival
+  /// entry. No-op without an attached telemetry shard.
+  void telemetry_reply(RequestId id, bool replied);
+
   IdemConfig config_;
   ReplicaId me_;
   std::unique_ptr<app::StateMachine> sm_;
@@ -189,6 +194,11 @@ class IdemReplica final : public sim::Node {
   std::unordered_set<RequestId> active_;
   // Forward timers per accepted-but-unexecuted request.
   std::unordered_map<RequestId, sim::TimerId> forward_timers_;
+
+  // REQUEST arrival times for live reply-latency measurement. Populated
+  // only with an attached telemetry shard (real mode); bounded like
+  // active_ (entries die at execution or supersession).
+  std::unordered_map<RequestId, Time> arrival_;
 
   // Recently rejected requests, still available for FETCH/agreement.
   RejectedCache rejected_;

@@ -5,6 +5,8 @@
 #include <set>
 #include <string>
 
+#include "common/reject_reason.hpp"
+
 namespace idem::obs {
 
 namespace {
@@ -33,16 +35,24 @@ double to_trace_us(Time t) { return static_cast<double>(t) / 1000.0; }
 
 class Writer {
  public:
-  Writer(std::FILE* out, std::uint32_t client_node_base)
-      : out_(out), client_node_base_(client_node_base) {}
+  Writer(std::FILE* out, std::uint32_t client_node_base, const ChromeTraceMeta* meta)
+      : out_(out), client_node_base_(client_node_base), meta_(meta) {}
 
   void begin_document() { std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", out_); }
 
   void end_document(std::uint64_t total_recorded, std::uint64_t overwritten) {
     std::fprintf(out_,
-                 "],\"otherData\":{\"recorded\":%llu,\"overwritten\":%llu}}\n",
+                 "],\"otherData\":{\"recorded\":%llu,\"overwritten\":%llu",
                  static_cast<unsigned long long>(total_recorded),
                  static_cast<unsigned long long>(overwritten));
+    if (meta_ != nullptr) {
+      // Stitching metadata: trace_merge aligns documents by shifting each
+      // one's timestamps so that trace time 0 lands at its realtime anchor.
+      std::fprintf(out_, ",\"process\":\"%s\",\"realtime_anchor_ns\":%lld",
+                   meta_->process.c_str(),
+                   static_cast<long long>(meta_->realtime_anchor_ns));
+    }
+    std::fputs("}}\n", out_);
   }
 
   void process_name(std::uint32_t node) {
@@ -61,15 +71,17 @@ class Writer {
   }
 
   void async(char ph, const char* name, const std::string& id, std::uint32_t node, Time at,
-             const TraceEvent* ev = nullptr) {
+             const TraceEvent* ev = nullptr, const char* reason = nullptr) {
     comma();
     std::fprintf(out_,
                  "{\"ph\":\"%c\",\"cat\":\"idem\",\"name\":\"%s\",\"id\":\"%s\","
                  "\"pid\":%u,\"tid\":%u,\"ts\":%.3f",
                  ph, name, id.c_str(), node, node, to_trace_us(at));
     if (ev != nullptr) {
-      std::fprintf(out_, ",\"args\":{\"req\":\"%s\",\"arg\":%llu}", request_key(*ev).c_str(),
+      std::fprintf(out_, ",\"args\":{\"req\":\"%s\",\"arg\":%llu", request_key(*ev).c_str(),
                    static_cast<unsigned long long>(ev->arg));
+      if (reason != nullptr) std::fprintf(out_, ",\"reason\":\"%s\"", reason);
+      std::fputc('}', out_);
     }
     std::fputc('}', out_);
   }
@@ -82,6 +94,7 @@ class Writer {
 
   std::FILE* out_;
   std::uint32_t client_node_base_;
+  const ChromeTraceMeta* meta_;
   bool first_ = true;
 };
 
@@ -92,10 +105,13 @@ struct OpenSpan {
 
 }  // namespace
 
-ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent>& events,
-                                    std::uint32_t client_node_base) {
+namespace {
+
+ChromeTraceStats write_document(std::FILE* out, const std::vector<TraceEvent>& events,
+                                const ChromeTraceMeta* meta,
+                                std::uint32_t client_node_base) {
   ChromeTraceStats stats;
-  Writer w(out, client_node_base);
+  Writer w(out, client_node_base, meta);
   w.begin_document();
 
   std::set<std::uint32_t> nodes;
@@ -152,13 +168,17 @@ ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent
         instant("retry", span_id("request", ev), ev);
         break;
       case TraceEventKind::RejectSeen:
-        instant("reject_seen", span_id("request", ev), ev);
+        w.async('n', "reject_seen", span_id("request", ev), ev.node, ev.at, &ev,
+                to_label(reject_seen_reason(ev.arg)));
+        ++stats.instants;
         break;
       case TraceEventKind::AcceptVerdict:
-        if (ev.arg != 0) {
+        if (accept_verdict_accepted(ev.arg)) {
           begin_span("pending", span_id("pending", ev), ev);
         } else {
-          instant("rejected", span_id("pending", ev), ev);
+          w.async('n', "rejected", span_id("pending", ev), ev.node, ev.at, &ev,
+                  to_label(accept_verdict_reason(ev.arg)));
+          ++stats.instants;
         }
         break;
       case TraceEventKind::ForwardAccepted:
@@ -212,6 +232,19 @@ ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent
   // split, so report the snapshot size.
   w.end_document(events.size(), 0);
   return stats;
+}
+
+}  // namespace
+
+ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent>& events,
+                                    std::uint32_t client_node_base) {
+  return write_document(out, events, nullptr, client_node_base);
+}
+
+ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent>& events,
+                                    const ChromeTraceMeta& meta,
+                                    std::uint32_t client_node_base) {
+  return write_document(out, events, &meta, client_node_base);
 }
 
 }  // namespace idem::obs

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "obs/trace.hpp"
@@ -31,11 +32,25 @@ struct ChromeTraceStats {
   std::uint64_t stray_ends = 0;     ///< ends with no matching begin (rendered as instants)
 };
 
+/// Per-process metadata embedded in the document's otherData so that
+/// tools/trace_merge can stitch exports from separate processes onto one
+/// wall-clock timeline: `realtime_anchor_ns` is CLOCK_REALTIME at this
+/// process's trace time 0 (see rpc::realtime_anchor_ns).
+struct ChromeTraceMeta {
+  std::string process;                  ///< label, e.g. "idem_server r1"
+  std::int64_t realtime_anchor_ns = 0;  ///< CLOCK_REALTIME at trace ts 0
+};
+
 /// Writes `events` (oldest first, as returned by TraceRecorder::snapshot())
 /// as a complete Chrome trace JSON document. `client_node_base` is the sim
 /// NodeId offset of client nodes (consensus::client_address); nodes at or
 /// above it are labelled as clients, below as replicas.
 ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent>& events,
+                                    std::uint32_t client_node_base = 1'000'000);
+
+/// Same, with stitching metadata in otherData (real-mode exports).
+ChromeTraceStats write_chrome_trace(std::FILE* out, const std::vector<TraceEvent>& events,
+                                    const ChromeTraceMeta& meta,
                                     std::uint32_t client_node_base = 1'000'000);
 
 }  // namespace idem::obs

@@ -1,0 +1,216 @@
+#include "obs/live_metrics.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace idem::obs {
+
+namespace {
+
+template <typename T>
+T* find_series(std::vector<std::pair<std::string, T>>& series, const std::string& name) {
+  for (auto& [n, value] : series) {
+    if (n == name) return &value;
+  }
+  return nullptr;
+}
+
+/// Splits "rejects[reason=rt-queue-full]" into a sanitized metric name and
+/// an optional label clause; plain names pass through.
+struct PromName {
+  std::string metric;
+  std::string labels;  ///< rendered as-is, e.g. `{reason="rt-queue-full"}`
+};
+
+std::string sanitize(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+PromName prom_name(const std::string& name) {
+  PromName out;
+  auto bracket = name.find('[');
+  if (bracket == std::string::npos || name.back() != ']') {
+    out.metric = "idem_" + sanitize(name);
+    return out;
+  }
+  out.metric = "idem_" + sanitize(name.substr(0, bracket));
+  std::string clause = name.substr(bracket + 1, name.size() - bracket - 2);
+  auto eq = clause.find('=');
+  if (eq == std::string::npos) {
+    out.labels = "{label=\"" + clause + "\"}";
+  } else {
+    out.labels = "{" + sanitize(clause.substr(0, eq)) + "=\"" + clause.substr(eq + 1) + "\"}";
+  }
+  return out;
+}
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+LiveShard::SeriesId LiveShard::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].first == name) return i;
+  }
+  counters_.emplace_back(name, 0);
+  return counters_.size() - 1;
+}
+
+LiveShard::SeriesId LiveShard::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].first == name) return i;
+  }
+  histograms_.emplace_back(name, Histogram{});
+  return histograms_.size() - 1;
+}
+
+void LiveShard::add(SeriesId id, std::uint64_t delta) {
+  std::lock_guard lock(mu_);
+  counters_[id].second += delta;
+}
+
+void LiveShard::set(SeriesId id, std::uint64_t total) {
+  std::lock_guard lock(mu_);
+  counters_[id].second = total;
+}
+
+void LiveShard::record(SeriesId id, Duration value) {
+  std::lock_guard lock(mu_);
+  histograms_[id].second.record(value);
+}
+
+LiveMetrics::LiveMetrics() : prev_at_(std::chrono::steady_clock::now()) {}
+
+LiveShard* LiveMetrics::make_shard() {
+  std::lock_guard lock(mu_);
+  return &shards_.emplace_back();
+}
+
+LiveSnapshot LiveMetrics::snapshot() {
+  std::lock_guard lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  // Sub-millisecond windows (back-to-back scrapes) would turn rates into
+  // noise; clamp the divisor, never the data.
+  double elapsed = std::chrono::duration<double>(now - prev_at_).count();
+  double divisor = std::max(elapsed, 1e-3);
+
+  // Merge all shards by series name (exact: every shard lock is taken).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+  for (LiveShard& shard : shards_) {
+    std::lock_guard shard_lock(shard.mu_);
+    for (const auto& [name, value] : shard.counters_) {
+      if (auto* merged = find_series(counters, name)) {
+        *merged += value;
+      } else {
+        counters.emplace_back(name, value);
+      }
+    }
+    for (const auto& [name, hist] : shard.histograms_) {
+      if (auto* merged = find_series(histograms, name)) {
+        merged->merge(hist);
+      } else {
+        histograms.emplace_back(name, hist);
+      }
+    }
+  }
+
+  LiveSnapshot snap;
+  snap.window_seconds = elapsed;
+  for (const auto& [name, total] : counters) {
+    LiveSnapshot::Counter c;
+    c.name = name;
+    c.total = total;
+    std::uint64_t before = 0;
+    if (auto* prev = find_series(prev_counters_, name)) before = *prev;
+    c.window = total > before ? total - before : 0;
+    c.rate = static_cast<double>(c.window) / divisor;
+    snap.counters.push_back(std::move(c));
+  }
+  for (const auto& [name, hist] : histograms) {
+    LiveSnapshot::Latency l;
+    l.name = name;
+    l.total_count = hist.count();
+    Histogram window = hist;
+    if (auto* prev = find_series(prev_histograms_, name)) window = hist.delta(*prev);
+    l.window_count = window.count();
+    l.rate = static_cast<double>(l.window_count) / divisor;
+    l.p50 = window.p50();
+    l.p99 = window.p99();
+    l.p999 = window.p999();
+    l.mean_ns = window.mean();
+    snap.latencies.push_back(std::move(l));
+  }
+
+  prev_counters_ = std::move(counters);
+  prev_histograms_ = std::move(histograms);
+  prev_at_ = now;
+  return snap;
+}
+
+std::string LiveMetrics::render_prometheus(const LiveSnapshot& snap) {
+  std::string out;
+  append_f(out, "# TYPE idem_window_seconds gauge\n");
+  append_f(out, "idem_window_seconds %.6f\n", snap.window_seconds);
+  for (const auto& c : snap.counters) {
+    PromName p = prom_name(c.name);
+    append_f(out, "%s_total%s %llu\n", p.metric.c_str(), p.labels.c_str(),
+             static_cast<unsigned long long>(c.total));
+    append_f(out, "%s_rate%s %.3f\n", p.metric.c_str(), p.labels.c_str(), c.rate);
+  }
+  for (const auto& l : snap.latencies) {
+    PromName p = prom_name(l.name);
+    append_f(out, "%s_rate%s %.3f\n", p.metric.c_str(), p.labels.c_str(), l.rate);
+    append_f(out, "%s_p50_seconds%s %.9f\n", p.metric.c_str(), p.labels.c_str(),
+             static_cast<double>(l.p50) / 1e9);
+    append_f(out, "%s_p99_seconds%s %.9f\n", p.metric.c_str(), p.labels.c_str(),
+             static_cast<double>(l.p99) / 1e9);
+    append_f(out, "%s_p999_seconds%s %.9f\n", p.metric.c_str(), p.labels.c_str(),
+             static_cast<double>(l.p999) / 1e9);
+    append_f(out, "%s_mean_seconds%s %.9f\n", p.metric.c_str(), p.labels.c_str(),
+             l.mean_ns / 1e9);
+  }
+  return out;
+}
+
+std::string LiveMetrics::render_json(const LiveSnapshot& snap) {
+  std::string out = "{";
+  append_f(out, "\"window_seconds\": %.6f, \"counters\": {", snap.window_seconds);
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& c = snap.counters[i];
+    append_f(out, "%s\"%s\": {\"total\": %llu, \"window\": %llu, \"rate\": %.3f}",
+             i > 0 ? ", " : "", c.name.c_str(), static_cast<unsigned long long>(c.total),
+             static_cast<unsigned long long>(c.window), c.rate);
+  }
+  out += "}, \"latencies\": {";
+  for (std::size_t i = 0; i < snap.latencies.size(); ++i) {
+    const auto& l = snap.latencies[i];
+    append_f(out,
+             "%s\"%s\": {\"window_count\": %llu, \"rate\": %.3f, \"p50_ms\": %.4f,"
+             " \"p99_ms\": %.4f, \"p999_ms\": %.4f, \"mean_ms\": %.4f}",
+             i > 0 ? ", " : "", l.name.c_str(),
+             static_cast<unsigned long long>(l.window_count), l.rate,
+             static_cast<double>(l.p50) / 1e6, static_cast<double>(l.p99) / 1e6,
+             static_cast<double>(l.p999) / 1e6, l.mean_ns / 1e6);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace idem::obs

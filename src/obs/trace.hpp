@@ -34,10 +34,12 @@ enum class TraceEventKind : std::uint16_t {
   // Client side.
   RequestIssued = 1,    ///< client sent the REQUEST (arg: 0)
   RequestRetry = 2,     ///< client retransmitted (arg: attempt irrelevant)
-  RejectSeen = 3,       ///< client received a REJECT (arg: rejecting replica)
+  RejectSeen = 3,       ///< client received a REJECT (arg: pack_reject_seen —
+                        ///< low 32 bits rejecting replica, bits 32+ RejectReason)
   RequestOutcome = 4,   ///< operation finished (arg: consensus::Outcome::Kind)
   // Replica intake.
-  AcceptVerdict = 10,   ///< acceptance test ran (arg: 1 accept, 0 reject)
+  AcceptVerdict = 10,   ///< acceptance test ran (arg: pack_accept_verdict —
+                        ///< bit 0 set = accept, reject reason in bits 8+)
   ForwardAccepted = 11, ///< accepted via FORWARD, bypassing the test
   // Agreement.
   RequireNoted = 20,    ///< leader counted a REQUIRE vote (arg: voting replica)

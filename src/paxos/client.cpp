@@ -66,7 +66,7 @@ void PaxosClient::on_message(sim::NodeId from, const sim::Payload& message) {
     const auto& reject = static_cast<const msg::Reject&>(*base);
     if (reject.id != pending_->id) return;
     IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RejectSeen, id().value, pending_->id,
-               from.value);
+               pack_reject_seen(from.value, reject.reason));
     presumed_leader_ = consensus::replica_of_address(from);
     complete(consensus::Outcome::Kind::Rejected, {}, 1);
   }

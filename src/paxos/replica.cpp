@@ -96,11 +96,14 @@ void PaxosReplica::handle_request(const msg::Request& request) {
   }
   if (queued_.contains(id)) return;  // retransmission; already in the pipeline
 
-  // Leader-based rejection (Paxos_LBR): the single leader decides.
+  // Leader-based rejection (Paxos_LBR): the single leader decides. LBR
+  // only ever sheds for load, so the reason is always rt-queue-full.
   if (config_.reject_threshold > 0 && active_requests() >= config_.reject_threshold) {
     ++stats_.rejected;
-    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
-    send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
+    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false,
+                                    RejectReason::RtQueueFull);
+    send(consensus::client_address(id.cid),
+         std::make_shared<const msg::Reject>(id, RejectReason::RtQueueFull));
     return;
   }
 

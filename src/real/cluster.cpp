@@ -4,6 +4,7 @@
 
 #include "app/kv_store.hpp"
 #include "consensus/addresses.hpp"
+#include "consensus/messages.hpp"
 #include "idem/acceptance.hpp"
 
 namespace idem::real {
@@ -31,6 +32,12 @@ RealCluster::RealCluster(RealClusterConfig config)
   idem_.require_adoption = config_.require_adoption;
   idem_.release_superseded = config_.release_superseded;
 
+  // Real mode ships the reason byte on REJECT; the sim keeps the flag off
+  // so its wire-size cost charges stay pinned.
+  msg::set_wire_reject_reasons(true);
+  if (config_.admin) config_.live_metrics = true;
+  if (config_.live_metrics) live_ = std::make_unique<obs::LiveMetrics>();
+
   members_.resize(config_.n);
   for (std::size_t i = 0; i < config_.n; ++i) {
     Member& member = members_[i];
@@ -43,6 +50,10 @@ RealCluster::RealCluster(RealClusterConfig config)
     if (config_.trace) {
       member.trace = std::make_unique<obs::TraceRecorder>(config_.trace_capacity);
       replica_config.trace = member.trace.get();
+    }
+    if (live_) {
+      // Identical series names across replicas aggregate cluster-wide.
+      replica_config.telemetry = core::LiveTelemetry::attach(live_->make_shard());
     }
     if (config_.execution_thread) {
       member.executor = std::make_unique<ExecutionThread>(member.runtime->loop());
@@ -81,6 +92,17 @@ RealCluster::RealCluster(RealClusterConfig config)
           consensus::replica_address(ReplicaId{static_cast<std::uint32_t>(j)}),
           members_[j].port);
     }
+  }
+
+  if (config_.admin) {
+    // Rides member 0's loop; the shards behind the hub are mutex-backed,
+    // so a scrape observes every replica without cross-thread hazards.
+    admin_ = std::make_unique<rpc::HttpAdmin>(members_[0].runtime->loop(), config_.admin_port);
+    obs::LiveMetrics* hub = live_.get();
+    admin_->route("/metrics", "text/plain; version=0.0.4",
+                  [hub] { return obs::LiveMetrics::render_prometheus(hub->snapshot()); });
+    admin_->route("/stats", "application/json",
+                  [hub] { return obs::LiveMetrics::render_json(hub->snapshot()); });
   }
 }
 
@@ -139,6 +161,9 @@ void RealCluster::crash_replica(std::size_t index) {
   Member& member = members_[index];
   if (member.crashed) return;
   member.runtime->stop();
+  // The admin endpoint's sockets live on member 0's loop; tear it down
+  // before that loop object dies.
+  if (index == 0) admin_.reset();
   // Loop thread is gone; reading and tearing down on this thread is safe.
   // The executor joins before the replica dies — a completion it posted to
   // the stopped loop is never run.

@@ -24,11 +24,13 @@
 #include "idem/client.hpp"
 #include "idem/config.hpp"
 #include "idem/replica.hpp"
+#include "obs/live_metrics.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/ticker.hpp"
 #include "obs/trace.hpp"
 #include "real/exec_thread.hpp"
 #include "real/runtime.hpp"
+#include "rpc/http_admin.hpp"
 
 namespace idem::real {
 
@@ -105,6 +107,16 @@ struct RealClusterConfig {
   bool trace = false;
   std::size_t trace_capacity = 1u << 16;
 
+  /// Windowed live telemetry: one obs::LiveMetrics hub for the process,
+  /// one shard per replica (core::LiveTelemetry). Shards are mutex-backed,
+  /// so scraping from any thread is safe while the loops run.
+  bool live_metrics = false;
+  /// Serve /metrics (Prometheus) and /stats (JSON) over HTTP from member
+  /// 0's loop; implies live_metrics. 0 binds an ephemeral port — query
+  /// admin_port() after construction.
+  bool admin = false;
+  std::uint16_t admin_port = 0;
+
   /// Per-replica metrics sampling interval; 0 disables the registries.
   Duration metrics_interval = 0;
   std::size_t metrics_reserve = 4096;
@@ -166,6 +178,12 @@ class RealCluster {
   /// only through RealRuntime::call().
   obs::MetricsRegistry* metrics(std::size_t index) { return members_[index].metrics.get(); }
 
+  /// Live-telemetry hub (nullptr unless live_metrics/admin is on).
+  /// Snapshotting is thread-safe; note each snapshot consumes the window.
+  obs::LiveMetrics* live_metrics() { return live_.get(); }
+  /// Bound admin port (0 when the admin endpoint is off).
+  std::uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+
   /// Per-replica trace snapshots (each oldest-first), taken on the owning
   /// loop thread when live. Merge with client-side rings via
   /// obs::merge_trace_snapshots.
@@ -197,7 +215,11 @@ class RealCluster {
   RealClusterConfig config_;
   core::IdemConfig idem_;
   rpc::EventLoop::Epoch epoch_;
+  std::unique_ptr<obs::LiveMetrics> live_;
   std::vector<Member> members_;
+  /// Declared after members_ so it tears down first (it holds fds
+  /// registered with member 0's loop, which must still exist).
+  std::unique_ptr<rpc::HttpAdmin> admin_;
   bool started_ = false;
 };
 

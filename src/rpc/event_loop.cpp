@@ -23,6 +23,13 @@ std::uint64_t hash_name(std::string_view name) {
 
 }  // namespace
 
+std::int64_t realtime_anchor_ns(std::chrono::steady_clock::time_point epoch) {
+  auto realtime_now = std::chrono::system_clock::now().time_since_epoch();
+  auto since_epoch = std::chrono::steady_clock::now() - epoch;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(realtime_now).count() -
+         std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch).count();
+}
+
 EventLoop::EventLoop(std::uint64_t seed, Epoch epoch) : seed_(seed), start_(epoch) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {

@@ -30,6 +30,14 @@
 
 namespace idem::rpc {
 
+/// CLOCK_REALTIME (ns since the Unix epoch) at the moment a loop epoch's
+/// trace time 0 occurred: realtime-now minus how far the steady clock has
+/// advanced past `epoch`. Each process stamps this into its trace export
+/// so tools/trace_merge can stitch independently started processes onto
+/// one wall-clock timeline (accurate to the clocks' mutual drift, which
+/// on one host is negligible over a run).
+std::int64_t realtime_anchor_ns(std::chrono::steady_clock::time_point epoch);
+
 class EventLoop final : public sim::Runtime {
  public:
   using IoCallback = std::function<void(std::uint32_t epoll_events)>;

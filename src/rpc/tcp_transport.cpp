@@ -211,6 +211,7 @@ void TcpTransport::accept_ready(LocalNode& node) {
       ::inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host));
     }
     connection->peer_host = host;
+    ++stats_.accepted_connections;
     node.inbound_fds.push_back(fd);
     inbound_[fd] = std::move(connection);
     loop_.watch(fd, EPOLLIN, [this, fd](std::uint32_t) { inbound_ready(fd); });
@@ -265,6 +266,7 @@ void TcpTransport::inbound_ready(int fd) {
       if (!ok) {
         // Oversized length header: poisoned stream, count and drop it.
         ++stats_.decode_errors;
+        ++stats_.oversized_frames;
         LOG_WARN("tcp", "dropping connection to node ", connection.local_node,
                  " (oversized frame)");
         close_inbound(fd, connection);
@@ -380,6 +382,12 @@ void TcpTransport::flush(OutboundConnection& connection) {
   }
   // Fully flushed: only wake on errors until there is more to send.
   loop_.modify(connection.fd, 0);
+}
+
+std::size_t TcpTransport::pending_write_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [dest, connection] : outbound_) total += connection->out.total_bytes;
+  return total;
 }
 
 void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr message) {

@@ -52,6 +52,10 @@ struct TransportStats {
   std::uint64_t send_queue_overflows = 0;  ///< frames dropped because a
                                            ///< connection's pending-write
                                            ///< queue hit its byte bound
+  std::uint64_t accepted_connections = 0;  ///< inbound connections accepted
+  std::uint64_t oversized_frames = 0;      ///< connections dropped for a frame
+                                           ///< over max_frame_bytes (also
+                                           ///< counted in decode_errors)
 };
 
 /// Upper bound on iovec entries per flush; writev/sendmsg reject more
@@ -151,6 +155,14 @@ class TcpTransport final : public sim::Transport {
   }
 
   const TransportStats& stats() const { return stats_; }
+
+  /// Bytes queued but not yet written across all outbound connections —
+  /// the live backpressure signal (admin /stats).
+  std::size_t pending_write_bytes() const;
+
+  /// Open connection counts (admin /stats).
+  std::size_t inbound_connections() const { return inbound_.size(); }
+  std::size_t outbound_connections() const { return outbound_.size(); }
 
  private:
   struct LocalNode;

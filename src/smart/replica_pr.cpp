@@ -90,17 +90,21 @@ void SmartPrReplica::handle_request(const msg::Request& request) {
   ctx.active_requests = active_.size();
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
-  if (acceptance_->accept(id, request.command, ctx)) {
+  RejectReason reason = RejectReason::None;
+  if (acceptance_->accept(id, request.command, ctx, reason)) {
     core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
     accept_request(id, request.command, /*client_issued=*/true);
   } else {
     ++stats_.rejected;
-    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false);
+    // A reject of a request already in the rejected cache is a
+    // retransmission bouncing off it — classify it as such.
+    if (rejected_.find(id) != nullptr) reason = RejectReason::RejectedCacheHit;
+    core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false, reason);
     // insert() refreshes an already-cached entry to the LRU front: every
     // retransmission of an ambivalently rejected request (Section 4.5)
     // keeps its body fetchable.
     rejected_.insert(id, request.command);
-    send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id));
+    send(consensus::client_address(id.cid), std::make_shared<const msg::Reject>(id, reason));
   }
 }
 

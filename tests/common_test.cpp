@@ -317,6 +317,64 @@ TEST(Histogram, ClearResets) {
   EXPECT_EQ(h.quantile(0.99), 0);
 }
 
+TEST(Histogram, SingleValueQuantilesCollapse) {
+  // One sample: every quantile lands in its bucket, min == max == value.
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_EQ(h.p50(), h.p999());
+  EXPECT_GE(h.p50(), 42);
+}
+
+TEST(Histogram, SaturatedBucketCountsDoNotOverflowQuantiles) {
+  // A single bucket holding ~1e9 samples must not wrap the cumulative
+  // scan; small values are bucketed exactly, so quantiles stay at 7.
+  Histogram h;
+  h.record_n(7, 1'000'000'000ull);
+  EXPECT_EQ(h.count(), 1'000'000'000ull);
+  EXPECT_EQ(h.p50(), 7);
+  EXPECT_EQ(h.p999(), 7);
+}
+
+TEST(Histogram, DeltaOfIdenticalStatesIsEmpty) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000 + i);
+  Histogram d = h.delta(h);
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.quantile(0.5), 0);
+  EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Histogram, DeltaFromEmptyEarlierIsTheFullDistribution) {
+  Histogram h, empty;
+  h.record(10);
+  h.record(10'000);
+  Histogram d = h.delta(empty);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_EQ(d.p50(), h.p50());
+  EXPECT_EQ(d.p999(), h.p999());
+}
+
+TEST(Histogram, DeltaIsolatesTheWindow) {
+  // Old samples at 100 ns, window samples at 10 us: the delta must see
+  // only the window's distribution, not the cumulative mixture.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100);
+  Histogram earlier = h;
+  for (int i = 0; i < 200; ++i) h.record(10'000);
+  Histogram window = h.delta(earlier);
+  EXPECT_EQ(window.count(), 200u);
+  EXPECT_NEAR(static_cast<double>(window.p50()), 10'000, 10'000 * 0.04);
+  EXPECT_NEAR(window.mean(), 10'000, 10'000 * 0.04);
+  // min/max are bucket-edge approximations of the window's extremes; they
+  // must bracket the only recorded window value.
+  EXPECT_GT(window.min(), 100);
+  EXPECT_LE(static_cast<double>(window.min()), 10'000);
+  EXPECT_GE(static_cast<double>(window.max()), 10'000 * 0.96);
+}
+
 // ---------------------------------------------------------------------------
 // TimeSeries
 // ---------------------------------------------------------------------------

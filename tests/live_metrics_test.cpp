@@ -1,0 +1,188 @@
+// Windowed live metrics: shard recording, cross-shard aggregation,
+// snapshot windowing, exposition rendering, and (under TSan in ci.sh)
+// concurrent recording while a scraper snapshots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/reject_reason.hpp"
+#include "core/telemetry.hpp"
+#include "obs/live_metrics.hpp"
+
+namespace idem::obs {
+namespace {
+
+TEST(LiveMetrics, CounterWindowsSinceLastSnapshot) {
+  LiveMetrics hub;
+  LiveShard* shard = hub.make_shard();
+  auto id = shard->counter("accepts");
+  shard->add(id, 5);
+
+  LiveSnapshot first = hub.snapshot();
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].name, "accepts");
+  EXPECT_EQ(first.counters[0].total, 5u);
+  EXPECT_EQ(first.counters[0].window, 5u);
+  EXPECT_GT(first.counters[0].rate, 0.0);
+
+  shard->add(id, 3);
+  LiveSnapshot second = hub.snapshot();
+  EXPECT_EQ(second.counters[0].total, 8u);
+  EXPECT_EQ(second.counters[0].window, 3u);
+
+  // A quiet window: totals persist, the window is empty.
+  LiveSnapshot third = hub.snapshot();
+  EXPECT_EQ(third.counters[0].total, 8u);
+  EXPECT_EQ(third.counters[0].window, 0u);
+  EXPECT_EQ(third.counters[0].rate, 0.0);
+}
+
+TEST(LiveMetrics, SetMirrorsExternalTotalsIntoWindows) {
+  // set() feeds an externally maintained monotonic total (TransportStats
+  // mirroring); the window machinery deltas it like any counter.
+  LiveMetrics hub;
+  LiveShard* shard = hub.make_shard();
+  auto id = shard->counter("tcp_messages_sent");
+  shard->set(id, 100);
+  EXPECT_EQ(hub.snapshot().counters[0].window, 100u);
+  shard->set(id, 140);
+  LiveSnapshot snap = hub.snapshot();
+  EXPECT_EQ(snap.counters[0].total, 140u);
+  EXPECT_EQ(snap.counters[0].window, 40u);
+}
+
+TEST(LiveMetrics, HistogramQuantilesCoverOnlyTheWindow) {
+  LiveMetrics hub;
+  LiveShard* shard = hub.make_shard();
+  auto id = shard->histogram("reply_latency");
+  for (int i = 0; i < 1000; ++i) shard->record(id, 1000);
+  (void)hub.snapshot();
+
+  // New window at a different magnitude: quantiles must not see the old
+  // thousand samples at 1 us.
+  for (int i = 0; i < 100; ++i) shard->record(id, 1'000'000);
+  LiveSnapshot snap = hub.snapshot();
+  ASSERT_EQ(snap.latencies.size(), 1u);
+  EXPECT_EQ(snap.latencies[0].window_count, 100u);
+  EXPECT_EQ(snap.latencies[0].total_count, 1100u);
+  EXPECT_NEAR(static_cast<double>(snap.latencies[0].p50), 1e6, 1e6 * 0.04);
+  EXPECT_NEAR(snap.latencies[0].mean_ns, 1e6, 1e6 * 0.04);
+}
+
+TEST(LiveMetrics, ShardsAggregateByName) {
+  // Identical series names on different shards (one per replica) merge
+  // into one cluster-wide series.
+  LiveMetrics hub;
+  LiveShard* a = hub.make_shard();
+  LiveShard* b = hub.make_shard();
+  auto ida = a->counter("accepts");
+  auto idb = b->counter("accepts");
+  a->add(ida, 2);
+  b->add(idb, 3);
+  LiveSnapshot snap = hub.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].total, 5u);
+}
+
+TEST(LiveMetrics, PrometheusRenderCarriesLabelsAndQuantiles) {
+  LiveMetrics hub;
+  LiveShard* shard = hub.make_shard();
+  auto rejects = shard->counter("rejects[reason=rt-queue-full]");
+  auto lat = shard->histogram("reply_latency");
+  shard->add(rejects, 7);
+  shard->record(lat, 1'000'000);
+
+  std::string text = LiveMetrics::render_prometheus(hub.snapshot());
+  EXPECT_NE(text.find("idem_window_seconds"), std::string::npos);
+  EXPECT_NE(text.find("idem_rejects_total{reason=\"rt-queue-full\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("idem_rejects_rate{reason=\"rt-queue-full\"}"), std::string::npos);
+  EXPECT_NE(text.find("idem_reply_latency_p50_seconds"), std::string::npos);
+  EXPECT_NE(text.find("idem_reply_latency_p999_seconds"), std::string::npos);
+}
+
+TEST(LiveMetrics, JsonRenderCarriesWindowAndSeries) {
+  LiveMetrics hub;
+  LiveShard* shard = hub.make_shard();
+  shard->add(shard->counter("replies"), 4);
+  std::string json = LiveMetrics::render_json(hub.snapshot());
+  EXPECT_NE(json.find("\"window_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"replies\": {\"total\": 4"), std::string::npos);
+}
+
+TEST(LiveMetrics, TelemetryDefaultConstructedIsInert) {
+  // The simulator runs with exactly this instance; every call must no-op.
+  core::LiveTelemetry telemetry;
+  EXPECT_FALSE(telemetry.enabled());
+  telemetry.count_accept();
+  telemetry.count_reject(RejectReason::RtQueueFull);
+  telemetry.record_reply_latency(1000);
+}
+
+TEST(LiveMetrics, TelemetryAttachRoutesIntoShard) {
+  LiveMetrics hub;
+  core::LiveTelemetry telemetry = core::LiveTelemetry::attach(hub.make_shard());
+  ASSERT_TRUE(telemetry.enabled());
+  telemetry.count_accept();
+  telemetry.count_reject(RejectReason::RejectedCacheHit);
+  telemetry.count_reject(RejectReason::RejectedCacheHit);
+  telemetry.record_reply_latency(5000);
+
+  LiveSnapshot snap = hub.snapshot();
+  std::uint64_t accepts = 0, cache_hits = 0, replies = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "accepts") accepts = c.total;
+    if (c.name == "rejects[reason=rejected-cache-hit]") cache_hits = c.total;
+    if (c.name == "replies") replies = c.total;
+  }
+  EXPECT_EQ(accepts, 1u);
+  EXPECT_EQ(cache_hits, 2u);
+  EXPECT_EQ(replies, 1u);
+  ASSERT_EQ(snap.latencies.size(), 1u);
+  EXPECT_EQ(snap.latencies[0].window_count, 1u);
+}
+
+TEST(LiveMetrics, ConcurrentRecordingWhileScraping) {
+  // The real deployment: one shard per replica thread recording at full
+  // speed while an admin scraper snapshots. Run under TSan in ci.sh; the
+  // final snapshot must account for every update exactly.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  LiveMetrics hub;
+  std::vector<LiveShard*> shards;
+  for (int t = 0; t < kThreads; ++t) shards.push_back(hub.make_shard());
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)hub.snapshot();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([shard = shards[t]] {
+      auto counter = shard->counter("accepts");
+      auto hist = shard->histogram("reply_latency");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        shard->add(counter);
+        shard->record(hist, static_cast<Duration>(1000 + i % 64));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  scraper.join();
+
+  LiveSnapshot snap = hub.snapshot();
+  std::uint64_t accepts = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == "accepts") accepts = c.total;
+  }
+  EXPECT_EQ(accepts, kThreads * kPerThread);
+  ASSERT_EQ(snap.latencies.size(), 1u);
+  EXPECT_EQ(snap.latencies[0].total_count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace idem::obs

@@ -52,6 +52,39 @@ TEST(Messages, RejectIsTiny) {
   EXPECT_LE(m.wire_size(), 8u);
 }
 
+TEST(Messages, RejectReasonRoundTripsWhenWireFlagOn) {
+  // Real mode arms the flag; a REJECT then carries its taxonomy reason.
+  set_wire_reject_reasons(true);
+  Reject m(RequestId{ClientId{9}, OpNum{100}}, RejectReason::RejectedCacheHit);
+  Reject back = round_trip(m);
+  set_wire_reject_reasons(false);
+  EXPECT_EQ(back.id, m.id);
+  EXPECT_EQ(back.reason, RejectReason::RejectedCacheHit);
+}
+
+TEST(Messages, RejectReasonDroppedWhenWireFlagOff) {
+  // Sim mode keeps the flag off: the reason must not reach the wire (it
+  // would change wire_size() and perturb pinned cost-model trajectories),
+  // and a reason-less frame decodes to None.
+  Reject m(RequestId{ClientId{9}, OpNum{100}}, RejectReason::RtQueueFull);
+  Reject plain(RequestId{ClientId{9}, OpNum{100}});
+  EXPECT_EQ(m.encode(), plain.encode());
+  EXPECT_EQ(round_trip(m).reason, RejectReason::None);
+}
+
+TEST(Messages, RejectDecodeToleratesUnknownReasonByte) {
+  // A reason value from a newer peer must not kill the connection; it
+  // falls back to None instead.
+  set_wire_reject_reasons(true);
+  auto encoded = Reject(RequestId{ClientId{1}, OpNum{2}}, RejectReason::RtQueueFull).encode();
+  set_wire_reject_reasons(false);
+  encoded.back() = static_cast<std::byte>(0xEE);
+  auto decoded = decode(encoded);
+  const auto* typed = dynamic_cast<const Reject*>(decoded.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->reason, RejectReason::None);
+}
+
 TEST(Messages, RequireRoundTrip) {
   Require m;
   m.from = ReplicaId{2};

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/reject_reason.hpp"
 #include "consensus/addresses.hpp"
 #include "idem/acceptance.hpp"
 #include "harness/driver.hpp"
@@ -194,7 +195,11 @@ TEST(ObsIntegration, RejectPathSpanSequence) {
   std::vector<TraceEvent> events = cluster.trace()->snapshot();
   auto verdicts = events_of_kind(events, TraceEventKind::AcceptVerdict);
   ASSERT_EQ(verdicts.size(), 3u);
-  for (const TraceEvent& v : verdicts) EXPECT_EQ(v.arg, 0u);
+  for (const TraceEvent& v : verdicts) {
+    EXPECT_FALSE(accept_verdict_accepted(v.arg));
+    // Every reject verdict names a concrete reason (TailDrop sheds for load).
+    EXPECT_EQ(accept_verdict_reason(v.arg), RejectReason::RtQueueFull);
+  }
 
   // The client needed n-f = 2 REJECTs to abort.
   EXPECT_GE(events_of_kind(events, TraceEventKind::RejectSeen).size(), 2u);

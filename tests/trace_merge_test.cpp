@@ -1,0 +1,117 @@
+// trace_merge: stitching per-process Chrome trace exports onto one
+// wall-clock timeline. Exercises the real binary (TRACE_MERGE_BIN, wired
+// in tests/CMakeLists.txt) against documents produced by the real
+// exporter, the same pipeline as idem_server/idem_client --trace-out.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/reject_reason.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+
+namespace idem::obs {
+namespace {
+
+std::string write_export(const std::string& path, const TraceRecorder& recorder,
+                         const ChromeTraceMeta& meta) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  write_chrome_trace(f, recorder.snapshot(), meta);
+  std::fclose(f);
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int run_merge(const std::string& args) {
+  int status = std::system((std::string(TRACE_MERGE_BIN) + " " + args + " > /dev/null 2>&1").c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(TraceMerge, StitchesProcessesOntoOneWallClock) {
+  const std::string dir = ::testing::TempDir();
+  // Server process: anchor at 1 s; one accepted+executed lifecycle.
+  TraceRecorder server;
+  RequestId id{ClientId{1}, OpNum{1}};
+  server.record(1'000, TraceEventKind::AcceptVerdict, 0, id, pack_accept_verdict(true, RejectReason::None));
+  server.record(5'000, TraceEventKind::Executed, 0, id, 7);
+  write_export(dir + "tm_server.json", server,
+               ChromeTraceMeta{"idem_server r0", 1'000'000'000});
+
+  // Client process started 0.5 s later: its events must shift +500000 us.
+  TraceRecorder client;
+  client.record(1'000, TraceEventKind::RequestIssued, 1'000'001, id);
+  client.record(2'000, TraceEventKind::RequestOutcome, 1'000'001, id, 0);
+  write_export(dir + "tm_client.json", client,
+               ChromeTraceMeta{"idem_client c0", 1'500'000'000});
+
+  const std::string merged_path = dir + "tm_merged.json";
+  ASSERT_EQ(run_merge("-o " + merged_path + " " + dir + "tm_server.json " + dir +
+                      "tm_client.json"),
+            0);
+
+  std::string merged = slurp(merged_path);
+  // One document, both processes' tracks, client timestamps rebased onto
+  // the earliest anchor.
+  EXPECT_NE(merged.find("\"merged_from\":2"), std::string::npos);
+  EXPECT_NE(merged.find("\"base_anchor_ns\":1000000000"), std::string::npos);
+  EXPECT_NE(merged.find("idem_server r0: "), std::string::npos);
+  EXPECT_NE(merged.find("idem_client c0: "), std::string::npos);
+  EXPECT_NE(merged.find("500001"), std::string::npos);  // 1 us + 500000 us shift
+  EXPECT_NE(merged.find("\"ts\":1"), std::string::npos);  // server events unshifted
+}
+
+TEST(TraceMerge, AnchorlessInputPassesThroughUnshifted) {
+  const std::string dir = ::testing::TempDir();
+  TraceRecorder server;
+  RequestId id{ClientId{2}, OpNum{1}};
+  server.record(3'000, TraceEventKind::AcceptVerdict, 0, id, pack_accept_verdict(true, RejectReason::None));
+  server.record(4'000, TraceEventKind::Executed, 0, id, 1);
+  write_export(dir + "tm_anchored.json", server,
+               ChromeTraceMeta{"idem_server r0", 2'000'000'000});
+
+  // Sim-style export: no meta at all.
+  TraceRecorder sim;
+  sim.record(9'000, TraceEventKind::RequestIssued, 1'000'000, id);
+  sim.record(9'500, TraceEventKind::RequestOutcome, 1'000'000, id, 0);
+  std::FILE* f = std::fopen((dir + "tm_sim.json").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  write_chrome_trace(f, sim.snapshot());
+  std::fclose(f);
+
+  const std::string merged_path = dir + "tm_merged2.json";
+  ASSERT_EQ(run_merge("-o " + merged_path + " " + dir + "tm_anchored.json " + dir +
+                      "tm_sim.json"),
+            0);
+  std::string merged = slurp(merged_path);
+  // The anchorless document's timestamps are taken as already aligned.
+  EXPECT_NE(merged.find("\"ts\":9"), std::string::npos);
+}
+
+TEST(TraceMerge, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_merge(""), 2);
+  EXPECT_EQ(run_merge("-o /tmp/tm_out.json"), 2);  // fewer than two inputs
+}
+
+TEST(TraceMerge, MalformedInputExitsOne) {
+  const std::string dir = ::testing::TempDir();
+  const std::string bad = dir + "tm_bad.json";
+  std::FILE* f = std::fopen(bad.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"notATrace\": true}", f);
+  std::fclose(f);
+  EXPECT_EQ(run_merge("-o " + dir + "tm_out.json " + bad + " " + bad), 1);
+}
+
+}  // namespace
+}  // namespace idem::obs

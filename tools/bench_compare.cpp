@@ -28,6 +28,13 @@
 // gate checks only throughput and leaves latency shape assertions to
 // the bench binary itself.
 //
+// --peak KEY compares a single number instead of every leaf: the maximum
+// of the numeric leaves named KEY in each document (higher is better).
+// Point-by-point diffs are too noisy for a tight tolerance — a sweep's
+// individual points wander several percent run to run while the peak
+// (the saturated plateau) is steady — so overhead guards like the
+// live-telemetry <=2% check gate on the peak alone.
+//
 // Exit code 0 when no gated metric regressed, 1 on regression (or a
 // metric missing from the fresh run), 2 on usage/IO/parse errors.
 #include <cmath>
@@ -95,6 +102,32 @@ struct Report {
   }
 };
 
+/// Maximum over every numeric leaf named `key`, at any depth.
+double max_leaf(const JsonValue& value, const char* key, bool& found) {
+  double best = 0;
+  if (value.kind == JsonValue::Kind::Object) {
+    for (const auto& [k, v] : value.object) {
+      if (k == key && v.kind == JsonValue::Kind::Number) {
+        if (!found || v.number > best) best = v.number;
+        found = true;
+      } else {
+        bool sub_found = false;
+        double sub = max_leaf(v, key, sub_found);
+        if (sub_found && (!found || sub > best)) best = sub;
+        found = found || sub_found;
+      }
+    }
+  } else if (value.kind == JsonValue::Kind::Array) {
+    for (const JsonValue& entry : value.array) {
+      bool sub_found = false;
+      double sub = max_leaf(entry, key, sub_found);
+      if (sub_found && (!found || sub > best)) best = sub;
+      found = found || sub_found;
+    }
+  }
+  return best;
+}
+
 std::string point_key(const JsonValue& entry) {
   if (entry.kind != JsonValue::Kind::Object) return {};
   const JsonValue* clients = entry.find("clients");
@@ -150,6 +183,7 @@ int main(int argc, char** argv) {
   const char* baseline_path = nullptr;
   const char* fresh_path = nullptr;
   const char* label = nullptr;
+  const char* peak_key = nullptr;
   double tolerance = 0.10;
   for (int i = 1; i < argc; ++i) {
     auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -163,6 +197,8 @@ int main(int argc, char** argv) {
       label = value();
     } else if (!std::strcmp(argv[i], "--throughput-only")) {
       g_throughput_only = true;
+    } else if (!std::strcmp(argv[i], "--peak")) {
+      peak_key = value();
     } else {
       baseline_path = nullptr;
       break;
@@ -171,10 +207,11 @@ int main(int argc, char** argv) {
   if (baseline_path == nullptr || fresh_path == nullptr || tolerance <= 0) {
     std::fprintf(stderr,
                  "usage: %s --baseline FILE --fresh FILE [--tolerance T] [--label NAME]\n"
-                 "       [--throughput-only]\n"
+                 "       [--throughput-only] [--peak KEY]\n"
                  "fails (exit 1) when a throughput metric drops, or a gated latency\n"
                  "metric rises, by more than T (default 0.10) relative to baseline;\n"
-                 "--throughput-only gates throughput metrics alone\n",
+                 "--throughput-only gates throughput metrics alone; --peak KEY gates\n"
+                 "only the maximum of the numeric leaves named KEY (higher is better)\n",
                  argv[0]);
     return 2;
   }
@@ -188,6 +225,24 @@ int main(int argc, char** argv) {
   if (!idem::tooljson::parse_file(fresh_path, fresh, error)) {
     std::fprintf(stderr, "%s: %s: %s\n", argv[0], fresh_path, error.c_str());
     return 2;
+  }
+
+  if (peak_key != nullptr) {
+    bool base_found = false, fresh_found = false;
+    double base_peak = max_leaf(baseline, peak_key, base_found);
+    double fresh_peak = max_leaf(fresh, peak_key, fresh_found);
+    if (!base_found || !fresh_found) {
+      std::fprintf(stderr, "%s: no numeric leaf named \"%s\" in %s\n", argv[0], peak_key,
+                   base_found ? fresh_path : baseline_path);
+      return 2;
+    }
+    double delta = base_peak != 0 ? (fresh_peak - base_peak) / std::fabs(base_peak) : 0;
+    bool bad = delta < -tolerance;
+    std::printf("bench_compare%s%s: peak %s %.4f -> %.4f (%+.2f%%, tolerance %.1f%%)\n",
+                label != nullptr ? " " : "", label != nullptr ? label : "", peak_key,
+                base_peak, fresh_peak, delta * 100.0, tolerance * 100.0);
+    std::printf(bad ? "REGRESSION: peak dropped beyond tolerance\n" : "PASS\n");
+    return bad ? 1 : 0;
   }
 
   std::printf("bench_compare%s%s: %s vs %s (tolerance %.0f%%)\n", label != nullptr ? " " : "",

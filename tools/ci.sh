@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, a time-boxed chaos sweep, an ASan+UBSan test pass,
 # a TSan pass over the multi-threaded real-mode suites, a real-deployment
-# CLI smoke, a trace-export smoke, a sim-core bench smoke, and a perf gate
-# diffing fresh benchmark runs against the committed BENCH_*.json baselines
-# (skippable with IDEM_SKIP_PERF_GATE=1).
+# CLI smoke with a mid-run /metrics scrape under overload, a trace-export
+# smoke, a sim-core bench smoke, and a perf gate diffing fresh benchmark
+# runs against the committed BENCH_*.json baselines (skippable with
+# IDEM_SKIP_PERF_GATE=1) plus a live-telemetry overhead guard.
 #
 # Usage: tools/ci.sh [--fast] [--coverage]
 #   --fast      skip the chaos sweep and the sanitizer passes
@@ -86,24 +87,45 @@ if [[ "${FAST}" -eq 0 ]]; then
 
   echo "== sanitizers: TSan ctest =="
   (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
-      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge')
+      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin')
 fi
 
 echo "== real mode: CLI smoke =="
 ./build/tools/idem_server --help >/dev/null
 ./build/tools/idem_client --help >/dev/null
+# A tight reject threshold (--rt 8) against 24 closed-loop clients keeps the
+# leader's runtime queue saturated, so the mid-run /metrics scrape below must
+# see proactive rejections with the rt-queue-full reason.
 SMOKE_BASE=$(( 7300 + RANDOM % 500 ))
+ADMIN_BASE=$(( SMOKE_BASE + 500 ))
 for i in 0 1 2; do
   PEERS=()
   for j in 0 1 2; do
     [[ "${i}" -ne "${j}" ]] && PEERS+=(--peer "${j}=:$(( SMOKE_BASE + j ))")
   done
   ./build/tools/idem_server --replica-id "${i}" --listen ":$(( SMOKE_BASE + i ))" \
-      "${PEERS[@]}" --seconds 6 >/dev/null &
+      "${PEERS[@]}" --rt 8 --admin-port "$(( ADMIN_BASE + i ))" --seconds 6 >/dev/null &
 done
 sleep 0.5
 ./build/tools/idem_client --replica ":${SMOKE_BASE}" --replica ":$(( SMOKE_BASE + 1 ))" \
-    --replica ":$(( SMOKE_BASE + 2 ))" --clients 4 --seconds 2 --warmup 0.5
+    --replica ":$(( SMOKE_BASE + 2 ))" --clients 24 --seconds 3 --warmup 0.5 &
+SMOKE_CLIENT=$!
+
+echo "== real mode: live /metrics scrape under overload =="
+sleep 2  # mid-run: past warm-up, load still applied
+SMOKE_METRICS="$(curl -sf "http://127.0.0.1:${ADMIN_BASE}/metrics")"
+echo "${SMOKE_METRICS}" | grep -q '^idem_reply_latency_p50_seconds ' || {
+  echo "live scrape FAILED: no windowed reply-latency quantiles" >&2; exit 1; }
+SMOKE_REJECTS="$(echo "${SMOKE_METRICS}" \
+    | awk '/^idem_rejects_total\{reason="rt-queue-full"\}/ {print int($2)}')"
+if [[ "${SMOKE_REJECTS:-0}" -le 0 ]]; then
+  echo "live scrape FAILED: expected rt-queue-full rejections under overload" >&2
+  exit 1
+fi
+echo "live scrape OK: ${SMOKE_REJECTS} rt-queue-full rejects visible mid-run"
+curl -sf "http://127.0.0.1:${ADMIN_BASE}/stats" | grep -q '"requests_received"' || {
+  echo "live scrape FAILED: /stats JSON missing" >&2; exit 1; }
+wait "${SMOKE_CLIENT}"
 wait
 
 echo "== obs: trace export smoke =="
@@ -176,6 +198,29 @@ else
   perf_gate real "${PERF_TOLERANCE_REAL}" --throughput-only \
       BENCH_real.json "${PERF_TMP}/real.json" \
       env IDEM_REAL_JSON="${PERF_TMP}/real.json" ./build/bench/fig6_real
+
+  # Live-telemetry overhead guard: the same sweep with the admin endpoint
+  # and windowed metrics armed (IDEM_REAL_LIVE=1) must keep its saturation
+  # peak within a few percent of the plain run the real gate just produced
+  # on this same host. Only the peak is gated (--peak): the under-saturated
+  # points swing with scheduler luck far beyond any telemetry cost, while
+  # the peak is the stable summary statistic a hot-path tax would move.
+  LIVE_TOLERANCE="${IDEM_LIVE_OVERHEAD_TOLERANCE:-0.02}"
+  echo "== perf gate: live telemetry overhead (peak reply_kops) =="
+  LIVE_OK=0
+  for attempt in 1 2; do
+    env IDEM_REAL_LIVE=1 IDEM_REAL_JSON="${PERF_TMP}/real_live.json" \
+        ./build/bench/fig6_real >/dev/null
+    if ./build/tools/bench_compare --label live-overhead \
+        --tolerance "${LIVE_TOLERANCE}" --peak reply_kops \
+        --baseline "${PERF_TMP}/real.json" --fresh "${PERF_TMP}/real_live.json"; then
+      LIVE_OK=1
+      break
+    fi
+    [[ "${attempt}" -eq 1 ]] && \
+        echo "perf gate live-overhead: failed, retrying once with a fresh run"
+  done
+  [[ "${LIVE_OK}" -eq 1 ]]
 fi
 
 if [[ "${COVERAGE}" -eq 1 ]]; then

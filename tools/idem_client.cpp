@@ -223,7 +223,11 @@ int main(int argc, char** argv) {
 
   if (!options.trace_out.empty()) {
     if (std::FILE* f = std::fopen(options.trace_out.c_str(), "w")) {
-      obs::write_chrome_trace(f, stats.trace);
+      // The anchor lets trace_merge stitch this export onto the same
+      // wall-clock timeline as the servers' --trace-out documents.
+      obs::ChromeTraceMeta meta{"idem_client c" + std::to_string(options.client_id_base),
+                                rpc::realtime_anchor_ns(load.epoch)};
+      obs::write_chrome_trace(f, stats.trace, meta);
       std::fclose(f);
       std::printf("  trace      : wrote %s (%zu events)\n", options.trace_out.c_str(),
                   stats.trace.size());

@@ -11,6 +11,7 @@
 //
 // Runs until SIGINT/SIGTERM (or --seconds); prints protocol and transport
 // counters on exit. Exit code 0 on a clean stop, 2 on usage errors.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -23,10 +24,14 @@
 
 #include "app/kv_store.hpp"
 #include "consensus/addresses.hpp"
+#include "consensus/messages.hpp"
 #include "idem/acceptance.hpp"
 #include "idem/replica.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/live_metrics.hpp"
 #include "real/exec_thread.hpp"
 #include "rpc/event_loop.hpp"
+#include "rpc/http_admin.hpp"
 #include "rpc/tcp_transport.hpp"
 
 using namespace idem;
@@ -49,6 +54,10 @@ struct Options {
   double batch_flush_delay_us = 0;
   bool exec_thread = false;
   bool peer_priority = true;
+  bool admin = false;             ///< --admin-port given
+  std::uint16_t admin_port = 0;   ///< 0 = ephemeral
+  const char* trace_out = nullptr;
+  std::size_t trace_capacity = 1u << 18;
 };
 
 void usage(const char* argv0) {
@@ -76,7 +85,14 @@ void usage(const char* argv0) {
       "  --exec-thread      run state-machine execution on a dedicated\n"
       "                     thread (pays off with spare cores)\n"
       "  --no-peer-priority service client and replica traffic through one\n"
-      "                     FIFO lane (disables overload prioritization)\n",
+      "                     FIFO lane (disables overload prioritization)\n"
+      "  --admin-port P     serve live telemetry over HTTP on 127.0.0.1:P\n"
+      "                     (/metrics, /stats, /trace; 0 = ephemeral, the\n"
+      "                     chosen port is printed at startup)\n"
+      "  --trace-out PATH   record a request-lifecycle trace and export it\n"
+      "                     as Chrome trace JSON on exit (stitch exports\n"
+      "                     from several processes with trace_merge)\n"
+      "  --trace-capacity N trace ring capacity in events (default: 2^18)\n",
       argv0);
 }
 
@@ -167,6 +183,18 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.exec_thread = true;
     } else if (!std::strcmp(arg, "--no-peer-priority")) {
       options.peer_priority = false;
+    } else if (!std::strcmp(arg, "--admin-port")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.admin = true;
+      options.admin_port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (!std::strcmp(arg, "--trace-out")) {
+      options.trace_out = value();
+      if (options.trace_out == nullptr) return std::nullopt;
+    } else if (!std::strcmp(arg, "--trace-capacity")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.trace_capacity = std::strtoul(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
       return std::nullopt;
@@ -196,7 +224,14 @@ int main(int argc, char** argv) {
   }
   const Options& options = *parsed;
 
-  rpc::EventLoop loop(options.seed);
+  // Real mode always ships the reason byte on REJECT (the sim keeps it off
+  // so wire-size cost charges stay pinned to the frozen trajectories).
+  msg::set_wire_reject_reasons(true);
+
+  // Capture the epoch explicitly so trace timestamps and the wall-clock
+  // stitching anchor refer to the same instant.
+  const rpc::EventLoop::Epoch epoch = std::chrono::steady_clock::now();
+  rpc::EventLoop loop(options.seed, epoch);
   rpc::TcpTransportConfig transport_config;
   transport_config.fixed_port = options.listen.port;
   transport_config.listen_host = options.listen.host;
@@ -225,6 +260,18 @@ int main(int argc, char** argv) {
   config.require_adoption = true;
   config.release_superseded = true;
 
+  obs::LiveMetrics hub;
+  if (options.admin) config.telemetry = core::LiveTelemetry::attach(hub.make_shard());
+
+  std::unique_ptr<obs::TraceRecorder> trace;
+  if (options.trace_out != nullptr || options.admin) {
+    trace = std::make_unique<obs::TraceRecorder>(options.trace_capacity);
+    config.trace = trace.get();
+  }
+
+  const obs::ChromeTraceMeta trace_meta{
+      "idem_server r" + std::to_string(options.replica_id), rpc::realtime_anchor_ns(epoch)};
+
   std::unique_ptr<real::ExecutionThread> executor;
   if (options.exec_thread) {
     executor = std::make_unique<real::ExecutionThread>(loop);
@@ -243,6 +290,84 @@ int main(int argc, char** argv) {
   }
   for (const auto& [peer_id, address] : options.peers) {
     transport.set_remote(consensus::replica_address(ReplicaId{peer_id}), address);
+  }
+
+  std::unique_ptr<rpc::HttpAdmin> admin;
+  if (options.admin) {
+    // Transport counters are maintained outside the shard machinery;
+    // mirror them in at scrape time so they window like everything else.
+    obs::LiveShard* net_shard = hub.make_shard();
+    struct NetSeries {
+      obs::LiveShard::SeriesId sent, delivered, dropped, decode_errors, shed, oversized;
+    };
+    NetSeries net{net_shard->counter("tcp_messages_sent"),
+                  net_shard->counter("tcp_messages_delivered"),
+                  net_shard->counter("tcp_dropped"),
+                  net_shard->counter("tcp_decode_errors"),
+                  net_shard->counter("rejects[reason=backpressure-shed]"),
+                  net_shard->counter("rejects[reason=oversized-frame]")};
+    auto mirror_transport = [&transport, net_shard, net] {
+      const rpc::TransportStats& t = transport.stats();
+      net_shard->set(net.sent, t.messages_sent);
+      net_shard->set(net.delivered, t.messages_delivered);
+      net_shard->set(net.dropped, t.dropped);
+      net_shard->set(net.decode_errors, t.decode_errors);
+      net_shard->set(net.shed, t.send_queue_overflows);
+      net_shard->set(net.oversized, t.oversized_frames);
+    };
+
+    admin = std::make_unique<rpc::HttpAdmin>(loop, options.admin_port);
+    admin->route("/metrics", "text/plain; version=0.0.4", [&hub, mirror_transport] {
+      mirror_transport();
+      return obs::LiveMetrics::render_prometheus(hub.snapshot());
+    });
+    admin->route("/stats", "application/json", [&replica, &transport, &trace] {
+      const core::ReplicaStats& s = replica.stats();
+      const rpc::TransportStats& t = transport.stats();
+      char buf[1024];
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"view\":%llu,\"leader\":%s,"
+          "\"requests_received\":%llu,\"accepted\":%llu,\"rejected\":%llu,"
+          "\"executed\":%llu,"
+          "\"tcp\":{\"messages_sent\":%llu,\"bytes_sent\":%llu,"
+          "\"messages_delivered\":%llu,\"dropped\":%llu,\"decode_errors\":%llu,"
+          "\"send_queue_overflows\":%llu,\"oversized_frames\":%llu,"
+          "\"accepted_connections\":%llu,\"pending_write_bytes\":%zu,"
+          "\"inbound_connections\":%zu,\"outbound_connections\":%zu},"
+          "\"trace_recorded\":%llu}",
+          static_cast<unsigned long long>(replica.view().value),
+          replica.is_leader() ? "true" : "false",
+          static_cast<unsigned long long>(s.requests_received),
+          static_cast<unsigned long long>(s.accepted),
+          static_cast<unsigned long long>(s.rejected),
+          static_cast<unsigned long long>(s.executed),
+          static_cast<unsigned long long>(t.messages_sent),
+          static_cast<unsigned long long>(t.bytes_sent),
+          static_cast<unsigned long long>(t.messages_delivered),
+          static_cast<unsigned long long>(t.dropped),
+          static_cast<unsigned long long>(t.decode_errors),
+          static_cast<unsigned long long>(t.send_queue_overflows),
+          static_cast<unsigned long long>(t.oversized_frames),
+          static_cast<unsigned long long>(t.accepted_connections),
+          transport.pending_write_bytes(), transport.inbound_connections(),
+          transport.outbound_connections(),
+          static_cast<unsigned long long>(trace ? trace->total_recorded() : 0));
+      return std::string(buf);
+    });
+    admin->route("/trace", "application/json", [&trace, &trace_meta] {
+      char* buf = nullptr;
+      std::size_t len = 0;
+      std::FILE* mem = open_memstream(&buf, &len);
+      if (mem == nullptr) return std::string("{}");
+      obs::write_chrome_trace(mem, trace->snapshot(), trace_meta);
+      std::fclose(mem);
+      std::string body(buf, len);
+      std::free(buf);
+      return body;
+    });
+    std::printf("idem_server: admin on 127.0.0.1:%u (/metrics /stats /trace)\n",
+                admin->port());
   }
 
   std::printf("idem_server: replica %u listening on %s:%u (n=%zu f=%zu rt=%zu)\n",
@@ -281,5 +406,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.messages_delivered),
               static_cast<unsigned long long>(net.dropped),
               static_cast<unsigned long long>(net.decode_errors));
+  if (options.trace_out != nullptr && trace) {
+    std::FILE* out = std::fopen(options.trace_out, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "idem_server: cannot write %s\n", options.trace_out);
+      return 1;
+    }
+    obs::ChromeTraceStats exported = obs::write_chrome_trace(out, trace->snapshot(), trace_meta);
+    std::fclose(out);
+    std::printf("  trace: %llu spans, %llu instants (%llu shed) -> %s\n",
+                static_cast<unsigned long long>(exported.spans),
+                static_cast<unsigned long long>(exported.instants),
+                static_cast<unsigned long long>(trace->overwritten()), options.trace_out);
+  }
   return 0;
 }

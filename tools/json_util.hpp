@@ -198,6 +198,70 @@ class Parser {
   std::string error_;
 };
 
+/// Serializes `value` back to JSON text. Numbers render with up to 15
+/// significant digits, trimmed of trailing zeros, so round-tripping a
+/// document this repo emitted is lossless for its value ranges
+/// (timestamps in µs with 3 decimals, counters, ns anchors).
+inline void write_json(std::FILE* out, const JsonValue& value) {
+  switch (value.kind) {
+    case JsonValue::Kind::Null:
+      std::fputs("null", out);
+      return;
+    case JsonValue::Kind::Bool:
+      std::fputs(value.boolean ? "true" : "false", out);
+      return;
+    case JsonValue::Kind::Number: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.15g", value.number);
+      std::fputs(buf, out);
+      return;
+    }
+    case JsonValue::Kind::String: {
+      std::fputc('"', out);
+      for (char c : value.string) {
+        switch (c) {
+          case '"': std::fputs("\\\"", out); break;
+          case '\\': std::fputs("\\\\", out); break;
+          case '\n': std::fputs("\\n", out); break;
+          case '\r': std::fputs("\\r", out); break;
+          case '\t': std::fputs("\\t", out); break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              std::fprintf(out, "\\u%04x", c);
+            } else {
+              std::fputc(c, out);
+            }
+        }
+      }
+      std::fputc('"', out);
+      return;
+    }
+    case JsonValue::Kind::Array: {
+      std::fputc('[', out);
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) std::fputc(',', out);
+        write_json(out, value.array[i]);
+      }
+      std::fputc(']', out);
+      return;
+    }
+    case JsonValue::Kind::Object: {
+      std::fputc('{', out);
+      for (std::size_t i = 0; i < value.object.size(); ++i) {
+        if (i > 0) std::fputc(',', out);
+        JsonValue key;
+        key.kind = JsonValue::Kind::String;
+        key.string = value.object[i].first;
+        write_json(out, key);
+        std::fputc(':', out);
+        write_json(out, value.object[i].second);
+      }
+      std::fputc('}', out);
+      return;
+    }
+  }
+}
+
 /// Reads `path` and parses it; on failure prints a diagnostic to stderr
 /// and returns false. `out` is left default-constructed on error.
 inline bool parse_file(const char* path, JsonValue& out, std::string& error) {

@@ -2,8 +2,9 @@
 // idem-load --trace-out (or any src/obs/chrome_trace.cpp output).
 //
 //   trace-check trace.json [--min-requests N]
+//   trace-check --metrics metrics.jsonl
 //
-// Checks, in order:
+// Trace checks, in order:
 //   1. the file is well-formed JSON (tools/json_util.hpp recursive-descent
 //      parser; no external dependency),
 //   2. the root object has a "traceEvents" array whose entries carry the
@@ -11,9 +12,17 @@
 //      events),
 //   3. async begins and ends balance per (cat, id) key — never negative,
 //      all closed at end of file,
-//   4. at least --min-requests distinct "request" lifecycle spans exist.
+//   4. "rejected" / "reject_seen" instants carry a rejection reason from
+//      the taxonomy (a replica's own verdict is never "none"; a client may
+//      see "none" from a reason-less REJECT),
+//   5. at least --min-requests distinct "request" lifecycle spans exist.
+//
+// --metrics instead validates a metrics JSONL export (obs sampling, bench
+// IDEM_BENCH_METRICS_OUT): every line a JSON object with a non-decreasing
+// numeric "t_ms" and numeric (or null) series values.
 //
 // Exit code 0 on success, 1 on validation failure, 2 on usage/IO errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +34,20 @@
 namespace {
 
 using idem::tooljson::JsonValue;
+
+// Mirrors common/reject_reason.hpp to_label(); kept literal so the checker
+// stays dependency-free (a new reason must be added in both places).
+constexpr const char* kReasonLabels[] = {
+    "none",           "rt-queue-full",   "rejected-cache-hit",
+    "backpressure-shed", "oversized-frame", "view-change-in-progress",
+};
+
+bool known_reason(const std::string& label) {
+  for (const char* known : kReasonLabels) {
+    if (label == known) return true;
+  }
+  return false;
+}
 
 // ---------------------------------------------------------------------------
 // Trace-level validation.
@@ -94,6 +117,21 @@ int validate(const JsonValue& root, std::size_t min_requests) {
       --it->second;
     } else {
       ++instants;
+      if (name->string == "rejected" || name->string == "reject_seen") {
+        const JsonValue* args = ev.find("args");
+        const JsonValue* reason =
+            args != nullptr && args->kind == JsonValue::Kind::Object ? args->find("reason")
+                                                                     : nullptr;
+        if (reason == nullptr || reason->kind != JsonValue::Kind::String ||
+            !known_reason(reason->string)) {
+          return complain("rejection instant without a taxonomy reason");
+        }
+        // A replica recording its own verdict always knows why; only a
+        // client facing a reason-less (legacy) REJECT may see "none".
+        if (name->string == "rejected" && reason->string == "none") {
+          return complain("\"rejected\" verdict with reason \"none\"");
+        }
+      }
     }
   }
 
@@ -123,25 +161,91 @@ int validate(const JsonValue& root, std::size_t min_requests) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Metrics JSONL validation (--metrics).
+
+int validate_metrics(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::string line;
+  std::size_t lineno = 0, rows = 0, columns = 0;
+  double last_t = -1;
+  int c;
+  while (true) {
+    c = std::fgetc(f);
+    if (c != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    ++lineno;
+    if (!line.empty()) {
+      idem::tooljson::Parser parser(line.data(), line.size());
+      JsonValue row;
+      auto complain = [&](const char* what) {
+        std::fprintf(stderr, "FAIL: %s:%zu: %s\n", path, lineno, what);
+        std::fclose(f);
+        return 1;
+      };
+      if (!parser.parse(row)) return complain(parser.error().c_str());
+      if (row.kind != JsonValue::Kind::Object) return complain("line is not a JSON object");
+      const JsonValue* t = row.find("t_ms");
+      if (t == nullptr || t->kind != JsonValue::Kind::Number) {
+        return complain("missing numeric \"t_ms\"");
+      }
+      if (t->number < last_t) return complain("\"t_ms\" went backwards");
+      last_t = t->number;
+      for (const auto& [key, value] : row.object) {
+        if (value.kind != JsonValue::Kind::Number && value.kind != JsonValue::Kind::Null) {
+          return complain("non-numeric series value");
+        }
+      }
+      columns = std::max(columns, row.object.size() - 1);
+      ++rows;
+      line.clear();
+    }
+    if (c == EOF) break;
+  }
+  std::fclose(f);
+  if (rows == 0) {
+    std::fprintf(stderr, "FAIL: %s: no samples\n", path);
+    return 1;
+  }
+  std::printf("OK: %zu samples, %zu series, last t %.1f ms\n", rows, columns, last_t);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
   std::size_t min_requests = 0;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--min-requests") && i + 1 < argc) {
       min_requests = std::strtoul(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics = true;
     } else if (argv[i][0] != '-' && path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s <trace.json> [--min-requests N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s <trace.json> [--min-requests N]\n"
+                   "       %s --metrics <metrics.jsonl>\n",
+                   argv[0], argv[0]);
       return 2;
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s <trace.json> [--min-requests N]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [--min-requests N]\n"
+                 "       %s --metrics <metrics.jsonl>\n",
+                 argv[0], argv[0]);
     return 2;
   }
+  if (metrics) return validate_metrics(path);
 
   JsonValue root;
   std::string error;

@@ -1,0 +1,172 @@
+// trace_merge: stitch per-process Chrome trace exports into one timeline.
+//
+// A multi-process deployment (N idem_server processes + idem_client)
+// exports one trace document per process, each with timestamps relative
+// to its own epoch. Every real-mode export carries its CLOCK_REALTIME
+// anchor in otherData.realtime_anchor_ns (the wall-clock instant of its
+// trace time 0), so the documents can be aligned: the earliest anchor
+// becomes the merged origin and every other document's events shift
+// forward by its anchor delta. The result is a single Perfetto-loadable
+// document where a request's client→leader→follower path reads across
+// process tracks on one clock.
+//
+// Track identity is preserved: each process records only its own node's
+// events (server i uses pid i, clients use the client address base), so
+// pids stay disjoint; process_name metadata is prefixed with the source
+// process label for disambiguation in the UI.
+//
+// Usage: trace_merge -o merged.json server0.json server1.json ... client.json
+//
+// Exit status: 0 on success, 1 on malformed input, 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "json_util.hpp"
+
+using idem::tooljson::JsonValue;
+
+namespace {
+
+JsonValue* find_mutable(JsonValue& object, const char* key) {
+  for (auto& [k, v] : object.object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+struct Input {
+  std::string path;
+  std::string label;
+  long long anchor_ns = 0;  ///< 0 = no anchor (sim export): left unshifted
+  JsonValue document;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  std::vector<const char*> in_paths;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: %s -o merged.json trace1.json trace2.json ...\n", argv[0]);
+      return 0;
+    } else {
+      in_paths.push_back(argv[i]);
+    }
+  }
+  if (out_path == nullptr || in_paths.size() < 2) {
+    std::fprintf(stderr, "usage: %s -o merged.json trace1.json trace2.json ...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<Input> inputs;
+  long long base_anchor = 0;
+  for (const char* path : in_paths) {
+    Input input;
+    input.path = path;
+    std::string error;
+    if (!idem::tooljson::parse_file(path, input.document, error)) {
+      std::fprintf(stderr, "trace_merge: %s: %s\n", path, error.c_str());
+      return 1;
+    }
+    if (input.document.kind != JsonValue::Kind::Object ||
+        input.document.find("traceEvents") == nullptr) {
+      std::fprintf(stderr, "trace_merge: %s: not a Chrome trace document\n", path);
+      return 1;
+    }
+    input.label = path;
+    if (const JsonValue* other = input.document.find("otherData");
+        other != nullptr && other->kind == JsonValue::Kind::Object) {
+      if (const JsonValue* process = other->find("process");
+          process != nullptr && process->kind == JsonValue::Kind::String) {
+        input.label = process->string;
+      }
+      if (const JsonValue* anchor = other->find("realtime_anchor_ns");
+          anchor != nullptr && anchor->kind == JsonValue::Kind::Number) {
+        input.anchor_ns = static_cast<long long>(anchor->number);
+      }
+    }
+    if (input.anchor_ns == 0) {
+      std::fprintf(stderr,
+                   "trace_merge: warning: %s has no realtime anchor (sim export?);"
+                   " its timestamps are taken as already aligned\n",
+                   path);
+    } else if (base_anchor == 0 || input.anchor_ns < base_anchor) {
+      base_anchor = input.anchor_ns;
+    }
+    inputs.push_back(std::move(input));
+  }
+
+  // Collect all events, shifting each document onto the merged origin.
+  std::vector<JsonValue> metadata;  ///< ph "M" events lead the output
+  std::vector<JsonValue> events;
+  for (Input& input : inputs) {
+    double shift_us =
+        input.anchor_ns == 0 ? 0.0
+                             : static_cast<double>(input.anchor_ns - base_anchor) / 1000.0;
+    JsonValue* trace_events = find_mutable(input.document, "traceEvents");
+    for (JsonValue& ev : trace_events->array) {
+      if (ev.kind != JsonValue::Kind::Object) continue;
+      const JsonValue* ph = ev.find("ph");
+      bool is_meta = ph != nullptr && ph->string == "M";
+      if (is_meta) {
+        // Prefix the track name with the source process so identical node
+        // labels from different processes stay tellable apart.
+        if (JsonValue* args = find_mutable(ev, "args")) {
+          if (JsonValue* name = find_mutable(*args, "name")) {
+            name->string = input.label + ": " + name->string;
+          }
+        }
+        metadata.push_back(std::move(ev));
+        continue;
+      }
+      if (JsonValue* ts = find_mutable(ev, "ts")) ts->number += shift_us;
+      events.push_back(std::move(ev));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(), [](const JsonValue& a, const JsonValue& b) {
+    const JsonValue* ta = a.find("ts");
+    const JsonValue* tb = b.find("ts");
+    return (ta != nullptr ? ta->number : 0) < (tb != nullptr ? tb->number : 0);
+  });
+
+  JsonValue merged;
+  merged.kind = JsonValue::Kind::Object;
+  JsonValue unit;
+  unit.kind = JsonValue::Kind::String;
+  unit.string = "ms";
+  merged.object.emplace_back("displayTimeUnit", std::move(unit));
+  JsonValue all;
+  all.kind = JsonValue::Kind::Array;
+  all.array = std::move(metadata);
+  for (JsonValue& ev : events) all.array.push_back(std::move(ev));
+  std::size_t total = all.array.size();
+  merged.object.emplace_back("traceEvents", std::move(all));
+  JsonValue other;
+  other.kind = JsonValue::Kind::Object;
+  JsonValue n_inputs;
+  n_inputs.kind = JsonValue::Kind::Number;
+  n_inputs.number = static_cast<double>(inputs.size());
+  other.object.emplace_back("merged_from", std::move(n_inputs));
+  JsonValue base;
+  base.kind = JsonValue::Kind::Number;
+  base.number = static_cast<double>(base_anchor);
+  other.object.emplace_back("base_anchor_ns", std::move(base));
+  merged.object.emplace_back("otherData", std::move(other));
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "trace_merge: cannot write %s\n", out_path);
+    return 1;
+  }
+  idem::tooljson::write_json(out, merged);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::printf("trace_merge: %zu inputs, %zu events -> %s\n", inputs.size(), total, out_path);
+  return 0;
+}
