@@ -22,6 +22,8 @@ enum class RejectReason : std::uint8_t {
   BackpressureShed = 3,    ///< transport dropped the frame: pending-write queue full
   OversizedFrame = 4,      ///< transport dropped the connection: frame over the size cap
   ViewChangeInProgress = 5,  ///< rejected while the replica had no installed view
+  ConnectionLimit = 6,     ///< transport shed the connection at accept: the
+                           ///< inbound-connection cap was reached
   Count,                   ///< one past the last valid reason
 };
 
@@ -36,6 +38,7 @@ constexpr const char* to_label(RejectReason reason) {
     case RejectReason::BackpressureShed: return "backpressure-shed";
     case RejectReason::OversizedFrame: return "oversized-frame";
     case RejectReason::ViewChangeInProgress: return "view-change-in-progress";
+    case RejectReason::ConnectionLimit: return "connection-limit";
     case RejectReason::Count: break;
   }
   return "invalid";

@@ -46,6 +46,14 @@ void IdemClient::arm_retry() {
     if (!pending_) return;
     IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RequestRetry, id().value,
                pending_->id);
+    // Paper Section 4.5 counts rejections "for this try": a retransmission
+    // starts a new try, so rejections of the previous multicast must not
+    // carry over. Without this reset, a replica whose acceptance test said
+    // no under an earlier load level stays counted forever, and n distinct
+    // replicas each rejecting a *different* try adds up to a bogus
+    // definitive rejection of a request some replica may still execute
+    // (ROADMAP item 1, pinned by the seed-4506 corpus artifact).
+    pending_->rejects.clear();
     multicast_request();
     arm_retry();
   });

@@ -44,6 +44,9 @@ RealCluster::RealCluster(RealClusterConfig config)
     RealRuntimeConfig runtime_config;
     runtime_config.seed = config_.seed + i;
     runtime_config.epoch = epoch_;
+    runtime_config.transport = config_.transport;
+    runtime_config.transport.fixed_port = 0;  // loopback mesh: always ephemeral
+    runtime_config.transport.listen_host = "127.0.0.1";
     member.runtime = std::make_unique<RealRuntime>(runtime_config);
 
     core::IdemConfig replica_config = idem_;
@@ -204,6 +207,12 @@ rpc::TransportStats RealCluster::transport_stats(std::size_t index) {
   Member& member = members_[index];
   if (member.crashed) return member.final_transport;
   return member.runtime->call([&member] { return member.runtime->transport().stats(); });
+}
+
+rpc::TransportMemory RealCluster::transport_memory(std::size_t index) {
+  Member& member = members_[index];
+  if (member.crashed) return {};
+  return member.runtime->call([&member] { return member.runtime->transport().memory(); });
 }
 
 std::size_t RealCluster::leader_index() {

@@ -50,6 +50,11 @@ struct RealClusterConfig {
   /// prioritization groups, exactly like the sim harness does).
   std::size_t expected_clients = 16;
 
+  /// Per-replica transport knobs: accept-path hardening (connection cap,
+  /// idle/half-open eviction, accept burst, receive-buffer sizing) for
+  /// storm scenarios. fixed_port/listen_host are managed by the cluster.
+  rpc::TcpTransportConfig transport;
+
   /// Service-queue prioritization: dispatch replica-to-replica (agreement)
   /// traffic ahead of client REQUESTs. This is the overload-starvation fix
   /// — without it a REQUEST flood FIFO-queues ahead of the REQUIREs,
@@ -170,6 +175,9 @@ class RealCluster {
   /// crash time.
   core::ReplicaStats replica_stats(std::size_t index);
   rpc::TransportStats transport_stats(std::size_t index);
+  /// Connection counts + buffer bytes of replica `index`'s transport
+  /// (zeroes after a crash — the sockets are gone).
+  rpc::TransportMemory transport_memory(std::size_t index);
   /// Index of the first live replica that believes itself leader, or n().
   std::size_t leader_index();
 

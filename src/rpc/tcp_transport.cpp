@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -66,12 +67,23 @@ struct TcpTransport::LocalNode {
 };
 
 struct TcpTransport::InboundConnection {
+  static constexpr Time kNoPartial = -1;
+
   int fd = -1;
   std::uint32_t local_node = 0;  // destination of the frames on this connection
   std::string peer_host;         // learned at accept; return address for senders
   FrameReader reader;
+  /// Listener-less senders (port-0 frames) whose replies route back over
+  /// this connection; one entry in practice (one session per socket).
+  std::vector<std::uint32_t> route_nodes;
+  PendingWrites out;             // reply-over-inbound frames awaiting write
+  bool flush_scheduled = false;  ///< a deferred end-of-iteration flush is queued
+  Time last_activity = 0;        ///< accept time, then the last recv that moved bytes
+  Time partial_since = kNoPartial;  ///< when the currently buffered partial
+                                    ///< frame started (completed frames reset it)
 
-  explicit InboundConnection(std::size_t max_frame) : reader(max_frame) {}
+  InboundConnection(std::size_t max_frame, std::size_t initial_capacity)
+      : reader(max_frame, initial_capacity) {}
 };
 
 std::size_t PendingWrites::fill_iovec(iovec* iov, std::size_t max) const {
@@ -109,9 +121,12 @@ struct TcpTransport::OutboundConnection {
 };
 
 TcpTransport::TcpTransport(EventLoop& loop, TcpTransportConfig config)
-    : loop_(loop), config_(std::move(config)) {}
+    : loop_(loop), config_(std::move(config)) {
+  arm_sweep();
+}
 
 TcpTransport::~TcpTransport() {
+  if (sweep_timer_.valid()) loop_.cancel(sweep_timer_);
   for (auto& [fd, connection] : inbound_) {
     loop_.unwatch(fd);
     ::close(fd);
@@ -196,16 +211,28 @@ void TcpTransport::set_remote(sim::NodeId id, const PeerAddress& address) {
 }
 
 void TcpTransport::accept_ready(LocalNode& node) {
-  for (;;) {
+  for (std::size_t accepted = 0; accepted < config_.accept_burst; ++accepted) {
     sockaddr_in peer{};
     socklen_t peer_len = sizeof(peer);
     int fd = ::accept4(node.listen_fd, reinterpret_cast<sockaddr*>(&peer), &peer_len,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or error: done for now
+    if (fd < 0) return;  // EAGAIN or error: backlog drained for now
+    if (config_.max_inbound_connections != 0 &&
+        inbound_.size() >= config_.max_inbound_connections) {
+      // At the connection cap: shed at accept, before the connection costs
+      // a buffer or a watch. The peer sees an immediate close (reset once
+      // it writes) — the connection-limit early rejection
+      // (RejectReason::ConnectionLimit in the telemetry mirrors).
+      ++stats_.connection_limit_sheds;
+      ::close(fd);
+      continue;
+    }
     set_nodelay(fd);
-    auto connection = std::make_unique<InboundConnection>(config_.max_frame_bytes);
+    auto connection = std::make_unique<InboundConnection>(config_.max_frame_bytes,
+                                                          config_.read_buffer_bytes);
     connection->fd = fd;
     connection->local_node = node.id.value;
+    connection->last_activity = loop_.now();
     char host[INET_ADDRSTRLEN] = "127.0.0.1";
     if (peer.sin_family == AF_INET) {
       ::inet_ntop(AF_INET, &peer.sin_addr, host, sizeof(host));
@@ -214,8 +241,16 @@ void TcpTransport::accept_ready(LocalNode& node) {
     ++stats_.accepted_connections;
     node.inbound_fds.push_back(fd);
     inbound_[fd] = std::move(connection);
-    loop_.watch(fd, EPOLLIN, [this, fd](std::uint32_t) { inbound_ready(fd); });
+    loop_.watch(fd, EPOLLIN, [this, fd](std::uint32_t events) { inbound_event(fd, events); });
   }
+  // Burst budget spent with the backlog possibly non-empty: continue in
+  // the next loop iteration (deferred tasks deferred from a deferred task
+  // run one iteration later), so a connect flood drains in bounded slices
+  // and established connections' I/O and due timers run in between.
+  std::uint32_t id = node.id.value;
+  loop_.defer([this, id] {
+    if (auto it = locals_.find(id); it != locals_.end()) accept_ready(*it->second);
+  });
 }
 
 void TcpTransport::close_inbound(int fd, InboundConnection& connection) {
@@ -227,7 +262,25 @@ void TcpTransport::close_inbound(int fd, InboundConnection& connection) {
     auto& fds = local_it->second->inbound_fds;
     std::erase(fds, fd);
   }
+  // Retire reply routes that still point at this connection (a reconnect
+  // may already have repointed them at a newer fd — leave those alone).
+  for (std::uint32_t node : connection.route_nodes) {
+    if (auto route = inbound_routes_.find(node);
+        route != inbound_routes_.end() && route->second == fd) {
+      inbound_routes_.erase(route);
+    }
+  }
   inbound_.erase(fd);
+}
+
+void TcpTransport::inbound_event(int fd, std::uint32_t events) {
+  if (events & EPOLLOUT) {
+    auto it = inbound_.find(fd);
+    if (it == inbound_.end()) return;
+    flush_inbound(*it->second);         // may close the connection on error
+    if (!inbound_.contains(fd)) return;
+  }
+  if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) inbound_ready(fd);
 }
 
 void TcpTransport::inbound_ready(int fd) {
@@ -239,19 +292,32 @@ void TcpTransport::inbound_ready(int fd) {
     // Recv straight into the reader's reuse buffer: no intermediate copy,
     // and no allocation once the buffer has warmed up to the connection's
     // largest frame.
-    std::span<std::byte> dst = connection.reader.write_span();
+    std::span<std::byte> dst = connection.reader.write_span(config_.read_buffer_bytes);
     ssize_t n = ::recv(fd, dst.data(), dst.size(), 0);
     if (n > 0) {
       connection.reader.commit(static_cast<std::size_t>(n));
+      connection.last_activity = loop_.now();
+      bool completed_frame = false;
       bool ok = connection.reader.drain(
           [&](std::uint32_t sender, std::uint32_t sender_port,
               std::span<const std::byte> payload) {
+            completed_frame = true;
             // Learn the sender's return address (self-advertised port, peer
             // IP from the socket): this is how replicas can answer clients
             // they were never configured with in multi-process deployments.
-            if (sender_port != 0 && !locals_.contains(sender)) {
-              remotes_[sender] =
-                  PeerAddress{connection.peer_host, static_cast<std::uint16_t>(sender_port)};
+            // Port 0 means the sender has no listener at all — replies to
+            // it go back over this very connection.
+            if (!locals_.contains(sender)) {
+              if (sender_port != 0) {
+                remotes_[sender] =
+                    PeerAddress{connection.peer_host, static_cast<std::uint16_t>(sender_port)};
+              } else {
+                inbound_routes_[sender] = fd;  // newest connection wins
+                auto& routed = connection.route_nodes;
+                if (std::find(routed.begin(), routed.end(), sender) == routed.end()) {
+                  routed.push_back(sender);
+                }
+              }
             }
             auto local_it = locals_.find(connection.local_node);
             if (local_it == locals_.end()) return;
@@ -263,6 +329,15 @@ void TcpTransport::inbound_ready(int fd) {
               ++stats_.decode_errors;
             }
           });
+      // Half-open tracking: a buffered partial frame starts (or keeps) the
+      // eviction clock; completing any frame restarts it — so pipelined
+      // bursts are safe while a trickled never-ending frame is not.
+      if (!connection.reader.truncated()) {
+        connection.partial_since = InboundConnection::kNoPartial;
+      } else if (completed_frame ||
+                 connection.partial_since == InboundConnection::kNoPartial) {
+        connection.partial_since = loop_.now();
+      }
       if (!ok) {
         // Oversized length header: poisoned stream, count and drop it.
         ++stats_.decode_errors;
@@ -384,10 +459,112 @@ void TcpTransport::flush(OutboundConnection& connection) {
   loop_.modify(connection.fd, 0);
 }
 
+void TcpTransport::schedule_inbound_flush(InboundConnection& connection) {
+  // Same write-coalescing shape as outbound: replies queued during one
+  // loop iteration leave in a single sendmsg. The deferred task re-resolves
+  // the connection by fd — it may have been closed (and the fd recycled)
+  // before the end of the iteration, in which case flushing the new
+  // connection's (empty) queue is a harmless no-op.
+  if (connection.flush_scheduled) return;
+  connection.flush_scheduled = true;
+  int fd = connection.fd;
+  loop_.defer([this, fd] {
+    auto it = inbound_.find(fd);
+    if (it == inbound_.end()) return;
+    it->second->flush_scheduled = false;
+    flush_inbound(*it->second);
+  });
+}
+
+void TcpTransport::flush_inbound(InboundConnection& connection) {
+  while (!connection.out.empty()) {
+    iovec iov[kMaxFlushIov];
+    std::size_t n_iov = connection.out.fill_iovec(iov, kMaxFlushIov);
+    msghdr header{};
+    header.msg_iov = iov;
+    header.msg_iovlen = n_iov;
+    ssize_t n = ::sendmsg(connection.fd, &header, MSG_NOSIGNAL);
+    if (n > 0) {
+      ++stats_.write_syscalls;
+      connection.out.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.modify(connection.fd, EPOLLIN | EPOLLOUT);
+      return;
+    }
+    close_inbound(connection.fd, connection);  // peer gone; invalidates `connection`
+    return;
+  }
+  loop_.modify(connection.fd, EPOLLIN);
+}
+
+void TcpTransport::arm_sweep() {
+  if (config_.idle_timeout <= 0 && config_.half_open_timeout <= 0) return;
+  Duration interval = config_.sweep_interval;
+  if (interval <= 0) {
+    Duration shortest = config_.idle_timeout > 0 ? config_.idle_timeout : 0;
+    if (config_.half_open_timeout > 0 &&
+        (shortest == 0 || config_.half_open_timeout < shortest)) {
+      shortest = config_.half_open_timeout;
+    }
+    interval = std::clamp<Duration>(shortest / 4, 10 * kMillisecond, kSecond);
+  }
+  sweep_timer_ = loop_.schedule_after(interval, [this] {
+    sweep_connections();
+    arm_sweep();
+  });
+}
+
+void TcpTransport::sweep_connections() {
+  const Time now = loop_.now();
+  // Two-phase: collect first, then evict — close_inbound mutates inbound_.
+  std::vector<int> half_open;
+  std::vector<int> idle;
+  for (const auto& [fd, connection] : inbound_) {
+    if (config_.half_open_timeout > 0 &&
+        connection->partial_since != InboundConnection::kNoPartial &&
+        now - connection->partial_since >= config_.half_open_timeout) {
+      half_open.push_back(fd);
+    } else if (config_.idle_timeout > 0 &&
+               now - connection->last_activity >= config_.idle_timeout) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : half_open) {
+    if (auto it = inbound_.find(fd); it != inbound_.end()) {
+      ++stats_.half_open_evictions;
+      ++stats_.decode_errors;  // the trickled frame dies truncated
+      close_inbound(fd, *it->second);
+    }
+  }
+  for (int fd : idle) {
+    if (auto it = inbound_.find(fd); it != inbound_.end()) {
+      ++stats_.idle_evictions;
+      close_inbound(fd, *it->second);
+    }
+  }
+}
+
 std::size_t TcpTransport::pending_write_bytes() const {
   std::size_t total = 0;
   for (const auto& [dest, connection] : outbound_) total += connection->out.total_bytes;
+  for (const auto& [fd, connection] : inbound_) total += connection->out.total_bytes;
   return total;
+}
+
+TransportMemory TcpTransport::memory() const {
+  TransportMemory memory;
+  memory.inbound_connections = inbound_.size();
+  memory.outbound_connections = outbound_.size();
+  for (const auto& [fd, connection] : inbound_) {
+    memory.inbound_buffer_bytes += connection->reader.capacity();
+    memory.pending_write_bytes += connection->out.total_bytes;
+  }
+  for (const auto& [dest, connection] : outbound_) {
+    memory.pending_write_bytes += connection->out.total_bytes;
+  }
+  return memory;
 }
 
 void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr message) {
@@ -397,6 +574,11 @@ void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr messag
     return;
   }
 
+  std::uint32_t sender_port_adv = 0;
+  if (auto sender_it = locals_.find(from.value); sender_it != locals_.end()) {
+    sender_port_adv = sender_it->second->port;
+  }
+
   PeerAddress address;
   if (auto it = locals_.find(to.value); it != locals_.end()) {
     address = PeerAddress{"127.0.0.1", it->second->port};
@@ -404,6 +586,25 @@ void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr messag
     address = remote->second;
   }
   if (address.port == 0) {
+    // Not dialable — but a listener-less peer (port-0 frames) may have an
+    // inbound connection we can answer over.
+    if (auto route = inbound_routes_.find(to.value); route != inbound_routes_.end()) {
+      if (auto conn_it = inbound_.find(route->second); conn_it != inbound_.end()) {
+        InboundConnection& connection = *conn_it->second;
+        std::vector<std::byte> frame =
+            encode_frame(from.value, sender_port_adv, typed->encode());
+        if (connection.out.total_bytes + frame.size() > config_.max_pending_write_bytes) {
+          ++stats_.send_queue_overflows;
+          ++stats_.dropped;
+          return;
+        }
+        stats_.messages_sent += 1;
+        stats_.bytes_sent += frame.size();
+        connection.out.push(std::move(frame));
+        schedule_inbound_flush(connection);
+        return;
+      }
+    }
     ++stats_.dropped;
     return;
   }
@@ -416,11 +617,7 @@ void TcpTransport::send(sim::NodeId from, sim::NodeId to, sim::PayloadPtr messag
     return;
   }
 
-  std::uint32_t sender_port = 0;
-  if (auto sender_it = locals_.find(from.value); sender_it != locals_.end()) {
-    sender_port = sender_it->second->port;
-  }
-  std::vector<std::byte> frame = encode_frame(from.value, sender_port, typed->encode());
+  std::vector<std::byte> frame = encode_frame(from.value, sender_port_adv, typed->encode());
   if (connection->out.total_bytes + frame.size() > config_.max_pending_write_bytes) {
     // The peer stopped draining: shed this frame (fair loss) rather than
     // buffer without bound.

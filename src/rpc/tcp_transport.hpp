@@ -3,9 +3,13 @@
 // Every registered node gets its own listener; send() lazily opens one
 // outgoing connection per destination node and writes length-prefixed
 // frames (rpc/framing.hpp) carrying consensus::messages encodings.
-// Connections are unidirectional: replies travel over the peer's own
-// outgoing connection to our listener, mirroring how the protocols treat
-// links as independent fair-loss channels.
+// Connections are unidirectional by default: replies travel over the
+// peer's own outgoing connection to our listener, mirroring how the
+// protocols treat links as independent fair-loss channels. Peers without
+// a listener of their own (storm clients multiplexing thousands of
+// sessions) advertise sender-port 0 in their frames, and replies to them
+// are routed back over the same inbound connection instead — one socket
+// per session instead of a listener plus a dial-back each.
 //
 // Failure semantics match the protocols' fair-loss assumption: a send to
 // an unknown, crashed or unreachable node is silently dropped (and
@@ -56,6 +60,35 @@ struct TransportStats {
   std::uint64_t oversized_frames = 0;      ///< connections dropped for a frame
                                            ///< over max_frame_bytes (also
                                            ///< counted in decode_errors)
+  std::uint64_t connection_limit_sheds = 0;  ///< inbound connections closed at
+                                             ///< accept because the connection
+                                             ///< cap was reached
+                                             ///< (RejectReason::ConnectionLimit)
+  std::uint64_t idle_evictions = 0;       ///< inbound connections evicted for
+                                          ///< sending nothing for idle_timeout
+  std::uint64_t half_open_evictions = 0;  ///< inbound connections evicted for
+                                          ///< holding a partial frame past
+                                          ///< half_open_timeout (slow loris)
+};
+
+/// Point-in-time memory footprint of the transport's connection state —
+/// the per-connection accounting the admin endpoints surface. Buffer
+/// bytes are capacities (what the process actually holds), not fill
+/// levels, so a storm of mostly-idle connections is charged honestly.
+struct TransportMemory {
+  std::size_t inbound_connections = 0;
+  std::size_t outbound_connections = 0;
+  std::size_t inbound_buffer_bytes = 0;   ///< receive-buffer capacity across
+                                          ///< inbound connections
+  std::size_t pending_write_bytes = 0;    ///< unsent bytes queued across all
+                                          ///< connections (both directions)
+
+  std::size_t total_bytes() const { return inbound_buffer_bytes + pending_write_bytes; }
+  /// Average bytes held per open connection (0 when none are open).
+  double per_connection() const {
+    std::size_t conns = inbound_connections + outbound_connections;
+    return conns == 0 ? 0.0 : static_cast<double>(total_bytes()) / static_cast<double>(conns);
+  }
 };
 
 /// Upper bound on iovec entries per flush; writev/sendmsg reject more
@@ -123,6 +156,39 @@ struct TcpTransportConfig {
   /// TransportStats::send_queue_overflows — backpressure instead of
   /// unbounded buffering when a peer stops reading.
   std::size_t max_pending_write_bytes = 8 * 1024 * 1024;
+
+  // --- accept-path hardening (connection storms) ---
+
+  /// Maximum connections accepted per listener readiness pass. A SYN
+  /// flood's backlog is drained in bursts of this size with a deferred
+  /// continuation between bursts, so accepting thousands of connections
+  /// never starves the established connections' I/O or due timers.
+  std::size_t accept_burst = 256;
+  /// Cap on concurrently open inbound connections across the transport
+  /// (0 = unlimited). At the cap, newly accepted connections are closed
+  /// immediately — an early shed the peer observes as a reset, counted in
+  /// TransportStats::connection_limit_sheds and classified as
+  /// RejectReason::ConnectionLimit in telemetry.
+  std::size_t max_inbound_connections = 0;
+  /// Initial receive-buffer capacity per inbound connection (also the
+  /// recv chunk size). The default suits a handful of replica peers;
+  /// servers expecting thousands of small-frame client connections shrink
+  /// it so per-connection memory stays bounded. Buffers still grow on
+  /// demand up to max_frame_bytes.
+  std::size_t read_buffer_bytes = kReadChunkBytes;
+  /// Evict an inbound connection that has sent nothing for this long
+  /// (0 = never). Off by default: replica peers are legitimately silent
+  /// between bursts. Client-facing servers enable it to reclaim
+  /// connections from hosts that connect and hold.
+  Duration idle_timeout = 0;
+  /// Evict an inbound connection that has held an incomplete frame for
+  /// this long (0 = never) — the slow-loris defence: trickling one byte
+  /// per second through a frame does not reset the clock, only a
+  /// completed frame does.
+  Duration half_open_timeout = 0;
+  /// How often the eviction sweep runs; 0 derives it from the enabled
+  /// timeouts (a quarter of the shortest, clamped to [10ms, 1s]).
+  Duration sweep_interval = 0;
 };
 
 class TcpTransport final : public sim::Transport {
@@ -164,12 +230,16 @@ class TcpTransport final : public sim::Transport {
   std::size_t inbound_connections() const { return inbound_.size(); }
   std::size_t outbound_connections() const { return outbound_.size(); }
 
+  /// Per-connection memory accounting (admin /stats, /metrics gauges).
+  TransportMemory memory() const;
+
  private:
   struct LocalNode;
   struct InboundConnection;
   struct OutboundConnection;
 
   void accept_ready(LocalNode& node);
+  void inbound_event(int fd, std::uint32_t events);
   void inbound_ready(int fd);
   void close_inbound(int fd, InboundConnection& connection);
   void outbound_ready(std::uint32_t dest, std::uint32_t events);
@@ -177,6 +247,10 @@ class TcpTransport final : public sim::Transport {
   void drop_outbound(std::uint32_t dest);
   void schedule_flush(OutboundConnection& connection);
   void flush(OutboundConnection& connection);
+  void schedule_inbound_flush(InboundConnection& connection);
+  void flush_inbound(InboundConnection& connection);
+  void arm_sweep();
+  void sweep_connections();
 
   EventLoop& loop_;
   TcpTransportConfig config_;
@@ -185,6 +259,10 @@ class TcpTransport final : public sim::Transport {
   std::unordered_map<std::uint32_t, PeerAddress> remotes_;
   std::unordered_map<std::uint32_t, std::unique_ptr<OutboundConnection>> outbound_;
   std::unordered_map<int, std::unique_ptr<InboundConnection>> inbound_;
+  /// Listener-less senders (frames advertising port 0): node id → the
+  /// inbound fd whose connection replies to that node travel back over.
+  std::unordered_map<std::uint32_t, int> inbound_routes_;
+  sim::EventId sweep_timer_;
   TransportStats stats_;
 };
 

@@ -342,6 +342,184 @@ TEST(TcpTransportTest, CleanCloseBetweenFramesIsNotAnError) {
   EXPECT_EQ(a.received.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Accept-path hardening (connection storms)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// True when the peer has closed (or reset) our end of `fd`.
+bool peer_closed(int fd) {
+  char byte = 0;
+  ssize_t n = ::recv(fd, &byte, 1, MSG_DONTWAIT);
+  if (n == 0) return true;                                   // clean EOF
+  return n < 0 && errno != EAGAIN && errno != EWOULDBLOCK;   // reset
+}
+
+}  // namespace
+
+TEST(TcpTransportTest, ConnectionLimitShedsExcessConnections) {
+  rpc::EventLoop loop;
+  rpc::TcpTransportConfig config;
+  config.max_inbound_connections = 2;
+  rpc::TcpTransport transport(loop, config);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  const std::uint16_t port = transport.port_of(sim::NodeId{1});
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) fds.push_back(connect_raw(port));
+  loop.run_for(200 * kMillisecond);
+
+  // Two kept, two shed at accept; the shed peers observe a closed socket
+  // (the early-rejection signal, RejectReason::ConnectionLimit in
+  // telemetry) instead of queueing behind an overloaded server.
+  EXPECT_EQ(transport.stats().connection_limit_sheds, 2u);
+  EXPECT_EQ(transport.memory().inbound_connections, 2u);
+  int closed = 0;
+  for (int fd : fds) closed += peer_closed(fd) ? 1 : 0;
+  EXPECT_EQ(closed, 2);
+
+  // The connections under the cap still deliver frames.
+  auto frame = rpc::encode_frame(
+      9, 0, msg::Reject{RequestId{ClientId{1}, OpNum{1}}}.encode());
+  for (int fd : fds) {
+    if (!peer_closed(fd)) {
+      ASSERT_EQ(::write(fd, frame.data(), frame.size()),
+                static_cast<ssize_t>(frame.size()));
+      break;
+    }
+  }
+  loop.run_for(100 * kMillisecond);
+  EXPECT_EQ(a.received.size(), 1u);
+  for (int fd : fds) ::close(fd);
+}
+
+TEST(TcpTransportTest, IdleTimeoutEvictsSilentConnections) {
+  rpc::EventLoop loop;
+  rpc::TcpTransportConfig config;
+  config.idle_timeout = 80 * kMillisecond;
+  config.sweep_interval = 20 * kMillisecond;
+  rpc::TcpTransport transport(loop, config);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  int silent = connect_raw(transport.port_of(sim::NodeId{1}));
+  int chatty = connect_raw(transport.port_of(sim::NodeId{1}));
+  auto frame = rpc::encode_frame(
+      9, 0, msg::Reject{RequestId{ClientId{1}, OpNum{1}}}.encode());
+  // The chatty peer completes a frame every ~40ms and must survive; the
+  // silent one sends nothing and must be evicted.
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_EQ(::write(chatty, frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    loop.run_for(40 * kMillisecond);
+  }
+
+  EXPECT_EQ(transport.stats().idle_evictions, 1u);
+  EXPECT_TRUE(peer_closed(silent));
+  EXPECT_FALSE(peer_closed(chatty));
+  EXPECT_EQ(a.received.size(), 6u);
+  ::close(silent);
+  ::close(chatty);
+}
+
+TEST(TcpTransportTest, HalfOpenTimeoutEvictsPartialFrame) {
+  rpc::EventLoop loop;
+  rpc::TcpTransportConfig config;
+  config.half_open_timeout = 80 * kMillisecond;
+  config.sweep_interval = 20 * kMillisecond;
+  rpc::TcpTransport transport(loop, config);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  // The loris peer starts a frame and never finishes it; the quiet peer
+  // completed its frame and sits idle between frames — with only
+  // half_open_timeout set (no idle_timeout) it must NOT be evicted.
+  int loris = connect_raw(transport.port_of(sim::NodeId{1}));
+  int quiet = connect_raw(transport.port_of(sim::NodeId{1}));
+  auto frame = rpc::encode_frame(
+      9, 0, msg::Reject{RequestId{ClientId{1}, OpNum{1}}}.encode());
+  ASSERT_EQ(::write(quiet, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  ASSERT_EQ(::write(loris, frame.data(), frame.size() / 2),
+            static_cast<ssize_t>(frame.size() / 2));
+  loop.run_for(300 * kMillisecond);
+
+  EXPECT_EQ(transport.stats().half_open_evictions, 1u);
+  EXPECT_EQ(transport.stats().idle_evictions, 0u);
+  EXPECT_TRUE(peer_closed(loris));
+  EXPECT_FALSE(peer_closed(quiet));
+  EXPECT_EQ(a.received.size(), 1u);
+  ::close(loris);
+  ::close(quiet);
+}
+
+TEST(TcpTransportTest, AcceptBurstDrainsFloodWithoutStarvingTimers) {
+  rpc::EventLoop loop;
+  rpc::TcpTransportConfig config;
+  config.accept_burst = 8;  // tiny burst: a 100-connection flood needs
+                            // many deferred continuations to drain
+  rpc::TcpTransport transport(loop, config);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  const std::uint16_t port = transport.port_of(sim::NodeId{1});
+  std::vector<int> fds;
+  for (int i = 0; i < 100; ++i) fds.push_back(connect_raw(port));
+  bool timer_fired = false;
+  loop.schedule_after(50 * kMillisecond, [&] { timer_fired = true; });
+  loop.run_for(300 * kMillisecond);
+
+  // Every connection in the flood gets accepted (in bursts of 8), and
+  // the accept loop never monopolized an iteration: the timer fired.
+  EXPECT_EQ(transport.stats().accepted_connections, 100u);
+  EXPECT_EQ(transport.memory().inbound_connections, 100u);
+  EXPECT_TRUE(timer_fired);
+  for (int fd : fds) ::close(fd);
+}
+
+TEST(TcpTransportTest, RepliesRouteOverTheInboundConnection) {
+  rpc::EventLoop loop;
+  rpc::TcpTransport transport(loop);
+  CollectingEndpoint a;
+  transport.add_node(sim::NodeId{1}, sim::NodeKind::Replica, &a);
+
+  // A listener-less client (sender-port 0, like the storm driver) sends a
+  // REQUEST; the transport must route the reply back over the same
+  // inbound connection instead of dialing the advertised port.
+  int fd = connect_raw(transport.port_of(sim::NodeId{1}));
+  const std::uint32_t client_node = 1'000'777;
+  auto request = rpc::encode_frame(
+      client_node, 0,
+      msg::Request{RequestId{ClientId{777}, OpNum{1}}, test::put_cmd("k", "v")}.encode());
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  loop.run_for(100 * kMillisecond);
+  ASSERT_EQ(a.received.size(), 1u);
+
+  transport.send(sim::NodeId{1}, sim::NodeId{client_node},
+                 std::make_shared<const msg::Reject>(RequestId{ClientId{777}, OpNum{1}}));
+  loop.run_for(100 * kMillisecond);
+
+  rpc::FrameReader reader;
+  char buf[4096];
+  ssize_t n = ::recv(fd, buf, sizeof buf, MSG_DONTWAIT);
+  ASSERT_GT(n, 0);
+  std::size_t frames = 0;
+  reader.feed(std::as_bytes(std::span(buf, static_cast<std::size_t>(n))),
+              [&](std::uint32_t sender, std::uint32_t, std::span<const std::byte> payload) {
+                ++frames;
+                EXPECT_EQ(sender, 1u);
+                auto message = msg::decode(payload);
+                ASSERT_EQ(message->type(), msg::Type::Reject);
+                EXPECT_EQ(static_cast<const msg::Reject&>(*message).id.cid.value, 777u);
+              });
+  EXPECT_EQ(frames, 1u);
+  EXPECT_EQ(transport.stats().dropped, 0u);
+  ::close(fd);
+}
+
 TEST(FramingTest, DecodeBufferIsReusedAcrossFrames) {
   rpc::FrameReader reader;
   const std::size_t warm = reader.capacity();

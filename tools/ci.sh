@@ -87,8 +87,19 @@ if [[ "${FAST}" -eq 0 ]]; then
 
   echo "== sanitizers: TSan ctest =="
   (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
-      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin')
+      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin|Storm')
 fi
+
+# Time-boxed storm smoke: ~1k connections ramped up (334 sessions x 3
+# replicas, cluster hosted in a forked child so both fd budgets stay
+# honest) plus a reconnect stampede through a leader crash. fig_storm
+# asserts the scenario shapes itself and exits nonzero when they fail;
+# the full 10k-connection suite runs in the perf gate below.
+echo "== real mode: storm smoke (1k connections, reconnect stampede) =="
+IDEM_STORM_SCENARIOS=ramp,stampede IDEM_STORM_SESSIONS=334 \
+    IDEM_STORM_STAMPEDE_SESSIONS=334 IDEM_STORM_SECONDS=0.6 \
+    IDEM_STORM_RAMP_SECONDS=1.5 IDEM_STORM_JSON=/dev/null \
+    ./build/bench/fig_storm >/dev/null
 
 echo "== real mode: CLI smoke =="
 ./build/tools/idem_server --help >/dev/null
@@ -169,12 +180,12 @@ else
   PERF_TMP="$(mktemp -d)"
   trap 'rm -f "${TRACE_TMP}"; rm -rf "${PERF_TMP}"' EXIT
 
-  # perf_gate <label> <tolerance> <extra-flag|-> <baseline> <fresh> <bench-cmd...>
+  # perf_gate <label> <tolerance> <extra-flags|-> <baseline> <fresh> <bench-cmd...>
   perf_gate() {
     local label="$1" tolerance="$2" extra="$3" baseline="$4" fresh="$5"
     shift 5
     local flags=()
-    [[ "${extra}" != "-" ]] && flags+=("${extra}")
+    [[ "${extra}" != "-" ]] && read -ra flags <<< "${extra}"
     for attempt in 1 2; do
       "$@" >/dev/null
       if ./build/tools/bench_compare --label "${label}" --tolerance "${tolerance}" \
@@ -198,6 +209,16 @@ else
   perf_gate real "${PERF_TOLERANCE_REAL}" --throughput-only \
       BENCH_real.json "${PERF_TMP}/real.json" \
       env IDEM_REAL_JSON="${PERF_TMP}/real.json" ./build/bench/fig6_real
+
+  # Storm scenarios at full scale (10k-connection ramp, 4x flash crowd,
+  # 1k-session stampede, slow loris): fig_storm asserts the scenario
+  # shapes on every run; the gate only diffs the flash crowd's goodput
+  # peak, the one stable throughput statistic in the suite (connect and
+  # rejection tails swing with scheduler luck on a loaded host).
+  echo "== perf gate: storm scenarios vs BENCH_storm.json =="
+  perf_gate storm "${PERF_TOLERANCE_REAL}" "--peak reply_kops" \
+      BENCH_storm.json "${PERF_TMP}/storm.json" \
+      env IDEM_STORM_JSON="${PERF_TMP}/storm.json" ./build/bench/fig_storm
 
   # Live-telemetry overhead guard: the same sweep with the admin endpoint
   # and windowed metrics armed (IDEM_REAL_LIVE=1) must keep its saturation

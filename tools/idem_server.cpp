@@ -54,6 +54,10 @@ struct Options {
   double batch_flush_delay_us = 0;
   bool exec_thread = false;
   bool peer_priority = true;
+  std::size_t max_conns = 0;          ///< inbound connection cap (0 = unlimited)
+  double idle_timeout_sec = 0;        ///< evict silent inbound connections (0 = off)
+  double half_open_timeout_sec = 0;   ///< evict trickled partial frames (0 = off)
+  std::size_t read_buffer = 0;        ///< per-connection recv buffer (0 = default)
   bool admin = false;             ///< --admin-port given
   std::uint16_t admin_port = 0;   ///< 0 = ephemeral
   const char* trace_out = nullptr;
@@ -86,6 +90,17 @@ void usage(const char* argv0) {
       "                     thread (pays off with spare cores)\n"
       "  --no-peer-priority service client and replica traffic through one\n"
       "                     FIFO lane (disables overload prioritization)\n"
+      "  --max-conns N      cap concurrent inbound connections; beyond it,\n"
+      "                     new connections are shed at accept\n"
+      "                     (reason connection-limit)      (default: unlimited)\n"
+      "  --idle-timeout S   evict inbound connections silent for S seconds\n"
+      "                     (default: off)\n"
+      "  --half-open-timeout S\n"
+      "                     evict inbound connections holding a partial\n"
+      "                     frame for S seconds (slow-loris defence)\n"
+      "                     (default: off)\n"
+      "  --read-buffer N    per-connection receive buffer bytes; shrink for\n"
+      "                     many-thousand-connection storms (default: 16384)\n"
       "  --admin-port P     serve live telemetry over HTTP on 127.0.0.1:P\n"
       "                     (/metrics, /stats, /trace; 0 = ephemeral, the\n"
       "                     chosen port is printed at startup)\n"
@@ -183,6 +198,22 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.exec_thread = true;
     } else if (!std::strcmp(arg, "--no-peer-priority")) {
       options.peer_priority = false;
+    } else if (!std::strcmp(arg, "--max-conns")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.max_conns = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--idle-timeout")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.idle_timeout_sec = std::atof(v);
+    } else if (!std::strcmp(arg, "--half-open-timeout")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.half_open_timeout_sec = std::atof(v);
+    } else if (!std::strcmp(arg, "--read-buffer")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.read_buffer = std::strtoul(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--admin-port")) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -235,6 +266,11 @@ int main(int argc, char** argv) {
   rpc::TcpTransportConfig transport_config;
   transport_config.fixed_port = options.listen.port;
   transport_config.listen_host = options.listen.host;
+  transport_config.max_inbound_connections = options.max_conns;
+  transport_config.idle_timeout = static_cast<Duration>(options.idle_timeout_sec * kSecond);
+  transport_config.half_open_timeout =
+      static_cast<Duration>(options.half_open_timeout_sec * kSecond);
+  if (options.read_buffer > 0) transport_config.read_buffer_bytes = options.read_buffer;
   rpc::TcpTransport transport(loop, transport_config);
 
   core::IdemConfig config;
@@ -298,22 +334,39 @@ int main(int argc, char** argv) {
     // mirror them in at scrape time so they window like everything else.
     obs::LiveShard* net_shard = hub.make_shard();
     struct NetSeries {
-      obs::LiveShard::SeriesId sent, delivered, dropped, decode_errors, shed, oversized;
+      obs::LiveShard::SeriesId sent, delivered, dropped, decode_errors, shed, oversized,
+          conn_limit, idle_evicted, half_open_evicted, accepted, inbound, outbound,
+          conn_memory;
     };
     NetSeries net{net_shard->counter("tcp_messages_sent"),
                   net_shard->counter("tcp_messages_delivered"),
                   net_shard->counter("tcp_dropped"),
                   net_shard->counter("tcp_decode_errors"),
                   net_shard->counter("rejects[reason=backpressure-shed]"),
-                  net_shard->counter("rejects[reason=oversized-frame]")};
+                  net_shard->counter("rejects[reason=oversized-frame]"),
+                  net_shard->counter("rejects[reason=connection-limit]"),
+                  net_shard->counter("tcp_idle_evictions"),
+                  net_shard->counter("tcp_half_open_evictions"),
+                  net_shard->counter("tcp_accepted_connections"),
+                  net_shard->counter("tcp_inbound_connections"),
+                  net_shard->counter("tcp_outbound_connections"),
+                  net_shard->counter("tcp_connection_memory_bytes")};
     auto mirror_transport = [&transport, net_shard, net] {
       const rpc::TransportStats& t = transport.stats();
+      const rpc::TransportMemory m = transport.memory();
       net_shard->set(net.sent, t.messages_sent);
       net_shard->set(net.delivered, t.messages_delivered);
       net_shard->set(net.dropped, t.dropped);
       net_shard->set(net.decode_errors, t.decode_errors);
       net_shard->set(net.shed, t.send_queue_overflows);
       net_shard->set(net.oversized, t.oversized_frames);
+      net_shard->set(net.conn_limit, t.connection_limit_sheds);
+      net_shard->set(net.idle_evicted, t.idle_evictions);
+      net_shard->set(net.half_open_evicted, t.half_open_evictions);
+      net_shard->set(net.accepted, t.accepted_connections);
+      net_shard->set(net.inbound, m.inbound_connections);
+      net_shard->set(net.outbound, m.outbound_connections);
+      net_shard->set(net.conn_memory, m.total_bytes());
     };
 
     admin = std::make_unique<rpc::HttpAdmin>(loop, options.admin_port);
@@ -324,7 +377,8 @@ int main(int argc, char** argv) {
     admin->route("/stats", "application/json", [&replica, &transport, &trace] {
       const core::ReplicaStats& s = replica.stats();
       const rpc::TransportStats& t = transport.stats();
-      char buf[1024];
+      const rpc::TransportMemory m = transport.memory();
+      char buf[1536];
       std::snprintf(
           buf, sizeof buf,
           "{\"view\":%llu,\"leader\":%s,"
@@ -333,8 +387,11 @@ int main(int argc, char** argv) {
           "\"tcp\":{\"messages_sent\":%llu,\"bytes_sent\":%llu,"
           "\"messages_delivered\":%llu,\"dropped\":%llu,\"decode_errors\":%llu,"
           "\"send_queue_overflows\":%llu,\"oversized_frames\":%llu,"
-          "\"accepted_connections\":%llu,\"pending_write_bytes\":%zu,"
-          "\"inbound_connections\":%zu,\"outbound_connections\":%zu},"
+          "\"accepted_connections\":%llu,\"connection_limit_sheds\":%llu,"
+          "\"idle_evictions\":%llu,\"half_open_evictions\":%llu,"
+          "\"pending_write_bytes\":%zu,"
+          "\"inbound_connections\":%zu,\"outbound_connections\":%zu,"
+          "\"inbound_buffer_bytes\":%zu,\"connection_memory_bytes\":%zu},"
           "\"trace_recorded\":%llu}",
           static_cast<unsigned long long>(replica.view().value),
           replica.is_leader() ? "true" : "false",
@@ -350,8 +407,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(t.send_queue_overflows),
           static_cast<unsigned long long>(t.oversized_frames),
           static_cast<unsigned long long>(t.accepted_connections),
-          transport.pending_write_bytes(), transport.inbound_connections(),
-          transport.outbound_connections(),
+          static_cast<unsigned long long>(t.connection_limit_sheds),
+          static_cast<unsigned long long>(t.idle_evictions),
+          static_cast<unsigned long long>(t.half_open_evictions),
+          transport.pending_write_bytes(), m.inbound_connections,
+          m.outbound_connections, m.inbound_buffer_bytes, m.total_bytes(),
           static_cast<unsigned long long>(trace ? trace->total_recorded() : 0));
       return std::string(buf);
     });
