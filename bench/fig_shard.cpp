@@ -1,0 +1,333 @@
+// Shard scale-out benchmark: the sharded real-mode deployment (M
+// independent replication groups on loopback TCP, client-side hash
+// routing) measured three ways.
+//
+//   1. Scale sweep M in {1, 2, 4}: saturating closed-loop load across M
+//      groups of 3 replicas each. On a machine with cores to spare the
+//      4-group deployment must deliver >= 3x the single-group reply
+//      throughput (groups share nothing); on a starved host (this repo's
+//      CI container has one core) the sweep still runs and the
+//      machine-independent invariants (every group serving, no redirect
+//      drops) still gate, but the scaling ratio is reported, not asserted.
+//   2. Hot-shard isolation: one generator hammers the group owning the
+//      hot keys far past its reject threshold while a second, rate-limited
+//      generator measures a sibling group. Per-group proactive rejection
+//      must engage on the hot group only, and the sibling must hold >= 95%
+//      of the goodput it delivers with the hot load absent.
+//   3. Live split: half the hash space migrates to an idle group while
+//      operations are in flight (freeze -> drain -> transfer -> flip);
+//      the recorded history must stay linearizable across the epoch flip.
+//
+// Emits BENCH_shard.json (override with IDEM_SHARD_JSON); the CI perf
+// gate compares the sweep's peak reply_kops against the committed
+// baseline (bench_compare --peak reply_kops).
+//
+// Environment knobs: IDEM_BENCH_SECONDS (default 2), IDEM_BENCH_WARMUP
+// (default 0.5), IDEM_SHARD_RT (hot-shard reject threshold, default 8),
+// IDEM_SHARD_STRICT=1 (assert the >= 3x scaling ratio even on a starved
+// host).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "check/linearizability.hpp"
+#include "harness/table.hpp"
+#include "shard/load.hpp"
+#include "shard/real_cluster.hpp"
+
+using namespace idem;
+
+namespace {
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+struct SweepPoint {
+  std::size_t shards = 0;
+  std::size_t clients = 0;
+  double reply_kops = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t redirects = 0;
+};
+
+bool g_ok = true;
+
+void shape_check(bool ok, const char* what) {
+  std::printf(" - %s %s\n", ok ? "ok  " : "FAIL", what);
+  if (!ok) g_ok = false;
+}
+
+shard::ShardedRealConfig cluster_config(std::size_t groups, std::uint64_t seed) {
+  shard::ShardedRealConfig config;
+  config.groups = groups;
+  config.base.n = 3;
+  config.base.f = 1;
+  config.base.seed = seed;
+  config.base.preload = true;
+  config.base.workload.record_count = 1000;
+  return config;
+}
+
+shard::ShardedLoadOptions load_options(shard::ShardedRealCluster& cluster, std::size_t clients,
+                                       Duration warmup, Duration measure, std::uint64_t seed) {
+  shard::ShardedLoadOptions options;
+  options.clients = clients;
+  options.warmup = warmup;
+  options.duration = measure;
+  options.seed = seed;
+  options.groups = cluster.group_addresses();
+  options.map = cluster.map();
+  options.router.map_source = [&cluster] { return cluster.map(); };
+  options.workload = cluster.config().base.workload;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double warmup_sec = env_double("IDEM_BENCH_WARMUP", 0.5);
+  double measure_sec = env_double("IDEM_BENCH_SECONDS", 2.0);
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (!std::strcmp(argv[i], "--measure-seconds")) {
+      if (const char* v = value()) measure_sec = std::atof(v);
+    } else if (!std::strcmp(argv[i], "--warmup")) {
+      if (const char* v = value()) warmup_sec = std::atof(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--measure-seconds S] [--warmup S]\n"
+                   "(env: IDEM_BENCH_SECONDS, IDEM_BENCH_WARMUP, IDEM_SHARD_RT,"
+                   " IDEM_SHARD_STRICT, IDEM_SHARD_JSON)\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const auto warmup = static_cast<Duration>(warmup_sec * kSecond);
+  const auto measure = static_cast<Duration>(measure_sec * kSecond);
+
+  // --- 1. Scale sweep ------------------------------------------------
+  std::printf("=== Shard scale-out (real mode): M groups x 3 replicas over loopback TCP ===\n\n");
+  harness::Table table({"shards", "clients", "throughput[kreq/s]", "p50[ms]", "p99[ms]",
+                        "redirects"});
+  std::vector<SweepPoint> points;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    shard::ShardedRealCluster cluster(cluster_config(shards, 100 + shards));
+    cluster.start();
+    shard::ShardedLoadOptions load =
+        load_options(cluster, 4 * shards, warmup, measure, 100 + shards);
+    const shard::ShardedLoadStats stats = shard::run_sharded_load(load);
+
+    SweepPoint point;
+    point.shards = shards;
+    point.clients = load.clients;
+    point.reply_kops = stats.load.reply_rate() / 1000.0;
+    point.p50_ms = to_ms(stats.load.reply_latency.p50());
+    point.p99_ms = to_ms(stats.load.reply_latency.p99());
+    point.redirects = stats.router.redirects;
+    points.push_back(point);
+    table.add_row({harness::Table::fmt(std::uint64_t(shards)),
+                   harness::Table::fmt(std::uint64_t(point.clients)),
+                   harness::Table::fmt(point.reply_kops), harness::Table::fmt(point.p50_ms, 3),
+                   harness::Table::fmt(point.p99_ms, 3),
+                   harness::Table::fmt(point.redirects)});
+
+    // Machine-independent invariants: every group serves its slice of a
+    // fresh uniform map with no redirects and no hop-budget drops.
+    if (stats.load.replies == 0) { g_ok = false; }
+    if (stats.router.redirects != 0 || stats.router.redirect_drops != 0) { g_ok = false; }
+    for (std::size_t g = 0; g < shards; ++g) {
+      if (cluster.gate(g).stats().admitted == 0) { g_ok = false; }
+    }
+    cluster.shutdown();
+  }
+  table.print();
+
+  const double scale_ratio = points.front().reply_kops > 0
+                                 ? points.back().reply_kops / points.front().reply_kops
+                                 : 0;
+  // 4 groups x 3 replica threads + the load loop want ~13 runnable
+  // threads; below that the groups time-slice one another and the ratio
+  // measures the scheduler, not the sharding.
+  const bool cores_for_scaling = std::thread::hardware_concurrency() >= 14;
+  const bool strict = env_double("IDEM_SHARD_STRICT", 0) != 0;
+  std::printf("\nshape checks:\n");
+  shape_check(points.back().reply_kops > 0 && points.front().reply_kops > 0,
+        "every sweep point served traffic from all groups (no redirects, no drops)");
+  if (cores_for_scaling || strict) {
+    std::printf("   (4-shard / 1-shard reply throughput: %.2fx)\n", scale_ratio);
+    shape_check(scale_ratio >= 3.0, "4 groups deliver >= 3x single-group reply throughput");
+  } else {
+    std::printf(" - info 4-shard / 1-shard reply throughput: %.2fx (%u cores: groups"
+                " time-slice, ratio not asserted)\n",
+                scale_ratio, std::thread::hardware_concurrency());
+  }
+
+  // --- 2. Hot-shard isolation ----------------------------------------
+  const auto hot_rt = static_cast<std::size_t>(env_double("IDEM_SHARD_RT", 8));
+  std::printf("\n=== Hot-shard isolation (2 groups, hot group driven past r=%zu) ===\n", hot_rt);
+  double baseline_kops = 0, sibling_kops = 0, hot_reply_kops = 0, hot_reject_kops = 0;
+  std::uint64_t sibling_rejects = 0, hot_rejects = 0;
+  {
+    shard::ShardedRealConfig config = cluster_config(2, 300);
+    config.base.reject_threshold = hot_rt;
+    shard::ShardedRealCluster cluster(config);
+    cluster.start();
+
+    // Sibling load: 2 open-loop clients at a demand far below capacity,
+    // restricted to group 1's keys. First alone (the baseline), then with
+    // the hot generator hammering group 0 from a second thread.
+    auto sibling = load_options(cluster, 2, warmup, measure, 301);
+    sibling.client_id_base = 100;
+    sibling.open_loop_rate = 150;
+    sibling.restrict_group = 1;
+    baseline_kops = shard::run_sharded_load(sibling).load.reply_rate() / 1000.0;
+
+    shard::ShardedLoadStats hot_stats;
+    std::thread hot([&] {
+      auto hot_load = load_options(cluster, 24, warmup, measure, 302);
+      hot_load.client_id_base = 1000;
+      hot_load.restrict_group = 0;
+      // Default 50-100ms rejection backoff (paper Section 7.1): overload
+      // pressure comes from 24 clients > r, not from a tight retry spin —
+      // rejected clients yield, so the sibling group keeps its CPU share
+      // even on a starved host.
+      hot_stats = shard::run_sharded_load(hot_load);
+    });
+    // Fresh client ids: the replicas' duplicate suppression remembers the
+    // baseline generation's sequence numbers.
+    sibling.client_id_base = 200;
+    const shard::ShardedLoadStats contended = shard::run_sharded_load(sibling);
+    hot.join();
+    cluster.shutdown();
+
+    sibling_kops = contended.load.reply_rate() / 1000.0;
+    sibling_rejects = contended.load.rejects;
+    hot_reply_kops = hot_stats.load.reply_rate() / 1000.0;
+    hot_reject_kops = hot_stats.load.reject_rate() / 1000.0;
+    hot_rejects = hot_stats.load.rejects;
+  }
+  const double sibling_ratio = baseline_kops > 0 ? sibling_kops / baseline_kops : 0;
+  std::printf("sibling alone %.3f kreq/s | contended %.3f kreq/s (%.1f%%) |"
+              " hot group %.3f kreq/s replies, %.3f kreq/s rejects\n",
+              baseline_kops, sibling_kops, sibling_ratio * 100.0, hot_reply_kops,
+              hot_reject_kops);
+  shape_check(hot_rejects > 0, "proactive rejection engages on the overloaded group");
+  shape_check(sibling_rejects == 0, "the sibling group rejects nothing");
+  // Like the scale sweep: goodput isolation is a statement about
+  // independent groups, which needs cores for the groups to be
+  // independent on. Starved of CPU, the ratio measures the kernel
+  // scheduler, not the rejection layer.
+  const bool cores_for_isolation = std::thread::hardware_concurrency() >= 8;
+  if (cores_for_isolation || strict) {
+    shape_check(sibling_ratio >= 0.95, "sibling goodput holds >= 95% of its unloaded baseline");
+  } else {
+    std::printf(" - info sibling goodput %.1f%% of baseline (%u cores: groups time-slice,"
+                " ratio not asserted)\n",
+                sibling_ratio * 100.0, std::thread::hardware_concurrency());
+  }
+
+  // --- 3. Live split under load --------------------------------------
+  std::printf("\n=== Live split (half the hash space migrates under load) ===\n");
+  bool split_ok = false;
+  bool linearizable = false;
+  double split_ms = 0;
+  std::uint64_t split_replies = 0, split_redirects = 0, split_epoch = 0;
+  {
+    shard::ShardedRealConfig config = cluster_config(2, 400);
+    config.base.workload.record_count = 50;
+    // The linearizability check models an initially-empty store.
+    config.base.preload = false;
+    shard::ShardedRealCluster cluster(config);
+    cluster.publish(cluster.map().with_range_moved(0, 0, 0));  // all keys -> group 0
+    cluster.start();
+
+    auto load = load_options(cluster, 3, 0, measure, 401);
+    load.map = cluster.map();
+    load.workload.record_count = 50;
+    load.record_history = true;
+    load.backoff_min = kMillisecond;
+    load.backoff_max = 5 * kMillisecond;
+
+    shard::ShardedLoadStats stats;
+    std::thread loader([&] { stats = shard::run_sharded_load(load); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const auto split_start = std::chrono::steady_clock::now();
+    split_ok = cluster.run_split(1ull << 63, 0, 0, 1, 5 * kSecond);
+    split_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                         split_start)
+                   .count();
+    loader.join();
+    split_epoch = cluster.map().epoch();
+    split_replies = stats.load.replies;
+    split_redirects = stats.router.redirects;
+    const bool new_owner_serving = cluster.gate(1).stats().admitted > 0;
+    cluster.shutdown();
+
+    const auto result = check::check_linearizable(stats.history, check::KvModel{});
+    linearizable = result.linearizable;
+    std::printf("split %s in %.1f ms | epoch %llu | %llu replies, %llu redirects\n",
+                split_ok ? "completed" : "FAILED", split_ms,
+                static_cast<unsigned long long>(split_epoch),
+                static_cast<unsigned long long>(split_replies),
+                static_cast<unsigned long long>(split_redirects));
+    shape_check(split_ok, "freeze -> drain -> transfer -> flip completed under load");
+    shape_check(split_epoch == 3, "the published map advanced one epoch past the all-to-0 map");
+    shape_check(new_owner_serving && split_redirects > 0,
+          "post-flip traffic redirected to and served by the new owner");
+    shape_check(linearizable, "history linearizable across the epoch flip");
+  }
+
+  if (!g_ok) {
+    std::fprintf(stderr, "fig_shard: shape check failed\n");
+    return 1;
+  }
+
+  const char* path = std::getenv("IDEM_SHARD_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_shard.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"fig_shard\",\n"
+               "  \"n_per_group\": 3,\n"
+               "  \"measure_seconds\": %.2f,\n"
+               "  \"points\": [\n",
+               to_sec(measure));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"clients\": %zu, \"reply_kops\": %.3f,"
+                 " \"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 p.shards, p.clients, p.reply_kops, p.p50_ms, p.p99_ms,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"scale_ratio_4x\": %.3f,\n"
+               "  \"hot_shard\": {\n"
+               "    \"reject_threshold\": %zu,\n"
+               "    \"baseline_sibling_kops\": %.3f,\n"
+               "    \"contended_sibling_kops\": %.3f,\n"
+               "    \"sibling_goodput_fraction\": %.4f,\n"
+               "    \"hot_reply_kops\": %.3f,\n"
+               "    \"hot_reject_kops\": %.3f\n"
+               "  },\n"
+               "  \"split\": {\"ok\": %d, \"duration_ms\": %.1f, \"epoch\": %llu,"
+               " \"linearizable\": %d}\n"
+               "}\n",
+               scale_ratio, hot_rt, baseline_kops, sibling_kops, sibling_ratio, hot_reply_kops,
+               hot_reject_kops, split_ok ? 1 : 0, split_ms,
+               static_cast<unsigned long long>(split_epoch), linearizable ? 1 : 0);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

@@ -62,6 +62,9 @@ class KvStore final : public StateMachine {
   std::optional<std::string> get(std::string_view key) const;
   void put(std::string key, std::string value);
   std::size_t size() const { return data_.size(); }
+  /// Full contents, ordered — shard-range extraction walks this to carve
+  /// the migrating keys out of a quiesced source replica.
+  const std::map<std::string, std::string, std::less<>>& entries() const { return data_; }
 
  private:
   std::map<std::string, std::string, std::less<>> data_;

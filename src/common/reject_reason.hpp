@@ -24,6 +24,8 @@ enum class RejectReason : std::uint8_t {
   ViewChangeInProgress = 5,  ///< rejected while the replica had no installed view
   ConnectionLimit = 6,     ///< transport shed the connection at accept: the
                            ///< inbound-connection cap was reached
+  WrongShard = 7,          ///< key belongs to another replication group; the
+                           ///< REJECT carries the newer map epoch + home group
   Count,                   ///< one past the last valid reason
 };
 
@@ -39,6 +41,7 @@ constexpr const char* to_label(RejectReason reason) {
     case RejectReason::OversizedFrame: return "oversized-frame";
     case RejectReason::ViewChangeInProgress: return "view-change-in-progress";
     case RejectReason::ConnectionLimit: return "connection-limit";
+    case RejectReason::WrongShard: return "wrong-shard";
     case RejectReason::Count: break;
   }
   return "invalid";

@@ -189,6 +189,11 @@ struct Reply final : Message {
 struct Reject final : Message {
   RequestId id;
   RejectReason reason = RejectReason::None;
+  /// WrongShard only: epoch of the map the rejecting replica holds and the
+  /// group that owns the key under that map. Rides the wire after the
+  /// reason byte (real mode); in sim the message object carries them as-is.
+  std::uint64_t map_epoch = 0;
+  std::uint32_t home_group = 0;
 
   Reject() = default;
   explicit Reject(RequestId id_, RejectReason reason_ = RejectReason::None)
@@ -198,12 +203,22 @@ struct Reject final : Message {
   std::string kind() const override { return "REJECT"; }
   void encode_body(ByteWriter& w) const override {
     w.request_id(id);
-    if (wire_reject_reasons()) w.u8(static_cast<std::uint8_t>(reason));
+    if (wire_reject_reasons()) {
+      w.u8(static_cast<std::uint8_t>(reason));
+      if (reason == RejectReason::WrongShard) {
+        w.varint(map_epoch);
+        w.varint(home_group);
+      }
+    }
   }
   static Reject decode_body(ByteReader& r) {
     Reject m;
     m.id = r.request_id();
     if (r.remaining() > 0) m.reason = reject_reason_from(r.u8());
+    if (m.reason == RejectReason::WrongShard && r.remaining() > 0) {
+      m.map_epoch = r.varint();
+      m.home_group = static_cast<std::uint32_t>(r.varint());
+    }
     return m;
   }
 };

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/reject_reason.hpp"
 #include "common/time.hpp"
 
 namespace idem::consensus {
@@ -30,6 +31,15 @@ struct Outcome {
   std::vector<std::byte> result;   ///< Reply only
   std::size_t rejects_seen = 0;
   bool definitive_failure = false;  ///< true when all n replicas rejected
+
+  /// Sharded deployments: a WrongShard REJECT aborts the operation
+  /// immediately (Kind::Rejected) and reports the rejecting replica's map
+  /// epoch + the group that owns the key, so a router can refresh its map
+  /// and re-issue. None for ordinary rejections.
+  RejectReason redirect_reason = RejectReason::None;
+  std::uint64_t redirect_epoch = 0;
+  std::uint32_t redirect_group = 0;
+  bool wrong_shard() const { return redirect_reason == RejectReason::WrongShard; }
 
   Duration latency() const { return completed - issued; }
 };

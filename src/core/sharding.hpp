@@ -1,0 +1,46 @@
+// Shard admission hook for the replica's request-intake path.
+//
+// A sharded deployment partitions the keyspace across M independent
+// replication groups; each group's replicas carry a ShardGate that answers
+// one question per client REQUEST: does this key belong to my group under
+// the map I hold? The gate sits between the duplicate-suppression check
+// and the acceptance test, so retransmissions of already-executed requests
+// still get their cached replies (no double execution across a range
+// move), while foreign keys are turned away with a WrongShard REJECT that
+// carries the gate's map epoch and the key's home group — the client-side
+// router uses it to refresh a stale map and re-issue.
+//
+// The gate is deliberately a narrow interface in src/core rather than a
+// dependency on src/shard: the replica stays ignorant of maps, epochs and
+// splits. Default nullptr = unsharded, bit-identical to the seed path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace idem::core {
+
+struct ShardVerdict {
+  enum class Kind : std::uint8_t {
+    Mine,        ///< the key routes here; run the acceptance test
+    Frozen,      ///< mid-reconfiguration: reject retryably, no redirect
+    WrongShard,  ///< the key belongs to home_group under epoch map_epoch
+  };
+
+  Kind kind = Kind::Mine;
+  std::uint64_t map_epoch = 0;  ///< epoch of the map behind the verdict
+  std::uint32_t home_group = 0;  ///< owning group (WrongShard only)
+};
+
+/// Per-replica shard admission. admit() runs on the replica's runtime
+/// thread for every client-issued REQUEST; implementations must be cheap
+/// (a hash + a range lookup) and, in real mode, internally synchronized —
+/// the split coordinator swaps maps from the controller thread.
+class ShardGate {
+ public:
+  virtual ~ShardGate() = default;
+  virtual ShardVerdict admit(std::span<const std::byte> command) const = 0;
+};
+
+}  // namespace idem::core

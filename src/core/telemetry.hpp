@@ -24,17 +24,22 @@ struct LiveTelemetry {
 
   /// Registers the replica series on `shard` (null → inert instance).
   /// Identical names across replicas aggregate cluster-wide in snapshots.
-  static LiveTelemetry attach(obs::LiveShard* shard) {
+  /// `labels` ("group=0") prefixes every series' label set, so a sharded
+  /// deployment's groups stay distinguishable on one shared hub.
+  static LiveTelemetry attach(obs::LiveShard* shard, const std::string& labels = "") {
     LiveTelemetry t;
     t.shard = shard;
     if (shard == nullptr) return t;
-    t.accepts = shard->counter("accepts");
-    t.replies = shard->counter("replies");
+    const std::string plain = labels.empty() ? "" : "[" + labels + "]";
+    t.accepts = shard->counter("accepts" + plain);
+    t.replies = shard->counter("replies" + plain);
     for (std::size_t i = 0; i < kRejectReasonCount; ++i) {
-      t.rejects[i] = shard->counter(
-          std::string("rejects[reason=") + to_label(static_cast<RejectReason>(i)) + "]");
+      const std::string reason = to_label(static_cast<RejectReason>(i));
+      t.rejects[i] = shard->counter(labels.empty()
+                                        ? "rejects[reason=" + reason + "]"
+                                        : "rejects[" + labels + ",reason=" + reason + "]");
     }
-    t.reply_latency = shard->histogram("reply_latency");
+    t.reply_latency = shard->histogram("reply_latency" + plain);
     return t;
   }
 

@@ -76,6 +76,17 @@ void IdemClient::on_message(sim::NodeId from, const sim::Payload& message) {
     if (reject.id != pending_->id) return;
     IDEM_TRACE(config_.trace, now(), obs::TraceEventKind::RejectSeen, id().value, pending_->id,
                pack_reject_seen(from.value, reject.reason));
+    if (reject.reason == RejectReason::WrongShard) {
+      // The whole group disowns the key — its gate is deterministic, so one
+      // WrongShard is as conclusive as n rejects. Abort immediately and hand
+      // the redirect (newer map epoch + home group) to the caller; waiting
+      // for the siblings' identical verdicts would only add latency.
+      pending_->redirect_reason = RejectReason::WrongShard;
+      pending_->redirect_epoch = reject.map_epoch;
+      pending_->redirect_group = reject.home_group;
+      complete(consensus::Outcome::Kind::Rejected, {});
+      return;
+    }
     pending_->rejects.insert(from.value);
     const std::size_t rejects = pending_->rejects.size();
 
@@ -113,6 +124,9 @@ void IdemClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> 
   outcome.result = std::move(result);
   outcome.rejects_seen = pending_->rejects.size();
   outcome.definitive_failure = pending_->rejects.size() >= config_.n;
+  outcome.redirect_reason = pending_->redirect_reason;
+  outcome.redirect_epoch = pending_->redirect_epoch;
+  outcome.redirect_group = pending_->redirect_group;
 
   Callback callback = std::move(pending_->callback);
   pending_.reset();

@@ -67,6 +67,9 @@ class IdemClient final : public sim::Node, public consensus::ServiceClient {
     Callback callback;
     Time issued = 0;
     std::unordered_set<std::uint32_t> rejects;
+    RejectReason redirect_reason = RejectReason::None;  ///< WrongShard redirect
+    std::uint64_t redirect_epoch = 0;
+    std::uint32_t redirect_group = 0;
   };
 
   void multicast_request();

@@ -12,6 +12,7 @@
 namespace idem::core {
 
 class Executor;
+class ShardGate;
 
 struct IdemConfig {
   /// Number of replicas n = 2f + 1.
@@ -141,6 +142,13 @@ struct IdemConfig {
   /// deployments set this to a real::ExecutionThread; the simulator never
   /// does, so simulated trajectories are unaffected.
   Executor* executor = nullptr;
+
+  /// Optional shard admission gate (borrowed, may be null). Sharded
+  /// deployments point every replica of a group at its gate; client
+  /// REQUESTs whose key routes elsewhere are turned away with a WrongShard
+  /// REJECT before the acceptance test runs (core/sharding.hpp). Null =
+  /// unsharded: the intake path is untouched.
+  const ShardGate* shard_gate = nullptr;
 
   std::size_t quorum() const { return f + 1; }
   std::size_t r_max() const { return n * reject_threshold; }

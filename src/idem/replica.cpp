@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "core/executor.hpp"
 #include "core/lifecycle.hpp"
+#include "core/sharding.hpp"
 
 namespace idem::core {
 
@@ -133,6 +134,35 @@ void IdemReplica::handle_request(const msg::Request& request) {
   if (config_.release_superseded) release_superseded(id);
 
   if (requests_.contains(id)) return;  // already accepted; agreement is underway
+
+  // Shard admission (sharded deployments only): foreign keys are turned
+  // away with a redirect before the acceptance test, frozen ranges reject
+  // retryably mid-reconfiguration. Runs after duplicate suppression so a
+  // retransmission of a request executed before its range moved still gets
+  // the cached reply instead of a bogus redirect.
+  if (config_.shard_gate != nullptr) {
+    const ShardVerdict verdict = config_.shard_gate->admit(request.command);
+    if (verdict.kind == ShardVerdict::Kind::WrongShard) {
+      ++stats_.rejected;
+      ++stats_.wrong_shard;
+      config_.telemetry.count_reject(RejectReason::WrongShard);
+      lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false,
+                                RejectReason::WrongShard);
+      auto reject = std::make_shared<msg::Reject>(id, RejectReason::WrongShard);
+      reject->map_epoch = verdict.map_epoch;
+      reject->home_group = verdict.home_group;
+      // Not cached in rejected_: the body must never be adopted into this
+      // group's agreement via REQUIRE/FETCH once the key routes elsewhere.
+      reply_to_client(id.cid, std::move(reject));
+      return;
+    }
+    if (verdict.kind == ShardVerdict::Kind::Frozen) {
+      lifecycle::accept_verdict(config_.trace, now(), me_.value, id, false,
+                                RejectReason::ViewChangeInProgress);
+      reject_request(request, RejectReason::ViewChangeInProgress);
+      return;
+    }
+  }
 
   // A previously rejected request (still cached) is re-tested below: the
   // acceptance test is explicitly time-varying (Section 5.1), so a

@@ -64,6 +64,7 @@ struct ReplicaStats {
   std::uint64_t exec_offloaded = 0;   ///< instances handed to the async executor
   std::uint64_t requires_adopted = 0;  ///< rejected bodies adopted on REQUIRE evidence
   std::uint64_t superseded_released = 0;  ///< abandoned active slots released
+  std::uint64_t wrong_shard = 0;  ///< REQUESTs redirected to another group
 };
 
 class IdemReplica final : public sim::Node {

@@ -41,13 +41,27 @@ PromName prom_name(const std::string& name) {
     return out;
   }
   out.metric = "idem_" + sanitize(name.substr(0, bracket));
-  std::string clause = name.substr(bracket + 1, name.size() - bracket - 2);
-  auto eq = clause.find('=');
-  if (eq == std::string::npos) {
-    out.labels = "{label=\"" + clause + "\"}";
-  } else {
-    out.labels = "{" + sanitize(clause.substr(0, eq)) + "=\"" + clause.substr(eq + 1) + "\"}";
+  // Comma-separated label clauses: "rejects[group=0,reason=wrong-shard]"
+  // renders as {group="0",reason="wrong-shard"} (sharded deployments stack
+  // a group label on top of the per-reason ones).
+  std::string clauses = name.substr(bracket + 1, name.size() - bracket - 2);
+  out.labels = "{";
+  std::size_t pos = 0;
+  while (pos <= clauses.size()) {
+    auto comma = clauses.find(',', pos);
+    std::string clause =
+        clauses.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (out.labels.size() > 1) out.labels += ",";
+    auto eq = clause.find('=');
+    if (eq == std::string::npos) {
+      out.labels += "label=\"" + clause + "\"";
+    } else {
+      out.labels += sanitize(clause.substr(0, eq)) + "=\"" + clause.substr(eq + 1) + "\"";
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
   }
+  out.labels += "}";
   return out;
 }
 

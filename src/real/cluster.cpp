@@ -35,8 +35,13 @@ RealCluster::RealCluster(RealClusterConfig config)
   // Real mode ships the reason byte on REJECT; the sim keeps the flag off
   // so its wire-size cost charges stay pinned.
   msg::set_wire_reject_reasons(true);
-  if (config_.admin) config_.live_metrics = true;
-  if (config_.live_metrics) live_ = std::make_unique<obs::LiveMetrics>();
+  if (config_.admin || config_.live_hub != nullptr) config_.live_metrics = true;
+  if (config_.live_hub != nullptr) {
+    hub_ = config_.live_hub;
+  } else if (config_.live_metrics) {
+    live_ = std::make_unique<obs::LiveMetrics>();
+    hub_ = live_.get();
+  }
 
   members_.resize(config_.n);
   for (std::size_t i = 0; i < config_.n; ++i) {
@@ -54,9 +59,10 @@ RealCluster::RealCluster(RealClusterConfig config)
       member.trace = std::make_unique<obs::TraceRecorder>(config_.trace_capacity);
       replica_config.trace = member.trace.get();
     }
-    if (live_) {
+    if (hub_ != nullptr) {
       // Identical series names across replicas aggregate cluster-wide.
-      replica_config.telemetry = core::LiveTelemetry::attach(live_->make_shard());
+      replica_config.telemetry =
+          core::LiveTelemetry::attach(hub_->make_shard(), config_.telemetry_labels);
     }
     if (config_.execution_thread) {
       member.executor = std::make_unique<ExecutionThread>(member.runtime->loop());
@@ -101,7 +107,7 @@ RealCluster::RealCluster(RealClusterConfig config)
     // Rides member 0's loop; the shards behind the hub are mutex-backed,
     // so a scrape observes every replica without cross-thread hazards.
     admin_ = std::make_unique<rpc::HttpAdmin>(members_[0].runtime->loop(), config_.admin_port);
-    obs::LiveMetrics* hub = live_.get();
+    obs::LiveMetrics* hub = hub_;
     admin_->route("/metrics", "text/plain; version=0.0.4",
                   [hub] { return obs::LiveMetrics::render_prometheus(hub->snapshot()); });
     admin_->route("/stats", "application/json",
@@ -213,6 +219,42 @@ rpc::TransportMemory RealCluster::transport_memory(std::size_t index) {
   Member& member = members_[index];
   if (member.crashed) return {};
   return member.runtime->call([&member] { return member.runtime->transport().memory(); });
+}
+
+RealCluster::Quiescence RealCluster::quiescence(std::size_t index) {
+  Member& member = members_[index];
+  if (member.crashed) return {};
+  return member.runtime->call([&member] {
+    Quiescence q;
+    q.active = member.replica->active_requests();
+    q.queue = member.replica->queue_length();
+    q.next_execute = member.replica->next_execute().value;
+    return q;
+  });
+}
+
+std::vector<std::pair<std::string, std::string>> RealCluster::dump_store(std::size_t index) {
+  Member& member = members_[index];
+  if (member.crashed) return {};
+  return member.runtime->call([&member] {
+    auto* store = dynamic_cast<app::KvStore*>(&member.replica->state_machine());
+    std::vector<std::pair<std::string, std::string>> entries;
+    if (store == nullptr) return entries;
+    entries.reserve(store->entries().size());
+    for (const auto& [key, value] : store->entries()) entries.emplace_back(key, value);
+    return entries;
+  });
+}
+
+void RealCluster::put_entries(std::size_t index,
+                              const std::vector<std::pair<std::string, std::string>>& entries) {
+  Member& member = members_[index];
+  if (member.crashed) return;
+  member.runtime->call([&member, &entries] {
+    auto* store = dynamic_cast<app::KvStore*>(&member.replica->state_machine());
+    if (store == nullptr) return;
+    for (const auto& [key, value] : entries) store->put(key, value);
+  });
 }
 
 std::size_t RealCluster::leader_index() {

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "app/ycsb.hpp"
@@ -116,6 +118,13 @@ struct RealClusterConfig {
   /// one shard per replica (core::LiveTelemetry). Shards are mutex-backed,
   /// so scraping from any thread is safe while the loops run.
   bool live_metrics = false;
+  /// External hub to register the replica shards on instead of owning one
+  /// (sharded deployments aggregate every group into one /metrics).
+  /// Implies live_metrics; must outlive the cluster.
+  obs::LiveMetrics* live_hub = nullptr;
+  /// Label set stamped into every telemetry series ("group=0"), so groups
+  /// sharing a hub stay distinguishable.
+  std::string telemetry_labels;
   /// Serve /metrics (Prometheus) and /stats (JSON) over HTTP from member
   /// 0's loop; implies live_metrics. 0 binds an ephemeral port — query
   /// admin_port() after construction.
@@ -186,9 +195,29 @@ class RealCluster {
   /// only through RealRuntime::call().
   obs::MetricsRegistry* metrics(std::size_t index) { return members_[index].metrics.get(); }
 
-  /// Live-telemetry hub (nullptr unless live_metrics/admin is on).
-  /// Snapshotting is thread-safe; note each snapshot consumes the window.
-  obs::LiveMetrics* live_metrics() { return live_.get(); }
+  /// Live-telemetry hub (nullptr unless live_metrics/admin is on); the
+  /// external hub when config.live_hub was set. Snapshotting is
+  /// thread-safe; note each snapshot consumes the window.
+  obs::LiveMetrics* live_metrics() { return hub_; }
+
+  /// Quiescence probe for drain coordination (split handshake): sampled on
+  /// the owning loop thread. `settled` additionally requires the member to
+  /// believe a leader exists (agreement can make progress).
+  struct Quiescence {
+    std::uint64_t active = 0;        ///< active (accepted, unexecuted) requests
+    std::uint64_t queue = 0;         ///< service-queue backlog
+    std::uint64_t next_execute = 0;  ///< execution frontier (instance id)
+  };
+  Quiescence quiescence(std::size_t index);
+
+  /// Store surgery for elastic reconfiguration, run on the owning loop
+  /// thread. dump_store() copies replica `index`'s KvStore entries out;
+  /// put_entries() writes records directly into replica `index`'s store,
+  /// bypassing agreement — only sound while no client can reach those keys
+  /// through this group (the shard-map flip has not happened yet).
+  std::vector<std::pair<std::string, std::string>> dump_store(std::size_t index);
+  void put_entries(std::size_t index,
+                   const std::vector<std::pair<std::string, std::string>>& entries);
   /// Bound admin port (0 when the admin endpoint is off).
   std::uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
 
@@ -223,7 +252,8 @@ class RealCluster {
   RealClusterConfig config_;
   core::IdemConfig idem_;
   rpc::EventLoop::Epoch epoch_;
-  std::unique_ptr<obs::LiveMetrics> live_;
+  std::unique_ptr<obs::LiveMetrics> live_;  ///< owned hub (no external live_hub)
+  obs::LiveMetrics* hub_ = nullptr;         ///< effective hub (owned or external)
   std::vector<Member> members_;
   /// Declared after members_ so it tears down first (it holds fds
   /// registered with member 0's loop, which must still exist).

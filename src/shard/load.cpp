@@ -1,0 +1,228 @@
+#include "shard/load.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "app/kv_store.hpp"
+#include "consensus/addresses.hpp"
+
+namespace idem::shard {
+
+namespace {
+
+/// Per-logical-client driver state; lives on the run_sharded_load stack.
+struct ClientDriver {
+  std::vector<std::unique_ptr<core::IdemClient>> group_clients;  ///< one per group
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<app::YcsbWorkload> workload;
+  std::size_t index = 0;         ///< client index (history attribution)
+  std::uint64_t seq = 0;         ///< per-client history sequence
+  Rng* arrivals = nullptr;
+  Rng* backoff = nullptr;
+  bool arrival_pending = false;
+
+  /// restrict_group sampling: keys must route to `restrict` under `map`.
+  std::optional<GroupId> restrict;
+  const ShardMap* map = nullptr;
+
+  app::KvCommand next_operation() {
+    app::KvCommand command = workload->next_operation();
+    if (!restrict.has_value()) return command;
+    // Resample until the key lands on the restricted group; bounded so a
+    // map that gives the group nothing degrades to unrestricted load
+    // instead of spinning forever.
+    for (int tries = 0; tries < 1000 && map->group_for_key(command.key) != *restrict; ++tries) {
+      command = workload->next_operation();
+    }
+    return command;
+  }
+};
+
+struct RunState {
+  ShardedLoadStats stats;
+  bool measuring = false;
+  bool issuing = true;
+  bool record_history = false;
+  Duration backoff_min = 0;
+  Duration backoff_max = 0;
+};
+
+constexpr std::size_t kNoHistory = static_cast<std::size_t>(-1);
+
+void issue(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate);
+
+void on_outcome(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate,
+                std::size_t hindex, const consensus::Outcome& outcome) {
+  if (hindex != kNoHistory && state.record_history) {
+    check::Op::Result result = check::Op::Result::Open;
+    switch (outcome.kind) {
+      case consensus::Outcome::Kind::Reply:
+        result = check::Op::Result::Ok;
+        break;
+      case consensus::Outcome::Kind::Rejected:
+        result = check::Op::Result::Rejected;
+        break;
+      case consensus::Outcome::Kind::Timeout:
+        result = check::Op::Result::Timeout;
+        break;
+    }
+    state.stats.history.complete(hindex, result, loop.now(), outcome.result,
+                                 outcome.definitive_failure);
+  }
+  if (state.measuring) {
+    real::LoadStats& load = state.stats.load;
+    switch (outcome.kind) {
+      case consensus::Outcome::Kind::Reply: {
+        ++load.replies;
+        load.reply_latency.record(outcome.latency());
+        const app::KvResult result = app::KvResult::decode(outcome.result);
+        if (result.status == app::KvResult::Status::BadRequest) ++load.malformed;
+        break;
+      }
+      case consensus::Outcome::Kind::Rejected:
+        ++load.rejects;
+        load.reject_latency.record(outcome.latency());
+        break;
+      case consensus::Outcome::Kind::Timeout:
+        ++load.timeouts;
+        break;
+    }
+  }
+  if (!state.issuing) return;
+  if (rate > 0) {
+    if (driver.arrival_pending) {
+      driver.arrival_pending = false;
+      issue(loop, driver, state, rate);
+    }
+  } else {
+    // Closed loop with rejection backoff (real::run_load semantics): a
+    // frozen gate mid-split or a hot group's proactive rejection both
+    // surface as Rejected and both mean "come back later".
+    Duration delay = 0;
+    if (outcome.kind != consensus::Outcome::Kind::Reply && state.backoff_max > 0) {
+      delay = state.backoff_min +
+              static_cast<Duration>(
+                  driver.backoff->uniform_int(0, state.backoff_max - state.backoff_min));
+    }
+    loop.schedule_after(delay, [&loop, &driver, &state, rate] {
+      if (state.issuing) issue(loop, driver, state, rate);
+    });
+  }
+}
+
+void issue(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate) {
+  if (state.measuring) ++state.stats.load.issued;
+  const app::KvCommand command = driver.next_operation();
+  std::vector<std::byte> bytes = command.encode();
+  std::size_t hindex = kNoHistory;
+  if (state.record_history && state.measuring) {
+    hindex = state.stats.history.begin(driver.index, ++driver.seq, bytes, loop.now());
+  }
+  driver.router->invoke(std::move(bytes),
+                        [&loop, &driver, &state, rate, hindex](const consensus::Outcome& outcome) {
+                          on_outcome(loop, driver, state, rate, hindex, outcome);
+                        });
+}
+
+void arm_arrival(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate) {
+  const double gap_sec = driver.arrivals->exponential(1.0 / rate);
+  loop.schedule_after(static_cast<Duration>(gap_sec * kSecond),
+                      [&loop, &driver, &state, rate] {
+                        if (!state.issuing) return;
+                        if (driver.router->busy()) {
+                          if (state.measuring) ++state.stats.load.deferred;
+                          driver.arrival_pending = true;
+                        } else {
+                          issue(loop, driver, state, rate);
+                        }
+                        arm_arrival(loop, driver, state, rate);
+                      });
+}
+
+}  // namespace
+
+ShardedLoadStats run_sharded_load(const ShardedLoadOptions& options) {
+  rpc::EventLoop loop(options.seed, options.epoch);
+
+  // One transport per group: every group's replicas sit at the same
+  // 0-based protocol addresses, so their port mappings must not share a
+  // remote table.
+  std::vector<std::unique_ptr<rpc::TcpTransport>> transports;
+  transports.reserve(options.groups.size());
+  for (const std::vector<rpc::PeerAddress>& replicas : options.groups) {
+    auto transport = std::make_unique<rpc::TcpTransport>(loop);
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      transport->set_remote(consensus::replica_address(ReplicaId{static_cast<std::uint32_t>(i)}),
+                            replicas[i]);
+    }
+    transports.push_back(std::move(transport));
+  }
+
+  core::IdemClientConfig client_config = options.client;
+  if (!options.groups.empty() && !options.groups[0].empty()) {
+    client_config.n = options.groups[0].size();
+    if (client_config.f == core::IdemClientConfig{}.f && client_config.n >= 3) {
+      client_config.f = (client_config.n - 1) / 2;
+    }
+  }
+
+  RunState state;
+  state.backoff_min = options.backoff_min;
+  state.backoff_max = options.backoff_max;
+  state.record_history = options.record_history;
+  const double rate = options.open_loop_rate;
+  std::vector<ClientDriver> drivers(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    ClientDriver& driver = drivers[c];
+    driver.index = c;
+    const ClientId cid{options.client_id_base + c};
+    std::vector<consensus::ServiceClient*> clients;
+    for (auto& transport : transports) {
+      driver.group_clients.push_back(
+          std::make_unique<core::IdemClient>(loop, *transport, cid, client_config));
+      driver.group_clients.back()->set_inline_dispatch(true);
+      clients.push_back(driver.group_clients.back().get());
+    }
+    driver.router = std::make_unique<ShardRouter>(options.map, std::move(clients), options.router);
+    driver.restrict = options.restrict_group;
+    driver.map = &options.map;
+    driver.backoff = &loop.rng("shard-load.backoff.c" + std::to_string(cid.value));
+    driver.workload = std::make_unique<app::YcsbWorkload>(
+        options.workload, loop.rng("shard-load.c" + std::to_string(cid.value)));
+    if (rate > 0) {
+      driver.arrivals = &loop.rng("shard-load.arrival" + std::to_string(cid.value));
+    }
+  }
+
+  state.measuring = options.warmup <= 0;
+  if (options.warmup > 0) {
+    loop.schedule_after(options.warmup, [&state] { state.measuring = true; });
+  }
+  for (ClientDriver& driver : drivers) {
+    if (rate > 0) {
+      arm_arrival(loop, driver, state, rate);
+    } else {
+      issue(loop, driver, state, rate);
+    }
+  }
+
+  loop.run_for(options.warmup + options.duration);
+  // Outstanding operations are abandoned; their callbacks must not record
+  // into the (about-to-die) state when the loop drains during teardown.
+  state.issuing = false;
+  state.measuring = false;
+  state.record_history = false;
+
+  state.stats.load.measured = options.duration;
+  for (ClientDriver& driver : drivers) {
+    const RouterStats& r = driver.router->stats();
+    state.stats.router.operations += r.operations;
+    state.stats.router.redirects += r.redirects;
+    state.stats.router.map_refreshes += r.map_refreshes;
+    state.stats.router.redirect_drops += r.redirect_drops;
+  }
+  return state.stats;
+}
+
+}  // namespace idem::shard

@@ -1,0 +1,84 @@
+// Wall-clock load generation against a sharded real deployment.
+//
+// run_sharded_load() mirrors real::run_load() — one EventLoop on the
+// calling thread, unmodified core::IdemClient instances, closed- or
+// open-loop YCSB — but each logical client is a ShardRouter over one
+// protocol client per replication group (one TcpTransport per group: the
+// groups' replicas all use the pristine 0-based address space, so their
+// remote tables must not share a namespace). Keys route by hash against
+// the cached shard map; WrongShard rejects are followed transparently and
+// counted, so a mid-run split shows up as a redirect blip, not an error.
+//
+// Optionally records every operation into a check::History (client index,
+// invoke/complete wall-clock times, result, definitive-reject flag) so a
+// live split can be checked for linearizability across the epoch flip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "app/ycsb.hpp"
+#include "check/history.hpp"
+#include "common/time.hpp"
+#include "idem/client.hpp"
+#include "real/load.hpp"
+#include "rpc/event_loop.hpp"
+#include "rpc/tcp_transport.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_map.hpp"
+
+namespace idem::shard {
+
+struct ShardedLoadOptions {
+  std::size_t clients = 4;
+  /// First ClientId; concurrent generators use disjoint ranges.
+  std::uint64_t client_id_base = 0;
+  Duration warmup = 0;          ///< ops run but are not recorded
+  Duration duration = kSecond;  ///< measured span (after warmup)
+  /// Per-client open-loop arrival rate in ops/s; 0 = closed loop.
+  double open_loop_rate = 0;
+  std::uint64_t seed = 1;
+
+  /// Rejection backoff, exactly as real::LoadOptions: any non-REPLY
+  /// outcome (rejects, redirect-budget drops, frozen-gate retries during
+  /// a split) delays the closed loop's next op by a uniform draw.
+  Duration backoff_min = 50 * kMillisecond;
+  Duration backoff_max = 100 * kMillisecond;
+
+  /// Group g's replica i is reachable at groups[g][i]; every group must
+  /// have the same n (they share one client configuration).
+  std::vector<std::vector<rpc::PeerAddress>> groups;
+  core::IdemClientConfig client;
+  app::YcsbConfig workload;
+
+  /// Initial routing map; group ids must be < groups.size().
+  ShardMap map;
+  /// max_hops and the optional map_source refresh callback (invoked on
+  /// the load loop's thread — e.g. ShardedRealCluster::map, which copies
+  /// under its own lock).
+  RouterConfig router;
+
+  /// Record every measured-span operation into the returned history.
+  bool record_history = false;
+
+  /// Aim every operation at keys this group owns (under the *initial*
+  /// map): the workload resamples until the key routes there. This is how
+  /// the hot-shard benchmark builds a skewed cross-group mix — one
+  /// generator hammering the hot group while another measures a sibling.
+  std::optional<GroupId> restrict_group;
+
+  /// Clock epoch — pass the cluster's so timestamps are comparable.
+  rpc::EventLoop::Epoch epoch = std::chrono::steady_clock::now();
+};
+
+struct ShardedLoadStats {
+  real::LoadStats load;
+  RouterStats router;       ///< summed across all clients
+  check::History history;   ///< record_history only
+};
+
+/// Runs the load inline on the calling thread; returns when the span ends.
+ShardedLoadStats run_sharded_load(const ShardedLoadOptions& options);
+
+}  // namespace idem::shard

@@ -1,0 +1,174 @@
+#include "shard/real_cluster.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace idem::shard {
+
+ShardedRealCluster::ShardedRealCluster(ShardedRealConfig config)
+    : config_(std::move(config)), map_(ShardMap::uniform(config_.groups)) {
+  if (config_.admin) config_.live_metrics = true;
+  if (config_.live_metrics) live_ = std::make_unique<obs::LiveMetrics>();
+
+  gates_.reserve(config_.groups);
+  clusters_.reserve(config_.groups);
+  for (std::size_t g = 0; g < config_.groups; ++g) {
+    gates_.push_back(std::make_unique<GroupShardGate>(static_cast<GroupId>(g), map_));
+
+    real::RealClusterConfig cluster_config = config_.base;
+    // Disjoint seed ranges per group (each cluster derives per-replica
+    // seeds as seed + i).
+    cluster_config.seed = config_.base.seed + g * 1000;
+    cluster_config.idem.shard_gate = gates_.back().get();
+    cluster_config.admin = false;  // aggregated below instead
+    if (live_) {
+      cluster_config.live_hub = live_.get();
+      cluster_config.telemetry_labels = "group=" + std::to_string(g);
+    }
+    clusters_.push_back(std::make_unique<real::RealCluster>(std::move(cluster_config)));
+  }
+
+  if (config_.admin) {
+    real::RealRuntimeConfig runtime_config;
+    runtime_config.seed = config_.base.seed + 0xAD31u;
+    admin_runtime_ = std::make_unique<real::RealRuntime>(runtime_config);
+    admin_ = std::make_unique<rpc::HttpAdmin>(admin_runtime_->loop(), config_.admin_port);
+    obs::LiveMetrics* hub = live_.get();
+    admin_->route("/metrics", "text/plain; version=0.0.4",
+                  [hub] { return obs::LiveMetrics::render_prometheus(hub->snapshot()); });
+    admin_->route("/stats", "application/json", [this] { return render_stats(); });
+  }
+}
+
+ShardedRealCluster::~ShardedRealCluster() { shutdown(); }
+
+ShardMap ShardedRealCluster::map() const {
+  std::lock_guard lock(map_mu_);
+  return map_;
+}
+
+void ShardedRealCluster::publish(ShardMap map) {
+  {
+    std::lock_guard lock(map_mu_);
+    if (map.epoch() <= map_.epoch()) return;
+    map_ = map;
+  }
+  for (auto& gate : gates_) gate->install(map);
+}
+
+std::vector<std::vector<rpc::PeerAddress>> ShardedRealCluster::group_addresses() const {
+  std::vector<std::vector<rpc::PeerAddress>> addresses;
+  addresses.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) addresses.push_back(cluster->replica_addresses());
+  return addresses;
+}
+
+void ShardedRealCluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& cluster : clusters_) cluster->start();
+  if (admin_runtime_) admin_runtime_->start();
+}
+
+void ShardedRealCluster::shutdown() {
+  // Admin first: its handlers read gate state that must stay valid, and
+  // nothing protocol-side depends on it.
+  if (admin_runtime_) admin_runtime_->stop();
+  for (auto& cluster : clusters_) cluster->shutdown();
+}
+
+std::string ShardedRealCluster::render_stats() {
+  std::string out = "{\"groups\":" + std::to_string(clusters_.size());
+  out += ",\"map_epoch\":" + std::to_string(map().epoch());
+  out += ",\"per_group\":[";
+  for (std::size_t g = 0; g < clusters_.size(); ++g) {
+    const GroupShardGate::Stats stats = gates_[g]->stats();
+    if (g > 0) out += ",";
+    out += "{\"group\":" + std::to_string(g);
+    out += ",\"epoch\":" + std::to_string(gates_[g]->epoch());
+    out += ",\"frozen\":" + std::string(gates_[g]->frozen() ? "true" : "false");
+    out += ",\"admitted\":" + std::to_string(stats.admitted);
+    out += ",\"redirected\":" + std::to_string(stats.redirected);
+    out += ",\"frozen_rejects\":" + std::to_string(stats.frozen);
+    out += "}";
+  }
+  out += "]";
+  if (live_) out += ",\"live\":" + obs::LiveMetrics::render_json(live_->snapshot());
+  out += "}";
+  return out;
+}
+
+bool ShardedRealCluster::drained(std::size_t group) {
+  real::RealCluster& cluster = *clusters_[group];
+  std::uint64_t next_exec = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < cluster.n(); ++i) {
+    if (cluster.crashed(i)) continue;
+    const real::RealCluster::Quiescence q = cluster.quiescence(i);
+    if (q.active != 0 || q.queue != 0) return false;
+    if (first) {
+      next_exec = q.next_execute;
+      first = false;
+    } else if (q.next_execute != next_exec) {
+      return false;
+    }
+  }
+  return !first;
+}
+
+bool ShardedRealCluster::run_split(std::uint64_t begin, std::uint64_t end, GroupId from,
+                                   GroupId to, Duration drain_timeout) {
+  GroupShardGate& source_gate = *gates_[from];
+  source_gate.freeze();
+
+  // Drain: frozen intake makes the source's outstanding work finite. The
+  // quiescent condition must hold for a few consecutive polls — a replica
+  // momentarily between messages still has agreement traffic in flight.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(drain_timeout);
+  int stable = 0;
+  while (stable < 3) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      source_gate.unfreeze();
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(config_.drain_poll));
+    stable = drained(from) ? stable + 1 : 0;
+  }
+
+  // Transfer: carve the moving range out of any live source replica (all
+  // live replicas agree on next_execute, so their stores match).
+  real::RealCluster& source = *clusters_[from];
+  std::size_t donor = source.n();
+  for (std::size_t i = 0; i < source.n(); ++i) {
+    if (!source.crashed(i)) {
+      donor = i;
+      break;
+    }
+  }
+  if (donor == source.n()) {
+    source_gate.unfreeze();
+    return false;
+  }
+  std::vector<std::pair<std::string, std::string>> moved;
+  for (auto& [key, value] : source.dump_store(donor)) {
+    const std::uint64_t h = ShardMap::hash_key(key);
+    if (h >= begin && (end == 0 || h < end)) moved.emplace_back(std::move(key), std::move(value));
+  }
+
+  real::RealCluster& target = *clusters_[to];
+  for (std::size_t i = 0; i < target.n(); ++i) {
+    if (!target.crashed(i)) target.put_entries(i, moved);
+  }
+
+  // Flip: publish the epoch+1 map to every gate strictly before lifting
+  // the freeze — from the instant the source turns WrongShard redirects
+  // around, the target must already own the range.
+  publish(map().with_range_moved(begin, end, to));
+  source_gate.unfreeze();
+  return true;
+}
+
+}  // namespace idem::shard

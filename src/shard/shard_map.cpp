@@ -1,0 +1,147 @@
+#include "shard/shard_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace idem::shard {
+
+ShardMap::ShardMap(std::uint64_t epoch, std::vector<Entry> entries)
+    : epoch_(epoch), entries_(std::move(entries)) {
+  assert(valid());
+}
+
+ShardMap ShardMap::uniform(std::size_t groups, std::uint64_t epoch) {
+  assert(groups > 0);
+  std::vector<Entry> entries;
+  entries.reserve(groups);
+  // Boundary i = i * floor(2^64 / groups); the last segment absorbs the
+  // remainder. Computed in steps to avoid the 2^64 overflow.
+  const std::uint64_t stride = groups > 1 ? (~0ull / groups) + 1 : 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    entries.push_back({stride * g, static_cast<GroupId>(g)});
+  }
+  return ShardMap(epoch, std::move(entries));
+}
+
+std::size_t ShardMap::group_count() const {
+  GroupId highest = 0;
+  for (const Entry& e : entries_) highest = std::max(highest, e.group);
+  return highest + 1;
+}
+
+std::uint64_t ShardMap::hash_key(std::string_view key) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit offset basis
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  // Raw FNV-1a clusters short sequential keys in the high bits — exactly
+  // the bits range partitioning splits on ("k0".."k49" all land in the
+  // lower half). The murmur3 fmix64 finalizer restores avalanche.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+GroupId ShardMap::group_for_hash(std::uint64_t hash) const {
+  // Last entry with begin <= hash. upper_bound finds the first begin >
+  // hash; its predecessor owns the segment (entries_[0].begin == 0, so a
+  // predecessor always exists).
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), hash,
+                             [](std::uint64_t h, const Entry& e) { return h < e.begin; });
+  return std::prev(it)->group;
+}
+
+ShardMap ShardMap::with_range_moved(std::uint64_t begin, std::uint64_t end, GroupId to) const {
+  // Rebuild from the union of old boundaries and the moved range's edges,
+  // assigning each resulting segment either `to` (inside the range) or its
+  // previous owner, then coalesce equal neighbors.
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(entries_.size() + 2);
+  for (const Entry& e : entries_) bounds.push_back(e.begin);
+  bounds.push_back(begin);
+  if (end != 0) bounds.push_back(end);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::vector<Entry> next;
+  next.reserve(bounds.size());
+  for (std::uint64_t b : bounds) {
+    const bool moved = b >= begin && (end == 0 || b < end);
+    const GroupId owner = moved ? to : group_for_hash(b);
+    if (!next.empty() && next.back().group == owner) continue;  // coalesce
+    next.push_back({b, owner});
+  }
+  return ShardMap(epoch_ + 1, std::move(next));
+}
+
+bool ShardMap::valid() const {
+  if (entries_.empty() || entries_[0].begin != 0) return false;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].begin <= entries_[i - 1].begin) return false;
+  }
+  return true;
+}
+
+json::Value ShardMap::to_json() const {
+  json::Array ranges;
+  for (const Entry& e : entries_) {
+    json::Object range;
+    // json::Value numbers are doubles; boundaries beyond the double-exact
+    // integer range go out as decimal strings (from_json accepts both).
+    if (e.begin > (1ull << 53)) {
+      range["begin"] = json::Value(std::to_string(e.begin));
+    } else {
+      range["begin"] = json::Value(e.begin);
+    }
+    range["group"] = json::Value(static_cast<std::uint64_t>(e.group));
+    ranges.push_back(json::Value(std::move(range)));
+  }
+  json::Object map;
+  map["epoch"] = json::Value(epoch_);
+  map["ranges"] = json::Value(std::move(ranges));
+  return json::Value(std::move(map));
+}
+
+ShardMap ShardMap::from_json(const json::Value& value) {
+  // JSON numbers are doubles: a begin above 2^53 would round on the trip.
+  // Map files therefore carry begins as decimal strings when they exceed
+  // the double-exact range — to_json emits numbers (uniform boundaries are
+  // multiples of large powers of two, which doubles hold exactly), and
+  // from_json accepts both forms.
+  std::vector<Entry> entries;
+  for (const json::Value& range : value.at("ranges").as_array()) {
+    Entry e;
+    const json::Value& b = range.at("begin");
+    e.begin = b.type() == json::Type::String ? std::stoull(b.as_string()) : b.as_uint();
+    e.group = static_cast<GroupId>(range.at("group").as_uint());
+    entries.push_back(e);
+  }
+  ShardMap map;
+  map.epoch_ = value.at("epoch").as_uint();
+  map.entries_ = std::move(entries);
+  if (!map.valid()) throw json::ParseError("shard map does not partition the hash space");
+  return map;
+}
+
+std::optional<std::string_view> peek_command_key(std::span<const std::byte> command) {
+  // Layout (app::KvCommand::encode): u8 op, varint key length, key bytes.
+  if (command.size() < 2) return std::nullopt;
+  std::size_t pos = 1;  // skip op
+  std::uint64_t len = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= command.size() || shift > 63) return std::nullopt;
+    const auto b = static_cast<std::uint8_t>(command[pos++]);
+    len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  if (len > command.size() - pos) return std::nullopt;
+  return std::string_view(reinterpret_cast<const char*>(command.data() + pos), len);
+}
+
+}  // namespace idem::shard

@@ -1,0 +1,94 @@
+// Versioned keyspace partition: hash ranges -> replication groups.
+//
+// The 64-bit key-hash space [0, 2^64) is split at ordered boundaries;
+// segment i covers [begin_i, begin_{i+1}) (the last runs to the top) and
+// names the group that owns it. Storing only the lower bounds makes
+// "covers everything, no overlap" true by construction — validation is
+// just "first boundary is 0 and boundaries strictly increase".
+//
+// Every map carries an epoch. Reconfiguration (splitting a hot shard,
+// migrating a range) publishes a successor map with epoch+1; replicas
+// embed their epoch in WrongShard REJECTs so a router holding an older
+// map knows its copy is stale, not merely wrong. Maps serialize to JSON
+// (ordered keys, byte-stable) for CLI map files and artifacts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace idem::shard {
+
+using GroupId = std::uint32_t;
+
+class ShardMap {
+ public:
+  struct Entry {
+    std::uint64_t begin = 0;  ///< segment covers [begin, next.begin)
+    GroupId group = 0;
+  };
+
+  /// Single segment: everything owned by group 0, epoch 1.
+  ShardMap() : epoch_(1), entries_{{0, 0}} {}
+  ShardMap(std::uint64_t epoch, std::vector<Entry> entries);
+
+  /// M equal hash ranges, group i owning the i-th.
+  static ShardMap uniform(std::size_t groups, std::uint64_t epoch = 1);
+
+  std::uint64_t epoch() const { return epoch_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+  /// Highest group id referenced, plus one.
+  std::size_t group_count() const;
+
+  /// Stable hash of the key bytes: FNV-1a 64 with the murmur3 fmix64
+  /// finalizer (std::hash is not portable; raw FNV's high bits — the bits
+  /// range partitioning splits on — cluster for short sequential keys).
+  static std::uint64_t hash_key(std::string_view key);
+
+  GroupId group_for_hash(std::uint64_t hash) const;
+  GroupId group_for_key(std::string_view key) const {
+    return group_for_hash(hash_key(key));
+  }
+
+  /// Successor map (epoch+1) with [begin, end) reassigned to `to`;
+  /// end == 0 means "to the top of the hash space". Adjacent segments
+  /// with equal owners are coalesced.
+  ShardMap with_range_moved(std::uint64_t begin, std::uint64_t end, GroupId to) const;
+
+  /// True when the entries partition the hash space (first begin == 0,
+  /// strictly increasing boundaries).
+  bool valid() const;
+
+  bool operator==(const ShardMap& other) const {
+    if (epoch_ != other.epoch_ || entries_.size() != other.entries_.size()) return false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].begin != other.entries_[i].begin ||
+          entries_[i].group != other.entries_[i].group) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  json::Value to_json() const;
+  static ShardMap from_json(const json::Value& value);  ///< throws json::ParseError
+  std::string dump() const { return to_json().dump(); }
+  static ShardMap parse(std::string_view text) { return from_json(json::Value::parse(text)); }
+
+ private:
+  std::uint64_t epoch_ = 1;
+  std::vector<Entry> entries_;  ///< sorted by begin; entries_[0].begin == 0
+};
+
+/// Reads the key out of an encoded app::KvCommand without copying the
+/// value (u8 op, varint key length, key bytes). nullopt on anything
+/// malformed — the caller treats those as "mine" and lets the state
+/// machine produce its BadRequest reply.
+std::optional<std::string_view> peek_command_key(std::span<const std::byte> command);
+
+}  // namespace idem::shard

@@ -1,0 +1,166 @@
+// Sharded real deployment: multiple real::RealCluster groups in one
+// process, the sharded load generator's router path over kernel TCP, a
+// live split driven from the controller thread, and the aggregated admin
+// surface (group-labelled /metrics, per-group /stats sections).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/linearizability.hpp"
+#include "shard/load.hpp"
+#include "shard/real_cluster.hpp"
+
+namespace idem::shard {
+namespace {
+
+/// One blocking HTTP/1.0 exchange against 127.0.0.1:port; returns the
+/// full response (head + body), empty on connect failure.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  (void)!::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+ShardedRealConfig small_config(std::size_t groups) {
+  ShardedRealConfig config;
+  config.groups = groups;
+  config.base.n = 3;
+  config.base.f = 1;
+  config.base.seed = 11;
+  return config;
+}
+
+ShardedLoadOptions load_options(ShardedRealCluster& cluster, std::size_t clients,
+                                Duration duration) {
+  ShardedLoadOptions options;
+  options.clients = clients;
+  options.duration = duration;
+  options.seed = 23;
+  options.groups = cluster.group_addresses();
+  options.map = cluster.map();
+  options.router.map_source = [&cluster] { return cluster.map(); };
+  options.workload.record_count = 200;
+  options.workload.value_size = 16;
+  // Short backoff: test spans are fractions of a second.
+  options.backoff_min = kMillisecond;
+  options.backoff_max = 5 * kMillisecond;
+  return options;
+}
+
+TEST(ShardedReal, TwoGroupsServeTheFullKeyspace) {
+  ShardedRealCluster cluster(small_config(2));
+  cluster.start();
+
+  const auto stats = run_sharded_load(load_options(cluster, 4, 300 * kMillisecond));
+  EXPECT_GT(stats.load.replies, 20u);
+  EXPECT_EQ(stats.router.redirect_drops, 0u);
+  // Fresh map: no redirects, both groups admitted traffic.
+  EXPECT_EQ(stats.router.redirects, 0u);
+  EXPECT_GT(cluster.gate(0).stats().admitted, 0u);
+  EXPECT_GT(cluster.gate(1).stats().admitted, 0u);
+}
+
+TEST(ShardedReal, StaleClientMapRedirectsAndRecovers) {
+  ShardedRealCluster cluster(small_config(2));
+  cluster.start();
+
+  // Capture the epoch-1 map, then swap ownership of the lower half so
+  // the load generator starts stale.
+  ShardedLoadOptions options = load_options(cluster, 4, 400 * kMillisecond);
+  const std::uint64_t mid = options.map.entries()[1].begin;
+  cluster.publish(cluster.map().with_range_moved(0, mid, 1));
+
+  const auto stats = run_sharded_load(options);
+  EXPECT_GT(stats.load.replies, 20u);
+  EXPECT_GT(stats.router.redirects, 0u);
+  EXPECT_GT(stats.router.map_refreshes, 0u);
+  EXPECT_EQ(stats.router.redirect_drops, 0u);
+
+  // The redirecting group counted its WrongShard turn-aways.
+  std::uint64_t wrong_shard = 0;
+  for (std::size_t g = 0; g < cluster.groups(); ++g) {
+    for (std::size_t i = 0; i < cluster.group(g).n(); ++i) {
+      wrong_shard += cluster.group(g).replica_stats(i).wrong_shard;
+    }
+  }
+  EXPECT_GT(wrong_shard, 0u);
+}
+
+TEST(ShardedReal, LiveShardSplitIsLinearizable) {
+  ShardedRealConfig config = small_config(2);
+  ShardedRealCluster cluster(config);
+  // Group 0 owns everything at first; group 1 idles until the split.
+  cluster.publish(cluster.map().with_range_moved(0, 0, 0));
+  cluster.start();
+
+  ShardedLoadOptions options = load_options(cluster, 3, 900 * kMillisecond);
+  options.map = cluster.map();
+  options.record_history = true;
+  options.workload.record_count = 50;
+
+  ShardedLoadStats stats;
+  std::thread load([&] { stats = run_sharded_load(options); });
+  // Let the load establish itself, then migrate the upper half of the
+  // hash space to group 1 while operations are in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  const bool split = cluster.run_split(1ull << 63, 0, 0, 1, 5 * kSecond);
+  load.join();
+
+  ASSERT_TRUE(split);
+  EXPECT_EQ(cluster.map().epoch(), 3u);
+  EXPECT_GT(stats.load.replies, 20u);
+  // Post-flip traffic reached the new owner.
+  EXPECT_GT(cluster.gate(1).stats().admitted, 0u);
+  EXPECT_GT(stats.router.redirects, 0u);
+
+  const auto result = check::check_linearizable(stats.history, check::KvModel{});
+  EXPECT_TRUE(result.linearizable) << result.error;
+}
+
+TEST(ShardedReal, AggregatedAdminServesGroupLabelledTelemetry) {
+  ShardedRealConfig config = small_config(2);
+  config.admin = true;
+  ShardedRealCluster cluster(config);
+  cluster.start();
+  ASSERT_NE(cluster.admin_port(), 0);
+
+  (void)run_sharded_load(load_options(cluster, 2, 200 * kMillisecond));
+
+  const std::string metrics =
+      http_get(cluster.admin_port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("group=\"0\""), std::string::npos);
+  EXPECT_NE(metrics.find("group=\"1\""), std::string::npos);
+  EXPECT_NE(metrics.find("idem_replies"), std::string::npos);
+
+  const std::string stats = http_get(cluster.admin_port(), "GET /stats HTTP/1.0\r\n\r\n");
+  EXPECT_NE(stats.find("\"per_group\""), std::string::npos);
+  EXPECT_NE(stats.find("\"map_epoch\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"admitted\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idem::shard

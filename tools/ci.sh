@@ -87,7 +87,7 @@ if [[ "${FAST}" -eq 0 ]]; then
 
   echo "== sanitizers: TSan ctest =="
   (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
-      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin|Storm')
+      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin|Storm|Shard')
 fi
 
 # Time-boxed storm smoke: ~1k connections ramped up (334 sessions x 3
@@ -137,6 +137,59 @@ echo "live scrape OK: ${SMOKE_REJECTS} rt-queue-full rejects visible mid-run"
 curl -sf "http://127.0.0.1:${ADMIN_BASE}/stats" | grep -q '"requests_received"' || {
   echo "live scrape FAILED: /stats JSON missing" >&2; exit 1; }
 wait "${SMOKE_CLIENT}"
+wait
+
+# Sharded deployment smoke: two 3-replica groups as separate server
+# processes, a sharded client over real TCP, then the same client fed the
+# two groups *swapped* via --map-file — every op must be healed by a
+# wrong-shard redirect (one extra hop, nothing lost). The live /stats
+# scrape must show the per-group shard section. Splits and per-group
+# rejection independence run in tier-1 (shard_real_test) and in the
+# fig_shard perf gate below.
+echo "== real mode: shard smoke (2 groups, swapped-map redirect round-trip) =="
+SHARD_BASE=$(( 7900 + RANDOM % 100 ))
+SHARD_ADMIN=$(( SHARD_BASE + 50 ))
+for g in 0 1; do
+  GBASE=$(( SHARD_BASE + g * 10 ))
+  for i in 0 1 2; do
+    PEERS=()
+    for j in 0 1 2; do
+      [[ "${i}" -ne "${j}" ]] && PEERS+=(--peer "${j}=:$(( GBASE + j ))")
+    done
+    ADMIN=()
+    [[ "${g}" -eq 0 && "${i}" -eq 0 ]] && ADMIN=(--admin-port "${SHARD_ADMIN}")
+    ./build/tools/idem_server --replica-id "${i}" --listen ":$(( GBASE + i ))" \
+        "${PEERS[@]}" --shard-group "${g}" --shard-count 2 "${ADMIN[@]}" \
+        --seconds 9 >/dev/null &
+  done
+done
+sleep 0.5
+SHARD_REPLICAS=(--replica ":${SHARD_BASE}" --replica ":$(( SHARD_BASE + 1 ))"
+    --replica ":$(( SHARD_BASE + 2 ))" --replica ":$(( SHARD_BASE + 10 ))"
+    --replica ":$(( SHARD_BASE + 11 ))" --replica ":$(( SHARD_BASE + 12 ))")
+SHARD_OUT="$(./build/tools/idem_client "${SHARD_REPLICAS[@]}" --shards 2 \
+    --clients 8 --seconds 2 --warmup 0.5)" || {
+  echo "shard smoke FAILED: fresh-map client run recorded no replies" >&2; exit 1; }
+echo "${SHARD_OUT}" | grep -E 'routing +: 0 redirects' >/dev/null || {
+  echo "shard smoke FAILED: fresh-map run was redirected" >&2
+  echo "${SHARD_OUT}" >&2; exit 1; }
+curl -sf "http://127.0.0.1:${SHARD_ADMIN}/stats" | grep -q '"shard"' || {
+  echo "shard smoke FAILED: /stats missing the shard section" >&2; exit 1; }
+SHARD_MAP_TMP="$(mktemp --suffix=.json)"
+printf '{"epoch": 1, "ranges": [{"begin": 0, "group": 1}, {"begin": "9223372036854775808", "group": 0}]}\n' \
+    > "${SHARD_MAP_TMP}"
+# --client-id-base: the replicas' duplicate suppression remembers the
+# first run's sequence numbers, so a second run must use fresh ids.
+SHARD_OUT="$(./build/tools/idem_client "${SHARD_REPLICAS[@]}" --shards 2 \
+    --map-file "${SHARD_MAP_TMP}" --client-id-base 100 \
+    --clients 4 --seconds 1.5 --warmup 0.3)" || {
+  echo "shard smoke FAILED: swapped-map client run recorded no replies" >&2; exit 1; }
+rm -f "${SHARD_MAP_TMP}"
+echo "${SHARD_OUT}" | grep -E 'routing +: [1-9][0-9]* redirects' >/dev/null || {
+  echo "shard smoke FAILED: swapped map produced no redirects" >&2
+  echo "${SHARD_OUT}" >&2; exit 1; }
+echo "shard smoke OK: $(echo "${SHARD_OUT}" | grep -Eo '[0-9]+ redirects')" \
+    "healed through wrong-shard rejections"
 wait
 
 echo "== obs: trace export smoke =="
@@ -219,6 +272,16 @@ else
   perf_gate storm "${PERF_TOLERANCE_REAL}" "--peak reply_kops" \
       BENCH_storm.json "${PERF_TMP}/storm.json" \
       env IDEM_STORM_JSON="${PERF_TMP}/storm.json" ./build/bench/fig_storm
+
+  # Sharded scale-out: fig_shard asserts its machine-independent shapes
+  # on every run (per-group rejection independence, linearizable live
+  # split, zero redirects on a fresh map); the gate diffs only the sweep's
+  # peak reply throughput — per-point numbers on a core-starved host
+  # measure the scheduler, not the sharding layer (EXPERIMENTS.md).
+  echo "== perf gate: shard scale-out vs BENCH_shard.json =="
+  perf_gate shard "${PERF_TOLERANCE_REAL}" "--peak reply_kops" \
+      BENCH_shard.json "${PERF_TMP}/shard.json" \
+      env IDEM_SHARD_JSON="${PERF_TMP}/shard.json" ./build/bench/fig_shard
 
   # Live-telemetry overhead guard: the same sweep with the admin endpoint
   # and windowed metrics armed (IDEM_REAL_LIVE=1) must keep its saturation

@@ -1,0 +1,88 @@
+// Shared pieces of the CLI load drivers (idem_client, storm_client):
+// argv option-value scanning, replica-address collection, YCSB workload
+// lookup by letter, and the throughput/latency report block. Header-only
+// on purpose — these are two small mains and a library target would
+// outweigh the code.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "app/ycsb.hpp"
+#include "real/load.hpp"
+#include "rpc/tcp_transport.hpp"
+
+namespace idem::cli {
+
+/// Scans the value of a "--flag VALUE" option: advances `i` past the
+/// value and returns it, or nullptr when the flag is last on the line
+/// (the caller bails to usage()).
+inline const char* next_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) return nullptr;
+  return argv[++i];
+}
+
+/// Parses one --replica operand, printing the usage error on failure.
+inline std::optional<rpc::PeerAddress> parse_replica(const char* argv0, const char* text) {
+  auto address = rpc::parse_address(text);
+  if (!address.has_value()) {
+    std::fprintf(stderr, "%s: bad --replica address '%s'\n", argv0, text);
+  }
+  return address;
+}
+
+/// YCSB workload presets by their customary letter names.
+inline std::optional<app::YcsbConfig> workload_by_name(const std::string& name) {
+  if (name == "a") return app::YcsbConfig::update_heavy();
+  if (name == "b") return app::YcsbConfig::read_heavy();
+  if (name == "c") return app::YcsbConfig::read_only();
+  return std::nullopt;
+}
+
+/// Whole-file read (shard map files); nullopt with a message on failure.
+inline std::optional<std::string> read_file(const char* argv0, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv0, path.c_str());
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// One "p50 .. | p90 .. | p99 .. | p99.9 .." percentile line.
+inline void print_percentile_line(const char* label, const Histogram& h) {
+  std::printf("  %-11s: p50 %.3f ms | p90 %.3f ms | p99 %.3f ms | p99.9 %.3f ms\n",
+              label, to_ms(h.p50()), to_ms(h.p90()), to_ms(h.p99()), to_ms(h.p999()));
+}
+
+/// The standard end-of-run report: throughput, outcome counts, reply and
+/// rejection latency percentiles. Shared by idem_client's flat and
+/// sharded paths (the sharded stats embed the same real::LoadStats).
+inline void print_load_report(const real::LoadStats& stats) {
+  std::printf("\n  throughput : %8.1f replies/s, %8.1f rejects/s\n",
+              stats.reply_rate(), stats.reject_rate());
+  std::printf("  outcomes   : %llu replies, %llu rejects, %llu timeouts"
+              " (%llu issued, %llu malformed)\n",
+              static_cast<unsigned long long>(stats.replies),
+              static_cast<unsigned long long>(stats.rejects),
+              static_cast<unsigned long long>(stats.timeouts),
+              static_cast<unsigned long long>(stats.issued),
+              static_cast<unsigned long long>(stats.malformed));
+  if (stats.deferred > 0) {
+    std::printf("  open loop  : %llu arrivals deferred behind a busy client\n",
+                static_cast<unsigned long long>(stats.deferred));
+  }
+  if (stats.replies > 0) print_percentile_line("latency", stats.reply_latency);
+  if (stats.rejects > 0) {
+    std::printf("  rejections : p50 %.3f ms | p99 %.3f ms\n",
+                to_ms(stats.reject_latency.p50()), to_ms(stats.reject_latency.p99()));
+  }
+}
+
+}  // namespace idem::cli

@@ -1,11 +1,19 @@
 // idem-client: wall-clock YCSB load generator for a live IDEM cluster
 // (idem_server processes, or anything speaking the rpc framing).
 //
-//   idem_client --replica :7000 --replica :7001 --replica :7002 \
+//   idem_client --replica :7000 --replica :7001 --replica :7002
 //               --clients 8 --seconds 5
 //
 // Replicas must be listed in replica-id order. Closed-loop by default;
 // --rate R switches to open-loop Poisson arrivals (R ops/s per client).
+//
+// Against a sharded deployment, --shards M splits the --replica list into
+// M equal contiguous groups (group 0 first) and every logical client
+// becomes a ShardRouter: keys route by hash against the shard map
+// (uniform over M groups unless --map-file supplies one) and WrongShard
+// rejects are followed transparently, so a stale map costs a redirect
+// hop, not an error.
+//
 // Prints throughput, latency percentiles and rejection counts; exit code
 // 0 when at least one operation succeeded, 1 when none did, 2 on usage
 // errors.
@@ -16,8 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "obs/chrome_trace.hpp"
 #include "real/load.hpp"
+#include "shard/load.hpp"
+#include "shard/shard_map.hpp"
 
 using namespace idem;
 
@@ -36,6 +47,8 @@ struct Options {
   std::size_t value_size = 100;
   std::string workload = "a";
   std::string trace_out;
+  std::size_t shards = 0;  ///< 0 = unsharded
+  std::string map_file;
   /// Closed-loop rejection backoff window in ms (paper Section 7.1);
   /// backoff_max_ms = 0 disables the wait entirely.
   double backoff_min_ms = 50;
@@ -47,6 +60,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s --replica [HOST:]PORT [--replica ...] [options]\n"
       "  --replica ADDR     replica address, repeated in replica-id order\n"
+      "                     (with --shards: group 0's replicas, then group 1's, ...)\n"
       "  --clients N        concurrent clients            (default: 4)\n"
       "  --client-id-base B first client id, keep ranges disjoint across\n"
       "                     concurrent generators         (default: 0)\n"
@@ -59,84 +73,75 @@ void usage(const char* argv0) {
       "  --records N        YCSB key-space size           (default: 10000)\n"
       "  --value-size B     YCSB value bytes              (default: 100)\n"
       "  --workload W       a | b | c                     (default: a)\n"
+      "  --shards M         route across M replication groups; the --replica\n"
+      "                     list is split into M equal contiguous groups\n"
+      "  --map-file F       initial shard map JSON (see idem_server --shard-map;\n"
+      "                     default: uniform hash ranges over M groups)\n"
       "  --backoff-min MS   closed-loop wait after a reject/timeout,\n"
       "                     lower bound in ms             (default: 50)\n"
       "  --backoff-max MS   upper bound in ms; 0 disables (default: 100)\n"
-      "  --trace-out F      write client-side Chrome/Perfetto trace to F\n",
+      "  --trace-out F      write client-side Chrome/Perfetto trace to F\n"
+      "                     (unsharded runs only)\n",
       argv0);
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) return nullptr;
-      return argv[++i];
-    };
     const char* arg = argv[i];
+    const char* v = nullptr;
     if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(argv[0]);
       std::exit(0);
     } else if (!std::strcmp(arg, "--replica")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
-      auto address = rpc::parse_address(v);
-      if (!address.has_value()) {
-        std::fprintf(stderr, "%s: bad --replica address '%s'\n", argv[0], v);
-        return std::nullopt;
-      }
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
+      auto address = cli::parse_replica(argv[0], v);
+      if (!address.has_value()) return std::nullopt;
       options.replicas.push_back(*address);
     } else if (!std::strcmp(arg, "--clients")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.clients = std::strtoul(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--client-id-base")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.client_id_base = std::strtoull(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--seconds")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.seconds = std::atof(v);
     } else if (!std::strcmp(arg, "--warmup")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.warmup = std::atof(v);
     } else if (!std::strcmp(arg, "--rate")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.rate = std::atof(v);
     } else if (!std::strcmp(arg, "--seed")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.seed = std::strtoull(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--f")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.f = std::strtoul(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--records")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.records = std::strtoull(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--value-size")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.value_size = std::strtoul(v, nullptr, 10);
     } else if (!std::strcmp(arg, "--workload")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.workload = v;
+    } else if (!std::strcmp(arg, "--shards")) {
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
+      options.shards = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--map-file")) {
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
+      options.map_file = v;
     } else if (!std::strcmp(arg, "--backoff-min")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.backoff_min_ms = std::atof(v);
     } else if (!std::strcmp(arg, "--backoff-max")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.backoff_max_ms = std::atof(v);
     } else if (!std::strcmp(arg, "--trace-out")) {
-      const char* v = value();
-      if (v == nullptr) return std::nullopt;
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.trace_out = v;
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
@@ -150,11 +155,70 @@ std::optional<Options> parse_args(int argc, char** argv) {
   return options;
 }
 
-std::optional<app::YcsbConfig> workload_by_name(const std::string& name) {
-  if (name == "a") return app::YcsbConfig::update_heavy();
-  if (name == "b") return app::YcsbConfig::read_heavy();
-  if (name == "c") return app::YcsbConfig::read_only();
-  return std::nullopt;
+int run_sharded(const Options& options, const app::YcsbConfig& workload) {
+  if (options.replicas.size() % options.shards != 0) {
+    std::fprintf(stderr,
+                 "idem_client: %zu replicas do not split into %zu equal groups\n",
+                 options.replicas.size(), options.shards);
+    return 2;
+  }
+  if (!options.trace_out.empty()) {
+    std::fprintf(stderr, "idem_client: --trace-out is not supported with --shards\n");
+    return 2;
+  }
+  const std::size_t n = options.replicas.size() / options.shards;
+
+  shard::ShardedLoadOptions load;
+  for (std::size_t g = 0; g < options.shards; ++g) {
+    load.groups.emplace_back(options.replicas.begin() + g * n,
+                             options.replicas.begin() + (g + 1) * n);
+  }
+  load.map = shard::ShardMap::uniform(options.shards);
+  if (!options.map_file.empty()) {
+    auto text = cli::read_file("idem_client", options.map_file);
+    if (!text.has_value()) return 2;
+    try {
+      load.map = shard::ShardMap::parse(*text);
+    } catch (const json::ParseError& e) {
+      std::fprintf(stderr, "idem_client: bad shard map %s: %s\n",
+                   options.map_file.c_str(), e.what());
+      return 2;
+    }
+    if (load.map.group_count() > options.shards) {
+      std::fprintf(stderr, "idem_client: map references group %zu but only %zu groups given\n",
+                   load.map.group_count() - 1, options.shards);
+      return 2;
+    }
+  }
+
+  load.clients = options.clients;
+  load.client_id_base = options.client_id_base;
+  load.warmup = static_cast<Duration>(options.warmup * kSecond);
+  load.duration = static_cast<Duration>(options.seconds * kSecond);
+  load.open_loop_rate = options.rate;
+  load.seed = options.seed;
+  load.client.n = n;
+  load.client.f = options.f != 0 ? options.f : (n - 1) / 2;
+  load.workload = workload;
+  load.backoff_min = static_cast<Duration>(options.backoff_min_ms * kMillisecond);
+  load.backoff_max = static_cast<Duration>(options.backoff_max_ms * kMillisecond);
+
+  std::printf("idem_client: %zu %s clients -> %zu groups x %zu replicas"
+              " (map epoch %llu), %.1f s (+%.1f s warmup)\n",
+              options.clients, options.rate > 0 ? "open-loop" : "closed-loop",
+              options.shards, n,
+              static_cast<unsigned long long>(load.map.epoch()), options.seconds,
+              options.warmup);
+  std::fflush(stdout);
+
+  const shard::ShardedLoadStats stats = shard::run_sharded_load(load);
+  cli::print_load_report(stats.load);
+  std::printf("  routing    : %llu redirects, %llu map refreshes, %llu dropped"
+              " at the hop budget\n",
+              static_cast<unsigned long long>(stats.router.redirects),
+              static_cast<unsigned long long>(stats.router.map_refreshes),
+              static_cast<unsigned long long>(stats.router.redirect_drops));
+  return stats.load.replies > 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -167,12 +231,20 @@ int main(int argc, char** argv) {
   }
   const Options& options = *parsed;
 
-  auto workload = workload_by_name(options.workload);
+  auto workload = cli::workload_by_name(options.workload);
   if (!workload.has_value()) {
     std::fprintf(stderr, "%s: unknown workload '%s'\n", argv[0], options.workload.c_str());
     usage(argv[0]);
     return 2;
   }
+  workload->record_count = options.records;
+  workload->value_size = options.value_size;
+
+  if (options.map_file.empty() == false && options.shards == 0) {
+    std::fprintf(stderr, "%s: --map-file requires --shards\n", argv[0]);
+    return 2;
+  }
+  if (options.shards > 0) return run_sharded(options, *workload);
 
   real::LoadOptions load;
   load.clients = options.clients;
@@ -185,8 +257,6 @@ int main(int argc, char** argv) {
   load.client.n = options.replicas.size();
   load.client.f = options.f != 0 ? options.f : (options.replicas.size() - 1) / 2;
   load.workload = *workload;
-  load.workload.record_count = options.records;
-  load.workload.value_size = options.value_size;
   load.backoff_min = static_cast<Duration>(options.backoff_min_ms * kMillisecond);
   load.backoff_max = static_cast<Duration>(options.backoff_max_ms * kMillisecond);
   load.trace = !options.trace_out.empty();
@@ -197,29 +267,7 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   real::LoadStats stats = real::run_load(load);
-
-  std::printf("\n  throughput : %8.1f replies/s, %8.1f rejects/s\n",
-              stats.reply_rate(), stats.reject_rate());
-  std::printf("  outcomes   : %llu replies, %llu rejects, %llu timeouts"
-              " (%llu issued, %llu malformed)\n",
-              static_cast<unsigned long long>(stats.replies),
-              static_cast<unsigned long long>(stats.rejects),
-              static_cast<unsigned long long>(stats.timeouts),
-              static_cast<unsigned long long>(stats.issued),
-              static_cast<unsigned long long>(stats.malformed));
-  if (stats.deferred > 0) {
-    std::printf("  open loop  : %llu arrivals deferred behind a busy client\n",
-                static_cast<unsigned long long>(stats.deferred));
-  }
-  if (stats.replies > 0) {
-    std::printf("  latency    : p50 %.3f ms | p90 %.3f ms | p99 %.3f ms | p99.9 %.3f ms\n",
-                to_ms(stats.reply_latency.p50()), to_ms(stats.reply_latency.p90()),
-                to_ms(stats.reply_latency.p99()), to_ms(stats.reply_latency.p999()));
-  }
-  if (stats.rejects > 0) {
-    std::printf("  rejections : p50 %.3f ms | p99 %.3f ms\n",
-                to_ms(stats.reject_latency.p50()), to_ms(stats.reject_latency.p99()));
-  }
+  cli::print_load_report(stats);
 
   if (!options.trace_out.empty()) {
     if (std::FILE* f = std::fopen(options.trace_out.c_str(), "w")) {

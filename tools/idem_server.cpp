@@ -30,9 +30,12 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/live_metrics.hpp"
 #include "real/exec_thread.hpp"
+#include "cli_util.hpp"
 #include "rpc/event_loop.hpp"
 #include "rpc/http_admin.hpp"
 #include "rpc/tcp_transport.hpp"
+#include "shard/gate.hpp"
+#include "shard/shard_map.hpp"
 
 using namespace idem;
 
@@ -60,6 +63,10 @@ struct Options {
   std::size_t read_buffer = 0;        ///< per-connection recv buffer (0 = default)
   bool admin = false;             ///< --admin-port given
   std::uint16_t admin_port = 0;   ///< 0 = ephemeral
+  bool sharded = false;                ///< --shard-group given
+  std::uint32_t shard_group = 0;       ///< this replica's replication group
+  std::size_t shard_count = 0;         ///< uniform map over M groups (0 = map file)
+  const char* shard_map_file = nullptr;
   const char* trace_out = nullptr;
   std::size_t trace_capacity = 1u << 18;
 };
@@ -101,6 +108,13 @@ void usage(const char* argv0) {
       "                     (default: off)\n"
       "  --read-buffer N    per-connection receive buffer bytes; shrink for\n"
       "                     many-thousand-connection storms (default: 16384)\n"
+      "  --shard-group G    this replica's replication group: REQUESTs whose\n"
+      "                     key hashes outside G's ranges get a WrongShard\n"
+      "                     REJECT naming the home group (requires\n"
+      "                     --shard-count or --shard-map)\n"
+      "  --shard-count M    route by a uniform hash-range map over M groups\n"
+      "  --shard-map FILE   route by a shard map JSON file\n"
+      "                     ({\"epoch\":E,\"ranges\":[{\"begin\":B,\"group\":G},...]})\n"
       "  --admin-port P     serve live telemetry over HTTP on 127.0.0.1:P\n"
       "                     (/metrics, /stats, /trace; 0 = ephemeral, the\n"
       "                     chosen port is printed at startup)\n"
@@ -214,6 +228,18 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       options.read_buffer = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--shard-group")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.shard_group = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      options.sharded = true;
+    } else if (!std::strcmp(arg, "--shard-count")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      options.shard_count = std::strtoul(v, nullptr, 10);
+    } else if (!std::strcmp(arg, "--shard-map")) {
+      options.shard_map_file = value();
+      if (options.shard_map_file == nullptr) return std::nullopt;
     } else if (!std::strcmp(arg, "--admin-port")) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -233,6 +259,14 @@ std::optional<Options> parse_args(int argc, char** argv) {
   }
   if (!saw_id || !saw_listen) {
     if (argc > 1) std::fprintf(stderr, "%s: --replica-id and --listen are required\n", argv[0]);
+    return std::nullopt;
+  }
+  if (options.sharded && options.shard_count == 0 && options.shard_map_file == nullptr) {
+    std::fprintf(stderr, "%s: --shard-group needs --shard-count or --shard-map\n", argv[0]);
+    return std::nullopt;
+  }
+  if (!options.sharded && (options.shard_count > 0 || options.shard_map_file != nullptr)) {
+    std::fprintf(stderr, "%s: --shard-count/--shard-map need --shard-group\n", argv[0]);
     return std::nullopt;
   }
   return options;
@@ -295,6 +329,26 @@ int main(int argc, char** argv) {
   config.commit_to_leader_only = true;
   config.require_adoption = true;
   config.release_superseded = true;
+
+  // The gate outlives the replica (the config holds a borrowed pointer).
+  std::unique_ptr<shard::GroupShardGate> gate;
+  if (options.sharded) {
+    shard::ShardMap map =
+        shard::ShardMap::uniform(options.shard_count > 0 ? options.shard_count : 1);
+    if (options.shard_map_file != nullptr) {
+      auto text = cli::read_file(argv[0], options.shard_map_file);
+      if (!text.has_value()) return 2;
+      try {
+        map = shard::ShardMap::parse(*text);
+      } catch (const json::ParseError& e) {
+        std::fprintf(stderr, "%s: bad shard map %s: %s\n", argv[0], options.shard_map_file,
+                     e.what());
+        return 2;
+      }
+    }
+    gate = std::make_unique<shard::GroupShardGate>(options.shard_group, std::move(map));
+    config.shard_gate = gate.get();
+  }
 
   obs::LiveMetrics hub;
   if (options.admin) config.telemetry = core::LiveTelemetry::attach(hub.make_shard());
@@ -374,16 +428,27 @@ int main(int argc, char** argv) {
       mirror_transport();
       return obs::LiveMetrics::render_prometheus(hub.snapshot());
     });
-    admin->route("/stats", "application/json", [&replica, &transport, &trace] {
+    admin->route("/stats", "application/json", [&replica, &transport, &trace, &gate] {
       const core::ReplicaStats& s = replica.stats();
       const rpc::TransportStats& t = transport.stats();
       const rpc::TransportMemory m = transport.memory();
-      char buf[1536];
+      char shard_buf[192] = "";
+      if (gate) {
+        const shard::GroupShardGate::Stats gs = gate->stats();
+        std::snprintf(shard_buf, sizeof shard_buf,
+                      "\"shard\":{\"group\":%u,\"map_epoch\":%llu,\"admitted\":%llu,"
+                      "\"redirected\":%llu,\"frozen_rejects\":%llu},",
+                      gate->group(), static_cast<unsigned long long>(gate->epoch()),
+                      static_cast<unsigned long long>(gs.admitted),
+                      static_cast<unsigned long long>(gs.redirected),
+                      static_cast<unsigned long long>(gs.frozen));
+      }
+      char buf[1792];
       std::snprintf(
           buf, sizeof buf,
           "{\"view\":%llu,\"leader\":%s,"
           "\"requests_received\":%llu,\"accepted\":%llu,\"rejected\":%llu,"
-          "\"executed\":%llu,"
+          "\"wrong_shard\":%llu,\"executed\":%llu,%s"
           "\"tcp\":{\"messages_sent\":%llu,\"bytes_sent\":%llu,"
           "\"messages_delivered\":%llu,\"dropped\":%llu,\"decode_errors\":%llu,"
           "\"send_queue_overflows\":%llu,\"oversized_frames\":%llu,"
@@ -398,7 +463,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.requests_received),
           static_cast<unsigned long long>(s.accepted),
           static_cast<unsigned long long>(s.rejected),
-          static_cast<unsigned long long>(s.executed),
+          static_cast<unsigned long long>(s.wrong_shard),
+          static_cast<unsigned long long>(s.executed), shard_buf,
           static_cast<unsigned long long>(t.messages_sent),
           static_cast<unsigned long long>(t.bytes_sent),
           static_cast<unsigned long long>(t.messages_delivered),
@@ -434,6 +500,11 @@ int main(int argc, char** argv) {
               options.replica_id, options.listen.host.c_str(),
               transport.port_of(consensus::replica_address(ReplicaId{options.replica_id})),
               options.n, options.f, options.reject_threshold);
+  if (gate) {
+    std::printf("idem_server: shard group %u, map epoch %llu (%zu ranges)\n",
+                gate->group(), static_cast<unsigned long long>(gate->epoch()),
+                gate->map().entries().size());
+  }
   std::fflush(stdout);
 
   g_loop = &loop;
@@ -458,6 +529,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.rejected),
               static_cast<unsigned long long>(stats.executed));
+  if (gate) {
+    const shard::GroupShardGate::Stats gs = gate->stats();
+    std::printf("  shard: admitted %llu | redirected %llu (wrong shard) | frozen %llu\n",
+                static_cast<unsigned long long>(gs.admitted),
+                static_cast<unsigned long long>(gs.redirected),
+                static_cast<unsigned long long>(gs.frozen));
+  }
   const rpc::TransportStats& net = transport.stats();
   std::printf("  tcp: sent %llu msgs / %llu bytes | delivered %llu | dropped %llu |"
               " decode errors %llu\n",

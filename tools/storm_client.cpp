@@ -2,7 +2,7 @@
 // thousands of sessions multiplexed on one epoll thread (real::StormEngine)
 // instead of idem_client's one-full-client-per-session model.
 //
-//   storm_client --replica :7000 --replica :7001 --replica :7002 \
+//   storm_client --replica :7000 --replica :7001 --replica :7002
 //                --sessions 5000 --ramp 5 --seconds 20
 //
 // Replicas must be listed in replica-id order. Closed-loop by default;
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "real/storm.hpp"
 
 using namespace idem;
@@ -68,10 +69,7 @@ void usage(const char* argv0) {
 std::optional<Options> parse_args(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) return nullptr;
-      return argv[++i];
-    };
+    auto value = [&]() -> const char* { return cli::next_value(argc, argv, i); };
     const char* arg = argv[i];
     const char* v = nullptr;
     if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
@@ -79,11 +77,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       std::exit(0);
     } else if (!std::strcmp(arg, "--replica")) {
       if ((v = value()) == nullptr) return std::nullopt;
-      auto address = rpc::parse_address(v);
-      if (!address.has_value()) {
-        std::fprintf(stderr, "%s: bad --replica address '%s'\n", argv[0], v);
-        return std::nullopt;
-      }
+      auto address = cli::parse_replica(argv[0], v);
+      if (!address.has_value()) return std::nullopt;
       options.storm.replicas.push_back(*address);
     } else if (!std::strcmp(arg, "--sessions")) {
       if ((v = value()) == nullptr) return std::nullopt;
