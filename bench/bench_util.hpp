@@ -109,6 +109,7 @@ struct LoadPoint {
   double reject_ms = 0;         ///< mean reject latency
   double reject_stddev_ms = 0;
   double timeouts_per_s = 0;
+  double deadline_miss_pct = 0;  ///< % of deadline-carrying replies past budget
 };
 
 /// Runs one steady-state load point: `clients` closed-loop YCSB clients
@@ -141,6 +142,7 @@ inline LoadPoint run_load_point(harness::ClusterConfig base, std::size_t clients
     point.reject_ms += metrics.reject_latency_ms();
     point.reject_stddev_ms += metrics.reject_latency_stddev_ms();
     point.timeouts_per_s += static_cast<double>(metrics.timeouts) / to_sec(metrics.measured);
+    point.deadline_miss_pct += 100.0 * metrics.deadline_miss_rate();
   }
   const double inv = 1.0 / runs;
   point.reply_kops *= inv;
@@ -154,6 +156,7 @@ inline LoadPoint run_load_point(harness::ClusterConfig base, std::size_t clients
   point.reject_ms *= inv;
   point.reject_stddev_ms *= inv;
   point.timeouts_per_s *= inv;
+  point.deadline_miss_pct *= inv;
   return point;
 }
 

@@ -1,5 +1,6 @@
 #include "app/ycsb.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace idem::app {
@@ -74,7 +75,15 @@ std::uint64_t YcsbWorkload::next_record() {
 }
 
 std::string YcsbWorkload::random_value() {
-  std::string value(config_.value_size, '\0');
+  std::size_t size = config_.value_size;
+  if (config_.value_tail_prob > 0 && rng_.next_double() < config_.value_tail_prob) {
+    double u = rng_.next_double();
+    if (u <= 0.0) u = 1.0 / 4294967296.0;
+    double factor = std::pow(u, -1.0 / config_.value_tail_alpha);
+    auto scaled = static_cast<std::size_t>(static_cast<double>(size) * factor);
+    size = std::min(std::max(scaled, size), config_.value_tail_cap);
+  }
+  std::string value(size, '\0');
   for (auto& c : value) {
     c = static_cast<char>('a' + rng_.uniform_int(0, 25));
   }

@@ -51,6 +51,17 @@ struct YcsbConfig {
   KeyDistribution distribution = KeyDistribution::Zipfian;
   double zipfian_theta = 0.99;
 
+  /// Heavy-tailed value sizes (real-mode analog of the simulator's
+  /// CostModel tail): with `value_tail_prob` a written value's size is
+  /// `value_size` times a Pareto draw 1/U^(1/alpha), capped at
+  /// `value_tail_cap` bytes. Serialization, replication and execution of
+  /// the occasional huge value produce genuinely heavy-tailed service
+  /// times. Zero probability keeps fixed-size values and adds no RNG
+  /// draws, so default streams stay pinned.
+  double value_tail_prob = 0.0;
+  double value_tail_alpha = 1.2;
+  std::size_t value_tail_cap = 64 * 1024;
+
   /// The paper's workload: update-heavy YCSB-A (50/50 read/update).
   static YcsbConfig update_heavy() { return YcsbConfig{}; }
   /// YCSB-B: 95/5 read/update.

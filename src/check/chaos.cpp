@@ -8,6 +8,7 @@
 #include "app/counter.hpp"
 #include "app/kv_store.hpp"
 #include "common/rng.hpp"
+#include "core/acceptance.hpp"
 
 namespace idem::check {
 
@@ -54,6 +55,13 @@ json::Value ChaosConfig::to_json() const {
   obj["think_max_ns"] = json::Value(static_cast<std::int64_t>(think_max));
   obj["op_timeout_ns"] = json::Value(static_cast<std::int64_t>(op_timeout));
   obj["horizon_ns"] = json::Value(static_cast<std::int64_t>(horizon));
+  // Deadline knobs are emitted only when armed, so artifacts from
+  // deadline-less runs (the whole existing corpus) stay byte-stable.
+  if (discipline != "fifo") obj["discipline"] = json::Value(discipline);
+  if (request_deadline > 0) {
+    obj["request_deadline_ns"] = json::Value(static_cast<std::int64_t>(request_deadline));
+  }
+  if (deadline_aware) obj["deadline_aware"] = json::Value(true);
   obj["plan"] = plan.to_json();
   return json::Value(std::move(obj));
 }
@@ -73,6 +81,9 @@ ChaosConfig ChaosConfig::from_json(const json::Value& value) {
   config.think_max = value.get_or<std::int64_t>("think_max_ns", 300 * kMillisecond);
   config.op_timeout = value.get_or<std::int64_t>("op_timeout_ns", 2 * kSecond);
   config.horizon = value.get_or<std::int64_t>("horizon_ns", 60 * kSecond);
+  config.discipline = value.get_or<std::string>("discipline", "fifo");
+  config.request_deadline = value.get_or<std::int64_t>("request_deadline_ns", 0);
+  config.deadline_aware = value.get_or<bool>("deadline_aware", false);
   if (value.contains("plan")) config.plan = sim::FaultPlan::from_json(value.at("plan"));
   return config;
 }
@@ -207,6 +218,17 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     cluster_config.idem.rejected_cache_size = config.rejected_cache;
     cluster_config.smart_pr.rejected_cache_size = config.rejected_cache;
   }
+  if (config.discipline == "edf") {
+    cluster_config.discipline = sim::DisciplineKind::Edf;
+  } else if (config.discipline != "fifo") {
+    throw std::runtime_error("chaos: unknown discipline '" + config.discipline + "'");
+  }
+  if (config.deadline_aware) {
+    cluster_config.acceptance_factory = [](std::size_t) {
+      return std::unique_ptr<core::AcceptanceTest>(
+          new core::DeadlineAware(core::DeadlineAware::Params{}));
+    };
+  }
   // Fast failover so crashes resolve well inside the horizon.
   cluster_config.idem.viewchange_timeout = 300 * kMillisecond;
   cluster_config.paxos.viewchange_timeout = 300 * kMillisecond;
@@ -241,6 +263,9 @@ ChaosResult run_chaos(const ChaosConfig& config) {
     if (!recording || state.issued >= config.ops_per_client) return;
     const std::uint64_t seq = ++state.issued;
     std::vector<std::byte> command = make_command(config, state.rng, c, seq);
+    if (config.request_deadline > 0) {
+      cluster.client(c).set_request_deadline(config.request_deadline);
+    }
     const std::size_t index = history.begin(c, seq, command, cluster.simulator().now());
     cluster.client(c).invoke(std::move(command), [&, c, index](const consensus::Outcome& o) {
       ClientState& st = states[c];

@@ -40,6 +40,17 @@ struct ChaosConfig {
   Duration think_max = 300 * kMillisecond;
   Duration op_timeout = 2 * kSecond;  ///< client operation timeout
   Duration horizon = 60 * kSecond;    ///< hard stop; unfinished ops stay Open
+  /// Service-queue order on the replicas: "fifo" (default, bit-identical
+  /// to the pre-discipline kernel) or "edf" (earliest-deadline-first).
+  std::string discipline = "fifo";
+  /// When nonzero, every client op carries this latency budget, so the
+  /// fault schedule runs against deadline-carrying traffic. A reply past
+  /// its budget is still an Ok outcome for the checker — the safety
+  /// property under test is that budget pressure only ever produces
+  /// rejections, never duplicate or ghost executions.
+  Duration request_deadline = 0;
+  /// Wraps each replica's acceptance test in core::DeadlineAware.
+  bool deadline_aware = false;
   sim::FaultPlan plan;
 
   json::Value to_json() const;

@@ -26,6 +26,9 @@ enum class RejectReason : std::uint8_t {
                            ///< inbound-connection cap was reached
   WrongShard = 7,          ///< key belongs to another replication group; the
                            ///< REJECT carries the newer map epoch + home group
+  DeadlineUnmeetable = 8,  ///< deadline-aware admission: the request's slack is
+                           ///< below the expected queue wait, so executing it
+                           ///< in time is already impossible
   Count,                   ///< one past the last valid reason
 };
 
@@ -42,6 +45,7 @@ constexpr const char* to_label(RejectReason reason) {
     case RejectReason::ViewChangeInProgress: return "view-change-in-progress";
     case RejectReason::ConnectionLimit: return "connection-limit";
     case RejectReason::WrongShard: return "wrong-shard";
+    case RejectReason::DeadlineUnmeetable: return "deadline-unmeetable";
     case RejectReason::Count: break;
   }
   return "invalid";

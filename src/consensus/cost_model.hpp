@@ -7,11 +7,23 @@
 // closed-loop clients (see EXPERIMENTS.md for the calibration numbers).
 #pragma once
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "sim/payload.hpp"
 
 namespace idem::consensus {
+
+/// Heavy-tail service-cost distribution (workload knob for deadline and
+/// admission experiments). None keeps the classic uniform-jitter model
+/// and draws nothing extra from the RNG stream, so default trajectories
+/// stay pinned.
+enum class TailShape {
+  None,       ///< uniform jitter + stragglers only (default)
+  Pareto,     ///< multiplier scale/U^(1/alpha): polynomial tail
+  LogNormal,  ///< multiplier exp(N(mu, sigma)): subexponential tail
+};
 
 struct CostModel {
   Duration per_message = 1500;  // 1.5 us
@@ -30,11 +42,39 @@ struct CostModel {
   double straggler_prob = 0.01;
   double straggler_factor = 6.0;
 
+  /// Heavy-tailed per-op service costs: with `tail_prob`, a cost draws an
+  /// extra multiplier from the configured tail distribution. Unlike the
+  /// bounded straggler knob this produces the unbounded tails (Pareto /
+  /// log-normal) that make naive FIFO queues blow up p99.9 — the regime
+  /// where deadline-aware admission and EDF earn their keep.
+  TailShape tail = TailShape::None;
+  double tail_prob = 0.05;
+  double pareto_alpha = 1.5;   ///< shape; <2 = infinite variance
+  double pareto_scale = 4.0;   ///< tail multiplier floor
+  double lognormal_mu = 1.5;   ///< of the multiplier's natural log
+  double lognormal_sigma = 1.0;
+
+  double tail_multiplier(Rng& rng) const {
+    if (tail == TailShape::Pareto) {
+      double u = rng.next_double();
+      if (u <= 0.0) u = 1.0 / 4294967296.0;
+      return pareto_scale * std::pow(u, -1.0 / pareto_alpha);
+    }
+    return std::exp(rng.normal(lognormal_mu, lognormal_sigma));
+  }
+
   Duration apply_jitter(Duration base, Rng& rng) const {
-    if (jitter <= 0 || base <= 0) return base;
-    double factor = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
-    if (straggler_prob > 0 && rng.next_double() < straggler_prob) {
-      factor *= straggler_factor;
+    if (base <= 0) return base;
+    if (jitter <= 0 && tail == TailShape::None) return base;
+    double factor = 1.0;
+    if (jitter > 0) {
+      factor = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+      if (straggler_prob > 0 && rng.next_double() < straggler_prob) {
+        factor *= straggler_factor;
+      }
+    }
+    if (tail != TailShape::None && tail_prob > 0 && rng.next_double() < tail_prob) {
+      factor *= tail_multiplier(rng);
     }
     return static_cast<Duration>(static_cast<double>(base) * factor);
   }

@@ -15,6 +15,7 @@
 #include "common/codec.hpp"
 #include "common/ids.hpp"
 #include "common/reject_reason.hpp"
+#include "common/time.hpp"
 #include "sim/payload.hpp"
 
 namespace idem::msg {
@@ -36,6 +37,12 @@ namespace idem::msg {
 /// before protocol threads start (reads are relaxed-atomic).
 void set_wire_reject_reasons(bool enabled);
 bool wire_reject_reasons();
+
+/// Enables the REQUEST deadline varint on the wire, same contract as the
+/// REJECT reason byte: armed once by real-mode entry points, tolerant
+/// decode, off by default so simulated trajectories stay pinned.
+void set_wire_request_deadlines(bool enabled);
+bool wire_request_deadlines();
 
 enum class Type : std::uint8_t {
   // Client <-> replica (shared by all protocols)
@@ -127,26 +134,40 @@ class Message : public sim::Payload {
 // Client-facing messages
 // ---------------------------------------------------------------------------
 
-/// <REQUEST, id, command> — multicast by IDEM/SMaRt clients to all replicas,
-/// sent by Paxos clients to the (presumed) leader.
+/// <REQUEST, id, command[, deadline]> — multicast by IDEM/SMaRt clients to
+/// all replicas, sent by Paxos clients to the (presumed) leader.
+///
+/// `deadline` is the client's latency budget for this attempt, in
+/// nanoseconds relative to transmission (0 = none). It rides the wire only
+/// when set_wire_request_deadlines() armed it (real mode) *and* it is
+/// nonzero; the decoder accepts both forms, so a deadline-less binary
+/// interoperates. In sim the shared message object carries the field
+/// directly, exactly like Reject's map_epoch. Embedded Requests
+/// (FORWARD / baseline proposals) never carry it: by then admission has
+/// happened and agreement must not drop the body.
 struct Request final : Message {
   RequestId id;
   std::vector<std::byte> command;
+  Duration deadline = 0;
 
   Request() = default;
-  Request(RequestId id_, std::vector<std::byte> command_)
-      : id(id_), command(std::move(command_)) {}
+  Request(RequestId id_, std::vector<std::byte> command_, Duration deadline_ = 0)
+      : id(id_), command(std::move(command_)), deadline(deadline_) {}
 
   Type type() const override { return Type::Request; }
   std::string kind() const override { return "REQUEST"; }
   void encode_body(ByteWriter& w) const override {
     w.request_id(id);
     w.bytes(command);
+    if (wire_request_deadlines() && deadline > 0) {
+      w.varint(static_cast<std::uint64_t>(deadline));
+    }
   }
   static Request decode_body(ByteReader& r) {
     Request m;
     m.id = r.request_id();
     m.command = r.bytes();
+    if (r.remaining() > 0) m.deadline = static_cast<Duration>(r.varint());
     return m;
   }
 };

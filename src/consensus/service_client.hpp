@@ -41,7 +41,15 @@ struct Outcome {
   std::uint32_t redirect_group = 0;
   bool wrong_shard() const { return redirect_reason == RejectReason::WrongShard; }
 
+  /// The latency budget this operation was issued with (0 = none). A
+  /// Reply that lands after the budget is a deadline miss: the request
+  /// executed, but too late to be useful to the caller.
+  Duration deadline = 0;
+
   Duration latency() const { return completed - issued; }
+  bool deadline_missed() const {
+    return kind == Kind::Reply && deadline > 0 && latency() > deadline;
+  }
 };
 
 class ServiceClient {
@@ -53,6 +61,12 @@ class ServiceClient {
   /// Submits one operation. At most one operation may be outstanding per
   /// client (paper Section 4.3); `callback` fires exactly once.
   virtual void invoke(std::vector<std::byte> command, Callback callback) = 0;
+
+  /// Latency budget attached to subsequent invoke()s (0 = none). Carried
+  /// on the wire when the deadline extension is armed; deadline-aware
+  /// replicas reject requests whose budget cannot be met and EDF
+  /// disciplines order by it. Default ignores the budget.
+  virtual void set_request_deadline(Duration) {}
 
   virtual ClientId client_id() const = 0;
   virtual bool busy() const = 0;

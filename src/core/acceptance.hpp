@@ -11,8 +11,12 @@
 //                       categories with per-class admission levels
 //   - CostAware:        Section 5.1 "further options": admission based on
 //                       the estimated resource cost of the request
+//   - DeadlineAware:    beyond the paper — rejects exactly the requests
+//                       whose deadline is already un-meetable, using an
+//                       online queue-wait estimator (DESIGN.md Section 15)
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,48 +38,67 @@ struct AcceptanceContext {
   std::size_t reject_threshold = 0;
   /// Current (simulated) time — drives AQM time slices.
   Time now = 0;
+  /// Remaining latency budget of the request (0 = none attached). Measured
+  /// against the expected queue wait by deadline-aware policies.
+  Duration deadline = 0;
+};
+
+/// One verdict, one classification: a policy that says no always says why.
+/// (The old split accept()/classify_rejection() double dispatch let new
+/// policies forget the classification and re-walked the policy on refusal.)
+struct AcceptanceVerdict {
+  bool accepted = true;
+  RejectReason reason = RejectReason::None;
+
+  static constexpr AcceptanceVerdict yes() { return {true, RejectReason::None}; }
+  static constexpr AcceptanceVerdict no(RejectReason why = RejectReason::RtQueueFull) {
+    return {false, why};
+  }
 };
 
 class AcceptanceTest {
  public:
   virtual ~AcceptanceTest() = default;
 
-  /// True = accept the request, false = send a REJECT. `command` is the
-  /// request payload, available for cost- or content-sensitive policies.
-  virtual bool accept(RequestId id, std::span<const std::byte> command,
-                      const AcceptanceContext& ctx) = 0;
+  /// The single policy entry point: verdict plus, on refusal, the reason.
+  /// (Cache-hit and view-change rejects are reclassified by the replica,
+  /// which owns that state.)
+  virtual AcceptanceVerdict evaluate(RequestId id, std::span<const std::byte> command,
+                                     const AcceptanceContext& ctx) = 0;
 
-  /// Classified variant: same verdict as accept(), but on refusal `reason`
-  /// names why. Every built-in test refuses for load, so the default
-  /// classification is RtQueueFull; a policy with another failure mode
-  /// overrides classify_rejection(). (Cache-hit and view-change rejects
-  /// are classified by the replica, which owns that state.)
+  /// Convenience wrapper: verdict only.
+  bool accept(RequestId id, std::span<const std::byte> command,
+              const AcceptanceContext& ctx) {
+    return evaluate(id, command, ctx).accepted;
+  }
+
+  /// Convenience wrapper: verdict, with the reason written through.
   bool accept(RequestId id, std::span<const std::byte> command,
               const AcceptanceContext& ctx, RejectReason& reason) {
-    if (accept(id, command, ctx)) {
-      reason = RejectReason::None;
-      return true;
-    }
-    reason = classify_rejection(id, command, ctx);
-    return false;
+    AcceptanceVerdict verdict = evaluate(id, command, ctx);
+    reason = verdict.reason;
+    return verdict.accepted;
+  }
+
+  /// Execution feedback for policies that estimate queue waits: invoked by
+  /// the replica each time a client-issued request finishes executing, with
+  /// `backlog` the number of accepted-but-unexecuted requests left (r_now
+  /// after the completion). Default: ignored.
+  virtual void observe_execution(Time now, std::size_t backlog) {
+    (void)now;
+    (void)backlog;
   }
 
   /// Display name for experiment output.
   virtual const char* name() const = 0;
-
- protected:
-  /// Why the test just said no. Only consulted after accept() refused.
-  virtual RejectReason classify_rejection(RequestId, std::span<const std::byte>,
-                                          const AcceptanceContext&) const {
-    return RejectReason::RtQueueFull;
-  }
 };
 
 /// Accepts everything: IDEM with the rejection mechanism disabled.
 class NeverReject final : public AcceptanceTest {
  public:
-  bool accept(RequestId, std::span<const std::byte>, const AcceptanceContext&) override {
-    return true;
+  AcceptanceVerdict evaluate(RequestId, std::span<const std::byte>,
+                             const AcceptanceContext&) override {
+    return AcceptanceVerdict::yes();
   }
   const char* name() const override { return "never-reject"; }
 };
@@ -83,9 +106,10 @@ class NeverReject final : public AcceptanceTest {
 /// Classic tail drop: accept while r_now < r.
 class TailDrop final : public AcceptanceTest {
  public:
-  bool accept(RequestId, std::span<const std::byte>,
-              const AcceptanceContext& ctx) override {
-    return ctx.active_requests < ctx.reject_threshold;
+  AcceptanceVerdict evaluate(RequestId, std::span<const std::byte>,
+                             const AcceptanceContext& ctx) override {
+    return ctx.active_requests < ctx.reject_threshold ? AcceptanceVerdict::yes()
+                                                      : AcceptanceVerdict::no();
   }
   const char* name() const override { return "tail-drop"; }
 };
@@ -106,8 +130,8 @@ class AqmPrioritized final : public AcceptanceTest {
 
   explicit AqmPrioritized(Params params);
 
-  bool accept(RequestId id, std::span<const std::byte> command,
-              const AcceptanceContext& ctx) override;
+  AcceptanceVerdict evaluate(RequestId id, std::span<const std::byte> command,
+                             const AcceptanceContext& ctx) override;
   const char* name() const override { return "aqm-prioritized"; }
 
   /// Group of a client: at most r clients per group, assigned statically
@@ -137,8 +161,8 @@ class PriorityClasses final : public AcceptanceTest {
   /// vector use 1.0 (tail drop at r).
   PriorityClasses(Classifier classifier, std::vector<double> admission_fractions);
 
-  bool accept(RequestId id, std::span<const std::byte> command,
-              const AcceptanceContext& ctx) override;
+  AcceptanceVerdict evaluate(RequestId id, std::span<const std::byte> command,
+                             const AcceptanceContext& ctx) override;
   const char* name() const override { return "priority-classes"; }
 
  private:
@@ -159,8 +183,8 @@ class CostAware final : public AcceptanceTest {
   CostAware(CostEstimator estimator, Duration cheap_cost, Duration expensive_cost,
             double min_fraction = 0.25);
 
-  bool accept(RequestId id, std::span<const std::byte> command,
-              const AcceptanceContext& ctx) override;
+  AcceptanceVerdict evaluate(RequestId id, std::span<const std::byte> command,
+                             const AcceptanceContext& ctx) override;
   const char* name() const override { return "cost-aware"; }
 
   /// Admission threshold (in request slots) for a given estimated cost.
@@ -171,6 +195,85 @@ class CostAware final : public AcceptanceTest {
   Duration cheap_cost_;
   Duration expensive_cost_;
   double min_fraction_;
+};
+
+/// Deadline-aware admission (DESIGN.md Section 15): rejects exactly the
+/// requests whose remaining budget cannot cover the expected queue wait —
+/// `slack <= (r_now + 1) * service-time-quantile` — instead of
+/// tail-dropping blind at r. The wait estimator is a windowed log-bucketed
+/// histogram of recent per-request service times, sampled from
+/// inter-completion gaps during busy periods (an idle gap says nothing
+/// about service time and is skipped), aged out over two rotating
+/// half-window epochs. Requests without a deadline fall through to a
+/// conventional fallback policy (TailDrop unless another is supplied), and
+/// the r cap always holds — deadline traffic cannot starve the protocol of
+/// slots.
+class DeadlineAware final : public AcceptanceTest {
+ public:
+  struct Params {
+    /// Sliding estimator window; samples older than this are gone after at
+    /// most 1.5x (two half-window epochs rotate).
+    Duration window = 1 * kSecond;
+    /// Cold start: with fewer samples in the window the estimator has no
+    /// evidence, so deadline-carrying requests are admitted (up to r).
+    std::size_t min_samples = 32;
+    /// Service-time quantile backing the wait bound. 0.9 targets the tail
+    /// (a mean would repeat the Jensen gap this policy exists to close).
+    double quantile = 0.9;
+    /// Extra slack demanded beyond the expected wait.
+    Duration safety_margin = 0;
+  };
+
+  /// `fallback` handles deadline-less requests; defaults to TailDrop.
+  explicit DeadlineAware(Params params, std::unique_ptr<AcceptanceTest> fallback = nullptr);
+
+  AcceptanceVerdict evaluate(RequestId id, std::span<const std::byte> command,
+                             const AcceptanceContext& ctx) override;
+  void observe_execution(Time now, std::size_t backlog) override;
+  const char* name() const override { return "deadline-aware"; }
+
+  // -- estimator internals, exposed for tests and experiment output --------
+
+  /// Expected time until a request admitted at depth `depth` (its own slot
+  /// included) has executed: depth * service-time quantile.
+  Duration expected_wait(std::size_t depth, Time now);
+
+  /// Current per-request service-time estimate (the configured quantile
+  /// over the windowed samples); 0 while cold.
+  Duration service_quantile(Time now);
+
+  /// Samples currently inside the window (both epochs).
+  std::uint64_t sample_count(Time now);
+
+  /// Feeds one service-time sample directly (tests; observe_execution is
+  /// the production path).
+  void record_sample(Time now, Duration service);
+
+  /// Log-bucketed histogram: bucket b holds samples in [2^b, 2^(b+1)),
+  /// with the bucket midpoint as its representative value. 48 buckets
+  /// cover 1 ns .. ~78 h.
+  static constexpr std::size_t kBuckets = 48;
+
+ private:
+  struct Epoch {
+    std::array<std::uint32_t, kBuckets> buckets{};
+    std::uint64_t total = 0;
+  };
+
+  void maybe_rotate(Time now);
+
+  Params params_;
+  std::unique_ptr<AcceptanceTest> fallback_;
+  Epoch current_;
+  Epoch previous_;
+  Time epoch_start_ = 0;
+  bool epoch_started_ = false;
+  // Completion tracking: a gap between consecutive completions is a
+  // service-time sample only when the earlier completion left work queued
+  // (busy period).
+  Time last_completion_ = 0;
+  bool have_completion_ = false;
+  std::size_t last_backlog_ = 0;
 };
 
 /// Protocol-independent knobs for the default (AQM) acceptance test; each

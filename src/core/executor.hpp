@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "app/state_machine.hpp"
+#include "common/time.hpp"
 
 namespace idem::core {
 
@@ -32,9 +33,13 @@ class Executor {
 
   /// Executes `commands` against `sm` in order, then reports back. The
   /// caller guarantees no concurrent access to `sm` and no further
-  /// execute() call until `done` has run.
+  /// execute() call until `done` has run. `due` is the earliest deadline of
+  /// any command in the batch (0 = none): an executor shared by several
+  /// submitters serves pending batches earliest-due first, mirroring the
+  /// EDF service discipline of the delivery path; with a single submitter
+  /// the one-in-flight contract makes it moot.
   virtual void execute(app::StateMachine& sm, std::vector<std::vector<std::byte>> commands,
-                       Done done) = 0;
+                       Time due, Done done) = 0;
 };
 
 }  // namespace idem::core

@@ -21,6 +21,7 @@ struct LiveTelemetry {
   obs::LiveShard::SeriesId replies = 0;
   obs::LiveShard::SeriesId rejects[kRejectReasonCount] = {};
   obs::LiveShard::SeriesId reply_latency = 0;
+  obs::LiveShard::SeriesId deadline_miss = 0;
 
   /// Registers the replica series on `shard` (null → inert instance).
   /// Identical names across replicas aggregate cluster-wide in snapshots.
@@ -40,6 +41,7 @@ struct LiveTelemetry {
                                         : "rejects[" + labels + ",reason=" + reason + "]");
     }
     t.reply_latency = shard->histogram("reply_latency" + plain);
+    t.deadline_miss = shard->counter("deadline_miss" + plain);
     return t;
   }
 
@@ -57,6 +59,10 @@ struct LiveTelemetry {
       shard->add(replies);
       shard->record(reply_latency, value);
     }
+  }
+  /// A REPLY left after the request's deadline had already passed.
+  void count_deadline_miss() {
+    if (shard != nullptr) shard->add(deadline_miss);
   }
 };
 

@@ -164,6 +164,12 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     }
   }
 
+  if (config_.discipline != sim::DisciplineKind::Fifo) {
+    for (auto& replica : replicas_) {
+      replica->set_discipline(sim::make_discipline(config_.discipline));
+    }
+  }
+
   if (config_.obs.metrics_interval > 0) {
     metrics_ = std::make_unique<obs::MetricsRegistry>();
     register_metrics();

@@ -18,6 +18,7 @@
 #include "obs/trace.hpp"
 #include "paxos/client.hpp"
 #include "paxos/replica.hpp"
+#include "sim/discipline.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -70,6 +71,14 @@ struct ClusterConfig {
   std::size_t batch_max = 0;
   std::size_t batch_min = 0;
   Duration batch_flush_delay = 0;
+
+  /// Service discipline installed on every replica (Fifo keeps the
+  /// default ring and its pinned trajectories).
+  sim::DisciplineKind discipline = sim::DisciplineKind::Fifo;
+  /// Per-operation latency budget stamped by the driver (0 = none).
+  Duration request_deadline = 0;
+  /// Uniform +/- jitter applied to each operation's budget.
+  Duration deadline_jitter = 0;
 
   sim::NetworkConfig network;
   core::IdemConfig idem;              ///< n/f/reject_threshold overridden

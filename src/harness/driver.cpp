@@ -15,6 +15,10 @@ ClosedLoopDriver::ClosedLoopDriver(Cluster& cluster, DriverConfig config)
         std::make_unique<app::YcsbWorkload>(cluster_.config().workload, rng);
     states_[i].backoff_rng =
         &cluster_.simulator().rng("backoff.client." + std::to_string(i));
+    if (cluster_.config().request_deadline > 0) {
+      states_[i].deadline_rng =
+          &cluster_.simulator().rng("deadline.client." + std::to_string(i));
+    }
   }
 }
 
@@ -28,6 +32,18 @@ void ClosedLoopDriver::issue(std::size_t index) {
   consensus::ServiceClient& client = cluster_.client(index);
   if (client.busy()) return;
   app::KvCommand op = states_[index].workload->next_operation();
+  const Duration base_deadline = cluster_.config().request_deadline;
+  if (base_deadline > 0) {
+    Duration deadline = base_deadline;
+    const Duration jitter = cluster_.config().deadline_jitter;
+    if (jitter > 0) {
+      deadline += static_cast<Duration>(
+                      states_[index].deadline_rng->uniform_int(0, 2 * jitter)) -
+                  jitter;
+      if (deadline < 1) deadline = 1;
+    }
+    client.set_request_deadline(deadline);
+  }
   client.invoke(op.encode(), [this, index](const consensus::Outcome& outcome) {
     on_outcome(index, outcome);
   });
@@ -45,6 +61,10 @@ void ClosedLoopDriver::on_outcome(std::size_t index, const consensus::Outcome& o
       if (in_measurement(t)) {
         ++metrics_.replies;
         metrics_.reply_latency.record(outcome.latency());
+        if (outcome.deadline > 0) {
+          ++metrics_.deadline_ops;
+          if (outcome.deadline_missed()) ++metrics_.deadline_misses;
+        }
       }
       break;
     case consensus::Outcome::Kind::Rejected:

@@ -41,6 +41,7 @@ class ClosedLoopDriver {
   struct ClientState {
     std::unique_ptr<app::YcsbWorkload> workload;
     Rng* backoff_rng = nullptr;
+    Rng* deadline_rng = nullptr;  ///< only armed when request_deadline > 0
   };
 
   void issue(std::size_t index);

@@ -20,6 +20,8 @@ struct RunMetrics {
   std::uint64_t replies = 0;
   std::uint64_t rejects = 0;   ///< operations aborted after rejections
   std::uint64_t timeouts = 0;  ///< operations abandoned without information
+  std::uint64_t deadline_ops = 0;     ///< replies to deadline-carrying operations
+  std::uint64_t deadline_misses = 0;  ///< ...that landed after their budget
 
   // Timelines over the *whole* run (including warm-up) for crash plots;
   // sample value = latency in milliseconds.
@@ -40,6 +42,15 @@ struct RunMetrics {
   double reply_latency_stddev_ms() const { return to_ms(reply_latency.stddev()); }
   double reject_latency_ms() const { return to_ms(reject_latency.mean()); }
   double reject_latency_stddev_ms() const { return to_ms(reject_latency.stddev()); }
+
+  /// Fraction of deadline-carrying replies that landed after their budget
+  /// (rejected operations are the admission policy doing its job; ghosts
+  /// that executed too late are the failures this measures).
+  double deadline_miss_rate() const {
+    return deadline_ops > 0
+               ? static_cast<double>(deadline_misses) / static_cast<double>(deadline_ops)
+               : 0.0;
+  }
 
   // Tail percentiles of the reply distribution, in milliseconds.
   double reply_p50_ms() const { return to_ms(reply_latency.p50()); }

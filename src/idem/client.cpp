@@ -16,7 +16,7 @@ void IdemClient::invoke(std::vector<std::byte> command, Callback callback) {
   ++onr_;
   PendingOp op;
   op.id = RequestId{cid_, OpNum{onr_}};
-  op.request = std::make_shared<const msg::Request>(op.id, std::move(command));
+  op.request = std::make_shared<const msg::Request>(op.id, std::move(command), request_deadline_);
   op.callback = std::move(callback);
   op.issued = now();
   pending_ = std::move(op);
@@ -127,6 +127,7 @@ void IdemClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte> 
   outcome.redirect_reason = pending_->redirect_reason;
   outcome.redirect_epoch = pending_->redirect_epoch;
   outcome.redirect_group = pending_->redirect_group;
+  outcome.deadline = pending_->request->deadline;
 
   Callback callback = std::move(pending_->callback);
   pending_.reset();

@@ -46,6 +46,7 @@ class IdemClient final : public sim::Node, public consensus::ServiceClient {
   IdemClient(sim::Runtime& sim, sim::Transport& net, ClientId id, IdemClientConfig config);
 
   void invoke(std::vector<std::byte> command, Callback callback) override;
+  void set_request_deadline(Duration deadline) override { request_deadline_ = deadline; }
   ClientId client_id() const override { return cid_; }
   bool busy() const override { return pending_.has_value(); }
 
@@ -79,6 +80,7 @@ class IdemClient final : public sim::Node, public consensus::ServiceClient {
   IdemClientConfig config_;
   ClientId cid_;
   std::uint64_t onr_ = 0;
+  Duration request_deadline_ = 0;  ///< budget stamped on subsequent invokes
   std::optional<PendingOp> pending_;
   sim::TimerId retry_timer_;
   sim::TimerId ambivalence_timer_;

@@ -55,6 +55,12 @@ Duration IdemReplica::send_cost(const sim::Payload& message) const {
   return config_.costs.send_cost(message, cost_rng_);
 }
 
+Duration IdemReplica::message_deadline(const sim::Payload& message) const {
+  const auto* base = dynamic_cast<const msg::Message*>(&message);
+  if (base == nullptr || base->type() != msg::Type::Request) return 0;
+  return static_cast<const msg::Request&>(*base).deadline;
+}
+
 void IdemReplica::multicast(sim::PayloadPtr message) {
   for (std::uint32_t i = 0; i < config_.n; ++i) {
     if (i == me_.value) continue;
@@ -173,10 +179,11 @@ void IdemReplica::handle_request(const msg::Request& request) {
   ctx.active_requests = active_.size();
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
+  ctx.deadline = request.deadline;
   RejectReason reason = RejectReason::None;
   if (acceptance_->accept(id, request.command, ctx, reason)) {
     lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
-    accept_request(id, request.command, /*client_issued=*/true);
+    accept_request(id, request.command, /*client_issued=*/true, request.deadline);
   } else {
     // Replica-owned classification outranks the test's generic verdict: a
     // reject during a view change names the view change, and a reject of
@@ -226,15 +233,15 @@ void IdemReplica::release_superseded(RequestId newer) {
 }
 
 void IdemReplica::accept_request(RequestId id, std::vector<std::byte> command,
-                                 bool client_issued) {
+                                 bool client_issued, Duration deadline) {
   requests_[id] = std::move(command);
   rejected_.erase(id);
   if (client_issued) {
     active_.insert(id);
     ++stats_.accepted;
-    if (config_.telemetry.enabled()) {
-      config_.telemetry.count_accept();
-      arrival_[id] = now();
+    if (config_.telemetry.enabled()) config_.telemetry.count_accept();
+    if (config_.telemetry.enabled() || deadline > 0) {
+      arrival_[id] = Arrival{now(), deadline};
     }
   } else {
     ++stats_.forward_accepted;
@@ -252,11 +259,17 @@ void IdemReplica::reject_request(const msg::Request& request, RejectReason reaso
   reply_to_client(request.id.cid, std::make_shared<const msg::Reject>(request.id, reason));
 }
 
-void IdemReplica::telemetry_reply(RequestId id, bool replied) {
-  if (!config_.telemetry.enabled()) return;
+void IdemReplica::finish_request_tracking(RequestId id, bool replied) {
   auto it = arrival_.find(id);
   if (it == arrival_.end()) return;  // arrived via FORWARD/FETCH, not a client REQUEST
-  if (replied) config_.telemetry.record_reply_latency(now() - it->second);
+  if (replied) {
+    const Duration latency = now() - it->second.at;
+    if (config_.telemetry.enabled()) config_.telemetry.record_reply_latency(latency);
+    if (it->second.deadline > 0 && latency > it->second.deadline) {
+      ++stats_.deadline_misses;
+      config_.telemetry.count_deadline_miss();
+    }
+  }
   arrival_.erase(it);
 }
 
@@ -579,10 +592,19 @@ void IdemReplica::begin_async_execute(std::uint64_t sqn, Instance& inst) {
     exec_ids_.push_back(id);
     commands.push_back(*command);
   }
+  // Earliest deadline across the batch, for executors shared by several
+  // submitters (EDF drain order); 0 = nothing in the batch carries one.
+  Time due = 0;
+  for (RequestId id : exec_ids_) {
+    auto it = arrival_.find(id);
+    if (it == arrival_.end() || it->second.deadline <= 0) continue;
+    Time candidate = it->second.at + it->second.deadline;
+    if (due == 0 || candidate < due) due = candidate;
+  }
   exec_inflight_ = true;
   ++stats_.exec_offloaded;
   config_.executor->execute(
-      *sm_, std::move(commands),
+      *sm_, std::move(commands), due,
       [this, sqn](std::vector<std::vector<std::byte>> results) {
         finish_async_execute(sqn, std::move(results));
       });
@@ -603,7 +625,7 @@ void IdemReplica::finish_async_execute(std::uint64_t sqn,
     lifecycle::executed(config_.trace, now(), me_.value, id, sqn);
     auto reply = std::make_shared<const msg::Reply>(id, std::move(results[i]));
     clients_.record(id, reply);
-    active_.erase(id);
+    if (active_.erase(id) > 0) acceptance_->observe_execution(now(), active_.size());
     if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
       cancel_timer(timer_it->second);
       forward_timers_.erase(timer_it);
@@ -612,7 +634,7 @@ void IdemReplica::finish_async_execute(std::uint64_t sqn,
       reply_to_client(id.cid, reply);
       lifecycle::reply_sent(config_.trace, now(), me_.value, id);
     }
-    telemetry_reply(id, is_leader());
+    finish_request_tracking(id, is_leader());
     if (on_execute) on_execute(SeqNum{sqn}, id);
   }
   exec_ids_.clear();
@@ -637,7 +659,7 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
     lifecycle::executed(config_.trace, now(), me_.value, id, sqn);
     auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
     clients_.record(id, reply);
-    active_.erase(id);
+    if (active_.erase(id) > 0) acceptance_->observe_execution(now(), active_.size());
     if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
       cancel_timer(timer_it->second);
       forward_timers_.erase(timer_it);
@@ -646,7 +668,7 @@ void IdemReplica::execute_instance(std::uint64_t sqn, Instance& inst) {
       reply_to_client(id.cid, reply);
       lifecycle::reply_sent(config_.trace, now(), me_.value, id);
     }
-    telemetry_reply(id, is_leader());
+    finish_request_tracking(id, is_leader());
     if (on_execute) on_execute(SeqNum{sqn}, id);
   }
   inst.executed = true;

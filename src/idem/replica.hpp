@@ -65,6 +65,7 @@ struct ReplicaStats {
   std::uint64_t requires_adopted = 0;  ///< rejected bodies adopted on REQUIRE evidence
   std::uint64_t superseded_released = 0;  ///< abandoned active slots released
   std::uint64_t wrong_shard = 0;  ///< REQUESTs redirected to another group
+  std::uint64_t deadline_misses = 0;  ///< replies sent after the request's budget
 };
 
 class IdemReplica final : public sim::Node {
@@ -103,6 +104,9 @@ class IdemReplica final : public sim::Node {
   void on_restart() override;
   Duration message_cost(const sim::Payload& message) const override;
   Duration send_cost(const sim::Payload& message) const override;
+  /// Client REQUESTs expose their latency budget to the service discipline
+  /// (EDF ordering); everything else is deadline-less.
+  Duration message_deadline(const sim::Payload& message) const override;
 
  private:
   struct Instance : SlotBase {
@@ -116,7 +120,8 @@ class IdemReplica final : public sim::Node {
   // -- request intake ------------------------------------------------------
   void handle_request(const msg::Request& request);
   void release_superseded(RequestId newer);
-  void accept_request(RequestId id, std::vector<std::byte> command, bool client_issued);
+  void accept_request(RequestId id, std::vector<std::byte> command, bool client_issued,
+                      Duration deadline = 0);
   void reject_request(const msg::Request& request, RejectReason reason);
   void queue_require(RequestId id);
   void flush_requires();
@@ -177,10 +182,10 @@ class IdemReplica final : public sim::Node {
   void send_to_leader(sim::PayloadPtr message);
   void reply_to_client(ClientId cid, sim::PayloadPtr message);
 
-  /// Closes a request's live reply-latency measurement: records REPLY
-  /// minus arrival when this replica replied, always drops the arrival
-  /// entry. No-op without an attached telemetry shard.
-  void telemetry_reply(RequestId id, bool replied);
+  /// Closes a request's arrival-side tracking: records live reply latency
+  /// when this replica replied, counts a deadline miss when that reply
+  /// left after the request's budget, always drops the arrival entry.
+  void finish_request_tracking(RequestId id, bool replied);
 
   IdemConfig config_;
   ReplicaId me_;
@@ -196,10 +201,15 @@ class IdemReplica final : public sim::Node {
   // Forward timers per accepted-but-unexecuted request.
   std::unordered_map<RequestId, sim::TimerId> forward_timers_;
 
-  // REQUEST arrival times for live reply-latency measurement. Populated
-  // only with an attached telemetry shard (real mode); bounded like
-  // active_ (entries die at execution or supersession).
-  std::unordered_map<RequestId, Time> arrival_;
+  // REQUEST arrival times for live reply-latency measurement and deadline
+  // accounting. Populated with an attached telemetry shard (real mode) or
+  // when the request carries a deadline; bounded like active_ (entries die
+  // at execution or supersession).
+  struct Arrival {
+    Time at = 0;
+    Duration deadline = 0;  ///< request budget (0 = none)
+  };
+  std::unordered_map<RequestId, Arrival> arrival_;
 
   // Recently rejected requests, still available for FETCH/agreement.
   RejectedCache rejected_;

@@ -35,6 +35,7 @@ class PaxosClient final : public sim::Node, public consensus::ServiceClient {
   PaxosClient(sim::Runtime& sim, sim::Transport& net, ClientId id, PaxosClientConfig config);
 
   void invoke(std::vector<std::byte> command, Callback callback) override;
+  void set_request_deadline(Duration deadline) override { request_deadline_ = deadline; }
   ClientId client_id() const override { return cid_; }
   bool busy() const override { return pending_.has_value(); }
 
@@ -59,6 +60,7 @@ class PaxosClient final : public sim::Node, public consensus::ServiceClient {
   PaxosClientConfig config_;
   ClientId cid_;
   std::uint64_t onr_ = 0;
+  Duration request_deadline_ = 0;  ///< budget stamped on subsequent invokes
   ReplicaId presumed_leader_{0};
   std::optional<PendingOp> pending_;
   sim::TimerId retry_timer_;

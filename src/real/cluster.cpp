@@ -32,9 +32,11 @@ RealCluster::RealCluster(RealClusterConfig config)
   idem_.require_adoption = config_.require_adoption;
   idem_.release_superseded = config_.release_superseded;
 
-  // Real mode ships the reason byte on REJECT; the sim keeps the flag off
-  // so its wire-size cost charges stay pinned.
+  // Real mode ships the reason byte on REJECT and the deadline field on
+  // REQUEST; the sim keeps both flags off so its wire-size cost charges
+  // stay pinned.
   msg::set_wire_reject_reasons(true);
+  msg::set_wire_request_deadlines(true);
   if (config_.admin || config_.live_hub != nullptr) config_.live_metrics = true;
   if (config_.live_hub != nullptr) {
     hub_ = config_.live_hub;
@@ -68,10 +70,19 @@ RealCluster::RealCluster(RealClusterConfig config)
       member.executor = std::make_unique<ExecutionThread>(member.runtime->loop());
       replica_config.executor = member.executor.get();
     }
+    std::unique_ptr<core::AcceptanceTest> acceptance =
+        core::make_default_acceptance(replica_config, config_.expected_clients);
+    if (config_.deadline_aware) {
+      acceptance = std::make_unique<core::DeadlineAware>(config_.deadline_params,
+                                                         std::move(acceptance));
+    }
     member.replica = std::make_unique<core::IdemReplica>(
         *member.runtime, member.runtime->transport(),
         ReplicaId{static_cast<std::uint32_t>(i)}, replica_config, make_store(),
-        core::make_default_acceptance(replica_config, config_.expected_clients));
+        std::move(acceptance));
+    if (config_.discipline != sim::DisciplineKind::Fifo) {
+      member.replica->set_discipline(sim::make_discipline(config_.discipline));
+    }
     if (config_.inline_dispatch) member.replica->set_inline_dispatch(true);
     if (config_.peer_priority) {
       // Agreement traffic ahead of the client-REQUEST flood: the sender id

@@ -31,6 +31,7 @@
 #include "obs/ticker.hpp"
 #include "obs/trace.hpp"
 #include "real/exec_thread.hpp"
+#include "sim/discipline.hpp"
 #include "real/runtime.hpp"
 #include "rpc/http_admin.hpp"
 
@@ -139,6 +140,16 @@ struct RealClusterConfig {
   /// reads hit existing keys (same content on every replica).
   bool preload = false;
   app::YcsbConfig workload;
+
+  /// Service discipline for each replica's software queue. Edf drains
+  /// deadline-carrying REQUESTs earliest-due-first from the deferred
+  /// phase; Fifo keeps the default inline path.
+  sim::DisciplineKind discipline = sim::DisciplineKind::Fifo;
+  /// Wrap the acceptance test in core::DeadlineAware: budgets the online
+  /// wait estimator says cannot be met are rejected up front
+  /// (RejectReason::DeadlineUnmeetable) instead of executing late.
+  bool deadline_aware = false;
+  core::DeadlineAware::Params deadline_params;
 };
 
 class RealCluster {

@@ -1,5 +1,6 @@
 #include "real/exec_thread.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -12,17 +13,18 @@ ExecutionThread::ExecutionThread(rpc::EventLoop& loop) : loop_(loop) {
 ExecutionThread::~ExecutionThread() { stop(); }
 
 void ExecutionThread::execute(app::StateMachine& sm,
-                              std::vector<std::vector<std::byte>> commands, Done done) {
+                              std::vector<std::vector<std::byte>> commands, Time due,
+                              Done done) {
   Job job;
   job.sm = &sm;
   job.commands = std::move(commands);
+  job.due = due;
   job.done = std::move(done);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // One-in-flight contract (core/executor.hpp): the previous completion
-    // must have run on the loop before the next submit.
-    assert(!slot_.has_value());
-    slot_.emplace(std::move(job));
+    job.seq = next_seq_++;
+    queue_.push_back(std::move(job));
+    std::push_heap(queue_.begin(), queue_.end());
   }
   wake_.notify_one();
 }
@@ -45,10 +47,11 @@ void ExecutionThread::worker_main() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return slot_.has_value() || stopping_; });
-      if (!slot_.has_value()) return;  // stopping with an empty slot
-      job = std::move(*slot_);
-      slot_.reset();
+      wake_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping with an empty queue
+      std::pop_heap(queue_.begin(), queue_.end());
+      job = std::move(queue_.back());
+      queue_.pop_back();
     }
     std::vector<std::vector<std::byte>> results;
     results.reserve(job.commands.size());

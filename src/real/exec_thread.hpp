@@ -4,11 +4,12 @@
 // The replica's event-loop thread stays latency-bound (decode, acceptance
 // test, reject, agreement) while state-machine execution — the
 // throughput-bound work — runs on this dedicated worker. The handoff is a
-// single-producer/single-consumer slot of depth one: the protocol submits
-// at most one instance at a time and does not touch the state machine
-// until the completion lands back on its loop (EventLoop::post), so a
-// mutex+condvar slot is a complete SPSC queue here and trivially
-// TSan-clean.
+// mutex+condvar job queue ordered earliest-due-first (the same EDF order
+// the delivery path's ServiceDiscipline uses); each submitter's
+// one-in-flight contract (core/executor.hpp) bounds its own backlog at
+// one, so with the usual one-replica-per-executor deployment the queue
+// never holds more than one job and behaves exactly like the depth-one
+// SPSC slot it used to be — and stays trivially TSan-clean.
 //
 // Lifecycle: construct against the replica's loop, submit from that loop's
 // thread only, stop() (or destroy) after the loop thread has been joined —
@@ -23,7 +24,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
@@ -44,10 +44,10 @@ class ExecutionThread final : public core::Executor {
 
   // --- core::Executor ---
   void execute(app::StateMachine& sm, std::vector<std::vector<std::byte>> commands,
-               Done done) override;
+               Time due, Done done) override;
 
-  /// Joins the worker; a job still in the slot is executed first (the
-  /// completion may land on a stopped loop — see file comment). Idempotent.
+  /// Joins the worker; jobs still queued are executed first (their
+  /// completions may land on a stopped loop — see file comment). Idempotent.
   void stop();
 
   /// Batches executed so far. Safe to read from any thread.
@@ -59,7 +59,16 @@ class ExecutionThread final : public core::Executor {
   struct Job {
     app::StateMachine* sm = nullptr;
     std::vector<std::vector<std::byte>> commands;
+    Time due = 0;           ///< earliest deadline in the batch; 0 = none
+    std::uint64_t seq = 0;  ///< submission order, the EDF tie-break
     Done done;
+
+    /// Max-heap inversion: earliest (due, seq) at the top; due 0 means "due
+    /// now" and sorts first, so deadline-less batches never starve.
+    bool operator<(const Job& other) const {
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
   };
 
   void worker_main();
@@ -67,7 +76,8 @@ class ExecutionThread final : public core::Executor {
   rpc::EventLoop& loop_;
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::optional<Job> slot_;  ///< depth-1 SPSC handoff
+  std::vector<Job> queue_;  ///< heap ordered by Job::operator< (earliest due first)
+  std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
   std::atomic<std::uint64_t> batches_executed_{0};
   std::thread worker_;

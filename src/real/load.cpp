@@ -16,6 +16,7 @@ struct ClientDriver {
   std::unique_ptr<app::YcsbWorkload> workload;
   Rng* arrivals = nullptr;   ///< open-loop inter-arrival stream
   Rng* backoff = nullptr;    ///< rejection-backoff draw stream
+  Rng* deadlines = nullptr;  ///< per-op budget jitter (deadlines armed only)
   bool arrival_pending = false;  ///< open loop: an arrival found us busy
 };
 
@@ -25,6 +26,8 @@ struct RunState {
   bool issuing = true;
   Duration backoff_min = 0;
   Duration backoff_max = 0;
+  Duration request_deadline = 0;
+  Duration deadline_jitter = 0;
 };
 
 void issue(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate);
@@ -36,6 +39,10 @@ void on_outcome(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, dou
       case consensus::Outcome::Kind::Reply: {
         ++state.stats.replies;
         state.stats.reply_latency.record(outcome.latency());
+        if (outcome.deadline > 0) {
+          ++state.stats.deadline_ops;
+          if (outcome.deadline_missed()) ++state.stats.deadline_misses;
+        }
         const app::KvResult result = app::KvResult::decode(outcome.result);
         if (result.status == app::KvResult::Status::BadRequest) ++state.stats.malformed;
         break;
@@ -75,6 +82,16 @@ void on_outcome(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, dou
 
 void issue(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, double rate) {
   if (state.measuring) ++state.stats.issued;
+  if (state.request_deadline > 0) {
+    Duration deadline = state.request_deadline;
+    if (state.deadline_jitter > 0) {
+      deadline += static_cast<Duration>(
+                      driver.deadlines->uniform_int(0, 2 * state.deadline_jitter)) -
+                  state.deadline_jitter;
+      if (deadline < 1) deadline = 1;
+    }
+    driver.client->set_request_deadline(deadline);
+  }
   const app::KvCommand command = driver.workload->next_operation();
   driver.client->invoke(command.encode(),
                         [&loop, &driver, &state, rate](const consensus::Outcome& outcome) {
@@ -101,6 +118,9 @@ void arm_arrival(rpc::EventLoop& loop, ClientDriver& driver, RunState& state, do
 }  // namespace
 
 LoadStats run_load(const LoadOptions& options) {
+  // Real-mode entry point: ship the REQUEST deadline field (no-op bytes
+  // when no budget is set; the sim never arms this).
+  msg::set_wire_request_deadlines(true);
   rpc::EventLoop loop(options.seed, options.epoch);
   rpc::TcpTransport transport(loop);
   for (std::size_t i = 0; i < options.replicas.size(); ++i) {
@@ -122,6 +142,8 @@ LoadStats run_load(const LoadOptions& options) {
   RunState state;
   state.backoff_min = options.backoff_min;
   state.backoff_max = options.backoff_max;
+  state.request_deadline = options.request_deadline;
+  state.deadline_jitter = options.deadline_jitter;
   const double rate = options.open_loop_rate;
   std::vector<ClientDriver> drivers(options.clients);
   for (std::size_t c = 0; c < options.clients; ++c) {
@@ -137,6 +159,9 @@ LoadStats run_load(const LoadOptions& options) {
         options.workload, loop.rng("load.c" + std::to_string(cid.value)));
     if (rate > 0) {
       driver.arrivals = &loop.rng("load.arrival" + std::to_string(cid.value));
+    }
+    if (options.request_deadline > 0) {
+      driver.deadlines = &loop.rng("load.deadline.c" + std::to_string(cid.value));
     }
   }
 

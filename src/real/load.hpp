@@ -46,6 +46,13 @@ struct LoadOptions {
   Duration backoff_min = 50 * kMillisecond;
   Duration backoff_max = 100 * kMillisecond;
 
+  /// Per-operation latency budget stamped on each REQUEST (0 = none).
+  /// Deadline-aware replicas reject budgets they cannot meet; EDF
+  /// disciplines order by them; replies past budget count as misses.
+  Duration request_deadline = 0;
+  /// Uniform +/- jitter applied to each operation's budget.
+  Duration deadline_jitter = 0;
+
   /// Replica i is reachable at replicas[i]; size sets the client's n.
   std::vector<rpc::PeerAddress> replicas;
   /// f and client strategy knobs; n/f default from replicas.size() when
@@ -70,12 +77,19 @@ struct LoadStats {
   std::uint64_t timeouts = 0;
   std::uint64_t malformed = 0;  ///< replies whose KvResult failed to decode
   std::uint64_t deferred = 0;   ///< open-loop arrivals that found the client busy
+  std::uint64_t deadline_ops = 0;     ///< replies to deadline-carrying operations
+  std::uint64_t deadline_misses = 0;  ///< ...that landed after their budget
   Duration measured = 0;        ///< wall-clock span the rates refer to
 
   std::vector<obs::TraceEvent> trace;  ///< client-side ring (when enabled)
 
   double reply_rate() const { return measured > 0 ? replies / to_sec(measured) : 0.0; }
   double reject_rate() const { return measured > 0 ? rejects / to_sec(measured) : 0.0; }
+  double deadline_miss_rate() const {
+    return deadline_ops > 0
+               ? static_cast<double>(deadline_misses) / static_cast<double>(deadline_ops)
+               : 0.0;
+  }
 };
 
 /// Runs the load inline on the calling thread; returns when the span ends.

@@ -1,0 +1,66 @@
+#include "sim/discipline.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace idem::sim {
+
+const char* to_label(DisciplineKind kind) {
+  return kind == DisciplineKind::Edf ? "edf" : "fifo";
+}
+
+void FifoDiscipline::push(NodeId from, PayloadPtr message, Time /*due*/) {
+  if (count_ == slots_.size()) {
+    // Full (or never allocated): grow to the next power of two, unrolling
+    // the ring so the live elements are contiguous again from index 0.
+    std::vector<Item> bigger;
+    std::size_t cap = slots_.empty() ? 8 : slots_.size() * 2;
+    bigger.reserve(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger.push_back(std::move(slots_[(head_ + i) & (slots_.size() - 1)]));
+    }
+    bigger.resize(cap);
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+  slots_[(head_ + count_) & (slots_.size() - 1)] = Item{from, std::move(message)};
+  ++count_;
+}
+
+ServiceDiscipline::Item FifoDiscipline::pop() {
+  Item out = std::move(slots_[head_]);
+  slots_[head_] = Item{};  // drop the payload ref now, not at reuse
+  head_ = (head_ + 1) & (slots_.size() - 1);
+  --count_;
+  return out;
+}
+
+void FifoDiscipline::clear() {
+  for (std::size_t i = 0; i < count_; ++i) {
+    slots_[(head_ + i) & (slots_.size() - 1)] = Item{};
+  }
+  head_ = 0;
+  count_ = 0;
+}
+
+void EdfDiscipline::push(NodeId from, PayloadPtr message, Time due) {
+  heap_.push_back(Entry{due, next_seq_++, Item{from, std::move(message)}});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+ServiceDiscipline::Item EdfDiscipline::pop() {
+  std::pop_heap(heap_.begin(), heap_.end());
+  Item out = std::move(heap_.back().item);
+  heap_.pop_back();
+  return out;
+}
+
+void EdfDiscipline::clear() { heap_.clear(); }
+
+std::unique_ptr<ServiceDiscipline> make_discipline(DisciplineKind kind) {
+  if (kind == DisciplineKind::Edf) return std::make_unique<EdfDiscipline>();
+  return std::make_unique<FifoDiscipline>();
+}
+
+}  // namespace idem::sim

@@ -1,0 +1,111 @@
+// Pluggable service-queue disciplines for sim::Node.
+//
+// A node's normal service lane used to be a hard-coded FIFO ring; it is now
+// a ServiceDiscipline so deployments can order pending messages by deadline
+// instead of arrival. Two implementations:
+//   - FifoDiscipline: the original grow-only power-of-two ring buffer,
+//     bit-identical to the pre-refactor behavior and the default.
+//   - EdfDiscipline:  earliest-deadline-first via a binary heap keyed on
+//     (due time, push sequence). Messages without a deadline get
+//     due = arrival time, i.e. they are treated as due immediately — so
+//     agreement traffic between replicas keeps priority over
+//     deadline-carrying client requests, and ties (same due) preserve
+//     arrival order through the monotone push counter, keeping the
+//     discipline deterministic under simulation.
+//
+// Both disciplines are allocation-free once warmed up (the FIFO ring and
+// the EDF heap vector only ever grow), preserving the kernel's
+// steady-state zero-allocation budget (tests/alloc_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/payload.hpp"
+#include "sim/transport.hpp"
+
+namespace idem::sim {
+
+/// Which discipline a deployment wants; resolved by make_discipline().
+enum class DisciplineKind : std::uint8_t { Fifo, Edf };
+
+/// Returns the stable CLI/config name ("fifo" / "edf").
+const char* to_label(DisciplineKind kind);
+
+/// Orders the messages waiting for a node's CPU. push() receives the due
+/// time the node computed at delivery (arrival + deadline, or arrival for
+/// deadline-less messages); FIFO ignores it.
+class ServiceDiscipline {
+ public:
+  struct Item {
+    NodeId from;
+    PayloadPtr message;
+  };
+
+  virtual ~ServiceDiscipline() = default;
+
+  virtual void push(NodeId from, PayloadPtr message, Time due) = 0;
+  /// Precondition: count() > 0.
+  virtual Item pop() = 0;
+  virtual std::size_t count() const = 0;
+  /// Drops everything (crash semantics: queued work is lost).
+  virtual void clear() = 0;
+
+  /// True for the FIFO discipline: the node skips deadline extraction and
+  /// keeps the inline-dispatch fast path unconditional on this answer.
+  virtual bool fifo() const { return false; }
+  virtual const char* name() const = 0;
+};
+
+/// The original service queue: a grow-only power-of-two ring buffer; once
+/// warmed up, enqueue/dequeue never allocate (std::deque allocates a block
+/// roughly every page of churn, which breaks the zero-allocation budget).
+class FifoDiscipline final : public ServiceDiscipline {
+ public:
+  void push(NodeId from, PayloadPtr message, Time due) override;
+  Item pop() override;
+  std::size_t count() const override { return count_; }
+  void clear() override;
+  bool fifo() const override { return true; }
+  const char* name() const override { return "fifo"; }
+
+ private:
+  std::vector<Item> slots_;  // capacity is a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Earliest-deadline-first: a binary heap on (due, push sequence). The
+/// sequence number makes the heap a total order, so equal due times pop in
+/// arrival order and simulated trajectories stay deterministic.
+class EdfDiscipline final : public ServiceDiscipline {
+ public:
+  void push(NodeId from, PayloadPtr message, Time due) override;
+  Item pop() override;
+  std::size_t count() const override { return heap_.size(); }
+  void clear() override;
+  const char* name() const override { return "edf"; }
+
+ private:
+  struct Entry {
+    Time due = 0;
+    std::uint64_t seq = 0;
+    Item item;
+    bool operator<(const Entry& other) const {
+      // std::push_heap builds a max-heap; invert so the earliest due (then
+      // the earliest push) surfaces at the top.
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Factory for config/CLI plumbing.
+std::unique_ptr<ServiceDiscipline> make_discipline(DisciplineKind kind);
+
+}  // namespace idem::sim

@@ -1,11 +1,16 @@
 #include "sim/node.hpp"
 
+#include <cassert>
 #include <utility>
 
 namespace idem::sim {
 
 Node::Node(Runtime& runtime, Transport& net, NodeId id, NodeKind kind)
-    : runtime_(runtime), net_(net), id_(id), alive_(std::make_shared<Node*>(this)) {
+    : runtime_(runtime),
+      net_(net),
+      id_(id),
+      queue_(std::make_unique<FifoDiscipline>()),
+      alive_(std::make_shared<Node*>(this)) {
   net_.add_node(id_, kind, this);
 }
 
@@ -14,10 +19,17 @@ Node::~Node() {
   net_.remove_node(id_);
 }
 
+void Node::set_discipline(std::unique_ptr<ServiceDiscipline> discipline) {
+  assert(discipline != nullptr);
+  assert(queue_->count() == 0 && "swap the discipline before traffic arrives");
+  queue_ = std::move(discipline);
+  fifo_discipline_ = queue_->fifo();
+}
+
 void Node::crash() {
   if (crashed_) return;
   crashed_ = true;
-  queue_.clear();
+  queue_->clear();
   urgent_.clear();
   processing_ = false;
   // Stay registered with the network so traffic addressed to the crashed
@@ -35,8 +47,15 @@ void Node::restart() {
 
 void Node::deliver(NodeId from, PayloadPtr message) {
   if (crashed_) return;
-  if (inline_dispatch_ && !processing_ && queue_.count == 0 && urgent_.count == 0 &&
-      busy_until_ <= runtime_.now() && message_cost(*message) <= 0) {
+  // Deadline-carrying messages under a non-FIFO discipline never take the
+  // inline fast path: on a real event loop a recv burst would otherwise be
+  // handled strictly in arrival order. Routed through the discipline they
+  // accumulate across the iteration's I/O batch and drain earliest-due
+  // first in the deferred (timer) phase, at zero added wall-clock — the
+  // schedule-at-now hop fires before the loop goes back to sleep.
+  Duration deadline = fifo_discipline_ ? 0 : message_deadline(*message);
+  if (inline_dispatch_ && deadline <= 0 && !processing_ && queue_->count() == 0 &&
+      urgent_.count() == 0 && busy_until_ <= runtime_.now() && message_cost(*message) <= 0) {
     // Idle node, free message: handle it right here instead of taking a
     // round trip through the runtime's event queue. processing_ guards
     // against recursion when on_message triggers a same-thread delivery.
@@ -47,47 +66,18 @@ void Node::deliver(NodeId from, PayloadPtr message) {
     maybe_start_processing();  // drain anything that queued up meanwhile
     return;
   }
-  Ring& lane =
-      (urgent_classifier_ != nullptr && urgent_classifier_(from)) ? urgent_ : queue_;
-  lane.push(Pending{from, std::move(message)});
+  if (urgent_classifier_ != nullptr && urgent_classifier_(from)) {
+    urgent_.push(from, std::move(message), 0);
+  } else {
+    Time due = runtime_.now() + (deadline > 0 ? deadline : 0);
+    queue_->push(from, std::move(message), due);
+  }
   maybe_start_processing();
 }
 
-void Node::Ring::push(Pending p) {
-  if (count == slots.size()) {
-    // Full (or never allocated): grow to the next power of two, unrolling
-    // the ring so the live elements are contiguous again from index 0.
-    std::vector<Pending> bigger;
-    std::size_t cap = slots.empty() ? 8 : slots.size() * 2;
-    bigger.reserve(cap);
-    for (std::size_t i = 0; i < count; ++i) {
-      bigger.push_back(std::move(slots[(head + i) & (slots.size() - 1)]));
-    }
-    bigger.resize(cap);
-    slots = std::move(bigger);
-    head = 0;
-  }
-  slots[(head + count) & (slots.size() - 1)] = std::move(p);
-  ++count;
-}
-
-Node::Pending Node::Ring::pop() {
-  Pending out = std::move(slots[head]);
-  slots[head] = Pending{};  // drop the payload ref now, not at reuse
-  head = (head + 1) & (slots.size() - 1);
-  --count;
-  return out;
-}
-
-void Node::Ring::clear() {
-  for (std::size_t i = 0; i < count; ++i) {
-    slots[(head + i) & (slots.size() - 1)] = Pending{};
-  }
-  head = 0;
-  count = 0;
-}
-
 Duration Node::message_cost(const Payload&) const { return 0; }
+
+Duration Node::message_deadline(const Payload&) const { return 0; }
 
 Duration Node::send_cost(const Payload&) const { return 0; }
 
@@ -98,10 +88,10 @@ void Node::charge(Duration extra) {
 }
 
 void Node::maybe_start_processing() {
-  if (processing_ || (queue_.count == 0 && urgent_.count == 0) || crashed_) return;
+  if (processing_ || (queue_->count() == 0 && urgent_.count() == 0) || crashed_) return;
   processing_ = true;
 
-  Pending next = urgent_.count > 0 ? urgent_.pop() : queue_.pop();
+  ServiceDiscipline::Item next = urgent_.count() > 0 ? urgent_.pop() : queue_->pop();
 
   Time start = std::max(now(), busy_until_);
   Duration cost = message_cost(*next.message);

@@ -14,6 +14,7 @@
 
 #include "common/inline_function.hpp"
 #include "common/time.hpp"
+#include "sim/discipline.hpp"
 #include "sim/runtime.hpp"
 #include "sim/transport.hpp"
 
@@ -62,10 +63,21 @@ class Node : public Endpoint {
 
   /// Length of the service queue (messages waiting for CPU), exposed for
   /// tests and load metrics. Counts both lanes.
-  std::size_t queue_length() const { return queue_.count + urgent_.count; }
+  std::size_t queue_length() const { return queue_->count() + urgent_.count(); }
 
   /// Messages waiting in the urgent lane only.
-  std::size_t urgent_queue_length() const { return urgent_.count; }
+  std::size_t urgent_queue_length() const { return urgent_.count(); }
+
+  /// Replaces the normal lane's service discipline (FIFO by default; the
+  /// pre-refactor ring, bit-identical). Call before traffic arrives — a
+  /// swap does not migrate already-queued messages. EDF nodes consult
+  /// message_deadline() at delivery and serve the earliest due first;
+  /// deadline-less messages count as due immediately, so agreement traffic
+  /// keeps priority and FIFO order among itself.
+  void set_discipline(std::unique_ptr<ServiceDiscipline> discipline);
+
+  /// Discipline currently installed (display / tests).
+  const ServiceDiscipline& discipline() const { return *queue_; }
 
   /// Sender-based service-queue prioritization: messages whose sender the
   /// classifier marks urgent are dispatched before anything in the normal
@@ -100,6 +112,11 @@ class Node : public Endpoint {
   /// protocol's per-message work here. Default: free.
   virtual Duration message_cost(const Payload& message) const;
 
+  /// Latency budget the sender attached to `message` (0 = none). Consulted
+  /// only by non-FIFO disciplines, at delivery: the message's due time in
+  /// the service queue is arrival + deadline. Default: no deadline.
+  virtual Duration message_deadline(const Payload& message) const;
+
   /// CPU cost of transmitting `message` (serialization + syscall). Charged
   /// on every send; this is what makes naive leader fan-out of full
   /// requests a bottleneck (cf. S-Paxos and paper Section 4.2).
@@ -127,33 +144,19 @@ class Node : public Endpoint {
   Time now() const { return runtime_.now(); }
 
  private:
-  struct Pending {
-    NodeId from;
-    PayloadPtr message;
-  };
-
-  // Service-queue lane as a grow-only power-of-two ring buffer: once warmed
-  // up, enqueue/dequeue never allocate (std::deque allocates a block
-  // roughly every page of churn, which breaks the kernel's steady-state
-  // zero-allocation budget — see tests/alloc_test.cpp).
-  struct Ring {
-    std::vector<Pending> slots;  // capacity is a power of two
-    std::size_t head = 0;
-    std::size_t count = 0;
-
-    void push(Pending p);
-    Pending pop();
-    void clear();
-  };
-
   void maybe_start_processing();
 
   Runtime& runtime_;
   Transport& net_;
   NodeId id_;
   bool crashed_ = false;
-  Ring queue_;   ///< normal lane (everything, when no classifier is set)
-  Ring urgent_;  ///< dispatched first; fed only by the classifier
+  /// Normal lane (everything, when no classifier is set). Pluggable; the
+  /// default FifoDiscipline is the pre-refactor ring buffer.
+  std::unique_ptr<ServiceDiscipline> queue_;
+  /// Cached queue_->fifo(): the hot path must not pay a virtual call just
+  /// to learn that deadlines are irrelevant.
+  bool fifo_discipline_ = true;
+  FifoDiscipline urgent_;  ///< dispatched first; fed only by the classifier
   UrgentClassifier urgent_classifier_ = nullptr;
   bool inline_dispatch_ = false;
   bool processing_ = false;

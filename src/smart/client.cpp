@@ -15,7 +15,7 @@ void SmartClient::invoke(std::vector<std::byte> command, Callback callback) {
   ++onr_;
   PendingOp op;
   op.id = RequestId{cid_, OpNum{onr_}};
-  op.request = std::make_shared<const msg::Request>(op.id, std::move(command));
+  op.request = std::make_shared<const msg::Request>(op.id, std::move(command), request_deadline_);
   op.callback = std::move(callback);
   op.issued = now();
   pending_ = std::move(op);
@@ -71,6 +71,7 @@ void SmartClient::complete(consensus::Outcome::Kind kind, std::vector<std::byte>
   outcome.issued = pending_->issued;
   outcome.completed = now();
   outcome.result = std::move(result);
+  outcome.deadline = pending_->request->deadline;
 
   Callback callback = std::move(pending_->callback);
   pending_.reset();

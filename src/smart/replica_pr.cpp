@@ -90,6 +90,7 @@ void SmartPrReplica::handle_request(const msg::Request& request) {
   ctx.active_requests = active_.size();
   ctx.reject_threshold = config_.reject_threshold;
   ctx.now = now();
+  ctx.deadline = request.deadline;
   RejectReason reason = RejectReason::None;
   if (acceptance_->accept(id, request.command, ctx, reason)) {
     core::lifecycle::accept_verdict(config_.trace, now(), me_.value, id, true);
@@ -348,7 +349,7 @@ void SmartPrReplica::try_execute() {
       auto reply = std::make_shared<const msg::Reply>(id, std::move(result));
       clients_.record(id, reply);
       // Free the intake slot and stop the forwarding of this request.
-      active_.erase(id);
+      if (active_.erase(id) > 0) acceptance_->observe_execution(now(), active_.size());
       requests_.erase(id);
       if (auto timer_it = forward_timers_.find(id); timer_it != forward_timers_.end()) {
         cancel_timer(timer_it->second);

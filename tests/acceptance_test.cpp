@@ -264,6 +264,110 @@ TEST(CostAwareTest, AdmissionLimitInterpolatesLinearly) {
 }
 
 // ---------------------------------------------------------------------------
+// DeadlineAware
+// ---------------------------------------------------------------------------
+
+/// Context carrying a latency budget.
+AcceptanceContext dctx(std::size_t active, std::size_t r, Time now, Duration deadline) {
+  AcceptanceContext c = ctx(active, r, now);
+  c.deadline = deadline;
+  return c;
+}
+
+/// Warms the estimator past min_samples with uniform `service` samples.
+void warm(DeadlineAware& test, Time at, Duration service, std::size_t count = 64) {
+  for (std::size_t i = 0; i < count; ++i) test.record_sample(at, service);
+}
+
+TEST(DeadlineAwareTest, DeadlinelessTrafficFallsBackToTailDrop) {
+  DeadlineAware test{DeadlineAware::Params{}};
+  EXPECT_TRUE(accept_empty(test, rid(1, 1), ctx(3, 5)));
+  RejectReason reason = RejectReason::None;
+  EXPECT_FALSE(test.accept(rid(1, 2), {}, ctx(5, 5), reason));
+  EXPECT_EQ(reason, RejectReason::RtQueueFull);
+}
+
+TEST(DeadlineAwareTest, ColdStartAcceptsEvenTightBudgets) {
+  // No service-time evidence yet: no grounds to declare anything
+  // un-meetable, so even a 1 ns budget is admitted (up to r).
+  DeadlineAware test{DeadlineAware::Params{}};
+  EXPECT_TRUE(accept_empty(test, rid(1, 1), dctx(40, 50, 0, 1)));
+}
+
+TEST(DeadlineAwareTest, HardCapBindsRegardlessOfSlack) {
+  DeadlineAware test{DeadlineAware::Params{}};
+  EXPECT_FALSE(accept_empty(test, rid(1, 1), dctx(50, 50, 0, kSecond)));
+}
+
+TEST(DeadlineAwareTest, RejectsUnmeetableBudgetWithItsOwnReason) {
+  DeadlineAware test{DeadlineAware::Params{}};
+  warm(test, kMillisecond, kMillisecond);
+  // 10 requests ahead at ~1 ms each: a 2 ms budget cannot survive the
+  // queue, a 1 s budget easily can.
+  RejectReason reason = RejectReason::None;
+  EXPECT_FALSE(test.accept(rid(1, 1), {}, dctx(10, 50, kMillisecond, 2 * kMillisecond), reason));
+  EXPECT_EQ(reason, RejectReason::DeadlineUnmeetable);
+  EXPECT_TRUE(accept_empty(test, rid(1, 2), dctx(10, 50, kMillisecond, kSecond)));
+}
+
+TEST(DeadlineAwareTest, SafetyMarginDemandsExtraSlack) {
+  DeadlineAware::Params params;
+  params.safety_margin = kSecond;
+  DeadlineAware test{params};
+  warm(test, kMillisecond, kMillisecond);
+  // Meetable on the raw estimate, but not with a whole second of margin.
+  EXPECT_FALSE(accept_empty(test, rid(1, 1), dctx(10, 50, kMillisecond, 100 * kMillisecond)));
+}
+
+TEST(DeadlineAwareTest, EstimatorTracksTheServiceQuantile) {
+  DeadlineAware test{DeadlineAware::Params{}};
+  warm(test, kMillisecond, kMillisecond, 100);
+  EXPECT_EQ(test.sample_count(kMillisecond), 100u);
+  // The log-bucketed histogram answers with a bucket midpoint: right
+  // order of magnitude, not the exact sample.
+  Duration q = test.service_quantile(kMillisecond);
+  EXPECT_GE(q, kMillisecond / 2);
+  EXPECT_LE(q, 2 * kMillisecond);
+  // expected_wait is quantile x depth, by definition.
+  EXPECT_EQ(test.expected_wait(10, kMillisecond), 10 * q);
+}
+
+TEST(DeadlineAwareTest, QuantileReachesIntoTheTail) {
+  // 90 fast + 10 slow samples: the 0.95 quantile must answer from the
+  // slow bucket — a mean would repeat the Jensen gap this policy closes.
+  DeadlineAware::Params params;
+  params.quantile = 0.95;
+  DeadlineAware test{params};
+  warm(test, kMillisecond, kMillisecond, 90);
+  warm(test, kMillisecond, 16 * kMillisecond, 10);
+  EXPECT_GE(test.service_quantile(kMillisecond), 8 * kMillisecond);
+}
+
+TEST(DeadlineAwareTest, WindowForgetsOldSamples) {
+  DeadlineAware test{DeadlineAware::Params{}};
+  warm(test, 0, kMillisecond);
+  ASSERT_GE(test.sample_count(0), 64u);
+  // Two half-window epochs later the evidence is gone and the policy is
+  // back to cold-start admission.
+  const Time later = 2 * kSecond;
+  EXPECT_EQ(test.sample_count(later), 0u);
+  EXPECT_TRUE(accept_empty(test, rid(1, 1), dctx(40, 50, later, 1)));
+}
+
+TEST(DeadlineAwareTest, ObserveExecutionSamplesBusyGapsOnly) {
+  DeadlineAware test{DeadlineAware::Params{}};
+  test.observe_execution(1 * kMillisecond, 5);  // first completion: no gap yet
+  EXPECT_EQ(test.sample_count(1 * kMillisecond), 0u);
+  test.observe_execution(2 * kMillisecond, 4);  // busy gap -> sample
+  EXPECT_EQ(test.sample_count(2 * kMillisecond), 1u);
+  test.observe_execution(3 * kMillisecond, 0);  // busy gap -> sample, now idle
+  EXPECT_EQ(test.sample_count(3 * kMillisecond), 2u);
+  // The gap after an idle period says nothing about service time.
+  test.observe_execution(400 * kMillisecond, 2);
+  EXPECT_EQ(test.sample_count(400 * kMillisecond), 2u);
+}
+
+// ---------------------------------------------------------------------------
 // QuorumTracker
 // ---------------------------------------------------------------------------
 

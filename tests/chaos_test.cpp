@@ -215,6 +215,56 @@ TEST(Chaos, ConfigJsonRoundTrip) {
   EXPECT_EQ(round.plan, config.plan);
 }
 
+// The deadline stack under fault injection: EDF scheduling + DeadlineAware
+// admission, every op carrying a budget, random crash/partition schedules.
+// The safety property: budget pressure only ever produces rejections —
+// linearizability holds, no ghost or duplicate executions, and every op
+// still terminates in one of the four outcomes.
+TEST(Chaos, DeadlineStackSweepStaysLinearizable) {
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    ChaosConfig config = small_config("idem", seed);
+    config.discipline = "edf";
+    config.deadline_aware = true;
+    config.request_deadline = 150 * kMillisecond;
+    config.reject_threshold = 3;  // tight r: admission actually fires
+    ChaosResult result = check::run_chaos(config);
+    EXPECT_TRUE(result.passed())
+        << "seed " << seed << ": "
+        << (result.check.linearizable ? result.exec_error : result.check.error);
+    EXPECT_EQ(result.ok + result.rejected + result.timeouts + result.open,
+              config.clients * config.ops_per_client)
+        << "seed " << seed;
+  }
+}
+
+// Deadlines + EDF with the default FIFO knobs untouched must replay to the
+// same history hash (the armed run is deterministic too), and the config
+// round-trips through the artifact JSON so corpus replay can pin it.
+TEST(Chaos, DeadlineConfigRoundTripsAndReplaysDeterministically) {
+  ChaosConfig config = small_config("idem", 23);
+  config.discipline = "edf";
+  config.deadline_aware = true;
+  config.request_deadline = 200 * kMillisecond;
+  ChaosConfig round = ChaosConfig::from_json(json::Value::parse(config.to_json().dump()));
+  EXPECT_EQ(round.discipline, "edf");
+  EXPECT_TRUE(round.deadline_aware);
+  EXPECT_EQ(round.request_deadline, config.request_deadline);
+  ChaosResult first = check::run_chaos(config);
+  ChaosResult second = check::run_chaos(round);
+  EXPECT_EQ(first.history_hash, second.history_hash);
+}
+
+// Deadline-less configs must serialize exactly as before the deadline
+// knobs existed: the corpus artifacts' config JSON is part of their
+// replay contract.
+TEST(Chaos, DeadlinelessConfigJsonIsUnchanged) {
+  ChaosConfig config = small_config("idem", 5);
+  const std::string dumped = config.to_json().dump();
+  EXPECT_EQ(dumped.find("discipline"), std::string::npos);
+  EXPECT_EQ(dumped.find("request_deadline_ns"), std::string::npos);
+  EXPECT_EQ(dumped.find("deadline_aware"), std::string::npos);
+}
+
 TEST(Chaos, CounterAppSweepPasses) {
   for (std::uint64_t seed = 900; seed < 903; ++seed) {
     ChaosConfig config = small_config("idem", seed);

@@ -120,9 +120,9 @@ TEST(CounterService, ProbeRequestResolvesAmbivalence) {
   // via forwarding.
   struct Switchable final : core::AcceptanceTest {
     bool rejecting = true;
-    bool accept(RequestId, std::span<const std::byte>,
-                const core::AcceptanceContext&) override {
-      return !rejecting;
+    core::AcceptanceVerdict evaluate(RequestId, std::span<const std::byte>,
+                                     const core::AcceptanceContext&) override {
+      return rejecting ? core::AcceptanceVerdict::no() : core::AcceptanceVerdict::yes();
     }
     const char* name() const override { return "switchable"; }
   };

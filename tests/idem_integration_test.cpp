@@ -142,9 +142,9 @@ TEST(IdemIntegration, SingleAcceptorStillExecutes) {
   rc.viewchange_timeout = 500 * kMillisecond;
 
   struct AlwaysReject final : core::AcceptanceTest {
-    bool accept(RequestId, std::span<const std::byte>,
-                const core::AcceptanceContext&) override {
-      return false;
+    core::AcceptanceVerdict evaluate(RequestId, std::span<const std::byte>,
+                                     const core::AcceptanceContext&) override {
+      return core::AcceptanceVerdict::no();
     }
     const char* name() const override { return "always-reject"; }
   };
@@ -383,9 +383,9 @@ TEST(IdemIntegration, RejectedCacheServesFetch) {
   struct RejectOnReplica2 final : core::AcceptanceTest {
     bool reject;
     explicit RejectOnReplica2(bool reject_) : reject(reject_) {}
-    bool accept(RequestId, std::span<const std::byte>,
-                const core::AcceptanceContext&) override {
-      return !reject;
+    core::AcceptanceVerdict evaluate(RequestId, std::span<const std::byte>,
+                                     const core::AcceptanceContext&) override {
+      return reject ? core::AcceptanceVerdict::no() : core::AcceptanceVerdict::yes();
     }
     const char* name() const override { return "test"; }
   };

@@ -34,6 +34,51 @@ TEST(Messages, RequestRoundTrip) {
   EXPECT_EQ(back.command, m.command);
 }
 
+TEST(Messages, RequestDeadlineRoundTripsWhenWireFlagOn) {
+  // Real mode arms the flag; a REQUEST then carries its latency budget.
+  set_wire_request_deadlines(true);
+  Request m(RequestId{ClientId{7}, OpNum{42}}, bytes_of("cmd"), 25 * kMillisecond);
+  Request back = round_trip(m);
+  set_wire_request_deadlines(false);
+  EXPECT_EQ(back.id, m.id);
+  EXPECT_EQ(back.command, m.command);
+  EXPECT_EQ(back.deadline, 25 * kMillisecond);
+}
+
+TEST(Messages, RequestDeadlineDroppedWhenWireFlagOff) {
+  // Sim mode keeps the flag off: the budget must not reach the wire (it
+  // would change wire_size() and perturb pinned cost-model trajectories),
+  // and a deadline-less frame decodes to 0.
+  Request m(RequestId{ClientId{7}, OpNum{42}}, bytes_of("cmd"), 25 * kMillisecond);
+  Request plain(RequestId{ClientId{7}, OpNum{42}}, bytes_of("cmd"));
+  EXPECT_EQ(m.encode(), plain.encode());
+  EXPECT_EQ(round_trip(m).deadline, 0);
+}
+
+TEST(Messages, RequestZeroDeadlineStaysOffTheWireEvenWhenArmed) {
+  // "No budget" is the absence of the field, not a zero varint — an armed
+  // real-mode peer and a deadline-less client agree on the same bytes.
+  set_wire_request_deadlines(true);
+  Request m(RequestId{ClientId{1}, OpNum{2}}, bytes_of("cmd"), 0);
+  set_wire_request_deadlines(false);
+  Request plain(RequestId{ClientId{1}, OpNum{2}}, bytes_of("cmd"));
+  EXPECT_EQ(m.wire_size(), plain.wire_size());
+}
+
+TEST(Messages, RequestDecodeToleratesDeadlineFromNewerPeer) {
+  // A deadline-carrying frame must decode on a binary that never arms the
+  // flag (the decoder is tolerant of the trailing field either way).
+  set_wire_request_deadlines(true);
+  auto encoded =
+      Request(RequestId{ClientId{3}, OpNum{4}}, bytes_of("cmd"), 7 * kMillisecond).encode();
+  set_wire_request_deadlines(false);
+  auto decoded = decode(encoded);
+  const auto* typed = dynamic_cast<const Request*>(decoded.get());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->id, (RequestId{ClientId{3}, OpNum{4}}));
+  EXPECT_EQ(typed->deadline, 7 * kMillisecond);
+}
+
 TEST(Messages, ReplyRoundTrip) {
   Reply m(RequestId{ClientId{1}, OpNum{2}}, bytes_of("result"));
   Reply back = round_trip(m);
@@ -129,6 +174,21 @@ TEST(Messages, ForwardRoundTrip) {
   Forward back = round_trip(m);
   ASSERT_EQ(back.requests.size(), 2u);
   EXPECT_EQ(back.requests[1].command, bytes_of("bb"));
+}
+
+TEST(Messages, EmbeddedRequestsNeverCarryDeadlines) {
+  // The budget matters at admission time; by forward/propose time the
+  // request is already accepted, so the embedded codec drops it even with
+  // the wire flag armed.
+  set_wire_request_deadlines(true);
+  Forward m;
+  m.from = ReplicaId{1};
+  m.requests.emplace_back(RequestId{ClientId{2}, OpNum{3}}, bytes_of("cmd"),
+                          9 * kMillisecond);
+  Forward back = round_trip(m);
+  set_wire_request_deadlines(false);
+  ASSERT_EQ(back.requests.size(), 1u);
+  EXPECT_EQ(back.requests[0].deadline, 0);
 }
 
 TEST(Messages, FetchRoundTrip) {

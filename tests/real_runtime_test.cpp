@@ -91,7 +91,7 @@ TEST(RealRuntimeTest, ExecutionThreadRunsBatchAndCompletesOnLoopThread) {
     std::vector<std::vector<std::byte>> commands;
     commands.push_back(test::put_cmd("a", "1"));
     commands.push_back(test::put_cmd("b", "2"));
-    executor.execute(store, std::move(commands),
+    executor.execute(store, std::move(commands), /*due=*/0,
                      [&](std::vector<std::vector<std::byte>> results) {
                        completion.set_value({std::this_thread::get_id(), results.size()});
                      });

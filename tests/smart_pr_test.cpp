@@ -56,9 +56,9 @@ TEST(SmartPR, SingleAcceptorStillExecutes) {
   config.idem_client.optimistic_wait = 200 * kMillisecond;
   config.acceptance_factory = [](std::size_t replica) {
     struct RejectAll final : core::AcceptanceTest {
-      bool accept(RequestId, std::span<const std::byte>,
-                  const core::AcceptanceContext&) override {
-        return false;
+      core::AcceptanceVerdict evaluate(RequestId, std::span<const std::byte>,
+                                       const core::AcceptanceContext&) override {
+        return core::AcceptanceVerdict::no();
       }
       const char* name() const override { return "reject-all"; }
     };

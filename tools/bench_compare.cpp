@@ -28,6 +28,13 @@
 // gate checks only throughput and leaves latency shape assertions to
 // the bench binary itself.
 //
+// --gate-tails promotes p999_ms and miss_pct to lower-is-better. The
+// deadline-admission sweep (BENCH_deadline.json) exists to pin a tail
+// and a miss-rate win, so its gate must fail when either regresses —
+// the sweep runs in the deterministic sim harness, where tail
+// percentiles repeat run to run and the usual noise argument does not
+// apply.
+//
 // --peak KEY compares a single number instead of every leaf: the maximum
 // of the numeric leaves named KEY in each document (higher is better).
 // Point-by-point diffs are too noisy for a tight tolerance — a sweep's
@@ -56,11 +63,15 @@ bool contains(const std::string& haystack, const char* needle) {
 }
 
 bool g_throughput_only = false;
+bool g_gate_tails = false;
 
 Direction direction_of(const std::string& key) {
   // Reject-side metrics track offered load and client patience, not
   // server quality — a faster server rejects *less*. Never gate them.
   if (contains(key, "reject")) return Direction::Informational;
+  if (g_gate_tails && (key == "p999_ms" || key == "miss_pct")) {
+    return Direction::LowerIsBetter;
+  }
   if (contains(key, "kops") || contains(key, "per_sec") || contains(key, "rate")) {
     return Direction::HigherIsBetter;
   }
@@ -197,6 +208,8 @@ int main(int argc, char** argv) {
       label = value();
     } else if (!std::strcmp(argv[i], "--throughput-only")) {
       g_throughput_only = true;
+    } else if (!std::strcmp(argv[i], "--gate-tails")) {
+      g_gate_tails = true;
     } else if (!std::strcmp(argv[i], "--peak")) {
       peak_key = value();
     } else {
@@ -207,7 +220,7 @@ int main(int argc, char** argv) {
   if (baseline_path == nullptr || fresh_path == nullptr || tolerance <= 0) {
     std::fprintf(stderr,
                  "usage: %s --baseline FILE --fresh FILE [--tolerance T] [--label NAME]\n"
-                 "       [--throughput-only] [--peak KEY]\n"
+                 "       [--throughput-only] [--gate-tails] [--peak KEY]\n"
                  "fails (exit 1) when a throughput metric drops, or a gated latency\n"
                  "metric rises, by more than T (default 0.10) relative to baseline;\n"
                  "--throughput-only gates throughput metrics alone; --peak KEY gates\n"

@@ -87,7 +87,7 @@ if [[ "${FAST}" -eq 0 ]]; then
 
   echo "== sanitizers: TSan ctest =="
   (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
-      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin|Storm|Shard')
+      ctest --output-on-failure -R 'EventLoop|Framing|ParseAddress|TcpTransport|RealtimeIdem|RealRuntime|RealCluster|RealSmoke|MetricsTicker|TraceMerge|LiveMetrics|HttpAdmin|Storm|Shard|Deadline|Discipline')
 fi
 
 # Time-boxed storm smoke: ~1k connections ramped up (334 sessions x 3
@@ -138,6 +138,44 @@ curl -sf "http://127.0.0.1:${ADMIN_BASE}/stats" | grep -q '"requests_received"' 
   echo "live scrape FAILED: /stats JSON missing" >&2; exit 1; }
 wait "${SMOKE_CLIENT}"
 wait
+
+# Deadline smoke: the same 3-replica deployment with EDF scheduling and
+# deadline-aware admission armed, driven by budget-stamped clients. The
+# client report must show the deadline accounting line, and the /metrics
+# scrape must export the idem_deadline_miss_total counter (the
+# deadline-unmeetable reject reason appears in the same family once the
+# estimator warms up — presence of the counter is the gate; its value
+# depends on load luck).
+echo "== real mode: EDF + deadline-aware smoke =="
+DL_BASE=$(( 7000 + RANDOM % 200 ))
+DL_ADMIN=$(( DL_BASE + 300 ))
+for i in 0 1 2; do
+  PEERS=()
+  for j in 0 1 2; do
+    [[ "${i}" -ne "${j}" ]] && PEERS+=(--peer "${j}=:$(( DL_BASE + j ))")
+  done
+  ./build/tools/idem_server --replica-id "${i}" --listen ":$(( DL_BASE + i ))" \
+      "${PEERS[@]}" --rt 16 --discipline edf --deadline-aware \
+      --admin-port "$(( DL_ADMIN + i ))" --seconds 5 >/dev/null &
+done
+sleep 0.5
+DL_TMP="$(mktemp)"
+./build/tools/idem_client --replica ":${DL_BASE}" \
+    --replica ":$(( DL_BASE + 1 ))" --replica ":$(( DL_BASE + 2 ))" \
+    --clients 24 --seconds 2.5 --warmup 0.5 \
+    --deadline-ms 20 --deadline-jitter 10 > "${DL_TMP}" &
+DL_CLIENT=$!
+sleep 2
+curl -sf "http://127.0.0.1:${DL_ADMIN}/metrics" \
+    | grep -q '^idem_deadline_miss_total ' || {
+  echo "deadline smoke FAILED: /metrics missing idem_deadline_miss_total" >&2; exit 1; }
+wait "${DL_CLIENT}"
+wait
+grep -Eq 'deadlines +: [0-9]+/[1-9][0-9]* replies missed' "${DL_TMP}" || {
+  echo "deadline smoke FAILED: client report missing the deadline line" >&2
+  cat "${DL_TMP}" >&2; rm -f "${DL_TMP}"; exit 1; }
+rm -f "${DL_TMP}"
+echo "deadline smoke OK: EDF + deadline-aware cluster served budget-stamped load"
 
 # Sharded deployment smoke: two 3-replica groups as separate server
 # processes, a sharded client over real TCP, then the same client fed the
@@ -282,6 +320,17 @@ else
   perf_gate shard "${PERF_TOLERANCE_REAL}" "--peak reply_kops" \
       BENCH_shard.json "${PERF_TMP}/shard.json" \
       env IDEM_SHARD_JSON="${PERF_TMP}/shard.json" ./build/bench/fig_shard
+
+  # Deadline-aware admission: fig_deadline asserts the cross-policy win
+  # (deadline-aware beats tail-drop AND AQM on p99.9 + miss rate at >= 2x
+  # overload) on every run; the gate additionally diffs against the
+  # stamped baseline with --gate-tails, so the deadline-aware arm's
+  # p999_ms and miss_pct become gated lower-is-better metrics. The sweep
+  # runs in the deterministic sim harness, so the sim tolerance applies.
+  echo "== perf gate: deadline admission vs BENCH_deadline.json =="
+  perf_gate deadline "${PERF_TOLERANCE}" --gate-tails \
+      BENCH_deadline.json "${PERF_TMP}/deadline.json" \
+      env IDEM_DEADLINE_JSON="${PERF_TMP}/deadline.json" ./build/bench/fig_deadline
 
   # Live-telemetry overhead guard: the same sweep with the admin endpoint
   # and windowed metrics armed (IDEM_REAL_LIVE=1) must keep its saturation

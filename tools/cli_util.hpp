@@ -78,6 +78,12 @@ inline void print_load_report(const real::LoadStats& stats) {
     std::printf("  open loop  : %llu arrivals deferred behind a busy client\n",
                 static_cast<unsigned long long>(stats.deferred));
   }
+  if (stats.deadline_ops > 0) {
+    std::printf("  deadlines  : %llu/%llu replies missed their budget (%.2f%%)\n",
+                static_cast<unsigned long long>(stats.deadline_misses),
+                static_cast<unsigned long long>(stats.deadline_ops),
+                100.0 * stats.deadline_miss_rate());
+  }
   if (stats.replies > 0) print_percentile_line("latency", stats.reply_latency);
   if (stats.rejects > 0) {
     std::printf("  rejections : p50 %.3f ms | p99 %.3f ms\n",

@@ -53,6 +53,9 @@ struct Options {
   /// backoff_max_ms = 0 disables the wait entirely.
   double backoff_min_ms = 50;
   double backoff_max_ms = 100;
+  /// Per-operation latency budget in ms (0 = none) and uniform +/- jitter.
+  double deadline_ms = 0;
+  double deadline_jitter_ms = 0;
 };
 
 void usage(const char* argv0) {
@@ -77,6 +80,11 @@ void usage(const char* argv0) {
       "                     list is split into M equal contiguous groups\n"
       "  --map-file F       initial shard map JSON (see idem_server --shard-map;\n"
       "                     default: uniform hash ranges over M groups)\n"
+      "  --deadline-ms MS   latency budget stamped on every operation; the\n"
+      "                     cluster may reject budgets it cannot meet, and\n"
+      "                     late replies are counted as deadline misses\n"
+      "  --deadline-jitter MS\n"
+      "                     uniform +/- jitter on each operation's budget\n"
       "  --backoff-min MS   closed-loop wait after a reject/timeout,\n"
       "                     lower bound in ms             (default: 50)\n"
       "  --backoff-max MS   upper bound in ms; 0 disables (default: 100)\n"
@@ -134,6 +142,12 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--map-file")) {
       if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.map_file = v;
+    } else if (!std::strcmp(arg, "--deadline-ms")) {
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
+      options.deadline_ms = std::atof(v);
+    } else if (!std::strcmp(arg, "--deadline-jitter")) {
+      if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
+      options.deadline_jitter_ms = std::atof(v);
     } else if (!std::strcmp(arg, "--backoff-min")) {
       if ((v = cli::next_value(argc, argv, i)) == nullptr) return std::nullopt;
       options.backoff_min_ms = std::atof(v);
@@ -244,7 +258,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --map-file requires --shards\n", argv[0]);
     return 2;
   }
-  if (options.shards > 0) return run_sharded(options, *workload);
+  if (options.shards > 0) {
+    if (options.deadline_ms > 0) {
+      std::fprintf(stderr, "%s: --deadline-ms is not supported with --shards\n", argv[0]);
+      return 2;
+    }
+    return run_sharded(options, *workload);
+  }
 
   real::LoadOptions load;
   load.clients = options.clients;
@@ -259,6 +279,8 @@ int main(int argc, char** argv) {
   load.workload = *workload;
   load.backoff_min = static_cast<Duration>(options.backoff_min_ms * kMillisecond);
   load.backoff_max = static_cast<Duration>(options.backoff_max_ms * kMillisecond);
+  load.request_deadline = static_cast<Duration>(options.deadline_ms * kMillisecond);
+  load.deadline_jitter = static_cast<Duration>(options.deadline_jitter_ms * kMillisecond);
   load.trace = !options.trace_out.empty();
 
   std::printf("idem_client: %zu %s clients -> %zu replicas, %.1f s (+%.1f s warmup)\n",

@@ -34,6 +34,7 @@
 #include "rpc/event_loop.hpp"
 #include "rpc/http_admin.hpp"
 #include "rpc/tcp_transport.hpp"
+#include "sim/discipline.hpp"
 #include "shard/gate.hpp"
 #include "shard/shard_map.hpp"
 
@@ -57,6 +58,8 @@ struct Options {
   double batch_flush_delay_us = 0;
   bool exec_thread = false;
   bool peer_priority = true;
+  bool edf = false;            ///< --discipline edf
+  bool deadline_aware = false; ///< wrap acceptance in core::DeadlineAware
   std::size_t max_conns = 0;          ///< inbound connection cap (0 = unlimited)
   double idle_timeout_sec = 0;        ///< evict silent inbound connections (0 = off)
   double half_open_timeout_sec = 0;   ///< evict trickled partial frames (0 = off)
@@ -95,6 +98,11 @@ void usage(const char* argv0) {
       "                     waits for a fuller batch      (default: 0)\n"
       "  --exec-thread      run state-machine execution on a dedicated\n"
       "                     thread (pays off with spare cores)\n"
+      "  --discipline D     fifo | edf: service-queue order for client\n"
+      "                     REQUESTs; edf drains earliest-deadline-first\n"
+      "                                                   (default: fifo)\n"
+      "  --deadline-aware   reject REQUESTs whose latency budget the online\n"
+      "                     wait estimator says cannot be met\n"
       "  --no-peer-priority service client and replica traffic through one\n"
       "                     FIFO lane (disables overload prioritization)\n"
       "  --max-conns N      cap concurrent inbound connections; beyond it,\n"
@@ -210,6 +218,17 @@ std::optional<Options> parse_args(int argc, char** argv) {
       options.batch_flush_delay_us = std::atof(v);
     } else if (!std::strcmp(arg, "--exec-thread")) {
       options.exec_thread = true;
+    } else if (!std::strcmp(arg, "--discipline")) {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      if (!std::strcmp(v, "edf")) {
+        options.edf = true;
+      } else if (std::strcmp(v, "fifo") != 0) {
+        std::fprintf(stderr, "%s: --discipline wants fifo or edf, got '%s'\n", argv[0], v);
+        return std::nullopt;
+      }
+    } else if (!std::strcmp(arg, "--deadline-aware")) {
+      options.deadline_aware = true;
     } else if (!std::strcmp(arg, "--no-peer-priority")) {
       options.peer_priority = false;
     } else if (!std::strcmp(arg, "--max-conns")) {
@@ -289,9 +308,11 @@ int main(int argc, char** argv) {
   }
   const Options& options = *parsed;
 
-  // Real mode always ships the reason byte on REJECT (the sim keeps it off
-  // so wire-size cost charges stay pinned to the frozen trajectories).
+  // Real mode always ships the reason byte on REJECT and accepts (and
+  // re-emits) the deadline field on REQUEST (the sim keeps both off so
+  // wire-size cost charges stay pinned to the frozen trajectories).
   msg::set_wire_reject_reasons(true);
+  msg::set_wire_request_deadlines(true);
 
   // Capture the epoch explicitly so trace timestamps and the wall-clock
   // stitching anchor refer to the same instant.
@@ -368,9 +389,16 @@ int main(int argc, char** argv) {
     config.executor = executor.get();
   }
 
+  std::unique_ptr<core::AcceptanceTest> acceptance =
+      core::make_default_acceptance(config, options.expected_clients);
+  if (options.deadline_aware) {
+    acceptance = std::make_unique<core::DeadlineAware>(core::DeadlineAware::Params{},
+                                                       std::move(acceptance));
+  }
   core::IdemReplica replica(loop, transport, ReplicaId{options.replica_id}, config,
                             std::make_unique<app::KvStore>(app::KvStore::Costs{0, 0.0, 0}),
-                            core::make_default_acceptance(config, options.expected_clients));
+                            std::move(acceptance));
+  if (options.edf) replica.set_discipline(sim::make_discipline(sim::DisciplineKind::Edf));
   // No modelled service time: dispatch deliveries inline while idle, and
   // serve agreement traffic ahead of the client-REQUEST flood.
   replica.set_inline_dispatch(true);
@@ -448,7 +476,7 @@ int main(int argc, char** argv) {
           buf, sizeof buf,
           "{\"view\":%llu,\"leader\":%s,"
           "\"requests_received\":%llu,\"accepted\":%llu,\"rejected\":%llu,"
-          "\"wrong_shard\":%llu,\"executed\":%llu,%s"
+          "\"wrong_shard\":%llu,\"executed\":%llu,\"deadline_misses\":%llu,%s"
           "\"tcp\":{\"messages_sent\":%llu,\"bytes_sent\":%llu,"
           "\"messages_delivered\":%llu,\"dropped\":%llu,\"decode_errors\":%llu,"
           "\"send_queue_overflows\":%llu,\"oversized_frames\":%llu,"
@@ -464,7 +492,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.accepted),
           static_cast<unsigned long long>(s.rejected),
           static_cast<unsigned long long>(s.wrong_shard),
-          static_cast<unsigned long long>(s.executed), shard_buf,
+          static_cast<unsigned long long>(s.executed),
+          static_cast<unsigned long long>(s.deadline_misses), shard_buf,
           static_cast<unsigned long long>(t.messages_sent),
           static_cast<unsigned long long>(t.bytes_sent),
           static_cast<unsigned long long>(t.messages_delivered),
@@ -524,11 +553,13 @@ int main(int argc, char** argv) {
   std::printf("idem_server: stopping (view %llu, leader %s)\n",
               static_cast<unsigned long long>(replica.view().value),
               replica.is_leader() ? "yes" : "no");
-  std::printf("  requests %llu | accepted %llu | rejected %llu | executed %llu\n",
+  std::printf("  requests %llu | accepted %llu | rejected %llu | executed %llu |"
+              " deadline misses %llu\n",
               static_cast<unsigned long long>(stats.requests_received),
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.executed));
+              static_cast<unsigned long long>(stats.executed),
+              static_cast<unsigned long long>(stats.deadline_misses));
   if (gate) {
     const shard::GroupShardGate::Stats gs = gate->stats();
     std::printf("  shard: admitted %llu | redirected %llu (wrong shard) | frozen %llu\n",
